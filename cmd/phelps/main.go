@@ -1,0 +1,155 @@
+// Command phelps runs a single workload on the simulator under a chosen
+// configuration and prints its performance metrics.
+//
+// Examples:
+//
+//	phelps -workload astar -mode phelps
+//	phelps -workload bfs -mode baseline -pred perfect
+//	phelps -workload guarded -mode runahead -epoch 50000
+//	phelps -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"phelps/internal/core"
+	"phelps/internal/prog"
+	"phelps/internal/sim"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "astar", "workload name (see -list)")
+		mode     = flag.String("mode", "phelps", "baseline | phelps | runahead | half")
+		predName = flag.String("pred", "tage", "tage | perfect | bimodal | gshare")
+		epoch    = flag.Uint64("epoch", 0, "epoch length in instructions (0 = workload default)")
+		quick    = flag.Bool("quick", false, "use reduced workload sizes")
+		rob      = flag.Int("rob", 0, "override ROB size (scales PRF/LQ/SQ/IQ)")
+		depth    = flag.Int("depth", 0, "override pipeline depth")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		verbose  = flag.Bool("v", false, "print detailed Phelps statistics")
+	)
+	flag.Parse()
+
+	specs := map[string]sim.Spec{}
+	for _, s := range append(sim.GapSpecs(*quick), sim.SpecCPUSpecs(*quick)...) {
+		specs[s.Name] = s
+	}
+	specs["guarded"] = sim.Spec{Name: "guarded", Build: func() *prog.Workload {
+		return prog.GuardedPair(60000, 24, 3)
+	}, Epoch: 50_000}
+	specs["nested"] = sim.Spec{Name: "nested", Build: func() *prog.Workload {
+		return prog.NestedLoop(30000, 6, 4)
+	}, Epoch: 60_000}
+	specs["delinquent"] = sim.Spec{Name: "delinquent", Build: func() *prog.Workload {
+		return prog.DelinquentLoop(50000, 50, 1)
+	}, Epoch: 50_000}
+
+	if *list {
+		var names []string
+		for n := range specs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	spec, ok := specs[*workload]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *workload)
+		os.Exit(1)
+	}
+	ep := spec.Epoch
+	if *epoch != 0 {
+		ep = *epoch
+	}
+
+	var cfg sim.Config
+	switch *mode {
+	case "baseline":
+		cfg = sim.DefaultConfig()
+	case "phelps":
+		cfg = sim.PhelpsConfig(ep)
+	case "runahead":
+		cfg = sim.DefaultConfig()
+		cfg.Mode = sim.ModeRunahead
+		cfg.Runahead.EpochLen = ep
+	case "half":
+		cfg = sim.DefaultConfig()
+		cfg.ForcePartition = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	switch *predName {
+	case "tage":
+		cfg.Predictor = sim.PredTAGE
+	case "perfect":
+		cfg.Predictor = sim.PredPerfect
+	case "bimodal":
+		cfg.Predictor = sim.PredBimodal
+	case "gshare":
+		cfg.Predictor = sim.PredGshare
+	default:
+		fmt.Fprintf(os.Stderr, "unknown predictor %q\n", *predName)
+		os.Exit(1)
+	}
+	if *rob != 0 || *depth != 0 {
+		r, d := cfg.Core.ROB, cfg.Core.PipelineDepth
+		if *rob != 0 {
+			r = *rob
+		}
+		if *depth != 0 {
+			d = *depth
+		}
+		f := float64(r) / 632
+		cfg.Core.ROB = r
+		cfg.Core.PRF = int(696*f) + 32
+		cfg.Core.LQ = int(144 * f)
+		cfg.Core.SQ = int(144 * f)
+		cfg.Core.IQ = int(128 * f)
+		cfg.Core.PipelineDepth = d
+	}
+
+	res := sim.Run(spec.Build(), cfg)
+	fmt.Printf("workload       %s\n", spec.Name)
+	fmt.Printf("mode           %s (predictor %s, epoch %d)\n", *mode, *predName, ep)
+	fmt.Printf("instructions   %d\n", res.Retired)
+	fmt.Printf("cycles         %d\n", res.Cycles)
+	fmt.Printf("IPC            %.3f\n", res.IPC())
+	fmt.Printf("MPKI           %.2f (%d mispredicts / %d cond. branches)\n",
+		res.MPKI(), res.Mispredicts, res.CondBranches)
+	if res.QueuePreds > 0 {
+		fmt.Printf("queue preds    %d consumed, %d wrong\n", res.QueuePreds, res.QueueMisps)
+	}
+	if res.VerifyErr != nil {
+		fmt.Printf("VERIFY FAILED  %v\n", res.VerifyErr)
+		os.Exit(1)
+	}
+	fmt.Printf("verification   ok\n")
+
+	if *verbose && *mode == "phelps" {
+		p := res.Phelps
+		fmt.Printf("\nPhelps statistics\n")
+		fmt.Printf("  triggers/terminations  %d / %d\n", p.Triggers, p.Terminations)
+		fmt.Printf("  HT retired             %d (%.1f per 100 MT insts)\n",
+			p.HTRetired, float64(p.HTRetired)/float64(res.Retired)*100)
+		fmt.Printf("  HT iterations/visits   %d / %d\n", p.HTIterations, p.HTVisits)
+		fmt.Printf("  queue untimely         %d\n", p.QueueUntimely)
+		fmt.Printf("  spec cache hits/evicts %d / %d\n", p.SpecCacheHits, p.SpecCacheEvicts)
+		for c := core.Category(0); c < core.NumCategories; c++ {
+			if n := p.Categories[c]; n > 0 {
+				fmt.Printf("  residual [%s] %d\n", c, n)
+			}
+		}
+		for loop, why := range p.RejectedLoops {
+			fmt.Printf("  rejected loop %#x: %s\n", loop, why)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command phelpsreport regenerates the paper's tables and figures on the
+// scaled-down workload suite and prints them in paper-style rows. This is
+// the binary behind EXPERIMENTS.md.
+//
+//	phelpsreport -all          # everything (several minutes)
+//	phelpsreport -fig 11       # just Fig. 11
+//	phelpsreport -tables       # Tables II and III
+//	phelpsreport -quick -all   # reduced sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"phelps/internal/core"
+	"phelps/internal/sim"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		fig    = flag.Int("fig", 0, "run one figure (11, 12, 13, 14, 15)")
+		tables = flag.Bool("tables", false, "print Tables II and III")
+		quick  = flag.Bool("quick", false, "reduced workload sizes")
+	)
+	flag.Parse()
+	if !*all && *fig == 0 && !*tables {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	if *tables || *all {
+		fmt.Println(core.FormatCostTable())
+		fmt.Println(sim.FormatTableIII())
+	}
+	if *all || *fig == 11 {
+		fmt.Println(sim.FormatFig11(sim.Fig11(*quick)))
+	}
+	if *all || *fig == 12 || *fig == 13 || *fig == 14 {
+		gap := sim.GapSpecs(*quick)
+		spec := sim.SpecCPUSpecs(*quick)
+		var gapNames, specNames []string
+		for _, s := range gap {
+			gapNames = append(gapNames, s.Name)
+		}
+		for _, s := range spec {
+			specNames = append(specNames, s.Name)
+		}
+		fmt.Println("running the GAP+astar matrix...")
+		gapM := sim.RunMatrix(gap, []string{
+			sim.CfgBase, sim.CfgPerfect, sim.CfgPhelps, sim.CfgPhelpsNoStore,
+			sim.CfgBR, sim.CfgBR12w, sim.CfgHalf,
+		})
+		fmt.Println("running the SPEC-like matrix...")
+		specM := sim.RunMatrix(spec, []string{
+			sim.CfgBase, sim.CfgPerfect, sim.CfgPhelps, sim.CfgBR, sim.CfgBR12w, sim.CfgHalf,
+		})
+		reportVerify(gapM)
+		reportVerify(specM)
+		if *all || *fig == 12 {
+			fmt.Println(sim.FormatFig12a(gapM, gapNames))
+			fmt.Println(sim.FormatFig12a(specM, specNames))
+			fmt.Println(sim.FormatFig12b(gapM, gapNames))
+		}
+		if *all || *fig == 13 {
+			fmt.Println(sim.FormatFig13a(gapM, gapNames))
+			fmt.Println(sim.FormatFig13b(gapM, gapNames))
+			fmt.Println(sim.FormatFig13c(gapM, gapNames))
+			fmt.Println(sim.FormatFig13c(specM, specNames))
+		}
+		if *all || *fig == 14 {
+			fmt.Println(sim.FormatFig14(gapM, gapNames))
+			fmt.Println(sim.FormatFig14(specM, specNames))
+		}
+	}
+	if *all || *fig == 15 {
+		fmt.Println(sim.FormatFig15a(sim.Fig15a(*quick)))
+		fmt.Println(sim.FormatFig15b(sim.Fig15b(*quick)))
+	}
+	fmt.Printf("report generated in %s\n", time.Since(start).Round(time.Second))
+}
+
+func reportVerify(m sim.Matrix) {
+	for w, configs := range m {
+		for c, r := range configs {
+			if r.VerifyErr != nil {
+				fmt.Printf("VERIFY FAILED: %s under %s: %v\n", w, c, r.VerifyErr)
+			}
+		}
+	}
+}

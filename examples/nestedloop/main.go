@@ -1,0 +1,56 @@
+// Dual decoupled helper threads on the Fig. 2 nested-loop idiom: a
+// long-running outer loop over an inner loop with a short, unpredictable
+// trip count. A single helper thread would serialize on the inner loop's
+// backward branch (brC); Phelps runs an outer thread that queues inner-loop
+// visits through the Visit Queue for a decoupled inner thread.
+//
+//	go run ./examples/nestedloop
+package main
+
+import (
+	"fmt"
+
+	"phelps/internal/prog"
+	"phelps/internal/sim"
+)
+
+func main() {
+	fmt.Println("Nested-loop idiom: dual decoupled helper threads")
+	fmt.Println("================================================")
+	fmt.Println()
+	fmt.Println("  for i in 0..n:              // outer loop   -> outer thread")
+	fmt.Println("      if len[i] == 0 continue // brA (header) -> queues a visit")
+	fmt.Println("      for j in 0..len[i]:     // inner loop   -> inner thread")
+	fmt.Println("          if data[i][j] ... { ... }  // brB (delinquent)")
+	fmt.Println("                              // brC: trip count 0..6, unpredictable")
+	fmt.Println()
+
+	mk := func() *prog.Workload { return prog.NestedLoop(30000, 6, 4) }
+
+	base := sim.Run(mk(), sim.DefaultConfig())
+	ph := sim.Run(mk(), sim.PhelpsConfig(60_000))
+	perfect := sim.DefaultConfig()
+	perfect.Predictor = sim.PredPerfect
+	perf := sim.Run(mk(), perfect)
+
+	fmt.Printf("%-24s IPC %5.2f   MPKI %6.2f\n", "baseline", base.IPC(), base.MPKI())
+	fmt.Printf("%-24s IPC %5.2f   MPKI %6.2f\n", "Phelps (dual threads)", ph.IPC(), ph.MPKI())
+	fmt.Printf("%-24s IPC %5.2f   MPKI %6.2f\n", "perfect BP (bound)", perf.IPC(), perf.MPKI())
+	fmt.Println()
+	p := ph.Phelps
+	fmt.Println("Dual-thread activity:")
+	fmt.Printf("  outer thread iterations   %d\n", p.HTIterations-uint64(p.HTVisits))
+	fmt.Printf("  inner-loop visits queued  %d (through the 16-entry Visit Queue)\n", p.HTVisits)
+	fmt.Printf("  queue predictions         %d consumed, %d wrong, %d untimely\n",
+		ph.QueuePreds, ph.QueueMisps, p.QueueUntimely)
+	fmt.Printf("  speedup                   %.2fx (perfect BP bound: %.2fx)\n",
+		float64(base.Cycles)/float64(ph.Cycles), float64(base.Cycles)/float64(perf.Cycles))
+	fmt.Println()
+	fmt.Println("The outer thread's progress is independent of brC mispredictions —")
+	fmt.Println("they serialize only the inner thread (Section I of the paper).")
+	for _, r := range []sim.Result{base, ph, perf} {
+		if r.VerifyErr != nil {
+			fmt.Printf("VERIFICATION FAILED: %v\n", r.VerifyErr)
+		}
+	}
+}

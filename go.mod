@@ -1,0 +1,3 @@
+module phelps
+
+go 1.22

@@ -1,0 +1,177 @@
+// Package asm provides a structured assembler for building isa.Programs in
+// Go: labels, branches to labels, and one method per opcode. Workload kernels
+// in internal/prog are written against this builder, mirroring how the
+// paper's benchmarks are compiled RISC-V binaries.
+package asm
+
+import (
+	"fmt"
+
+	"phelps/internal/isa"
+)
+
+// Builder accumulates instructions and resolves label references at Build
+// time. Methods append exactly one instruction each.
+type Builder struct {
+	base  uint64
+	code  []isa.Inst
+	label map[string]int  // label -> instruction index
+	fix   []fixup         // pending label references
+	errs  []error
+}
+
+type fixup struct {
+	idx   int    // instruction index with unresolved Imm
+	label string
+	rel   bool // pc-relative (branches, JAL) vs absolute
+}
+
+// New returns a Builder whose first instruction will be at base.
+func New(base uint64) *Builder {
+	return &Builder{base: base, label: make(map[string]int)}
+}
+
+// PC returns the address the next appended instruction will have.
+func (b *Builder) PC() uint64 { return b.base + uint64(len(b.code))*isa.InstBytes }
+
+// Label defines a label at the current PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.label[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("asm: duplicate label %q", name))
+		return
+	}
+	b.label[name] = len(b.code)
+}
+
+func (b *Builder) emit(i isa.Inst) { b.code = append(b.code, i) }
+
+func (b *Builder) emitToLabel(i isa.Inst, label string) {
+	b.fix = append(b.fix, fixup{idx: len(b.code), label: label, rel: true})
+	b.emit(i)
+}
+
+// --- ALU, register-register ---
+
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.ADD, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.SUB, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.SLT, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Sltu(rd, rs1, rs2 isa.Reg) { b.emit(isa.Inst{Op: isa.SLTU, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) And(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.AND, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg)   { b.emit(isa.Inst{Op: isa.OR, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.XOR, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Sll(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.SLL, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Srl(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.SRL, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Sra(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.SRA, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.MUL, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.DIV, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.REM, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+
+// --- ALU, register-immediate ---
+
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs1, Imm: imm}) }
+func (b *Builder) Slti(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.SLTI, Rd: rd, Rs1: rs1, Imm: imm}) }
+func (b *Builder) Sltiu(rd, rs1 isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.SLTIU, Rd: rd, Rs1: rs1, Imm: imm}) }
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.ANDI, Rd: rd, Rs1: rs1, Imm: imm}) }
+func (b *Builder) Ori(rd, rs1 isa.Reg, imm int64)   { b.emit(isa.Inst{Op: isa.ORI, Rd: rd, Rs1: rs1, Imm: imm}) }
+func (b *Builder) Xori(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.XORI, Rd: rd, Rs1: rs1, Imm: imm}) }
+func (b *Builder) Slli(rd, rs1 isa.Reg, sh int64)   { b.emit(isa.Inst{Op: isa.SLLI, Rd: rd, Rs1: rs1, Imm: sh}) }
+func (b *Builder) Srli(rd, rs1 isa.Reg, sh int64)   { b.emit(isa.Inst{Op: isa.SRLI, Rd: rd, Rs1: rs1, Imm: sh}) }
+func (b *Builder) Srai(rd, rs1 isa.Reg, sh int64)   { b.emit(isa.Inst{Op: isa.SRAI, Rd: rd, Rs1: rs1, Imm: sh}) }
+func (b *Builder) Lui(rd isa.Reg, imm int64)        { b.emit(isa.Inst{Op: isa.LUI, Rd: rd, Imm: imm}) }
+
+// Nop appends a no-op.
+func (b *Builder) Nop() { b.emit(isa.Inst{Op: isa.NOP}) }
+
+// Mv copies rs1 into rd (addi rd, rs1, 0).
+func (b *Builder) Mv(rd, rs1 isa.Reg) { b.Addi(rd, rs1, 0) }
+
+// Li loads a (possibly large) immediate, using LUI+ADDI when needed. It may
+// emit one or two instructions.
+func (b *Builder) Li(rd isa.Reg, v int64) {
+	if v >= -2048 && v < 2048 {
+		b.Addi(rd, isa.X0, v)
+		return
+	}
+	upper := (v + 0x800) >> 12
+	lower := v - (upper << 12)
+	b.Lui(rd, upper)
+	if lower != 0 {
+		b.Addi(rd, rd, lower)
+	}
+}
+
+// --- memory ---
+
+func (b *Builder) Ld(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.LD, Rd: rd, Rs1: rs1, Imm: imm}) }
+func (b *Builder) Lw(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.LW, Rd: rd, Rs1: rs1, Imm: imm}) }
+func (b *Builder) Lwu(rd, rs1 isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.LWU, Rd: rd, Rs1: rs1, Imm: imm}) }
+func (b *Builder) Lb(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.LB, Rd: rd, Rs1: rs1, Imm: imm}) }
+func (b *Builder) Lbu(rd, rs1 isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.LBU, Rd: rd, Rs1: rs1, Imm: imm}) }
+func (b *Builder) Sd(rs2, rs1 isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.SD, Rs1: rs1, Rs2: rs2, Imm: imm}) }
+func (b *Builder) Sw(rs2, rs1 isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.SW, Rs1: rs1, Rs2: rs2, Imm: imm}) }
+func (b *Builder) Sb(rs2, rs1 isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.SB, Rs1: rs1, Rs2: rs2, Imm: imm}) }
+
+// --- control flow ---
+
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string)  { b.emitToLabel(isa.Inst{Op: isa.BEQ, Rs1: rs1, Rs2: rs2}, label) }
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string)  { b.emitToLabel(isa.Inst{Op: isa.BNE, Rs1: rs1, Rs2: rs2}, label) }
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string)  { b.emitToLabel(isa.Inst{Op: isa.BLT, Rs1: rs1, Rs2: rs2}, label) }
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string)  { b.emitToLabel(isa.Inst{Op: isa.BGE, Rs1: rs1, Rs2: rs2}, label) }
+func (b *Builder) Bltu(rs1, rs2 isa.Reg, label string) { b.emitToLabel(isa.Inst{Op: isa.BLTU, Rs1: rs1, Rs2: rs2}, label) }
+func (b *Builder) Bgeu(rs1, rs2 isa.Reg, label string) { b.emitToLabel(isa.Inst{Op: isa.BGEU, Rs1: rs1, Rs2: rs2}, label) }
+
+// J is an unconditional jump to a label (JAL with rd=x0).
+func (b *Builder) J(label string) { b.emitToLabel(isa.Inst{Op: isa.JAL, Rd: isa.X0}, label) }
+
+// Jal is a call: rd receives the return address.
+func (b *Builder) Jal(rd isa.Reg, label string) { b.emitToLabel(isa.Inst{Op: isa.JAL, Rd: rd}, label) }
+
+// Jalr is an indirect jump/return.
+func (b *Builder) Jalr(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.JALR, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Ret returns via the RA register.
+func (b *Builder) Ret() { b.Jalr(isa.X0, isa.RA, 0) }
+
+// Halt terminates the program.
+func (b *Builder) Halt() { b.emit(isa.Inst{Op: isa.HALT}) }
+
+// Build resolves labels and returns the finished program. The entry point is
+// the base address.
+func (b *Builder) Build() (*isa.Program, error) {
+	for _, f := range b.fix {
+		idx, ok := b.label[f.label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("asm: undefined label %q", f.label))
+			continue
+		}
+		targetPC := b.base + uint64(idx)*isa.InstBytes
+		srcPC := b.base + uint64(f.idx)*isa.InstBytes
+		if f.rel {
+			b.code[f.idx].Imm = int64(targetPC) - int64(srcPC)
+		} else {
+			b.code[f.idx].Imm = int64(targetPC)
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	labels := make(map[string]uint64, len(b.label))
+	for name, idx := range b.label {
+		labels[name] = b.base + uint64(idx)*isa.InstBytes
+	}
+	code := make([]isa.Inst, len(b.code))
+	copy(code, b.code)
+	return &isa.Program{Base: b.base, Entry: b.base, Code: code, Labels: labels}, nil
+}
+
+// MustBuild is Build that panics on error; for use in tests and workload
+// constructors where a malformed program is a programming bug.
+func (b *Builder) MustBuild() *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

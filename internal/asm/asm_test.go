@@ -1,0 +1,177 @@
+package asm
+
+import (
+	"testing"
+
+	"phelps/internal/emu"
+	"phelps/internal/isa"
+)
+
+func TestLabelResolution(t *testing.T) {
+	b := New(0x1000)
+	b.Label("top")
+	b.Addi(isa.T0, isa.T0, 1) // 0x1000
+	b.Bne(isa.T0, isa.T1, "top")
+	b.J("done")
+	b.Nop()
+	b.Label("done")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bne, _ := p.At(0x1004)
+	if bne.Imm != -4 {
+		t.Errorf("bne imm = %d, want -4", bne.Imm)
+	}
+	j, _ := p.At(0x1008)
+	if j.Imm != 8 {
+		t.Errorf("j imm = %d, want 8 (0x1008 -> 0x1010)", j.Imm)
+	}
+	if p.Label("done") != 0x1010 {
+		t.Errorf("label done = %#x, want 0x1010", p.Label("done"))
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := New(0)
+	b.J("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for undefined label")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := New(0)
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for duplicate label")
+	}
+}
+
+func TestLiSmallAndLarge(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2047, -2048, 2048, -2049, 123456, -123456, 1 << 30, -(1 << 30), 0xFFF, 0x800} {
+		b := New(0)
+		b.Li(isa.A0, v)
+		b.Halt()
+		p := b.MustBuild()
+		mem := emu.NewMemory()
+		res := emu.Run(p, mem, 0)
+		if got := int64(res.Regs[isa.A0]); got != v {
+			t.Errorf("Li(%d): executed value %d", v, got)
+		}
+	}
+}
+
+func TestForwardAndBackwardBranches(t *testing.T) {
+	// Sum 1..10 with a backward loop branch and a forward exit branch.
+	b := New(0x400)
+	b.Li(isa.T0, 0)  // i
+	b.Li(isa.T1, 0)  // sum
+	b.Li(isa.T2, 10) // limit
+	b.Label("loop")
+	b.Addi(isa.T0, isa.T0, 1)
+	b.Add(isa.T1, isa.T1, isa.T0)
+	b.Blt(isa.T0, isa.T2, "loop")
+	b.Halt()
+	p := b.MustBuild()
+	res := emu.Run(p, emu.NewMemory(), 0)
+	if got := res.Regs[isa.T1]; got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+	if !res.Reached {
+		t.Error("program did not halt")
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	b := New(0)
+	b.Li(isa.A0, 5)
+	b.Jal(isa.RA, "double")
+	b.Mv(isa.S0, isa.A0)
+	b.Halt()
+	b.Label("double")
+	b.Add(isa.A0, isa.A0, isa.A0)
+	b.Ret()
+	p := b.MustBuild()
+	res := emu.Run(p, emu.NewMemory(), 0)
+	if got := res.Regs[isa.S0]; got != 10 {
+		t.Errorf("double(5) = %d, want 10", got)
+	}
+}
+
+func TestPCAdvances(t *testing.T) {
+	b := New(0x2000)
+	if b.PC() != 0x2000 {
+		t.Errorf("initial PC = %#x", b.PC())
+	}
+	b.Nop()
+	b.Nop()
+	if b.PC() != 0x2008 {
+		t.Errorf("PC after 2 insts = %#x, want 0x2008", b.PC())
+	}
+}
+
+func TestAllEmittersProduceExpectedOps(t *testing.T) {
+	b := New(0)
+	b.Add(1, 2, 3)
+	b.Sub(1, 2, 3)
+	b.Slt(1, 2, 3)
+	b.Sltu(1, 2, 3)
+	b.And(1, 2, 3)
+	b.Or(1, 2, 3)
+	b.Xor(1, 2, 3)
+	b.Sll(1, 2, 3)
+	b.Srl(1, 2, 3)
+	b.Sra(1, 2, 3)
+	b.Mul(1, 2, 3)
+	b.Div(1, 2, 3)
+	b.Rem(1, 2, 3)
+	b.Addi(1, 2, 3)
+	b.Slti(1, 2, 3)
+	b.Sltiu(1, 2, 3)
+	b.Andi(1, 2, 3)
+	b.Ori(1, 2, 3)
+	b.Xori(1, 2, 3)
+	b.Slli(1, 2, 3)
+	b.Srli(1, 2, 3)
+	b.Srai(1, 2, 3)
+	b.Lui(1, 3)
+	b.Ld(1, 2, 8)
+	b.Lw(1, 2, 8)
+	b.Lwu(1, 2, 8)
+	b.Lb(1, 2, 8)
+	b.Lbu(1, 2, 8)
+	b.Sd(1, 2, 8)
+	b.Sw(1, 2, 8)
+	b.Sb(1, 2, 8)
+	b.Jalr(1, 2, 0)
+	b.Nop()
+	b.Halt()
+	p := b.MustBuild()
+	want := []isa.Op{
+		isa.ADD, isa.SUB, isa.SLT, isa.SLTU, isa.AND, isa.OR, isa.XOR,
+		isa.SLL, isa.SRL, isa.SRA, isa.MUL, isa.DIV, isa.REM,
+		isa.ADDI, isa.SLTI, isa.SLTIU, isa.ANDI, isa.ORI, isa.XORI,
+		isa.SLLI, isa.SRLI, isa.SRAI, isa.LUI,
+		isa.LD, isa.LW, isa.LWU, isa.LB, isa.LBU,
+		isa.SD, isa.SW, isa.SB,
+		isa.JALR, isa.NOP, isa.HALT,
+	}
+	if len(p.Code) != len(want) {
+		t.Fatalf("got %d insts, want %d", len(p.Code), len(want))
+	}
+	for i, op := range want {
+		if p.Code[i].Op != op {
+			t.Errorf("inst %d: op %v, want %v", i, p.Code[i].Op, op)
+		}
+	}
+	// Store operand placement: Sd(val, base, off) -> Rs2=val, Rs1=base.
+	sd := p.Code[28]
+	if sd.Rs2 != 1 || sd.Rs1 != 2 || sd.Imm != 8 {
+		t.Errorf("Sd operand placement wrong: %+v", sd)
+	}
+}

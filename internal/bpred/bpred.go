@@ -1,0 +1,129 @@
+// Package bpred implements the branch direction predictors used by the
+// simulator: bimodal, gshare, a TAGE-SC-L-class predictor (the paper's
+// baseline core uses 64KB TAGE-SC-L), and a perfect oracle (for the perfBP
+// configuration of Fig. 12a).
+package bpred
+
+// Predictor predicts a conditional branch at fetch and trains immediately
+// with the actual outcome (the simulator resolves correct-path outcomes
+// up front; see DESIGN.md). Implementations keep their own global history.
+type Predictor interface {
+	// PredictAndTrain returns the prediction for the branch at pc, then
+	// updates all internal state (tables and histories) with the actual
+	// outcome.
+	PredictAndTrain(pc uint64, taken bool) bool
+
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// ctr2 is a 2-bit saturating counter; taken if >= 2.
+type ctr2 uint8
+
+func (c ctr2) taken() bool { return c >= 2 }
+
+func (c ctr2) update(taken bool) ctr2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// --- Bimodal ---
+
+// Bimodal is a PC-indexed table of 2-bit counters. Branch Runahead uses a
+// bimodal predictor for speculative chain triggering (Section VI).
+type Bimodal struct {
+	table []ctr2
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with 2^logSize counters,
+// initialized weakly taken... weakly not-taken (1), matching common practice.
+func NewBimodal(logSize uint) *Bimodal {
+	n := 1 << logSize
+	t := make([]ctr2, n)
+	for i := range t {
+		t[i] = 1
+	}
+	return &Bimodal{table: t, mask: uint64(n - 1)}
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict returns the current prediction without training (used by the
+// Branch Runahead chain trigger, which trains separately).
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)].taken() }
+
+// Train updates the counter for pc.
+func (b *Bimodal) Train(pc uint64, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// PredictAndTrain implements Predictor.
+func (b *Bimodal) PredictAndTrain(pc uint64, taken bool) bool {
+	p := b.Predict(pc)
+	b.Train(pc, taken)
+	return p
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// --- Gshare ---
+
+// Gshare XORs global history into the table index.
+type Gshare struct {
+	table []ctr2
+	mask  uint64
+	hist  uint64
+	hbits uint
+}
+
+// NewGshare returns a gshare predictor with 2^logSize counters and hbits of
+// global history.
+func NewGshare(logSize, hbits uint) *Gshare {
+	n := 1 << logSize
+	t := make([]ctr2, n)
+	for i := range t {
+		t[i] = 1
+	}
+	return &Gshare{table: t, mask: uint64(n - 1), hbits: hbits}
+}
+
+// PredictAndTrain implements Predictor.
+func (g *Gshare) PredictAndTrain(pc uint64, taken bool) bool {
+	i := ((pc >> 2) ^ (g.hist & ((1 << g.hbits) - 1))) & g.mask
+	p := g.table[i].taken()
+	g.table[i] = g.table[i].update(taken)
+	g.hist = g.hist<<1 | b2u(taken)
+	return p
+}
+
+// Name implements Predictor.
+func (g *Gshare) Name() string { return "gshare" }
+
+// --- Perfect ---
+
+// Perfect is the oracle predictor used for the perfBP configuration.
+type Perfect struct{}
+
+// PredictAndTrain implements Predictor: always correct.
+func (Perfect) PredictAndTrain(_ uint64, taken bool) bool { return taken }
+
+// Name implements Predictor.
+func (Perfect) Name() string { return "perfect" }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,392 @@
+// Package cache models the memory hierarchy of Table III: L1I, L1D, L2, L3
+// with LRU set-associative tag arrays, MSHR-limited outstanding misses, a
+// fixed-latency DRAM backend, and IPCP/VLDP-class prefetchers. The model is
+// latency-oriented: an access returns the cycle its data is ready; contents
+// (values) live in emu.Memory.
+package cache
+
+// LineBytes is the cache line size at every level.
+const LineBytes = 64
+
+// Config sizes the hierarchy. Latencies are total load-to-use latencies when
+// hitting at that level, per Table III (L1D: 3 = 1 agen + 2 hit; L2: 15;
+// L3: 40; DRAM adds 100 beyond L3).
+type Config struct {
+	L1ISets, L1IWays int
+	L1DSets, L1DWays int
+	L2Sets, L2Ways   int
+	L3Sets, L3Ways   int
+
+	L1Latency   uint64
+	L2Latency   uint64
+	L3Latency   uint64
+	DRAMLatency uint64
+
+	MSHRs int // outstanding L1D misses
+
+	L1Prefetch bool // IPCP-class stride prefetcher at L1D
+	L2Prefetch bool // VLDP-class delta prefetcher at L2
+}
+
+// DefaultConfig matches Table III: 32KB/8-way L1I, 48KB/12-way L1D,
+// 1.25MB/20-way L2, 3MB/12-way L3.
+func DefaultConfig() Config {
+	return Config{
+		L1ISets: 64, L1IWays: 8, // 64*8*64B = 32KB
+		L1DSets: 64, L1DWays: 12, // 48KB
+		L2Sets: 1024, L2Ways: 20, // 1.25MB
+		L3Sets: 4096, L3Ways: 12, // 3MB
+		L1Latency: 3, L2Latency: 15, L3Latency: 40, DRAMLatency: 100,
+		MSHRs:      32,
+		L1Prefetch: true, L2Prefetch: true,
+	}
+}
+
+// Stats counts hierarchy events.
+type Stats struct {
+	L1IAccesses, L1IMisses uint64
+	L1DAccesses, L1DMisses uint64
+	L2Accesses, L2Misses   uint64
+	L3Accesses, L3Misses   uint64
+	PrefIssued, PrefUseful uint64
+	MSHRStallCycles        uint64
+}
+
+type set struct {
+	tags []uint64 // line tags; index 0 = MRU
+	pref []bool   // line arrived via prefetch and is unused so far
+}
+
+type level struct {
+	sets    []set
+	ways    int
+	setMask uint64
+}
+
+func newLevel(nSets, ways int) *level {
+	l := &level{sets: make([]set, nSets), ways: ways, setMask: uint64(nSets - 1)}
+	for i := range l.sets {
+		l.sets[i].tags = make([]uint64, 0, ways)
+		l.sets[i].pref = make([]bool, 0, ways)
+	}
+	return l
+}
+
+// lookup probes for a line; on hit it moves the line to MRU and reports
+// whether the line was a so-far-unused prefetch.
+func (l *level) lookup(line uint64) (hit, wasPref bool) {
+	s := &l.sets[line&l.setMask]
+	for i, t := range s.tags {
+		if t == line {
+			wasPref = s.pref[i]
+			s.pref[i] = false
+			// Move to MRU.
+			copy(s.tags[1:i+1], s.tags[:i])
+			copy(s.pref[1:i+1], s.pref[:i])
+			s.tags[0] = line
+			s.pref[0] = false
+			return true, wasPref
+		}
+	}
+	return false, false
+}
+
+// fill inserts a line at MRU, evicting LRU if needed.
+func (l *level) fill(line uint64, isPref bool) {
+	s := &l.sets[line&l.setMask]
+	for i, t := range s.tags {
+		if t == line {
+			// Already present (e.g. racing prefetch); refresh MRU.
+			copy(s.tags[1:i+1], s.tags[:i])
+			copy(s.pref[1:i+1], s.pref[:i])
+			s.tags[0] = line
+			s.pref[0] = isPref && s.pref[i]
+			return
+		}
+	}
+	if len(s.tags) < l.ways {
+		s.tags = append(s.tags, 0)
+		s.pref = append(s.pref, false)
+	}
+	copy(s.tags[1:], s.tags[:len(s.tags)-1])
+	copy(s.pref[1:], s.pref[:len(s.pref)-1])
+	s.tags[0] = line
+	s.pref[0] = isPref
+}
+
+// Hierarchy is one shared cache hierarchy (main thread and helper threads
+// share it, per Section IV-A; only the helper-thread store cache is private
+// and lives in internal/core).
+type Hierarchy struct {
+	cfg  Config
+	l1i  *level
+	l1d  *level
+	l2   *level
+	l3   *level
+	mshr []uint64 // completion cycles of outstanding L1D misses
+
+	ipcp *ipcpPrefetcher
+	vldp *vldpPrefetcher
+
+	Stats Stats
+}
+
+// New returns a hierarchy with the given configuration.
+func New(cfg Config) *Hierarchy {
+	h := &Hierarchy{
+		cfg: cfg,
+		l1i: newLevel(cfg.L1ISets, cfg.L1IWays),
+		l1d: newLevel(cfg.L1DSets, cfg.L1DWays),
+		l2:  newLevel(cfg.L2Sets, cfg.L2Ways),
+		l3:  newLevel(cfg.L3Sets, cfg.L3Ways),
+	}
+	if cfg.MSHRs > 0 {
+		h.mshr = make([]uint64, 0, cfg.MSHRs)
+	}
+	if cfg.L1Prefetch {
+		h.ipcp = newIPCP()
+	}
+	if cfg.L2Prefetch {
+		h.vldp = newVLDP()
+	}
+	return h
+}
+
+func lineOf(addr uint64) uint64 { return addr / LineBytes }
+
+// beyondL1 walks L2/L3/DRAM for a line that missed L1, returning the added
+// latency beyond L1 and filling levels on the way back.
+func (h *Hierarchy) beyondL1(line uint64) uint64 {
+	h.Stats.L2Accesses++
+	if hit, wasPref := h.l2.lookup(line); hit {
+		if wasPref {
+			h.Stats.PrefUseful++
+		}
+		if h.vldp != nil {
+			h.vldp.train(line)
+		}
+		return h.cfg.L2Latency - h.cfg.L1Latency
+	}
+	h.Stats.L2Misses++
+	if h.vldp != nil {
+		for _, p := range h.vldp.trainAndPredict(line) {
+			h.prefetchIntoL2(p)
+		}
+	}
+	h.Stats.L3Accesses++
+	if hit, wasPref := h.l3.lookup(line); hit {
+		if wasPref {
+			h.Stats.PrefUseful++
+		}
+		h.l2.fill(line, false)
+		return h.cfg.L3Latency - h.cfg.L1Latency
+	}
+	h.Stats.L3Misses++
+	h.l3.fill(line, false)
+	h.l2.fill(line, false)
+	return h.cfg.L3Latency + h.cfg.DRAMLatency - h.cfg.L1Latency
+}
+
+// allocMSHR serializes a miss through the MSHR file: if all MSHRs are busy at
+// `now`, the miss starts when the earliest one frees. Returns the start cycle.
+func (h *Hierarchy) allocMSHR(now, completion uint64) uint64 {
+	if cap(h.mshr) == 0 {
+		return now
+	}
+	// Drop completed entries.
+	live := h.mshr[:0]
+	for _, c := range h.mshr {
+		if c > now {
+			live = append(live, c)
+		}
+	}
+	h.mshr = live
+	start := now
+	if len(h.mshr) >= cap(h.mshr) {
+		// Wait for the earliest completion.
+		earliest := h.mshr[0]
+		ei := 0
+		for i, c := range h.mshr {
+			if c < earliest {
+				earliest, ei = c, i
+			}
+		}
+		h.Stats.MSHRStallCycles += earliest - now
+		start = earliest
+		h.mshr[ei] = h.mshr[len(h.mshr)-1]
+		h.mshr = h.mshr[:len(h.mshr)-1]
+	}
+	h.mshr = append(h.mshr, start+(completion-now))
+	return start
+}
+
+// Load models a data load issued at cycle `now` by any thread; pc identifies
+// the load instruction for prefetcher training. It returns the cycle the
+// data is ready.
+func (h *Hierarchy) Load(pc, addr, now uint64) uint64 {
+	line := lineOf(addr)
+	h.Stats.L1DAccesses++
+	hit, wasPref := h.l1d.lookup(line)
+	if h.ipcp != nil {
+		for _, p := range h.ipcp.trainAndPredict(pc, line) {
+			h.prefetchIntoL1(p)
+		}
+	}
+	if hit {
+		if wasPref {
+			h.Stats.PrefUseful++
+		}
+		return now + h.cfg.L1Latency
+	}
+	h.Stats.L1DMisses++
+	extra := h.beyondL1(line)
+	h.l1d.fill(line, false)
+	start := h.allocMSHR(now, now+h.cfg.L1Latency+extra)
+	return start + h.cfg.L1Latency + extra
+}
+
+// Store models a committed store's cache access (write-allocate). Stores are
+// off the critical path (retired through the store buffer), so Store only
+// updates tag state and prefetcher training; it returns the hit level's
+// latency for statistics-minded callers.
+func (h *Hierarchy) Store(addr, now uint64) uint64 {
+	line := lineOf(addr)
+	h.Stats.L1DAccesses++
+	if hit, _ := h.l1d.lookup(line); hit {
+		return now + h.cfg.L1Latency
+	}
+	h.Stats.L1DMisses++
+	extra := h.beyondL1(line)
+	h.l1d.fill(line, false)
+	return now + h.cfg.L1Latency + extra
+}
+
+// FetchInst models an instruction fetch of one line; returns ready cycle.
+// A next-line instruction prefetcher (standard in all modern frontends)
+// hides sequential-code compulsory misses.
+func (h *Hierarchy) FetchInst(pc, now uint64) uint64 {
+	line := lineOf(pc)
+	h.Stats.L1IAccesses++
+	hit, _ := h.l1i.lookup(line)
+	// Next-line prefetch into L1I.
+	if nhit, _ := h.l1i.lookup(line + 1); !nhit {
+		h.Stats.PrefIssued++
+		h.beyondL1(line + 1)
+		h.l1i.fill(line+1, true)
+	}
+	if hit {
+		return now // L1I hit is hidden in the pipeline's fetch stage
+	}
+	h.Stats.L1IMisses++
+	extra := h.beyondL1(line)
+	h.l1i.fill(line, false)
+	return now + extra
+}
+
+func (h *Hierarchy) prefetchIntoL1(line uint64) {
+	if hit, _ := h.l1d.lookup(line); hit {
+		return
+	}
+	h.Stats.PrefIssued++
+	h.beyondL1(line) // walk lower levels for fill state
+	h.l1d.fill(line, true)
+}
+
+func (h *Hierarchy) prefetchIntoL2(line uint64) {
+	h.Stats.PrefIssued++
+	h.l2.fill(line, true)
+}
+
+// --- IPCP-class L1 prefetcher: per-PC stride classification ---
+
+type ipcpEntry struct {
+	pc       uint64
+	lastLine uint64
+	stride   int64
+	conf     uint8
+}
+
+type ipcpPrefetcher struct {
+	entries [64]ipcpEntry
+}
+
+func newIPCP() *ipcpPrefetcher { return &ipcpPrefetcher{} }
+
+func (p *ipcpPrefetcher) trainAndPredict(pc, line uint64) []uint64 {
+	e := &p.entries[(pc>>2)%64]
+	if e.pc != pc {
+		*e = ipcpEntry{pc: pc, lastLine: line}
+		return nil
+	}
+	d := int64(line) - int64(e.lastLine)
+	e.lastLine = line
+	if d == 0 {
+		return nil
+	}
+	if d == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = d
+		e.conf = 0
+		return nil
+	}
+	if e.conf >= 2 {
+		// Issue two prefetches down the stream (degree 2).
+		return []uint64{uint64(int64(line) + d), uint64(int64(line) + 2*d)}
+	}
+	return nil
+}
+
+// --- VLDP-class L2 prefetcher: per-page delta history ---
+
+type vldpEntry struct {
+	page     uint64
+	lastLine uint64
+	delta    [2]int64 // last two deltas
+	valid    uint8
+}
+
+type vldpPrefetcher struct {
+	entries [32]vldpEntry
+	// Delta-pattern table: maps (d1,d2) to the next predicted delta.
+	dpt map[[2]int64]int64
+}
+
+func newVLDP() *vldpPrefetcher { return &vldpPrefetcher{dpt: make(map[[2]int64]int64)} }
+
+func (p *vldpPrefetcher) train(line uint64) { p.trainAndPredict(line) }
+
+func (p *vldpPrefetcher) trainAndPredict(line uint64) []uint64 {
+	page := line >> 6 // 4KB pages of 64B lines
+	e := &p.entries[page%32]
+	if e.page != page {
+		*e = vldpEntry{page: page, lastLine: line}
+		return nil
+	}
+	d := int64(line) - int64(e.lastLine)
+	e.lastLine = line
+	if d == 0 {
+		return nil
+	}
+	if e.valid >= 2 {
+		key := [2]int64{e.delta[0], e.delta[1]}
+		p.dpt[key] = d
+		if len(p.dpt) > 4096 { // bounded table
+			for k := range p.dpt {
+				delete(p.dpt, k)
+				break
+			}
+		}
+	}
+	e.delta[0], e.delta[1] = e.delta[1], d
+	if e.valid < 2 {
+		e.valid++
+		return nil
+	}
+	if next, ok := p.dpt[[2]int64{e.delta[0], e.delta[1]}]; ok && next != 0 {
+		return []uint64{uint64(int64(line) + next)}
+	}
+	return nil
+}

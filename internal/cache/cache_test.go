@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// smallConfig is a tiny hierarchy without prefetchers, for deterministic
+// latency assertions.
+func smallConfig() Config {
+	return Config{
+		L1ISets: 4, L1IWays: 2,
+		L1DSets: 4, L1DWays: 2,
+		L2Sets: 16, L2Ways: 4,
+		L3Sets: 64, L3Ways: 4,
+		L1Latency: 3, L2Latency: 15, L3Latency: 40, DRAMLatency: 100,
+		MSHRs: 4,
+	}
+}
+
+func TestColdMissThenHitLatencies(t *testing.T) {
+	h := New(smallConfig())
+	// Cold: L1 miss, L2 miss, L3 miss -> DRAM: 40 + 100 = 140.
+	if got := h.Load(0, 0x1000, 0) - 0; got != 140 {
+		t.Errorf("cold load latency = %d, want 140", got)
+	}
+	// Same line now hits L1: 3 cycles.
+	if got := h.Load(0, 0x1008, 100) - 100; got != 3 {
+		t.Errorf("L1 hit latency = %d, want 3", got)
+	}
+	if h.Stats.L1DMisses != 1 || h.Stats.L3Misses != 1 {
+		t.Errorf("stats: %+v", h.Stats)
+	}
+}
+
+func TestL2HitLatency(t *testing.T) {
+	h := New(smallConfig())
+	h.Load(0, 0x1000, 0) // cold fill everywhere
+	// Evict from tiny L1 by touching other lines in the same set.
+	// L1 has 4 sets; lines mapping to set of 0x1000/64=64 (set 0): lines 64, 68, 72...
+	h.Load(0, 0x1000+4*64*4, 200) // line 64+16 -> set 0
+	h.Load(0, 0x1000+8*64*4, 400) // another line in set 0
+	// 0x1000's line should now be out of L1 but in L2: latency 15.
+	if got := h.Load(0, 0x1000, 600) - 600; got != 15 {
+		t.Errorf("L2 hit latency = %d, want 15", got)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	l := newLevel(1, 2) // one set, 2 ways
+	l.fill(1, false)
+	l.fill(2, false)
+	// Touch 1 to make it MRU, then fill 3: 2 must be evicted.
+	if hit, _ := l.lookup(1); !hit {
+		t.Fatal("line 1 should hit")
+	}
+	l.fill(3, false)
+	if hit, _ := l.lookup(2); hit {
+		t.Error("line 2 should have been evicted (LRU)")
+	}
+	if hit, _ := l.lookup(1); !hit {
+		t.Error("line 1 should have survived (MRU)")
+	}
+	if hit, _ := l.lookup(3); !hit {
+		t.Error("line 3 should be present")
+	}
+}
+
+func TestFillIdempotent(t *testing.T) {
+	l := newLevel(1, 4)
+	l.fill(7, false)
+	l.fill(7, false)
+	l.fill(7, false)
+	n := len(l.sets[0].tags)
+	if n != 1 {
+		t.Errorf("duplicate fills created %d entries", n)
+	}
+}
+
+func TestMSHRBackpressure(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MSHRs = 2
+	h := New(cfg)
+	// Three concurrent cold misses at cycle 0 to distinct sets: the third
+	// must wait for an MSHR.
+	r1 := h.Load(0, 0x10000, 0)
+	r2 := h.Load(0, 0x20000, 0)
+	r3 := h.Load(0, 0x30000, 0)
+	if r1 != 140 || r2 != 140 {
+		t.Errorf("first two misses: %d, %d, want 140", r1, r2)
+	}
+	if r3 <= 140 {
+		t.Errorf("third miss should queue behind MSHRs: got %d", r3)
+	}
+	if h.Stats.MSHRStallCycles == 0 {
+		t.Error("expected MSHR stall cycles")
+	}
+}
+
+func TestStoreAllocates(t *testing.T) {
+	h := New(smallConfig())
+	h.Store(0x5000, 0)
+	if got := h.Load(0, 0x5000, 100) - 100; got != 3 {
+		t.Errorf("load after store-allocate = %d, want 3 (L1 hit)", got)
+	}
+}
+
+func TestInstFetch(t *testing.T) {
+	h := New(smallConfig())
+	if got := h.FetchInst(0x400, 0); got == 0 {
+		t.Error("cold I-fetch should have latency")
+	}
+	if got := h.FetchInst(0x404, 10); got != 10 {
+		t.Errorf("warm I-fetch latency = %d, want 0", got-10)
+	}
+	if h.Stats.L1IMisses != 1 {
+		t.Errorf("L1I misses = %d", h.Stats.L1IMisses)
+	}
+}
+
+func TestStridePrefetcherHidesLatency(t *testing.T) {
+	cfg := smallConfig()
+	cfg.L1Prefetch = true
+	cfg.L1DSets = 64
+	cfg.L1DWays = 12
+	h := New(cfg)
+	// Stream through memory with a fixed 64B stride from one PC.
+	pc := uint64(0x1234)
+	misses := 0
+	now := uint64(0)
+	for i := 0; i < 64; i++ {
+		addr := 0x100000 + uint64(i)*64
+		before := h.Stats.L1DMisses
+		now = h.Load(pc, addr, now)
+		if h.Stats.L1DMisses != before {
+			misses++
+		}
+	}
+	if misses > 10 {
+		t.Errorf("stride stream took %d misses; prefetcher ineffective", misses)
+	}
+	if h.Stats.PrefUseful == 0 {
+		t.Error("no useful prefetches recorded")
+	}
+}
+
+func TestVLDPLearnsDeltaPattern(t *testing.T) {
+	p := newVLDP()
+	// Repeating delta pattern +1,+2 within a page.
+	line := uint64(1 << 12)
+	var predicted []uint64
+	deltas := []int64{1, 2, 1, 2, 1, 2, 1, 2, 1, 2}
+	for _, d := range deltas {
+		line += uint64(d)
+		got := p.trainAndPredict(line)
+		predicted = append(predicted, got...)
+	}
+	if len(predicted) == 0 {
+		t.Error("VLDP never predicted on a regular delta pattern")
+	}
+}
+
+func TestIPCPResetsOnPCConflict(t *testing.T) {
+	p := newIPCP()
+	p.trainAndPredict(0x100, 10)
+	p.trainAndPredict(0x100, 11)
+	p.trainAndPredict(0x100, 12)
+	// A different PC aliasing the same entry must reset, not inherit stride.
+	aliasPC := uint64(0x100 + 64*4)
+	if got := p.trainAndPredict(aliasPC, 500); got != nil {
+		t.Errorf("aliased PC predicted %v on first touch", got)
+	}
+}
+
+// Property: Load is monotone — the returned ready cycle is never before
+// now + L1 latency, and hits never exceed the DRAM path.
+func TestLoadLatencyBounds_Property(t *testing.T) {
+	h := New(smallConfig())
+	now := uint64(0)
+	f := func(addr uint64, step uint16) bool {
+		now += uint64(step) // time is monotonic in real usage
+		ready := h.Load(0, addr%(1<<20), now)
+		lat := ready - now
+		return lat >= 3 && lat <= 140*uint64(smallConfig().MSHRs+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultConfigSizes(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.L1ISets*cfg.L1IWays*LineBytes != 32*1024 {
+		t.Errorf("L1I size = %d", cfg.L1ISets*cfg.L1IWays*LineBytes)
+	}
+	if cfg.L1DSets*cfg.L1DWays*LineBytes != 48*1024 {
+		t.Errorf("L1D size = %d", cfg.L1DSets*cfg.L1DWays*LineBytes)
+	}
+	if cfg.L2Sets*cfg.L2Ways*LineBytes != 1280*1024 {
+		t.Errorf("L2 size = %d", cfg.L2Sets*cfg.L2Ways*LineBytes)
+	}
+	if cfg.L3Sets*cfg.L3Ways*LineBytes != 3*1024*1024 {
+		t.Errorf("L3 size = %d", cfg.L3Sets*cfg.L3Ways*LineBytes)
+	}
+}

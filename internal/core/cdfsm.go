@@ -1,0 +1,161 @@
+package core
+
+// This file implements Section V-D: learning immediate predicate producers
+// with the Control-Dependency FSM (CDFSM) matrix and the branch list,
+// following the Fig. 8 training algorithm exactly.
+
+// FSMState is one 2-bit control-dependency FSM (Fig. 7).
+type FSMState uint8
+
+// FSM states: INIT (idle), CD in the taken direction, CD in the not-taken
+// direction, and CI (control-independent, absorbing).
+const (
+	FSMInit FSMState = iota
+	FSMCDTaken
+	FSMCDNotTaken
+	FSMCI
+)
+
+// String renders the state like the paper's figures.
+func (s FSMState) String() string {
+	switch s {
+	case FSMInit:
+		return "init"
+	case FSMCDTaken:
+		return "CD_T"
+	case FSMCDNotTaken:
+		return "CD_NT"
+	case FSMCI:
+		return "CI"
+	}
+	return "?"
+}
+
+// branchListEntry is a retired delinquent branch and its direction in the
+// current loop iteration.
+type branchListEntry struct {
+	col   int // CDFSM column of the branch
+	taken bool
+}
+
+// CDFSM is the control-dependency learning matrix: a row per delinquent
+// branch and included store, a column per delinquent branch.
+type CDFSM struct {
+	rows, cols int
+	m          [][]FSMState
+	lastCD     []int // per row: column of the most recent CD training
+	list       []branchListEntry
+	maxList    int
+}
+
+// NewCDFSM returns a matrix with the paper's dimensions (32 rows, 16
+// columns, 16-entry branch list) unless overridden.
+func NewCDFSM(rows, cols, listLen int) *CDFSM {
+	m := make([][]FSMState, rows)
+	for i := range m {
+		m[i] = make([]FSMState, cols)
+	}
+	lc := make([]int, rows)
+	for i := range lc {
+		lc[i] = -1
+	}
+	return &CDFSM{rows: rows, cols: cols, m: m, lastCD: lc, maxList: listLen}
+}
+
+// State returns the FSM at (row, col) — test/report use.
+func (c *CDFSM) State(row, col int) FSMState { return c.m[row][col] }
+
+// ObserveBranch is called when a delinquent branch retires: it first trains
+// its own row against the branch list, then appends itself to the list.
+// row is the branch's row index, col its column index.
+func (c *CDFSM) ObserveBranch(row, col int, taken bool) {
+	c.trainRow(row)
+	if len(c.list) < c.maxList {
+		c.list = append(c.list, branchListEntry{col: col, taken: taken})
+	}
+}
+
+// ObserveStore is called when an included store retires: it trains the
+// store's row against the branch list.
+func (c *CDFSM) ObserveStore(row int) { c.trainRow(row) }
+
+// EndIteration clears the branch list (called when the loop branch retires).
+func (c *CDFSM) EndIteration() { c.list = c.list[:0] }
+
+// trainRow scans the branch list from most recent to oldest, skipping
+// branches this row already deems control-independent (CI), and updates the
+// FSM of the first remaining branch.
+func (c *CDFSM) trainRow(row int) {
+	if row < 0 || row >= c.rows {
+		return
+	}
+	for i := len(c.list) - 1; i >= 0; i-- {
+		e := c.list[i]
+		st := c.m[row][e.col]
+		if st == FSMCI {
+			continue // look past control-independent branches
+		}
+		switch st {
+		case FSMInit:
+			if e.taken {
+				c.m[row][e.col] = FSMCDTaken
+			} else {
+				c.m[row][e.col] = FSMCDNotTaken
+			}
+			c.lastCD[row] = e.col
+		case FSMCDTaken:
+			if !e.taken {
+				// Observed the alternate direction: control-independent.
+				// One FSM update per retire (Fig. 8 iteration 2).
+				c.m[row][e.col] = FSMCI
+			} else {
+				c.lastCD[row] = e.col
+			}
+		case FSMCDNotTaken:
+			if e.taken {
+				c.m[row][e.col] = FSMCI
+			} else {
+				c.lastCD[row] = e.col
+			}
+		}
+		return
+	}
+}
+
+// Guard is a learned immediate predicate producer: the guarding branch's
+// column and its enabling direction.
+type Guard struct {
+	Col     int
+	DirTaken bool // consumer enabled when guard resolves in this direction
+	Valid   bool
+	// Complex reports that multiple CD columns were found (OR-guard
+	// scenario, Section V-K) — unsupported in base Phelps.
+	Complex bool
+}
+
+// GuardOf extracts the immediate predicate producer of a row after training:
+// the single column in a CD state. No CD columns -> unguarded (pred0).
+func (c *CDFSM) GuardOf(row int) Guard {
+	var g Guard
+	n := 0
+	for col := 0; col < c.cols; col++ {
+		switch c.m[row][col] {
+		case FSMCDTaken:
+			g = Guard{Col: col, DirTaken: true, Valid: true}
+			n++
+		case FSMCDNotTaken:
+			g = Guard{Col: col, DirTaken: false, Valid: true}
+			n++
+		}
+	}
+	if n > 1 {
+		// Multiple CD states in a row: complex guard (OR expressions).
+		// Report the most recently trained column and flag it.
+		g.Complex = true
+		if lc := c.lastCD[row]; lc >= 0 {
+			g.Col = lc
+			g.DirTaken = c.m[row][lc] == FSMCDTaken
+		}
+	}
+	return g
+}

@@ -1,0 +1,152 @@
+package core
+
+import "testing"
+
+// TestCDFSM_Figure8Example replays the paper's Fig. 8 training example
+// step by step: three branches br1 (col 0), br2 (col 1), br3 (col 2) and a
+// store st (row 3), over five loop iterations, asserting the matrix states
+// after each iteration.
+func TestCDFSM_Figure8Example(t *testing.T) {
+	const (
+		br1, br2, br3 = 0, 1, 2
+		stRow         = 3
+	)
+	c := NewCDFSM(32, 16, 16)
+
+	check := func(iter int, row, col int, want FSMState) {
+		t.Helper()
+		if got := c.State(row, col); got != want {
+			t.Errorf("iteration %d: FSM[row %d][col %d] = %v, want %v", iter, row, col, got, want)
+		}
+	}
+
+	// Iteration 1: br1 nt, br2 t, br3 nt, st retires.
+	c.ObserveBranch(br1, br1, false)
+	c.ObserveBranch(br2, br2, true)
+	c.ObserveBranch(br3, br3, false)
+	c.ObserveStore(stRow)
+	c.EndIteration()
+	check(1, br2, br1, FSMCDNotTaken) // br2 CD on br1 not-taken
+	check(1, br3, br2, FSMCDTaken)    // br3 provisionally CD on br2 taken
+	check(1, stRow, br3, FSMCDNotTaken)
+
+	// Iteration 2: br1 nt, br2 nt, br3 nt, st retires.
+	c.ObserveBranch(br1, br1, false)
+	c.ObserveBranch(br2, br2, false)
+	c.ObserveBranch(br3, br3, false)
+	c.ObserveStore(stRow)
+	c.EndIteration()
+	check(2, br3, br2, FSMCI) // br3 saw both directions of br2 -> CI
+
+	// Iteration 3: same path as iteration 1; br3 now looks past br2.
+	c.ObserveBranch(br1, br1, false)
+	c.ObserveBranch(br2, br2, true)
+	c.ObserveBranch(br3, br3, false)
+	c.ObserveStore(stRow)
+	c.EndIteration()
+	check(3, br3, br1, FSMCDNotTaken) // br3 CD on br1 not-taken
+	check(3, br3, br2, FSMCI)
+
+	// Iteration 4: br1 nt, br2 t, br3 t (st not retired).
+	c.ObserveBranch(br1, br1, false)
+	c.ObserveBranch(br2, br2, true)
+	c.ObserveBranch(br3, br3, true)
+	c.EndIteration()
+
+	// Iteration 5: br1 t (br2, br3, st not retired).
+	c.ObserveBranch(br1, br1, true)
+	c.EndIteration()
+
+	// Final state must match Fig. 8f:
+	check(5, br2, br1, FSMCDNotTaken)
+	check(5, br3, br1, FSMCDNotTaken)
+	check(5, br3, br2, FSMCI)
+	check(5, stRow, br3, FSMCDNotTaken)
+	// br1's row: never trained (empty list when it retires).
+	for col := 0; col < 3; col++ {
+		check(5, br1, col, FSMInit)
+	}
+
+	// Extracted guards:
+	if g := c.GuardOf(br1); g.Valid {
+		t.Errorf("br1 guard = %+v, want unguarded", g)
+	}
+	if g := c.GuardOf(br2); !g.Valid || g.Col != br1 || g.DirTaken {
+		t.Errorf("br2 guard = %+v, want br1 not-taken", g)
+	}
+	if g := c.GuardOf(br3); !g.Valid || g.Col != br1 || g.DirTaken {
+		t.Errorf("br3 guard = %+v, want br1 not-taken", g)
+	}
+	if g := c.GuardOf(stRow); !g.Valid || g.Col != br3 || g.DirTaken {
+		t.Errorf("st guard = %+v, want br3 not-taken", g)
+	}
+}
+
+func TestCDFSMTakenDirectionGuard(t *testing.T) {
+	// b2 on b1's TAKEN path.
+	c := NewCDFSM(8, 8, 8)
+	for i := 0; i < 4; i++ {
+		c.ObserveBranch(0, 0, true)
+		c.ObserveBranch(1, 1, i%2 == 0)
+		c.EndIteration()
+		// b1 not-taken iterations: b2 skipped.
+		c.ObserveBranch(0, 0, false)
+		c.EndIteration()
+	}
+	if g := c.GuardOf(1); !g.Valid || g.Col != 0 || !g.DirTaken {
+		t.Errorf("guard = %+v, want col0 taken", g)
+	}
+}
+
+func TestCDFSMComplexGuardDetected(t *testing.T) {
+	// A row trained CD on two different columns (OR-guard shape, V-K):
+	// st executes when br1 taken (iteration A) observing {br1,t}, and when
+	// br2 taken after br1's CD goes CI.
+	c := NewCDFSM(8, 8, 8)
+	// Train row 2 CD_T on col 0.
+	c.ObserveBranch(0, 0, true)
+	c.ObserveStore(2)
+	c.EndIteration()
+	// Make col 0 CI for row 2: observe br1 not-taken just before st.
+	c.ObserveBranch(0, 0, false)
+	c.ObserveStore(2)
+	c.EndIteration()
+	// Now train CD on col 1.
+	c.ObserveBranch(0, 0, false)
+	c.ObserveBranch(1, 1, true)
+	c.ObserveStore(2)
+	c.EndIteration()
+	// And re-train col 0 from init? col 0 is CI (absorbing); add a second CD
+	// by training col 3.
+	c.ObserveBranch(3, 3, true)
+	c.ObserveStore(2)
+	c.EndIteration()
+	g := c.GuardOf(2)
+	if !g.Complex {
+		t.Errorf("expected complex guard, got %+v", g)
+	}
+}
+
+func TestCDFSMBranchListBounded(t *testing.T) {
+	c := NewCDFSM(4, 4, 2)
+	c.ObserveBranch(0, 0, true)
+	c.ObserveBranch(1, 1, true)
+	c.ObserveBranch(2, 2, true) // beyond list capacity: dropped
+	if len(c.list) != 2 {
+		t.Errorf("branch list length = %d, want 2", len(c.list))
+	}
+	c.EndIteration()
+	if len(c.list) != 0 {
+		t.Error("EndIteration did not clear the list")
+	}
+}
+
+func TestCDFSMStates(t *testing.T) {
+	for s, want := range map[FSMState]string{
+		FSMInit: "init", FSMCDTaken: "CD_T", FSMCDNotTaken: "CD_NT", FSMCI: "CI",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %s", s, s.String())
+		}
+	}
+}

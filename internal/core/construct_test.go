@@ -1,0 +1,291 @@
+package core
+
+import (
+	"testing"
+
+	"phelps/internal/isa"
+)
+
+// buildLoop feeds a Construction the fetch+retire stream of a synthetic
+// loop. The loop (PCs 0x100..0x11c) is:
+//
+//	0x100: slli t0, s2, 3
+//	0x104: add  t0, s0, t0
+//	0x108: ld   t1, 0(t0)
+//	0x10c: beq  t1, x0, +8     <- delinquent b1
+//	0x110: addi s3, s3, 1      (guarded, not in slice)
+//	0x114: mul  t2, s2, s4     (filler)
+//	0x118: addi s2, s2, 1
+//	0x11c: blt  s2, s1, -28    <- loop branch
+func syntheticLoop() (insts map[uint64]isa.Inst, order []uint64) {
+	insts = map[uint64]isa.Inst{
+		0x100: {Op: isa.SLLI, Rd: isa.T0, Rs1: isa.S2, Imm: 3},
+		0x104: {Op: isa.ADD, Rd: isa.T0, Rs1: isa.S0, Rs2: isa.T0},
+		0x108: {Op: isa.LD, Rd: isa.T1, Rs1: isa.T0},
+		0x10c: {Op: isa.BEQ, Rs1: isa.T1, Rs2: isa.X0, Imm: 8},
+		0x110: {Op: isa.ADDI, Rd: isa.S3, Rs1: isa.S3, Imm: 1},
+		0x114: {Op: isa.MUL, Rd: isa.T2, Rs1: isa.S2, Rs2: isa.S4},
+		0x118: {Op: isa.ADDI, Rd: isa.S2, Rs1: isa.S2, Imm: 1},
+		0x11c: {Op: isa.BLT, Rs1: isa.S2, Rs2: isa.S1, Imm: -28},
+	}
+	order = []uint64{0x100, 0x104, 0x108, 0x10c, 0x110, 0x114, 0x118, 0x11c}
+	return
+}
+
+func feedIterations(c *Construction, n int, takenB1 func(i int) bool) {
+	insts, order := syntheticLoop()
+	for pc, in := range insts {
+		c.CollectFetch(pc, in)
+	}
+	for i := 0; i < n; i++ {
+		for _, pc := range order {
+			in := insts[pc]
+			taken := false
+			if pc == 0x10c {
+				taken = takenB1(i)
+				if taken {
+					continueFeed(c, pc, in, taken)
+					continue
+				}
+			}
+			if pc == 0x110 && takenB1(i) {
+				continue // skipped when b1 taken
+			}
+			if pc == 0x11c {
+				taken = true
+			}
+			continueFeed(c, pc, in, taken)
+		}
+	}
+}
+
+func continueFeed(c *Construction, pc uint64, in isa.Inst, taken bool) {
+	c.ObserveRetire(&RetireEvent{PC: pc, Inst: in, Taken: taken})
+}
+
+func itoLT() *LTEntry {
+	return &LTEntry{
+		Loop:       LoopBounds{Branch: 0x11c, Target: 0x100, Valid: true},
+		Branches:   []uint64{0x10c},
+		BranchMisp: map[uint64]uint64{0x10c: 5000},
+		Misp:       5000,
+	}
+}
+
+func trainedTrips(loopPC uint64, iters int) *TripStats {
+	t := NewTripStats()
+	for i := 0; i < iters; i++ {
+		t.Record(loopPC, true)
+	}
+	t.Record(loopPC, false)
+	return t
+}
+
+func TestConstructionGrowsSlice(t *testing.T) {
+	c := NewConstruction(DefaultConstructionConfig(), itoLT())
+	feedIterations(c, 6, func(i int) bool { return i%2 == 0 })
+	if c.Reject() != RejectNone {
+		t.Fatalf("rejected: %v", c.Reject())
+	}
+	progs, r := c.Finalize(trainedTrips(0x11c, 500))
+	if r != RejectNone {
+		t.Fatalf("finalize rejected: %v", r)
+	}
+	if len(progs) != 1 || progs[0].Kind != InnerOnly {
+		t.Fatalf("progs: %+v", progs)
+	}
+	p := progs[0]
+	// Slice = slli, add, ld, pproduce(b1), addi s2, loop branch. The
+	// guarded addi s3 and the mul filler must be excluded.
+	wantPCs := []uint64{0x100, 0x104, 0x108, 0x10c, 0x118, 0x11c}
+	if len(p.Insts) != len(wantPCs) {
+		t.Fatalf("helper thread has %d insts: %+v", len(p.Insts), p.Insts)
+	}
+	for i, want := range wantPCs {
+		if p.Insts[i].OrigPC != want {
+			t.Errorf("inst %d at %#x, want %#x", i, p.Insts[i].OrigPC, want)
+		}
+	}
+	if p.Insts[3].Inst.Op != isa.PPRODUCE || p.Insts[3].QueueID != 0 {
+		t.Errorf("b1 not converted: %+v", p.Insts[3])
+	}
+	if !p.Insts[5].IsLoopBranch {
+		t.Error("loop branch not flagged")
+	}
+	// Live-ins: s0 (base), s1 (n), s2 (loop-carried initial value).
+	want := map[isa.Reg]bool{isa.S0: true, isa.S1: true, isa.S2: true}
+	if len(p.LiveInsMT) != len(want) {
+		t.Fatalf("live-ins: %v", p.LiveInsMT)
+	}
+	for _, r := range p.LiveInsMT {
+		if !want[r] {
+			t.Errorf("unexpected live-in x%d", r)
+		}
+	}
+}
+
+func TestConstructionRejectsNotIterating(t *testing.T) {
+	c := NewConstruction(DefaultConstructionConfig(), itoLT())
+	feedIterations(c, 6, func(i int) bool { return i%2 == 0 })
+	// Only 3 iterations per visit: below MinTrips.
+	trips := NewTripStats()
+	for v := 0; v < 10; v++ {
+		trips.Record(0x11c, true)
+		trips.Record(0x11c, true)
+		trips.Record(0x11c, true)
+		trips.Record(0x11c, false)
+	}
+	if _, r := c.Finalize(trips); r != RejectNotIterating {
+		t.Errorf("reject = %v, want RejectNotIterating", r)
+	}
+}
+
+func TestConstructionSizeRule(t *testing.T) {
+	cfg := DefaultConstructionConfig()
+	cfg.SizeRulePct = 30 // slice is 6/8 = 75% of the loop: fails a 30% rule
+	c := NewConstruction(cfg, itoLT())
+	feedIterations(c, 6, func(i int) bool { return i%2 == 0 })
+	if _, r := c.Finalize(trainedTrips(0x11c, 500)); r != RejectTooBig {
+		t.Errorf("reject = %v, want RejectTooBig", r)
+	}
+}
+
+func TestConstructionHTCBOverflow(t *testing.T) {
+	cfg := DefaultConstructionConfig()
+	cfg.HTCBSize = 4
+	c := NewConstruction(cfg, itoLT())
+	feedIterations(c, 2, func(i int) bool { return false })
+	if c.Reject() != RejectTooBig {
+		t.Errorf("reject = %v, want RejectTooBig (HTCB overflow)", c.Reject())
+	}
+}
+
+func TestConstructionAblationDropsStores(t *testing.T) {
+	// Loop with an influential store: ld from mark[], store to mark[].
+	lt := &LTEntry{
+		Loop:       LoopBounds{Branch: 0x218, Target: 0x200, Valid: true},
+		Branches:   []uint64{0x208},
+		BranchMisp: map[uint64]uint64{0x208: 5000},
+		Misp:       5000,
+	}
+	insts := map[uint64]isa.Inst{
+		0x200: {Op: isa.ADD, Rd: isa.T0, Rs1: isa.S0, Rs2: isa.S2},
+		0x204: {Op: isa.LD, Rd: isa.T1, Rs1: isa.T0},
+		0x208: {Op: isa.BNE, Rs1: isa.T1, Rs2: isa.X0, Imm: 8}, // b1
+		0x20c: {Op: isa.SD, Rs1: isa.T0, Rs2: isa.S4},          // guarded store
+		0x210: {Op: isa.MUL, Rd: isa.T3, Rs1: isa.S2, Rs2: isa.S4},
+		0x214: {Op: isa.ADDI, Rd: isa.S2, Rs1: isa.S2, Imm: 1},
+		0x218: {Op: isa.BLT, Rs1: isa.S2, Rs2: isa.S1, Imm: -24},
+	}
+	order := []uint64{0x200, 0x204, 0x208, 0x20c, 0x210, 0x214, 0x218}
+	run := func(includeStores bool) *HelperProgram {
+		cfg := DefaultConstructionConfig()
+		cfg.IncludeStores = includeStores
+		cfg.SizeRulePct = 95
+		c := NewConstruction(cfg, lt)
+		for pc, in := range insts {
+			c.CollectFetch(pc, in)
+		}
+		for i := 0; i < 8; i++ {
+			taken := i%2 == 1
+			for _, pc := range order {
+				if pc == 0x20c && taken {
+					continue
+				}
+				ev := &RetireEvent{PC: pc, Inst: insts[pc], Taken: pc == 0x218 || (pc == 0x208 && taken)}
+				if pc == 0x204 || pc == 0x20c {
+					ev.Addr = 0x9000 // same address: store feeds the load
+					ev.Size = 8
+				}
+				c.ObserveRetire(ev)
+			}
+		}
+		progs, r := c.Finalize(trainedTrips(0x218, 500))
+		if r != RejectNone {
+			t.Fatalf("includeStores=%v rejected: %v", includeStores, r)
+		}
+		return progs[0]
+	}
+
+	with := run(true)
+	without := run(false)
+	hasStore := func(p *HelperProgram) (bool, isa.Inst) {
+		for _, hi := range p.Insts {
+			if hi.Inst.Op.IsStore() {
+				return true, hi.Inst
+			}
+		}
+		return false, isa.Inst{}
+	}
+	if ok, st := hasStore(with); !ok {
+		t.Error("store missing from full helper thread")
+	} else if st.PredSrc == isa.Pred0 {
+		t.Errorf("store not predicated: %+v", st)
+	}
+	if ok, _ := hasStore(without); ok {
+		t.Error("ablation retained the store")
+	}
+}
+
+func TestQueueShedding(t *testing.T) {
+	// 18 delinquent branches in one loop: 16 queues max, loop branch first
+	// to shed (not delinquent here), then the two lowest-misp branches.
+	cfg := DefaultConstructionConfig()
+	cfg.SizeRulePct = 100
+	lt := &LTEntry{
+		Loop:       LoopBounds{Branch: 0x400 + 18*8, Target: 0x400, Valid: true},
+		BranchMisp: map[uint64]uint64{},
+	}
+	insts := make(map[uint64]isa.Inst)
+	var order []uint64
+	for i := 0; i < 18; i++ {
+		ldPC := uint64(0x400 + i*8)
+		brPC := ldPC + 4
+		insts[ldPC] = isa.Inst{Op: isa.LD, Rd: isa.T1, Rs1: isa.S0, Imm: int64(i * 8)}
+		insts[brPC] = isa.Inst{Op: isa.BEQ, Rs1: isa.T1, Rs2: isa.X0, Imm: 8}
+		order = append(order, ldPC, brPC)
+		lt.Branches = append(lt.Branches, brPC)
+		lt.BranchMisp[brPC] = uint64(1000 + i) // ascending delinquency
+	}
+	loopPC := uint64(0x400 + 18*8)
+	insts[loopPC] = isa.Inst{Op: isa.BLT, Rs1: isa.S2, Rs2: isa.S1, Imm: -int64(18 * 8)}
+	order = append(order, loopPC)
+
+	c := NewConstruction(cfg, lt)
+	for pc, in := range insts {
+		c.CollectFetch(pc, in)
+	}
+	for it := 0; it < 4; it++ {
+		for _, pc := range order {
+			c.ObserveRetire(&RetireEvent{PC: pc, Inst: insts[pc], Taken: pc == loopPC})
+		}
+	}
+	progs, r := c.Finalize(trainedTrips(loopPC, 500))
+	if r != RejectNone {
+		t.Fatalf("rejected: %v", r)
+	}
+	p := progs[0]
+	if len(p.QueuePCs) != cfg.MaxQueues {
+		t.Fatalf("queues = %d, want %d", len(p.QueuePCs), cfg.MaxQueues)
+	}
+	// The two lowest-misp branches (0x404, 0x40c) must have been shed.
+	for _, pc := range p.QueuePCs {
+		if pc == 0x404 || pc == 0x40c {
+			t.Errorf("low-value branch %#x kept a queue", pc)
+		}
+	}
+}
+
+func TestRejectReasonStrings(t *testing.T) {
+	for _, r := range []RejectReason{RejectNone, RejectTooBig, RejectNotIterating,
+		RejectOuterDepInner, RejectParamLimits, RejectComplex} {
+		if r.String() == "?" || r.String() == "" {
+			t.Errorf("reason %d has no name", r)
+		}
+	}
+	for _, k := range []ThreadKind{InnerOnly, Outer, Inner} {
+		if k.String() == "?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

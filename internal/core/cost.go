@@ -1,0 +1,69 @@
+// Package core implements Phelps — predicated helper threads for delinquent
+// loop pre-execution — as described in Sections IV and V of the paper: the
+// delinquency identification tables (DBT, DBT-Max, LT), IBDA-based helper
+// thread construction with the LPT and HTCB, CDFSM-based learning of
+// immediate predicate producers, the Helper Thread Cache, iteration-driven
+// per-branch prediction queues, the Visit Queue for dual decoupled helper
+// threads, the helper-thread execution engine with predication and a private
+// speculative store cache, and the triggering/termination protocol.
+package core
+
+import "fmt"
+
+// CostItem is one row of Table II.
+type CostItem struct {
+	Component string
+	Section   string
+	Params    string
+	Bytes     float64
+}
+
+// ComponentCosts reproduces Table II: the storage cost of every new Phelps
+// component with the parameters used in the paper. The total is 10.82 KB.
+func ComponentCosts() []CostItem {
+	return []CostItem{
+		// --- components for helper thread construction ---
+		// DBT: 256 entries; each holds a PC tag, misp counter, and two loop
+		// bound pairs: 5280 B total -> 165 bits/entry.
+		{"Delinq. Branch Table (DBT)", "V-B", "256 entries, fully-assoc.", 5280},
+		{"DBT-Max", "V-B", "32 entries, fully-assoc.", 84},
+		{"Loop Table (LT)", "V-B", "8 entries, fully-assoc.", 170},
+		{"Helper Thread Construction Buffer (HTCB)", "V-C", "256 inst., 4B/inst.", 1024},
+		{"HTCB metadata", "V-C", "", 62},
+		{"Last Producer Table (LPT)", "V-C", "32 entries, 30 bits/entry", 120},
+		{"queue to detect needed stores", "V-C", "16 entries, 94 bits/entry", 188},
+		{"CDFSM matrix", "V-D", "32 rows x 16 col. x 2 bits", 128},
+		{"branch list", "V-D", "16 entries, 5 bits/entry", 10},
+		{"PC-to-row conversion table", "V-D", "32 entries, 35 bits/entry", 140},
+		// --- components for helper thread execution ---
+		{"Helper Thread Cache (HTC)", "V-E", "4 x 128 inst x 38 bits/inst", 2432},
+		{"HTC metadata", "V-E", "4 x 180 bits", 90},
+		{"Visit Queue", "V-F", "16 visits, 4 live-ins/visit, 70 bits/live-in", 560},
+		{"Prediction Queues", "IV-B", "16 queues, 32 iterations", 64},
+		{"Prediction Queue PC tags", "IV-B", "16 PC tags", 60},
+		{"speculative D$ for HT stores", "IV-A", "16 sets, 2 ways, 8B block", 256},
+		{"speculative D$ metadata", "IV-A", "", 236},
+		{"pred-PRF", "V-H", "128 reg., 2 bits/reg.", 32},
+		{"pred-FL", "V-H", "97 entries, 7 bits/entry", 85},
+		{"2 pred-RMTs", "V-H", "2x 31 entries, 7 bits/entry", 54},
+	}
+}
+
+// TotalCostKB returns the Table II total in kilobytes (paper: 10.82 KB).
+func TotalCostKB() float64 {
+	var sum float64
+	for _, c := range ComponentCosts() {
+		sum += c.Bytes
+	}
+	return sum / 1024
+}
+
+// FormatCostTable renders Table II as text.
+func FormatCostTable() string {
+	s := fmt.Sprintf("%-44s %-6s %-44s %10s\n", "Component", "Sec.", "Parameters", "Cost (B)")
+	for _, c := range ComponentCosts() {
+		s += fmt.Sprintf("%-44s %-6s %-44s %10.0f\n", c.Component, c.Section, c.Params, c.Bytes)
+	}
+	s += fmt.Sprintf("%-96s %9.2f KB\n", "Total Cost", TotalCostKB())
+	return s
+}

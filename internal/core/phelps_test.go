@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"phelps/internal/cache"
+	"phelps/internal/cpu"
+	"phelps/internal/emu"
+)
+
+func newTestController() *Controller {
+	cfg := DefaultConfig()
+	cfg.EpochLen = 1000
+	return NewController(cfg, cpu.DefaultConfig(), emu.NewMemory(), cache.New(cache.DefaultConfig()))
+}
+
+func TestControllerInactivePredict(t *testing.T) {
+	c := newTestController()
+	d := &emu.DynInst{PC: 0x100}
+	if _, handled := c.Predict(d); handled {
+		t.Error("inactive controller handled a prediction")
+	}
+	if c.Active() {
+		t.Error("controller active without trigger")
+	}
+}
+
+func TestMispThreshold(t *testing.T) {
+	c := newTestController()
+	// EpochLen 1000 / divisor 2000 < 4: clamped to the floor.
+	if got := c.mispThreshold(); got != 4 {
+		t.Errorf("threshold = %d, want 4 (floor)", got)
+	}
+	c.cfg.EpochLen = 4_000_000
+	if got := c.mispThreshold(); got != 2000 {
+		t.Errorf("threshold = %d, want 2000 (paper: 0.5 MPKI)", got)
+	}
+}
+
+func TestAttributionCategories(t *testing.T) {
+	c := newTestController()
+
+	// Unknown branch: gathering.
+	c.attribute(0x100)
+	if c.Stats.Categories[CatGathering] != 1 {
+		t.Errorf("gathering = %d", c.Stats.Categories[CatGathering])
+	}
+
+	// Delinquent, no loop: not in loop.
+	c.branchOf(0x200).everDelinquent = true
+	c.attribute(0x200)
+	if c.Stats.Categories[CatNotInLoop] != 1 {
+		t.Errorf("not-in-loop = %d", c.Stats.Categories[CatNotInLoop])
+	}
+
+	// Delinquent, loop rejected for size.
+	loop := LoopBounds{Branch: 0x340, Target: 0x300, Valid: true}
+	bi := c.branchOf(0x310)
+	bi.everDelinquent = true
+	bi.loopKnown = true
+	bi.loop = loop
+	c.rejected[loop.Branch] = RejectTooBig
+	c.attribute(0x310)
+	if c.Stats.Categories[CatTooBig] != 1 {
+		t.Errorf("too-big = %d", c.Stats.Categories[CatTooBig])
+	}
+
+	// Rejected for trips.
+	loop2 := LoopBounds{Branch: 0x440, Target: 0x400, Valid: true}
+	bi2 := c.branchOf(0x410)
+	bi2.everDelinquent = true
+	bi2.loopKnown = true
+	bi2.loop = loop2
+	c.rejected[loop2.Branch] = RejectNotIterating
+	c.attribute(0x410)
+	if c.Stats.Categories[CatNotIterating] != 1 {
+		t.Errorf("not-iterating = %d", c.Stats.Categories[CatNotIterating])
+	}
+
+	// Delinquent, loop known, nothing built yet: not constructed (purple).
+	loop3 := LoopBounds{Branch: 0x540, Target: 0x500, Valid: true}
+	bi3 := c.branchOf(0x510)
+	bi3.everDelinquent = true
+	bi3.loopKnown = true
+	bi3.loop = loop3
+	c.attribute(0x510)
+	if c.Stats.Categories[CatNotConstructed] != 1 {
+		t.Errorf("not-constructed = %d", c.Stats.Categories[CatNotConstructed])
+	}
+}
+
+func TestFinalizeAttributionReassignsGathering(t *testing.T) {
+	c := newTestController()
+	// Branch that never became delinquent and was never evicted: its
+	// "gathering" counts become "not delinquent".
+	c.attribute(0x100)
+	c.attribute(0x100)
+	c.FinalizeAttribution()
+	if c.Stats.Categories[CatGathering] != 0 {
+		t.Errorf("gathering left = %d", c.Stats.Categories[CatGathering])
+	}
+	if c.Stats.Categories[CatNotDelinquent] != 2 {
+		t.Errorf("not-delinquent = %d", c.Stats.Categories[CatNotDelinquent])
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for cat := Category(0); cat < NumCategories; cat++ {
+		if cat.String() == "?" || cat.String() == "" {
+			t.Errorf("category %d has no name", cat)
+		}
+	}
+}
+
+func TestVisitQueueBasics(t *testing.T) {
+	vq := NewVisitQueue(2)
+	if !vq.Push(Visit{LiveIns: []uint64{1}}) || !vq.Push(Visit{LiveIns: []uint64{2}}) {
+		t.Fatal("pushes failed")
+	}
+	if vq.Push(Visit{}) {
+		t.Error("push beyond capacity succeeded")
+	}
+	if vq.FullStalls != 1 {
+		t.Errorf("full stalls = %d", vq.FullStalls)
+	}
+	v, ok := vq.Pop()
+	if !ok || v.LiveIns[0] != 1 {
+		t.Errorf("pop = %+v, %v", v, ok)
+	}
+	if vq.Len() != 1 {
+		t.Errorf("len = %d", vq.Len())
+	}
+	vq.Pop()
+	if _, ok := vq.Pop(); ok {
+		t.Error("pop from empty succeeded")
+	}
+}
+
+func TestPredValEnables(t *testing.T) {
+	cases := []struct {
+		p    predVal
+		dir  bool
+		want bool
+	}{
+		{predVal{enabled: true, outcome: true}, true, true},
+		{predVal{enabled: true, outcome: true}, false, false},
+		{predVal{enabled: true, outcome: false}, false, true},
+		{predVal{enabled: false, outcome: true}, true, false}, // suppressed producer
+	}
+	for _, c := range cases {
+		if got := c.p.enables(c.dir); got != c.want {
+			t.Errorf("enables(%+v, %v) = %v, want %v", c.p, c.dir, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"testing"
+
+	"phelps/internal/emu"
+)
+
+// TestPredictionQueues_Figure4Scenario replays the paper's Fig. 4: four
+// queues (b1..b4), iteration-lockstep deposits, and a main thread that
+// consumes b2/b4 predictions only when their guards allow, ignoring the
+// parenthesized entries.
+func TestPredictionQueues_Figure4Scenario(t *testing.T) {
+	pcs := []uint64{0xb1, 0xb2, 0xb3, 0xb4}
+	q := NewQueueSet(pcs, 32)
+
+	// The Fig. 4 matrix (columns = iterations, rows b1..b4).
+	b1 := []bool{false, true, true, false, true, false, true}
+	b2 := []bool{false, true, false, false, true, true, false}
+	b3 := []bool{true, false, false, false, true, false, true}
+	b4 := []bool{false, true, false, false, false, true, true}
+
+	// Helper thread deposits all 7 iterations.
+	for it := 0; it < 7; it++ {
+		q.Deposit(0, b1[it])
+		q.Deposit(1, b2[it])
+		q.Deposit(2, b3[it])
+		q.Deposit(3, b4[it])
+		q.AdvanceTail()
+	}
+
+	// Main thread walks iterations, consuming per guarding rules:
+	// b2 consumed iff b1 not-taken; b4 consumed iff b3 not-taken.
+	for it := 0; it < 7; it++ {
+		o1, ok := q.Consume(0xb1)
+		if !ok || o1 != b1[it] {
+			t.Fatalf("it %d: b1 consume = %v,%v", it, o1, ok)
+		}
+		if !o1 { // b1 not-taken: main thread fetches b2
+			o2, ok := q.Consume(0xb2)
+			if !ok || o2 != b2[it] {
+				t.Fatalf("it %d: b2 consume = %v,%v", it, o2, ok)
+			}
+		}
+		o3, ok := q.Consume(0xb3)
+		if !ok || o3 != b3[it] {
+			t.Fatalf("it %d: b3 consume = %v,%v", it, o3, ok)
+		}
+		if !o3 {
+			o4, ok := q.Consume(0xb4)
+			if !ok || o4 != b4[it] {
+				t.Fatalf("it %d: b4 consume = %v,%v", it, o4, ok)
+			}
+		}
+		q.AdvanceSpecHead()
+	}
+	if q.Untimely != 0 {
+		t.Errorf("untimely = %d", q.Untimely)
+	}
+}
+
+func TestQueueSetRollbackReconsume(t *testing.T) {
+	// Section IV-B: after a main-thread recovery, spec_head rolls back and
+	// the pre-executed outcomes are replayed — including a guarded branch's
+	// outcome that was initially ignored.
+	q := NewQueueSet([]uint64{0xb1, 0xb2}, 32)
+	q.Deposit(0, true) // b1 wrongly pre-executed taken
+	q.Deposit(1, true) // b2's outcome exists regardless
+	q.AdvanceTail()
+
+	ckpt := q.SpecHead()
+	o1, _ := q.Consume(0xb1)
+	if !o1 {
+		t.Fatal("setup: b1 should be taken")
+	}
+	// Main thread followed taken, skipped b2, advanced to next iteration.
+	q.AdvanceSpecHead()
+	// b1 resolves not-taken in the backend -> recovery to checkpoint.
+	q.RollbackSpecHead(ckpt)
+	// Second time around the main thread consumes b2's prediction.
+	o2, ok := q.Consume(0xb2)
+	if !ok || !o2 {
+		t.Errorf("b2 after rollback: %v, %v", o2, ok)
+	}
+}
+
+func TestQueueSetUntimely(t *testing.T) {
+	q := NewQueueSet([]uint64{0xb1}, 8)
+	if _, ok := q.Consume(0xb1); ok {
+		t.Error("consume with empty queue should fail")
+	}
+	if q.Untimely != 1 {
+		t.Errorf("untimely = %d", q.Untimely)
+	}
+	// Unknown PC is not untimely — just uncovered.
+	if _, ok := q.Consume(0x999); ok {
+		t.Error("unknown PC consumed")
+	}
+	if q.Untimely != 1 {
+		t.Errorf("untimely after unknown PC = %d", q.Untimely)
+	}
+}
+
+func TestQueueSetFullAndHeadFree(t *testing.T) {
+	// One column is reserved headroom: depth-1 iterations are depositable.
+	q := NewQueueSet([]uint64{0xb1}, 4)
+	for i := 0; i < 3; i++ {
+		if q.Full() {
+			t.Fatalf("full at %d", i)
+		}
+		q.Deposit(0, true)
+		q.AdvanceTail()
+	}
+	if !q.Full() {
+		t.Fatal("queue should be full after depth-1 deposits")
+	}
+	// Main thread retires one loop iteration -> one column freed.
+	q.AdvanceHead()
+	if q.Full() {
+		t.Error("queue still full after head advance")
+	}
+}
+
+func TestQueueSetSpecHeadBeyondTail(t *testing.T) {
+	// Main thread can outrun the helper thread: consumption is untimely and
+	// spec_head keeps counting iterations for alignment.
+	q := NewQueueSet([]uint64{0xb1}, 8)
+	q.AdvanceSpecHead()
+	q.AdvanceSpecHead()
+	if _, ok := q.Consume(0xb1); ok {
+		t.Error("consume ahead of tail should fail")
+	}
+	// HT catches up: deposits land in iterations 0,1,2; MT is at 2.
+	q.Deposit(0, true)
+	q.AdvanceTail()
+	q.Deposit(0, false)
+	q.AdvanceTail()
+	q.Deposit(0, true)
+	q.AdvanceTail()
+	o, ok := q.Consume(0xb1)
+	if !ok || !o {
+		t.Errorf("after catch-up: %v %v", o, ok)
+	}
+}
+
+func TestQueueSetHeadPassesStaleTail(t *testing.T) {
+	// MT retires iterations the HT never produced: head passes tail.
+	// Late deposits for those iterations are dead (never consumable), and
+	// the HT re-synchronizes once its absolute iteration count catches up.
+	q := NewQueueSet([]uint64{0xb1}, 4)
+	q.AdvanceHead()
+	q.AdvanceHead()
+	if q.Lag() > 0 {
+		t.Errorf("lag = %d", q.Lag())
+	}
+	// HT produces iterations 0 and 1 late: dead on arrival.
+	q.Deposit(0, true)
+	q.AdvanceTail()
+	if _, ok := q.Consume(0xb1); ok {
+		t.Error("late deposit for a freed iteration must not be consumable")
+	}
+	q.Deposit(0, true)
+	q.AdvanceTail()
+	// Iteration 2 is live again (head == 2): consumable.
+	q.Deposit(0, true)
+	q.AdvanceTail()
+	if out, ok := q.Consume(0xb1); !ok || !out {
+		t.Errorf("consume after catch-up: %v %v", out, ok)
+	}
+}
+
+func TestQueueSetRollbackClampedToHead(t *testing.T) {
+	q := NewQueueSet([]uint64{0xb1}, 4)
+	for i := 0; i < 3; i++ {
+		q.Deposit(0, true)
+		q.AdvanceTail()
+		q.AdvanceSpecHead()
+		q.AdvanceHead()
+	}
+	q.RollbackSpecHead(0) // below head: clamp
+	if q.SpecHead() != 3 {
+		t.Errorf("spec_head = %d, want clamped to head 3", q.SpecHead())
+	}
+}
+
+func TestSpecCacheBasics(t *testing.T) {
+	mem := emu.NewMemory()
+	mem.SetU64(0x100, 0xAAAA)
+	sc := NewSpecCache(16, 2)
+	// Miss: read falls through to architectural memory.
+	v, hit := sc.ReadLoad(mem, 0x100, 8)
+	if hit || v != 0xAAAA {
+		t.Errorf("arch fallthrough: %v %v", v, hit)
+	}
+	// HT store then load: hit with the speculative value.
+	sc.WriteStore(mem, 0x100, 8, 0xBBBB)
+	v, hit = sc.ReadLoad(mem, 0x100, 8)
+	if !hit || v != 0xBBBB {
+		t.Errorf("spec hit: %#x %v", v, hit)
+	}
+	// Architectural memory untouched.
+	if mem.U64(0x100) != 0xAAAA {
+		t.Error("spec store leaked to architectural memory")
+	}
+}
+
+func TestSpecCachePartialStoreMerge(t *testing.T) {
+	mem := emu.NewMemory()
+	mem.SetU64(0x200, 0x1111111111111111)
+	sc := NewSpecCache(16, 2)
+	sc.WriteStore(mem, 0x204, 4, 0x22222222) // upper word
+	v, hit := sc.ReadLoad(mem, 0x200, 8)
+	if !hit || v != 0x2222222211111111 {
+		t.Errorf("merged = %#x, hit=%v", v, hit)
+	}
+	// Byte store into the same doubleword.
+	sc.WriteStore(mem, 0x201, 1, 0xFF)
+	v, _ = sc.ReadLoad(mem, 0x200, 8)
+	if v != 0x222222221111FF11 {
+		t.Errorf("byte-merged = %#x", v)
+	}
+}
+
+func TestSpecCacheEvictionLosesData(t *testing.T) {
+	mem := emu.NewMemory()
+	sc := NewSpecCache(2, 2) // tiny: 2 sets x 2 ways
+	// Three doublewords mapping to the same set (stride = sets*8 = 16B).
+	sc.WriteStore(mem, 0x00, 8, 1)
+	sc.WriteStore(mem, 0x10, 8, 2)
+	sc.WriteStore(mem, 0x20, 8, 3) // evicts 0x00 (LRU)
+	if sc.Evictions != 1 {
+		t.Errorf("evictions = %d", sc.Evictions)
+	}
+	// The evicted store's data is simply lost: load sees stale arch (0).
+	v, hit := sc.ReadLoad(mem, 0x00, 8)
+	if hit || v != 0 {
+		t.Errorf("evicted data resurfaced: %v %v", v, hit)
+	}
+	// Survivors still hit.
+	if v, hit := sc.ReadLoad(mem, 0x20, 8); !hit || v != 3 {
+		t.Errorf("survivor: %v %v", v, hit)
+	}
+}
+
+func TestSpecCacheReset(t *testing.T) {
+	mem := emu.NewMemory()
+	sc := NewSpecCache(4, 2)
+	sc.WriteStore(mem, 0x40, 8, 9)
+	sc.Reset()
+	if _, hit := sc.ReadLoad(mem, 0x40, 8); hit {
+		t.Error("reset did not clear")
+	}
+}

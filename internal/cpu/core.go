@@ -1,0 +1,510 @@
+package cpu
+
+import (
+	"phelps/internal/cache"
+	"phelps/internal/emu"
+	"phelps/internal/isa"
+)
+
+// Prediction is the fetch-time direction prediction for a conditional
+// branch, with its provenance (core predictor vs. a Phelps prediction queue).
+type Prediction struct {
+	Taken     bool
+	FromQueue bool
+}
+
+// Hooks let the surrounding simulator observe and steer the core. All hooks
+// are optional.
+type Hooks struct {
+	// Predict supplies the direction prediction for a conditional branch at
+	// fetch. If nil, branches are predicted not-taken.
+	Predict func(d *emu.DynInst) Prediction
+	// OnFetch fires for every instruction entering the frontend (used by
+	// Phelps to fill the HTCB and advance spec_head at loop-branch fetch).
+	OnFetch func(d *emu.DynInst)
+	// OnRetire fires at retirement with the misprediction flag (used for
+	// DBT/LPT/CDFSM training, trigger/terminate checks, and attribution).
+	OnRetire func(d *emu.DynInst, mispredicted bool)
+}
+
+// Stats are the core's performance counters.
+type Stats struct {
+	Cycles       uint64
+	Retired      uint64
+	CondBranches uint64
+	Mispredicts  uint64 // retired mispredicted conditional branches
+	QueuePreds   uint64 // conditional branches predicted from a prediction queue
+	QueueMisps   uint64 // ... of which were wrong
+
+	LoadsExecuted  uint64
+	StoreForwards  uint64
+	FetchStallMisp uint64 // cycles fetch was blocked on an unresolved mispredict
+	Squashes       uint64
+}
+
+// MPKI returns mispredictions per kilo-instruction.
+func (s *Stats) MPKI() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) * 1000 / float64(s.Retired)
+}
+
+// IPC returns instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+type robEntry struct {
+	d       emu.DynInst
+	srcs    [2]*robEntry // producers still tracked at dispatch; nil = ready
+	nsrc    int
+	issued  bool
+	retired bool
+	doneAt  uint64
+	misp    bool
+	fromQ   bool
+}
+
+func (e *robEntry) ready(now uint64) bool {
+	for i := 0; i < e.nsrc; i++ {
+		p := e.srcs[i]
+		if p == nil || p.retired {
+			continue
+		}
+		if !p.issued || p.doneAt > now {
+			return false
+		}
+	}
+	return true
+}
+
+type frontEntry struct {
+	d       emu.DynInst
+	readyAt uint64
+	misp    bool
+	fromQ   bool
+}
+
+// Core is the main thread's timing model.
+type Core struct {
+	cfg   Config
+	lim   Limits
+	hooks Hooks
+	mem   *emu.Memory
+	hier  *cache.Hierarchy
+
+	next     func() (emu.DynInst, bool)
+	peeked   *emu.DynInst
+	replay   []emu.DynInst
+	replayAt int
+
+	frontend []frontEntry
+	rob      []*robEntry
+	robHead  int // index of oldest unretired entry within rob slice
+
+	lastWriter     [isa.NumRegs]*robEntry
+	inflightStores []*robEntry
+	nLoads, nStores, nDests, nIQ int
+
+	issueHead int // rob index: everything below is issued (scan start)
+
+	stallSeq      uint64 // seq of mispredicted branch blocking fetch
+	stallActive   bool
+	stallClearAt  uint64
+	stallClearSet bool
+
+	fetchBlockedUntil uint64
+	lastFetchLine     uint64
+
+	archRegs [isa.NumRegs]uint64
+	halted   bool
+
+	Stats Stats
+}
+
+// NewCore builds a core over a dynamic-instruction source. mem receives
+// retired stores; hier provides load/store/I-fetch timing.
+func NewCore(cfg Config, mem *emu.Memory, hier *cache.Hierarchy, next func() (emu.DynInst, bool), hooks Hooks) *Core {
+	return &Core{
+		cfg:           cfg,
+		lim:           cfg.FullLimits(),
+		hooks:         hooks,
+		mem:           mem,
+		hier:          hier,
+		next:          next,
+		lastFetchLine: ^uint64(0),
+	}
+}
+
+// SetLimits applies (or removes) a resource partition.
+func (c *Core) SetLimits(l Limits) { c.lim = l }
+
+// Limits returns the current partition limits.
+func (c *Core) Limits() Limits { return c.lim }
+
+// ArchReg returns the retire-time architectural value of a register (used to
+// source helper-thread live-ins at trigger).
+func (c *Core) ArchReg(r isa.Reg) uint64 { return c.archRegs[r] }
+
+// Halted reports whether the HALT instruction has retired.
+func (c *Core) Halted() bool { return c.halted }
+
+// Drained reports whether no instructions remain anywhere in the machine.
+func (c *Core) Drained() bool {
+	return len(c.rob) == c.robHead && len(c.frontend) == 0 &&
+		c.peeked == nil && c.replayAt >= len(c.replay)
+}
+
+// BlockFetchUntil stalls fetch until the given cycle (used to model the
+// main-thread stall while helper-thread live-in moves retire, Section V-F).
+func (c *Core) BlockFetchUntil(cycle uint64) {
+	if cycle > c.fetchBlockedUntil {
+		c.fetchBlockedUntil = cycle
+	}
+}
+
+// nextDyn returns the next correct-path instruction: replayed (post-squash)
+// instructions first, then fresh emulation.
+func (c *Core) nextDyn() (emu.DynInst, bool) {
+	if c.peeked != nil {
+		d := *c.peeked
+		c.peeked = nil
+		return d, true
+	}
+	if c.replayAt < len(c.replay) {
+		d := c.replay[c.replayAt]
+		c.replayAt++
+		if c.replayAt == len(c.replay) {
+			c.replay = c.replay[:0]
+			c.replayAt = 0
+		}
+		return d, true
+	}
+	return c.next()
+}
+
+func (c *Core) unfetch(d emu.DynInst) {
+	c.peeked = &d
+}
+
+// Cycle advances the core by one clock at time now, drawing issue slots from
+// the shared pool.
+func (c *Core) Cycle(now uint64, lanes *LanePool) {
+	c.Stats.Cycles++
+	c.retire(now)
+	c.issue(now, lanes)
+	c.dispatch(now)
+	c.fetch(now)
+}
+
+func (c *Core) retire(now uint64) {
+	for n := 0; n < c.cfg.RetireWidth && c.robHead < len(c.rob); n++ {
+		e := c.rob[c.robHead]
+		if !e.issued || e.doneAt > now {
+			break
+		}
+		e.retired = true
+		c.robHead++
+		d := &e.d
+		op := d.Inst.Op
+		if op.WritesRd() && d.Inst.Rd != isa.X0 {
+			c.archRegs[d.Inst.Rd] = d.RdVal
+		}
+		if op.IsStore() {
+			if err := c.mem.RetireStore(d.Seq, d.Addr, d.MemSize, d.StoreVal); err != nil {
+				panic(err)
+			}
+			c.hier.Store(d.Addr, now)
+			c.inflightStores = c.inflightStores[1:]
+			c.nStores--
+		}
+		if op.IsLoad() {
+			c.nLoads--
+		}
+		if op.WritesRd() {
+			c.nDests--
+		}
+		if op.IsCondBranch() {
+			c.Stats.CondBranches++
+			if e.misp {
+				c.Stats.Mispredicts++
+			}
+			if e.fromQ {
+				c.Stats.QueuePreds++
+				if e.misp {
+					c.Stats.QueueMisps++
+				}
+			}
+		}
+		if op == isa.HALT {
+			c.halted = true
+		}
+		c.Stats.Retired++
+		// Drop writer mapping if this entry is still the last writer (a
+		// retired producer is always ready to consumers).
+		if op.WritesRd() && c.lastWriter[d.Inst.Rd] == e {
+			c.lastWriter[d.Inst.Rd] = nil
+		}
+		if c.hooks.OnRetire != nil {
+			c.hooks.OnRetire(d, e.misp)
+		}
+		// Compact the rob slice occasionally.
+		if c.robHead > 1024 {
+			c.rob = append(c.rob[:0], c.rob[c.robHead:]...)
+			c.issueHead -= c.robHead
+			if c.issueHead < 0 {
+				c.issueHead = 0
+			}
+			c.robHead = 0
+		}
+	}
+}
+
+func (c *Core) issue(now uint64, lanes *LanePool) {
+	// Advance the scan start past the fully-issued prefix (issued is
+	// monotonic per entry; squash/compaction reset the pointer).
+	if c.issueHead < c.robHead {
+		c.issueHead = c.robHead
+	}
+	for c.issueHead < len(c.rob) && c.rob[c.issueHead].issued {
+		c.issueHead++
+	}
+	scanned := 0
+	for i := c.issueHead; i < len(c.rob) && scanned < c.cfg.IQScanLimit; i++ {
+		e := c.rob[i]
+		if e.issued {
+			continue
+		}
+		scanned++
+		if !e.ready(now) {
+			continue
+		}
+		op := e.d.Inst.Op
+		switch {
+		case op.IsLoad():
+			if !c.tryIssueLoad(e, now, lanes) {
+				continue
+			}
+		case op.IsStore():
+			if !lanes.TakeMem() {
+				continue
+			}
+			e.issued = true
+			e.doneAt = now + 1
+		case op.IsComplex():
+			if !lanes.TakeComplex() {
+				continue
+			}
+			e.issued = true
+			if op == isa.MUL {
+				e.doneAt = now + c.cfg.MulLatency
+			} else {
+				e.doneAt = now + c.cfg.DivLatency
+			}
+		default:
+			if !lanes.TakeSimple() {
+				continue
+			}
+			e.issued = true
+			e.doneAt = now + 1
+		}
+		c.nIQ--
+		if c.stallActive && e.d.Seq == c.stallSeq {
+			c.stallClearAt = e.doneAt
+			c.stallClearSet = true
+		}
+	}
+}
+
+// tryIssueLoad handles memory disambiguation: the load waits for the
+// youngest older overlapping store, forwarding from it once the store has
+// executed; otherwise it accesses the cache hierarchy.
+func (c *Core) tryIssueLoad(e *robEntry, now uint64, lanes *LanePool) bool {
+	var dep *robEntry
+	for i := len(c.inflightStores) - 1; i >= 0; i-- {
+		s := c.inflightStores[i]
+		if s.d.Seq > e.d.Seq {
+			continue
+		}
+		if overlaps(s.d.Addr, s.d.MemSize, e.d.Addr, e.d.MemSize) {
+			dep = s
+			break
+		}
+	}
+	if dep != nil && (!dep.issued || dep.doneAt > now) {
+		return false // wait for the producing store
+	}
+	if !lanes.TakeMem() {
+		return false
+	}
+	e.issued = true
+	if dep != nil {
+		e.doneAt = now + c.cfg.FwdLatency
+		c.Stats.StoreForwards++
+	} else {
+		e.doneAt = c.hier.Load(e.d.PC, e.d.Addr, now)
+	}
+	c.Stats.LoadsExecuted++
+	return true
+}
+
+func overlaps(a1 uint64, s1 int, a2 uint64, s2 int) bool {
+	return a1 < a2+uint64(s2) && a2 < a1+uint64(s1)
+}
+
+func (c *Core) dispatch(now uint64) {
+	for len(c.frontend) > 0 {
+		fe := &c.frontend[0]
+		if fe.readyAt > now {
+			break
+		}
+		d := &fe.d
+		op := d.Inst.Op
+		if len(c.rob)-c.robHead >= c.lim.ROB || c.nIQ >= c.lim.IQ {
+			break
+		}
+		if op.IsLoad() && c.nLoads >= c.lim.LQ {
+			break
+		}
+		if op.IsStore() && c.nStores >= c.lim.SQ {
+			break
+		}
+		if op.WritesRd() && c.nDests >= c.lim.PRF-isa.NumRegs {
+			break
+		}
+		e := &robEntry{d: fe.d, misp: fe.misp, fromQ: fe.fromQ}
+		srcs, n := d.Inst.SrcRegs()
+		for i := 0; i < n; i++ {
+			if srcs[i] == isa.X0 {
+				continue
+			}
+			if w := c.lastWriter[srcs[i]]; w != nil && !w.retired {
+				e.srcs[e.nsrc] = w
+				e.nsrc++
+			}
+		}
+		if op.WritesRd() && d.Inst.Rd != isa.X0 {
+			c.lastWriter[d.Inst.Rd] = e
+			c.nDests++
+		}
+		if op.IsLoad() {
+			c.nLoads++
+		}
+		if op.IsStore() {
+			c.nStores++
+			c.inflightStores = append(c.inflightStores, e)
+		}
+		c.rob = append(c.rob, e)
+		c.nIQ++
+		c.frontend = c.frontend[1:]
+	}
+}
+
+func (c *Core) fetch(now uint64) {
+	if c.stallActive {
+		if c.stallClearSet && c.stallClearAt <= now {
+			c.stallActive = false
+			c.stallClearSet = false
+		} else {
+			c.Stats.FetchStallMisp++
+			return
+		}
+	}
+	if now < c.fetchBlockedUntil {
+		return
+	}
+	// Frontend buffer backpressure: bounded by width * frontend depth.
+	maxFront := c.lim.FetchWidth * int(c.cfg.FrontendLatency())
+	fl := c.cfg.FrontendLatency()
+	for n := 0; n < c.lim.FetchWidth; n++ {
+		if len(c.frontend) >= maxFront {
+			return
+		}
+		d, ok := c.nextDyn()
+		if !ok {
+			return
+		}
+		// Instruction cache: crossing into a new line may block fetch.
+		line := d.PC / cache.LineBytes
+		if line != c.lastFetchLine {
+			r := c.hier.FetchInst(d.PC, now)
+			c.lastFetchLine = line
+			if r > now {
+				c.unfetch(d)
+				c.lastFetchLine = ^uint64(0)
+				c.fetchBlockedUntil = r
+				return
+			}
+		}
+		if c.hooks.OnFetch != nil {
+			c.hooks.OnFetch(&d)
+		}
+		fe := frontEntry{d: d, readyAt: now + fl}
+		endGroup := false
+		if d.Inst.Op.IsCondBranch() {
+			pred := Prediction{Taken: false}
+			if c.hooks.Predict != nil {
+				pred = c.hooks.Predict(&d)
+			}
+			fe.misp = pred.Taken != d.Taken
+			fe.fromQ = pred.FromQueue
+			if fe.misp {
+				// Fetch stalls after a mispredicted branch until it
+				// resolves in the backend.
+				c.stallActive = true
+				c.stallSeq = d.Seq
+				c.stallClearSet = false
+				endGroup = true
+			} else if pred.Taken {
+				endGroup = true // one taken branch per fetch cycle
+			}
+		} else if d.Inst.Op.IsJump() {
+			endGroup = true // taken-redirect ends the fetch group
+		}
+		c.frontend = append(c.frontend, fe)
+		if endGroup {
+			return
+		}
+	}
+}
+
+// SquashAll flushes every in-flight instruction back into the replay queue
+// (program order preserved) and resets pipeline state. Used at helper-thread
+// trigger/termination (Section V-F/V-G). The squashed instructions will be
+// refetched, paying the frontend refill.
+func (c *Core) SquashAll(now uint64) {
+	c.Stats.Squashes++
+	var replayed []emu.DynInst
+	for i := c.robHead; i < len(c.rob); i++ {
+		replayed = append(replayed, c.rob[i].d)
+	}
+	for i := range c.frontend {
+		replayed = append(replayed, c.frontend[i].d)
+	}
+	if c.peeked != nil {
+		replayed = append(replayed, *c.peeked)
+		c.peeked = nil
+	}
+	// Prepend before any not-yet-replayed instructions.
+	rest := append([]emu.DynInst{}, c.replay[c.replayAt:]...)
+	c.replay = append(replayed, rest...)
+	c.replayAt = 0
+
+	c.frontend = c.frontend[:0]
+	c.rob = c.rob[:0]
+	c.robHead = 0
+	c.issueHead = 0
+	c.inflightStores = c.inflightStores[:0]
+	for i := range c.lastWriter {
+		c.lastWriter[i] = nil
+	}
+	c.nLoads, c.nStores, c.nDests, c.nIQ = 0, 0, 0, 0
+	c.stallActive = false
+	c.stallClearSet = false
+	c.lastFetchLine = ^uint64(0)
+	c.fetchBlockedUntil = now + c.cfg.FrontendLatency()
+}

@@ -1,0 +1,325 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phelps/internal/isa"
+)
+
+// prog assembles a tiny program directly (emu tests avoid importing asm to
+// keep the dependency direction clean; asm's own tests exercise emu+asm).
+func prog(base uint64, code ...isa.Inst) *isa.Program {
+	return &isa.Program{Base: base, Entry: base, Code: code}
+}
+
+func TestMemoryArchReadWrite(t *testing.T) {
+	m := NewMemory()
+	m.WriteArch(0x1000, 8, 0x1122334455667788)
+	if got := m.ReadArch(0x1000, 8); got != 0x1122334455667788 {
+		t.Errorf("ReadArch = %#x", got)
+	}
+	// Little-endian byte order.
+	if got := m.ReadArchByte(0x1000); got != 0x88 {
+		t.Errorf("byte 0 = %#x, want 0x88", got)
+	}
+	if got := m.ReadArchByte(0x1007); got != 0x11 {
+		t.Errorf("byte 7 = %#x, want 0x11", got)
+	}
+	// Cross-page access.
+	m.WriteArch(0xFFF, 4, 0xAABBCCDD)
+	if got := m.ReadArch(0xFFF, 4); got != 0xAABBCCDD {
+		t.Errorf("cross-page ReadArch = %#x", got)
+	}
+	// Unmapped reads are zero.
+	if got := m.ReadArch(0x900000, 8); got != 0 {
+		t.Errorf("unmapped = %#x", got)
+	}
+}
+
+func TestMemoryTypedAccessors(t *testing.T) {
+	m := NewMemory()
+	m.SetU64(8, 42)
+	m.SetU32(16, 7)
+	m.SetI64(24, -9)
+	if m.U64(8) != 42 || m.U32(16) != 7 || m.I64(24) != -9 {
+		t.Errorf("typed accessors: %d %d %d", m.U64(8), m.U32(16), m.I64(24))
+	}
+}
+
+func TestPendingOverlayViews(t *testing.T) {
+	m := NewMemory()
+	m.SetU64(0x100, 1) // architectural initial value
+
+	m.StagePendingStore(10, 0x100, 8, 2)
+	m.StagePendingStore(11, 0x100, 8, 3)
+
+	// Program-order view sees the youngest pending store.
+	if got := m.ReadProgram(0x100, 8); got != 3 {
+		t.Errorf("program view = %d, want 3", got)
+	}
+	// Architectural view still sees the original value.
+	if got := m.ReadArch(0x100, 8); got != 1 {
+		t.Errorf("arch view = %d, want 1", got)
+	}
+
+	// Retire the first store: arch becomes 2, program still 3.
+	if err := m.RetireStore(10, 0x100, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadArch(0x100, 8); got != 2 {
+		t.Errorf("arch after retire 10 = %d, want 2", got)
+	}
+	if got := m.ReadProgram(0x100, 8); got != 3 {
+		t.Errorf("program after retire 10 = %d, want 3", got)
+	}
+
+	if err := m.RetireStore(11, 0x100, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadArch(0x100, 8); got != 3 {
+		t.Errorf("arch after retire 11 = %d, want 3", got)
+	}
+	if m.PendingBytes() != 0 {
+		t.Errorf("PendingBytes = %d, want 0", m.PendingBytes())
+	}
+}
+
+func TestRetireOutOfOrderFails(t *testing.T) {
+	m := NewMemory()
+	m.StagePendingStore(1, 0x10, 8, 7)
+	m.StagePendingStore(2, 0x10, 8, 8)
+	if err := m.RetireStore(2, 0x10, 8, 8); err == nil {
+		t.Fatal("expected out-of-order retire to fail")
+	}
+}
+
+func TestPartialOverlap(t *testing.T) {
+	m := NewMemory()
+	m.SetU64(0x200, 0)
+	m.StagePendingStore(1, 0x200, 8, 0x1111111111111111)
+	m.StagePendingStore(2, 0x204, 4, 0x22222222) // overlaps upper half
+	if got := m.ReadProgram(0x200, 8); got != 0x2222222211111111 {
+		t.Errorf("overlapped program view = %#x", got)
+	}
+	if err := m.RetireStore(1, 0x200, 8, 0x1111111111111111); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadArch(0x200, 8); got != 0x1111111111111111 {
+		t.Errorf("arch after first retire = %#x", got)
+	}
+	if err := m.RetireStore(2, 0x204, 4, 0x22222222); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadArch(0x200, 8); got != 0x2222222211111111 {
+		t.Errorf("arch after both retires = %#x", got)
+	}
+}
+
+// Property: staging then retiring any sequence of stores leaves the
+// architectural view identical to applying the stores directly in order.
+func TestOverlayEquivalence_Property(t *testing.T) {
+	type st struct {
+		Off  uint16
+		Size uint8
+		Val  uint64
+	}
+	f := func(stores []st) bool {
+		m1 := NewMemory()
+		m2 := NewMemory()
+		sizes := []int{1, 4, 8}
+		for i, s := range stores {
+			size := sizes[int(s.Size)%3]
+			addr := 0x1000 + uint64(s.Off%512)
+			m1.StagePendingStore(uint64(i), addr, size, s.Val)
+			m2.WriteArch(addr, size, s.Val)
+		}
+		for i, s := range stores {
+			size := sizes[int(s.Size)%3]
+			addr := 0x1000 + uint64(s.Off%512)
+			if err := m1.RetireStore(uint64(i), addr, size, s.Val); err != nil {
+				return false
+			}
+		}
+		for a := uint64(0x1000); a < 0x1000+512+8; a++ {
+			if m1.ReadArchByte(a) != m2.ReadArchByte(a) {
+				return false
+			}
+		}
+		return m1.PendingBytes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmulatorALUAndHalt(t *testing.T) {
+	p := prog(0,
+		isa.Inst{Op: isa.ADDI, Rd: isa.T0, Rs1: isa.X0, Imm: 6},
+		isa.Inst{Op: isa.ADDI, Rd: isa.T1, Rs1: isa.X0, Imm: 7},
+		isa.Inst{Op: isa.MUL, Rd: isa.T2, Rs1: isa.T0, Rs2: isa.T1},
+		isa.Inst{Op: isa.HALT},
+	)
+	res := Run(p, NewMemory(), 0)
+	if res.Regs[isa.T2] != 42 {
+		t.Errorf("T2 = %d, want 42", res.Regs[isa.T2])
+	}
+	if res.Insts != 4 {
+		t.Errorf("Insts = %d, want 4", res.Insts)
+	}
+	if !res.Reached {
+		t.Error("expected Reached")
+	}
+}
+
+func TestX0Hardwired(t *testing.T) {
+	p := prog(0,
+		isa.Inst{Op: isa.ADDI, Rd: isa.X0, Rs1: isa.X0, Imm: 99},
+		isa.Inst{Op: isa.ADDI, Rd: isa.T0, Rs1: isa.X0, Imm: 1},
+		isa.Inst{Op: isa.HALT},
+	)
+	res := Run(p, NewMemory(), 0)
+	if res.Regs[isa.X0] != 0 {
+		t.Errorf("x0 = %d, want 0", res.Regs[isa.X0])
+	}
+	if res.Regs[isa.T0] != 1 {
+		t.Errorf("T0 = %d, want 1", res.Regs[isa.T0])
+	}
+}
+
+func TestLoadExtension(t *testing.T) {
+	m := NewMemory()
+	m.WriteArch(0x100, 8, 0xFFFF_FFFF_8000_0080)
+	p := prog(0,
+		isa.Inst{Op: isa.ADDI, Rd: isa.T0, Rs1: isa.X0, Imm: 0x100},
+		isa.Inst{Op: isa.LB, Rd: isa.T1, Rs1: isa.T0, Imm: 0},  // 0x80 -> -128
+		isa.Inst{Op: isa.LBU, Rd: isa.T2, Rs1: isa.T0, Imm: 0}, // 0x80 -> 128
+		isa.Inst{Op: isa.LW, Rd: isa.T3, Rs1: isa.T0, Imm: 0},  // 0x80000080 -> negative
+		isa.Inst{Op: isa.LWU, Rd: isa.T4, Rs1: isa.T0, Imm: 0}, // zero-extended
+		isa.Inst{Op: isa.LD, Rd: isa.T5, Rs1: isa.T0, Imm: 0},
+		isa.Inst{Op: isa.HALT},
+	)
+	res := Run(p, m, 0)
+	if int64(res.Regs[isa.T1]) != -128 {
+		t.Errorf("LB = %d, want -128", int64(res.Regs[isa.T1]))
+	}
+	if res.Regs[isa.T2] != 128 {
+		t.Errorf("LBU = %d, want 128", res.Regs[isa.T2])
+	}
+	var lwRaw uint32 = 0x80000080
+	if int64(res.Regs[isa.T3]) != int64(int32(lwRaw)) {
+		t.Errorf("LW = %d", int64(res.Regs[isa.T3]))
+	}
+	if res.Regs[isa.T4] != 0x80000080 {
+		t.Errorf("LWU = %#x", res.Regs[isa.T4])
+	}
+	if res.Regs[isa.T5] != 0xFFFF_FFFF_8000_0080 {
+		t.Errorf("LD = %#x", res.Regs[isa.T5])
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	p := prog(0,
+		isa.Inst{Op: isa.ADDI, Rd: isa.T0, Rs1: isa.X0, Imm: 0x200},
+		isa.Inst{Op: isa.ADDI, Rd: isa.T1, Rs1: isa.X0, Imm: -7},
+		isa.Inst{Op: isa.SD, Rs1: isa.T0, Rs2: isa.T1, Imm: 16},
+		isa.Inst{Op: isa.LD, Rd: isa.T2, Rs1: isa.T0, Imm: 16},
+		isa.Inst{Op: isa.HALT},
+	)
+	res := Run(p, NewMemory(), 0)
+	if int64(res.Regs[isa.T2]) != -7 {
+		t.Errorf("round trip = %d, want -7", int64(res.Regs[isa.T2]))
+	}
+}
+
+func TestBranchAndJumpTargets(t *testing.T) {
+	// beq taken skips the poison instruction; jal sets link register.
+	p := prog(0x100,
+		isa.Inst{Op: isa.BEQ, Rs1: isa.X0, Rs2: isa.X0, Imm: 8}, // 0x100 -> 0x108
+		isa.Inst{Op: isa.ADDI, Rd: isa.S0, Rs1: isa.X0, Imm: 1}, // skipped
+		isa.Inst{Op: isa.JAL, Rd: isa.RA, Imm: 8},               // 0x108 -> 0x110
+		isa.Inst{Op: isa.ADDI, Rd: isa.S1, Rs1: isa.X0, Imm: 1}, // skipped
+		isa.Inst{Op: isa.HALT}, // 0x110
+	)
+	res := Run(p, NewMemory(), 0)
+	if res.Regs[isa.S0] != 0 || res.Regs[isa.S1] != 0 {
+		t.Error("branch/jump fell through incorrectly")
+	}
+	if res.Regs[isa.RA] != 0x10C {
+		t.Errorf("RA = %#x, want 0x10c", res.Regs[isa.RA])
+	}
+}
+
+func TestJalrAlignsTarget(t *testing.T) {
+	p := prog(0,
+		isa.Inst{Op: isa.ADDI, Rd: isa.T0, Rs1: isa.X0, Imm: 9}, // odd target
+		isa.Inst{Op: isa.JALR, Rd: isa.X0, Rs1: isa.T0, Imm: 0}, // -> 8 (cleared bit 0)
+		isa.Inst{Op: isa.HALT},                                  // 8: halt
+	)
+	res := Run(p, NewMemory(), 0)
+	if !res.Reached {
+		t.Error("JALR did not clear low bit / reach halt")
+	}
+}
+
+func TestMaxInsts(t *testing.T) {
+	p := prog(0,
+		isa.Inst{Op: isa.JAL, Rd: isa.X0, Imm: 0}, // infinite loop
+	)
+	res := Run(p, NewMemory(), 100)
+	if res.Insts != 100 {
+		t.Errorf("Insts = %d, want 100", res.Insts)
+	}
+	if res.Reached {
+		t.Error("Reached should be false when MaxInsts hit")
+	}
+}
+
+func TestDynInstRecordsValues(t *testing.T) {
+	m := NewMemory()
+	m.SetU64(0x300, 0xDEAD)
+	p := prog(0,
+		isa.Inst{Op: isa.ADDI, Rd: isa.T0, Rs1: isa.X0, Imm: 0x300},
+		isa.Inst{Op: isa.LD, Rd: isa.T1, Rs1: isa.T0, Imm: 0},
+		isa.Inst{Op: isa.SD, Rs1: isa.T0, Rs2: isa.T1, Imm: 8},
+		isa.Inst{Op: isa.BNE, Rs1: isa.T1, Rs2: isa.X0, Imm: 8}, // taken -> 0x14
+		isa.Inst{Op: isa.NOP},                                   // skipped
+		isa.Inst{Op: isa.HALT},                                  // 0x14
+	)
+	e := New(p, m)
+	var recs []DynInst
+	for {
+		d, ok := e.Step()
+		if !ok {
+			break
+		}
+		recs = append(recs, d)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d dynamic insts, want 5", len(recs))
+	}
+	ld := recs[1]
+	if ld.Addr != 0x300 || ld.RdVal != 0xDEAD || ld.MemSize != 8 {
+		t.Errorf("load record: %+v", ld)
+	}
+	sd := recs[2]
+	if sd.Addr != 0x308 || sd.StoreVal != 0xDEAD {
+		t.Errorf("store record: %+v", sd)
+	}
+	bne := recs[3]
+	if !bne.Taken || bne.NextPC != 0x14 {
+		t.Errorf("branch record: %+v", bne)
+	}
+}
+
+func TestEmulatorPanicsOutsideProgram(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for PC outside program")
+		}
+	}()
+	p := prog(0, isa.Inst{Op: isa.NOP}) // falls off the end
+	e := New(p, NewMemory())
+	e.Step()
+	e.Step()
+}

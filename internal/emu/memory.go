@@ -1,0 +1,162 @@
+// Package emu provides the functional RISC-V-like emulator that drives the
+// timing simulator, and the sparse data memory shared by the main thread and
+// helper threads.
+//
+// Memory has two views, which is the crux of modeling Phelps faithfully
+// (Section IV-A of the paper):
+//
+//   - The program-order view, used by the main thread's emulation: reads see
+//     all earlier stores of the program, including those whose instructions
+//     have been fetched but not yet retired by the timing model.
+//   - The architectural (retire-time) view, used by helper-thread loads:
+//     reads see only stores that the timing model has retired. Helper-thread
+//     pre-execution runs ahead of retirement, so it can observe stale data —
+//     exactly the effect the helper thread's private speculative store cache
+//     exists to mitigate.
+//
+// Main-thread stores enter a pending overlay at emulation (fetch) time and
+// are folded into the architectural image when the timing model retires them.
+package emu
+
+import "fmt"
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type page [pageSize]byte
+
+type byteVersion struct {
+	seq uint64
+	val byte
+}
+
+// Memory is a sparse 64-bit byte-addressable memory with a pending-store
+// overlay. The zero value is not usable; call NewMemory.
+type Memory struct {
+	pages   map[uint64]*page
+	pending map[uint64][]byteVersion // per-byte versions, oldest first
+	nPend   int
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{
+		pages:   make(map[uint64]*page),
+		pending: make(map[uint64][]byteVersion),
+	}
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ReadArchByte reads one byte from the architectural (retire-time) view.
+func (m *Memory) ReadArchByte(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// WriteArchByte writes one byte directly into the architectural view,
+// bypassing the overlay. Used for initial data setup and by retiring stores.
+func (m *Memory) WriteArchByte(addr uint64, v byte) {
+	m.pageFor(addr, true)[addr&pageMask] = v
+}
+
+// ReadArch reads size bytes (1, 4, or 8) little-endian from the architectural
+// view.
+func (m *Memory) ReadArch(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.ReadArchByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// WriteArch writes size bytes little-endian into the architectural view.
+func (m *Memory) WriteArch(addr uint64, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		m.WriteArchByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// ReadProgram reads size bytes from the program-order view: pending store
+// data if present, architectural data otherwise.
+func (m *Memory) ReadProgram(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		var b byte
+		if vs := m.pending[a]; len(vs) > 0 {
+			b = vs[len(vs)-1].val
+		} else {
+			b = m.ReadArchByte(a)
+		}
+		v |= uint64(b) << (8 * i)
+	}
+	return v
+}
+
+// StagePendingStore records a store executed by the emulator but not yet
+// retired by the timing model. seq must be strictly increasing across calls.
+func (m *Memory) StagePendingStore(seq, addr uint64, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		m.pending[a] = append(m.pending[a], byteVersion{seq: seq, val: byte(v >> (8 * i))})
+		m.nPend++
+	}
+}
+
+// RetireStore folds the pending store with the given sequence number into the
+// architectural view. Stores must be retired in the order they were staged.
+func (m *Memory) RetireStore(seq, addr uint64, size int, v uint64) error {
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		vs := m.pending[a]
+		if len(vs) == 0 || vs[0].seq != seq {
+			return fmt.Errorf("emu: retire store seq=%d addr=%#x out of order", seq, addr)
+		}
+		m.WriteArchByte(a, vs[0].val)
+		if len(vs) == 1 {
+			delete(m.pending, a)
+		} else {
+			m.pending[a] = vs[1:]
+		}
+		m.nPend--
+	}
+	return nil
+}
+
+// PendingBytes returns the number of staged, unretired store bytes.
+func (m *Memory) PendingBytes() int { return m.nPend }
+
+// --- typed convenience accessors for workload setup and verification ---
+
+// SetU64 writes a 64-bit value into the architectural view.
+func (m *Memory) SetU64(addr uint64, v uint64) { m.WriteArch(addr, 8, v) }
+
+// U64 reads a 64-bit value from the architectural view.
+func (m *Memory) U64(addr uint64) uint64 { return m.ReadArch(addr, 8) }
+
+// SetU32 writes a 32-bit value into the architectural view.
+func (m *Memory) SetU32(addr uint64, v uint32) { m.WriteArch(addr, 4, uint64(v)) }
+
+// U32 reads a 32-bit value from the architectural view.
+func (m *Memory) U32(addr uint64) uint32 { return uint32(m.ReadArch(addr, 4)) }
+
+// SetI64 writes a signed 64-bit value into the architectural view.
+func (m *Memory) SetI64(addr uint64, v int64) { m.WriteArch(addr, 8, uint64(v)) }
+
+// I64 reads a signed 64-bit value from the architectural view.
+func (m *Memory) I64(addr uint64) int64 { return int64(m.ReadArch(addr, 8)) }

@@ -1,0 +1,242 @@
+package graph
+
+// Native Go reference implementations of the GAP kernels. The assembly
+// workloads in internal/prog are verified against these: after a timing or
+// functional run, the workload's memory-resident results must match.
+
+// MainComponentSource returns a vertex in the largest connected component
+// (the canonical BFS/SSSP source for generated graphs, mirroring GAP's
+// pick-a-connected-source behavior).
+func (g *Graph) MainComponentSource() int {
+	comp := g.ShiloachVishkinCC()
+	count := make(map[uint32]int)
+	for _, c := range comp {
+		count[c]++
+	}
+	best, bestN := uint32(0), -1
+	for c, n := range count {
+		if n > bestN || (n == bestN && c < best) {
+			best, bestN = c, n
+		}
+	}
+	for v, c := range comp {
+		if c == best {
+			return v
+		}
+	}
+	return 0
+}
+
+// BFSParents runs breadth-first search from src and returns the parent array:
+// parent[v] = parent vertex, parent[src] = src, -1 if unreachable.
+func (g *Graph) BFSParents(src int) []int64 {
+	parent := make([]int64, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = int64(src)
+	frontier := []uint32{uint32(src)}
+	for len(frontier) > 0 {
+		var next []uint32
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(int(u)) {
+				if parent[v] < 0 {
+					parent[v] = int64(u)
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return parent
+}
+
+// BFSDepths returns hop distances from src (-1 if unreachable).
+func (g *Graph) BFSDepths(src int) []int64 {
+	depth := make([]int64, g.N)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	frontier := []uint32{uint32(src)}
+	for d := int64(1); len(frontier) > 0; d++ {
+		var next []uint32
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(int(u)) {
+				if depth[v] < 0 {
+					depth[v] = d
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return depth
+}
+
+// ShiloachVishkinCC computes connected components with the label-propagation
+// variant GAP's cc_sv uses: repeatedly hook smaller labels, then pointer-jump
+// until no change. Returns comp labels.
+func (g *Graph) ShiloachVishkinCC() []uint32 {
+	comp := make([]uint32, g.N)
+	for i := range comp {
+		comp[i] = uint32(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < g.N; u++ {
+			for _, v := range g.Neighbors(u) {
+				cu, cv := comp[u], comp[v]
+				if cu < cv {
+					comp[cv] = cu
+					changed = true
+				}
+			}
+		}
+		for u := 0; u < g.N; u++ {
+			for comp[u] != comp[comp[u]] {
+				comp[u] = comp[comp[u]]
+			}
+		}
+	}
+	return comp
+}
+
+// PageRank runs iters iterations of synchronous PageRank with damping d,
+// in fixed-point arithmetic (scale 1<<20) so the assembly kernel (integer
+// ISA) can be verified bit-exactly. Returns scaled scores.
+func (g *Graph) PageRank(iters int, dNum, dDen int64) []int64 {
+	const scale = 1 << 20
+	n := int64(g.N)
+	scores := make([]int64, g.N)
+	next := make([]int64, g.N)
+	for i := range scores {
+		scores[i] = scale / n
+	}
+	base := (dDen - dNum) * (scale / n) / dDen
+	for it := 0; it < iters; it++ {
+		for v := 0; v < g.N; v++ {
+			var sum int64
+			for _, u := range g.Neighbors(v) {
+				deg := int64(g.Degree(int(u)))
+				if deg > 0 {
+					sum += scores[u] / deg
+				}
+			}
+			next[v] = base + dNum*sum/dDen
+		}
+		scores, next = next, scores
+	}
+	return scores
+}
+
+// BellmanFordSSSP computes single-source shortest paths using |V|-bounded
+// relaxation rounds over all edges (the weighted graph must have Weights).
+// Returns distances, with unreachable = maxDist sentinel.
+func (g *Graph) BellmanFordSSSP(src int) []int64 {
+	const inf = int64(1) << 40
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	for round := 0; round < g.N; round++ {
+		changed := false
+		for u := 0; u < g.N; u++ {
+			du := dist[u]
+			if du == inf {
+				continue
+			}
+			off := g.Offsets[u]
+			for i, v := range g.Neighbors(u) {
+				w := int64(g.Weights[int(off)+i])
+				if du+w < dist[v] {
+					dist[v] = du + w
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// TriangleCount returns the number of triangles (each counted once), using
+// the standard ordered-intersection method over sorted adjacency lists.
+func (g *Graph) TriangleCount() int64 {
+	var total int64
+	for u := 0; u < g.N; u++ {
+		nu := g.Neighbors(u)
+		for _, v := range nu {
+			if int(v) <= u {
+				continue
+			}
+			nv := g.Neighbors(int(v))
+			// Count common neighbors w with w > v (ordered intersection).
+			i, j := 0, 0
+			for i < len(nu) && j < len(nv) {
+				a, b := nu[i], nv[j]
+				switch {
+				case a == b:
+					if a > v {
+						total++
+					}
+					i++
+					j++
+				case a < b:
+					i++
+				default:
+					j++
+				}
+			}
+		}
+	}
+	return total
+}
+
+// BCApprox computes Brandes-style betweenness-centrality contributions from a
+// set of source vertices, in fixed-point (scale 1<<12), matching the
+// integer-only assembly kernel. Returns scaled centrality scores.
+func (g *Graph) BCApprox(sources []int) []int64 {
+	const scale = int64(1) << 12
+	bc := make([]int64, g.N)
+	for _, s := range sources {
+		// Forward phase: BFS computing sigma (shortest path counts) and depth.
+		depth := make([]int64, g.N)
+		sigma := make([]int64, g.N)
+		for i := range depth {
+			depth[i] = -1
+		}
+		depth[s] = 0
+		sigma[s] = 1
+		order := []uint32{uint32(s)}
+		for qi := 0; qi < len(order); qi++ {
+			u := order[qi]
+			for _, v := range g.Neighbors(int(u)) {
+				if depth[v] < 0 {
+					depth[v] = depth[u] + 1
+					order = append(order, v)
+				}
+				if depth[v] == depth[u]+1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+		// Backward phase: accumulate dependencies in reverse BFS order.
+		delta := make([]int64, g.N) // scaled by `scale`
+		for qi := len(order) - 1; qi >= 0; qi-- {
+			u := order[qi]
+			for _, v := range g.Neighbors(int(u)) {
+				if depth[v] == depth[u]+1 && sigma[v] > 0 {
+					delta[u] += sigma[u] * (scale + delta[v]) / sigma[v]
+				}
+			}
+			if int(u) != s {
+				bc[u] += delta[u]
+			}
+		}
+	}
+	return bc
+}

@@ -1,0 +1,96 @@
+package graph
+
+// Generators for the three input classes the paper evaluates bfs on
+// (Fig. 15b): a road network (roadNet-CA-like), a web graph
+// (web-google-like), and a Kronecker-style synthetic (kron-like).
+
+// Road generates a synthetic road network: a W×H grid of intersections with
+// most grid edges present, a fraction removed, and a few long "highway"
+// shortcuts. This matches roadNet-CA's characteristics that matter for the
+// paper: very low average degree (~2.8), huge diameter, and short,
+// unpredictable per-vertex adjacency lists (the nested-loop idiom of Fig. 2).
+func Road(w, h int, seed uint64) *Graph {
+	r := NewRand(seed)
+	n := w * h
+	var edges []edge
+	id := func(x, y int) uint32 { return uint32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Keep ~72% of east edges and ~72% of south edges: mean
+			// symmetrized degree ≈ 2.9, with per-vertex variance.
+			if x+1 < w && r.Float64() < 0.72 {
+				edges = append(edges, edge{id(x, y), id(x + 1, y)})
+			}
+			if y+1 < h && r.Float64() < 0.72 {
+				edges = append(edges, edge{id(x, y), id(x, y + 1)})
+			}
+		}
+	}
+	// Sparse highway shortcuts (~0.5% of vertices).
+	for i := 0; i < n/200; i++ {
+		u := uint32(r.Intn(n))
+		v := uint32(r.Intn(n))
+		edges = append(edges, edge{u, v})
+	}
+	return fromEdges(n, edges, true)
+}
+
+// Web generates a web-like graph with a heavy-tailed degree distribution via
+// preferential attachment: each new vertex links to m earlier vertices chosen
+// proportionally to degree. Low diameter, a few huge-degree hubs.
+func Web(n, m int, seed uint64) *Graph {
+	r := NewRand(seed)
+	var edges []edge
+	// targets holds one entry per edge endpoint; sampling uniformly from it
+	// implements preferential attachment.
+	targets := make([]uint32, 0, 2*n*m)
+	targets = append(targets, 0)
+	for v := 1; v < n; v++ {
+		for j := 0; j < m; j++ {
+			t := targets[r.Intn(len(targets))]
+			edges = append(edges, edge{uint32(v), t})
+			targets = append(targets, uint32(v), t)
+		}
+	}
+	return fromEdges(n, edges, true)
+}
+
+// Kron generates a Kronecker-style graph (GAP's synthetic input family):
+// 2^scale vertices, edgeFactor edges per vertex, with R-MAT corner
+// probabilities (0.57, 0.19, 0.19, 0.05).
+func Kron(scale, edgeFactor int, seed uint64) *Graph {
+	r := NewRand(seed)
+	n := 1 << scale
+	nEdges := n * edgeFactor
+	edges := make([]edge, 0, nEdges)
+	for i := 0; i < nEdges; i++ {
+		var u, v uint32
+		for b := 0; b < scale; b++ {
+			p := r.Float64()
+			switch {
+			case p < 0.57:
+				// top-left: no bits set
+			case p < 0.76:
+				v |= 1 << b
+			case p < 0.95:
+				u |= 1 << b
+			default:
+				u |= 1 << b
+				v |= 1 << b
+			}
+		}
+		edges = append(edges, edge{u, v})
+	}
+	return fromEdges(n, edges, true)
+}
+
+// Uniform generates an Erdős–Rényi-style random graph with the given number
+// of undirected edges.
+func Uniform(n, nEdges int, seed uint64) *Graph {
+	r := NewRand(seed)
+	edges := make([]edge, 0, nEdges)
+	for i := 0; i < nEdges; i++ {
+		edges = append(edges, edge{uint32(r.Intn(n)), uint32(r.Intn(n))})
+	}
+	return fromEdges(n, edges, true)
+}

@@ -1,0 +1,136 @@
+// Package graph provides the graph substrate for the GAP-style workloads:
+// CSR representation and synthetic generators standing in for the paper's
+// input datasets (roadNet-CA, web-google, kron).
+package graph
+
+import "sort"
+
+// Graph is an unweighted directed graph in CSR form. For the GAP-style
+// kernels the graphs are symmetrized (every edge stored in both directions).
+type Graph struct {
+	N       int      // number of vertices
+	Offsets []uint32 // len N+1; neighbors of v are Neighbors[Offsets[v]:Offsets[v+1]]
+	Adj     []uint32 // concatenated adjacency lists, sorted per vertex
+	Weights []uint32 // optional, parallel to Adj (for SSSP); nil if unweighted
+}
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the adjacency slice of v.
+func (g *Graph) Neighbors(v int) []uint32 {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// NumEdges returns the number of stored directed edges.
+func (g *Graph) NumEdges() int { return len(g.Adj) }
+
+// AvgDegree returns the mean out-degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(len(g.Adj)) / float64(g.N)
+}
+
+// edge is a directed edge used during construction.
+type edge struct{ u, v uint32 }
+
+// fromEdges builds a CSR graph from an edge list, deduplicating and sorting
+// adjacency lists. Self-loops are dropped. If symmetric, both directions are
+// stored.
+func fromEdges(n int, edges []edge, symmetric bool) *Graph {
+	if symmetric {
+		rev := make([]edge, 0, len(edges))
+		for _, e := range edges {
+			rev = append(rev, edge{e.v, e.u})
+		}
+		edges = append(edges, rev...)
+	}
+	deg := make([]uint32, n+1)
+	for _, e := range edges {
+		if e.u != e.v {
+			deg[e.u+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	adj := make([]uint32, deg[n])
+	next := make([]uint32, n)
+	for _, e := range edges {
+		if e.u == e.v {
+			continue
+		}
+		adj[deg[e.u]+next[e.u]] = e.v
+		next[e.u]++
+	}
+	// Sort and dedup each adjacency list.
+	offsets := make([]uint32, n+1)
+	w := 0
+	for v := 0; v < n; v++ {
+		offsets[v] = uint32(w)
+		lo, hi := deg[v], deg[v]+next[v]
+		list := adj[lo:hi]
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		var prev uint32 = ^uint32(0)
+		for _, x := range list {
+			if x != prev {
+				adj[w] = x
+				w++
+				prev = x
+			}
+		}
+	}
+	offsets[n] = uint32(w)
+	return &Graph{N: n, Offsets: offsets, Adj: adj[:w]}
+}
+
+// WithRandomWeights attaches deterministic pseudo-random edge weights in
+// [1, maxW] for SSSP.
+func (g *Graph) WithRandomWeights(seed uint64, maxW uint32) *Graph {
+	r := NewRand(seed)
+	ws := make([]uint32, len(g.Adj))
+	for i := range ws {
+		ws[i] = 1 + uint32(r.Next()%uint64(maxW))
+	}
+	g.Weights = ws
+	return g
+}
+
+// Rand is a small deterministic xorshift64* PRNG used by generators and
+// workload data initialization (stdlib-only, reproducible across runs).
+type Rand struct{ s uint64 }
+
+// NewRand returns a PRNG seeded with seed (zero is remapped).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{s: seed}
+}
+
+// Next returns the next 64-bit pseudo-random value.
+func (r *Rand) Next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("graph: Intn with n <= 0")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}

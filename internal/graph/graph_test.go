@@ -1,0 +1,298 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesDedupSortNoSelfLoops(t *testing.T) {
+	edges := []edge{{0, 1}, {0, 1}, {1, 2}, {2, 2}, {0, 3}, {3, 0}}
+	g := fromEdges(4, edges, false)
+	if g.N != 4 {
+		t.Fatalf("N = %d", g.N)
+	}
+	n0 := g.Neighbors(0)
+	if len(n0) != 2 || n0[0] != 1 || n0[1] != 3 {
+		t.Errorf("neighbors(0) = %v, want [1 3]", n0)
+	}
+	if g.Degree(2) != 0 {
+		t.Errorf("self-loop not dropped: deg(2) = %d", g.Degree(2))
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	g := fromEdges(3, []edge{{0, 1}, {1, 2}}, true)
+	for _, c := range []struct{ u, v int }{{0, 1}, {1, 0}, {1, 2}, {2, 1}} {
+		found := false
+		for _, x := range g.Neighbors(c.u) {
+			if int(x) == c.v {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("edge %d->%d missing after symmetrize", c.u, c.v)
+		}
+	}
+}
+
+func TestRoadCharacteristics(t *testing.T) {
+	g := Road(60, 60, 1)
+	if g.N != 3600 {
+		t.Fatalf("N = %d", g.N)
+	}
+	d := g.AvgDegree()
+	if d < 2.0 || d > 4.0 {
+		t.Errorf("road avg degree = %.2f, want ~2.9", d)
+	}
+	// Max degree must stay small (grid + few shortcuts).
+	maxDeg := 0
+	for v := 0; v < g.N; v++ {
+		if g.Degree(v) > maxDeg {
+			maxDeg = g.Degree(v)
+		}
+	}
+	if maxDeg > 10 {
+		t.Errorf("road max degree = %d, unexpectedly large", maxDeg)
+	}
+}
+
+func TestWebIsHeavyTailed(t *testing.T) {
+	g := Web(2000, 2, 7)
+	maxDeg := 0
+	for v := 0; v < g.N; v++ {
+		if g.Degree(v) > maxDeg {
+			maxDeg = g.Degree(v)
+		}
+	}
+	if maxDeg < 20 {
+		t.Errorf("web max degree = %d, expected a hub >= 20", maxDeg)
+	}
+}
+
+func TestKronShape(t *testing.T) {
+	g := Kron(10, 8, 3)
+	if g.N != 1024 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Road(30, 30, 42)
+	b := Road(30, 30, 42)
+	if len(a.Adj) != len(b.Adj) {
+		t.Fatal("non-deterministic road generator")
+	}
+	for i := range a.Adj {
+		if a.Adj[i] != b.Adj[i] {
+			t.Fatal("non-deterministic road adjacency")
+		}
+	}
+}
+
+func TestRandDistribution(t *testing.T) {
+	r := NewRand(9)
+	var buckets [4]int
+	for i := 0; i < 4000; i++ {
+		buckets[r.Intn(4)]++
+	}
+	for i, c := range buckets {
+		if c < 800 || c > 1200 {
+			t.Errorf("bucket %d = %d, badly skewed", i, c)
+		}
+	}
+	if NewRand(0).Next() == 0 {
+		t.Error("zero seed must be remapped")
+	}
+}
+
+// Property: CSR invariants hold for arbitrary random graphs.
+func TestCSRInvariants_Property(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := Uniform(50, 120, seed)
+		if len(g.Offsets) != g.N+1 || g.Offsets[0] != 0 {
+			return false
+		}
+		for v := 0; v < g.N; v++ {
+			if g.Offsets[v] > g.Offsets[v+1] {
+				return false
+			}
+			ns := g.Neighbors(v)
+			for i := range ns {
+				if int(ns[i]) == v { // no self loops
+					return false
+				}
+				if i > 0 && ns[i-1] >= ns[i] { // sorted, deduped
+					return false
+				}
+			}
+		}
+		return int(g.Offsets[g.N]) == len(g.Adj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: symmetrized graphs have symmetric adjacency.
+func TestSymmetry_Property(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := Uniform(40, 80, seed)
+		for u := 0; u < g.N; u++ {
+			for _, v := range g.Neighbors(u) {
+				found := false
+				for _, w := range g.Neighbors(int(v)) {
+					if int(w) == u {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSParentsAndDepths(t *testing.T) {
+	// Path graph 0-1-2-3 plus isolated 4.
+	g := fromEdges(5, []edge{{0, 1}, {1, 2}, {2, 3}}, true)
+	par := g.BFSParents(0)
+	if par[0] != 0 || par[1] != 0 || par[2] != 1 || par[3] != 2 || par[4] != -1 {
+		t.Errorf("parents = %v", par)
+	}
+	dep := g.BFSDepths(0)
+	want := []int64{0, 1, 2, 3, -1}
+	for i := range want {
+		if dep[i] != want[i] {
+			t.Errorf("depth[%d] = %d, want %d", i, dep[i], want[i])
+		}
+	}
+}
+
+// Property: BFS depth of any vertex differs from its parent's depth by
+// exactly 1, and every reachable vertex has a reachable parent.
+func TestBFSConsistency_Property(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := Uniform(60, 100, seed)
+		par := g.BFSParents(0)
+		dep := g.BFSDepths(0)
+		for v := 0; v < g.N; v++ {
+			if (par[v] < 0) != (dep[v] < 0) {
+				return false
+			}
+			if v != 0 && par[v] >= 0 {
+				if dep[v] != dep[par[v]]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiloachVishkinCC(t *testing.T) {
+	// Two components: {0,1,2} and {3,4}.
+	g := fromEdges(5, []edge{{0, 1}, {1, 2}, {3, 4}}, true)
+	comp := g.ShiloachVishkinCC()
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("component 1 split: %v", comp)
+	}
+	if comp[3] != comp[4] {
+		t.Errorf("component 2 split: %v", comp)
+	}
+	if comp[0] == comp[3] {
+		t.Errorf("components merged: %v", comp)
+	}
+}
+
+// Property: CC labels agree with BFS reachability.
+func TestCCMatchesBFS_Property(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := Uniform(40, 50, seed)
+		comp := g.ShiloachVishkinCC()
+		par := g.BFSParents(0)
+		for v := 0; v < g.N; v++ {
+			sameComp := comp[v] == comp[0]
+			reachable := par[v] >= 0
+			if sameComp != reachable {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageRankConserves(t *testing.T) {
+	g := Uniform(50, 200, 5)
+	scores := g.PageRank(10, 85, 100)
+	var sum int64
+	for _, s := range scores {
+		sum += s
+	}
+	// Total mass stays near 1.0 (scale 1<<20), within fixed-point loss and
+	// dangling-vertex leakage.
+	if sum < (1<<20)/2 || sum > (1<<20)+(1<<16) {
+		t.Errorf("pagerank mass = %d (scale %d)", sum, 1<<20)
+	}
+}
+
+func TestBellmanFordSimple(t *testing.T) {
+	g := fromEdges(4, []edge{{0, 1}, {1, 2}, {0, 3}, {3, 2}}, true)
+	g.Weights = make([]uint32, len(g.Adj))
+	// Set all weights to 1 except make 0-3 and 3-2 cheaper sum than 0-1-2?
+	for i := range g.Weights {
+		g.Weights[i] = 2
+	}
+	dist := g.BellmanFordSSSP(0)
+	if dist[0] != 0 || dist[1] != 2 || dist[2] != 4 || dist[3] != 2 {
+		t.Errorf("dist = %v", dist)
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	// Triangle 0-1-2 plus a pendant 3.
+	g := fromEdges(4, []edge{{0, 1}, {1, 2}, {0, 2}, {2, 3}}, true)
+	if n := g.TriangleCount(); n != 1 {
+		t.Errorf("triangles = %d, want 1", n)
+	}
+	// K4 has 4 triangles.
+	k4 := fromEdges(4, []edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, true)
+	if n := k4.TriangleCount(); n != 4 {
+		t.Errorf("K4 triangles = %d, want 4", n)
+	}
+}
+
+func TestBCApproxPathGraph(t *testing.T) {
+	// Path 0-1-2: vertex 1 lies on the single shortest path 0..2.
+	g := fromEdges(3, []edge{{0, 1}, {1, 2}}, true)
+	bc := g.BCApprox([]int{0, 2})
+	if bc[1] <= bc[0] || bc[1] <= bc[2] {
+		t.Errorf("bc = %v; middle vertex should dominate", bc)
+	}
+}
+
+func TestWithRandomWeights(t *testing.T) {
+	g := Uniform(20, 40, 11).WithRandomWeights(3, 7)
+	if len(g.Weights) != len(g.Adj) {
+		t.Fatalf("weights len %d != adj len %d", len(g.Weights), len(g.Adj))
+	}
+	for _, w := range g.Weights {
+		if w < 1 || w > 7 {
+			t.Errorf("weight %d out of [1,7]", w)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassPredicates(t *testing.T) {
+	cases := []struct {
+		op                               Op
+		branch, load, store, jump, cplx  bool
+	}{
+		{ADD, false, false, false, false, false},
+		{ADDI, false, false, false, false, false},
+		{MUL, false, false, false, false, true},
+		{DIV, false, false, false, false, true},
+		{REM, false, false, false, false, true},
+		{LD, false, true, false, false, false},
+		{LW, false, true, false, false, false},
+		{LWU, false, true, false, false, false},
+		{LB, false, true, false, false, false},
+		{LBU, false, true, false, false, false},
+		{SD, false, false, true, false, false},
+		{SW, false, false, true, false, false},
+		{SB, false, false, true, false, false},
+		{BEQ, true, false, false, false, false},
+		{BNE, true, false, false, false, false},
+		{BLT, true, false, false, false, false},
+		{BGE, true, false, false, false, false},
+		{BLTU, true, false, false, false, false},
+		{BGEU, true, false, false, false, false},
+		{JAL, false, false, false, true, false},
+		{JALR, false, false, false, true, false},
+		{HALT, false, false, false, false, false},
+		{PPRODUCE, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.op.IsCondBranch(); got != c.branch {
+			t.Errorf("%v.IsCondBranch() = %v, want %v", c.op, got, c.branch)
+		}
+		if got := c.op.IsLoad(); got != c.load {
+			t.Errorf("%v.IsLoad() = %v, want %v", c.op, got, c.load)
+		}
+		if got := c.op.IsStore(); got != c.store {
+			t.Errorf("%v.IsStore() = %v, want %v", c.op, got, c.store)
+		}
+		if got := c.op.IsJump(); got != c.jump {
+			t.Errorf("%v.IsJump() = %v, want %v", c.op, got, c.jump)
+		}
+		if got := c.op.IsComplex(); got != c.cplx {
+			t.Errorf("%v.IsComplex() = %v, want %v", c.op, got, c.cplx)
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	want := map[Op]int{LD: 8, SD: 8, LW: 4, LWU: 4, SW: 4, LB: 1, LBU: 1, SB: 1, ADD: 0, BEQ: 0}
+	for op, n := range want {
+		if got := op.MemBytes(); got != n {
+			t.Errorf("%v.MemBytes() = %d, want %d", op, got, n)
+		}
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want bool
+	}{
+		{BEQ, 5, 5, true},
+		{BEQ, 5, 6, false},
+		{BNE, 5, 6, true},
+		{BNE, 5, 5, false},
+		{BLT, ^uint64(0), 0, true},  // -1 < 0 signed
+		{BLT, 0, ^uint64(0), false}, // 0 < -1 signed is false
+		{BGE, 0, ^uint64(0), true},
+		{BGE, ^uint64(0), 0, false},
+		{BLTU, 0, ^uint64(0), true}, // 0 < max unsigned
+		{BLTU, ^uint64(0), 0, false},
+		{BGEU, ^uint64(0), 0, true},
+		{BGEU, 0, 1, false},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a, c.b); got != c.want {
+			t.Errorf("BranchTaken(%v, %d, %d) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUBasics(t *testing.T) {
+	cases := []struct {
+		op       Op
+		a, b     uint64
+		imm      int64
+		want     uint64
+	}{
+		{ADD, 3, 4, 0, 7},
+		{SUB, 3, 4, 0, ^uint64(0)},
+		{SLT, ^uint64(0), 0, 0, 1},
+		{SLTU, ^uint64(0), 0, 0, 0},
+		{AND, 0b1100, 0b1010, 0, 0b1000},
+		{OR, 0b1100, 0b1010, 0, 0b1110},
+		{XOR, 0b1100, 0b1010, 0, 0b0110},
+		{SLL, 1, 8, 0, 256},
+		{SRL, 1 << 63, 63, 0, 1},
+		{SRA, 1 << 63, 63, 0, ^uint64(0)},
+		{ADDI, 10, 0, -3, 7},
+		{SLTI, ^uint64(0), 0, 0, 1},
+		{SLTIU, 1, 0, 2, 1},
+		{ANDI, 0xFF, 0, 0x0F, 0x0F},
+		{ORI, 0xF0, 0, 0x0F, 0xFF},
+		{XORI, 0xFF, 0, 0x0F, 0xF0},
+		{SLLI, 1, 0, 12, 4096},
+		{SRLI, 4096, 0, 12, 1},
+		{SRAI, 1 << 63, 0, 63, ^uint64(0)},
+		{LUI, 0, 0, 5, 5 << 12},
+		{MUL, 7, 6, 0, 42},
+		{DIV, 42, 6, 0, 7},
+		{DIV, 42, 0, 0, ^uint64(0)}, // RISC-V div-by-zero
+		{REM, 43, 6, 0, 1},
+		{REM, 43, 0, 0, 43}, // RISC-V rem-by-zero
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b, c.imm); got != c.want {
+			t.Errorf("EvalALU(%v, %d, %d, %d) = %d, want %d", c.op, c.a, c.b, c.imm, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUDivOverflow(t *testing.T) {
+	minI64 := uint64(1) << 63
+	if got := EvalALU(DIV, minI64, ^uint64(0), 0); got != minI64 {
+		t.Errorf("DIV overflow: got %#x, want %#x", got, minI64)
+	}
+	if got := EvalALU(REM, minI64, ^uint64(0), 0); got != 0 {
+		t.Errorf("REM overflow: got %#x, want 0", got)
+	}
+}
+
+// Property: BLT/BGE and BLTU/BGEU are exact complements, and SLT agrees with
+// BLT for all values.
+func TestBranchComplement_Property(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if BranchTaken(BLT, a, b) == BranchTaken(BGE, a, b) {
+			return false
+		}
+		if BranchTaken(BLTU, a, b) == BranchTaken(BGEU, a, b) {
+			return false
+		}
+		slt := EvalALU(SLT, a, b, 0) == 1
+		return slt == BranchTaken(BLT, a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shifts only observe the low 6 bits of the shift amount.
+func TestShiftMasking_Property(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return EvalALU(SLL, a, b, 0) == EvalALU(SLL, a, b&63, 0) &&
+			EvalALU(SRL, a, b, 0) == EvalALU(SRL, a, b&63, 0) &&
+			EvalALU(SRA, a, b, 0) == EvalALU(SRA, a, b&63, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	cases := []struct {
+		inst Inst
+		want []Reg
+	}{
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, []Reg{2, 3}},
+		{Inst{Op: ADDI, Rd: 1, Rs1: 2}, []Reg{2}},
+		{Inst{Op: LD, Rd: 1, Rs1: 2}, []Reg{2}},
+		{Inst{Op: SD, Rs1: 2, Rs2: 3}, []Reg{2, 3}},
+		{Inst{Op: BEQ, Rs1: 4, Rs2: 5}, []Reg{4, 5}},
+		{Inst{Op: PPRODUCE, Rs1: 4, Rs2: 5, CmpOp: BEQ}, []Reg{4, 5}},
+		{Inst{Op: JAL, Rd: 1}, nil},
+		{Inst{Op: JALR, Rd: 1, Rs1: 2}, []Reg{2}},
+		{Inst{Op: LUI, Rd: 1}, nil},
+		{Inst{Op: NOP}, nil},
+		{Inst{Op: HALT}, nil},
+		{Inst{Op: MOVLIVE, Rd: 1, Rs1: 9}, []Reg{9}},
+	}
+	for _, c := range cases {
+		srcs, n := c.inst.SrcRegs()
+		if n != len(c.want) {
+			t.Errorf("%v: got %d srcs, want %d", c.inst, n, len(c.want))
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if srcs[i] != c.want[i] {
+				t.Errorf("%v: src[%d] = %d, want %d", c.inst, i, srcs[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestWritesRd(t *testing.T) {
+	writes := []Op{ADD, ADDI, LUI, MUL, LD, LW, JAL, JALR, MOVLIVE}
+	noWrites := []Op{NOP, HALT, SD, SW, SB, BEQ, BGEU, PPRODUCE}
+	for _, op := range writes {
+		if !op.WritesRd() {
+			t.Errorf("%v.WritesRd() = false, want true", op)
+		}
+	}
+	for _, op := range noWrites {
+		if op.WritesRd() {
+			t.Errorf("%v.WritesRd() = true, want false", op)
+		}
+	}
+}
+
+func TestProgramAt(t *testing.T) {
+	p := &Program{
+		Base: 0x1000,
+		Code: []Inst{{Op: ADD}, {Op: SUB}, {Op: HALT}},
+	}
+	if in, ok := p.At(0x1000); !ok || in.Op != ADD {
+		t.Errorf("At(0x1000) = %v, %v", in, ok)
+	}
+	if in, ok := p.At(0x1004); !ok || in.Op != SUB {
+		t.Errorf("At(0x1004) = %v, %v", in, ok)
+	}
+	if _, ok := p.At(0x1002); ok {
+		t.Error("At(misaligned) should fail")
+	}
+	if _, ok := p.At(0x0FFC); ok {
+		t.Error("At(below base) should fail")
+	}
+	if _, ok := p.At(0x100C); ok {
+		t.Error("At(past end) should fail")
+	}
+	if p.End() != 0x100C {
+		t.Errorf("End() = %#x, want 0x100c", p.End())
+	}
+}
+
+func TestInstString(t *testing.T) {
+	// Smoke-test the disassembly paths; exact text matters less than no panic
+	// and non-empty output.
+	insts := []Inst{
+		{Op: NOP}, {Op: HALT},
+		{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: ADDI, Rd: 1, Rs1: 2, Imm: -5},
+		{Op: LUI, Rd: 1, Imm: 16},
+		{Op: LD, Rd: 1, Rs1: 2, Imm: 8},
+		{Op: SD, Rs1: 2, Rs2: 3, Imm: 8},
+		{Op: SD, Rs1: 2, Rs2: 3, Imm: 8, PredSrc: 2, PredDir: true},
+		{Op: BNE, Rs1: 1, Rs2: 0, Imm: -16},
+		{Op: JAL, Rd: 0, Imm: 32},
+		{Op: JALR, Rd: 0, Rs1: 1},
+		{Op: PPRODUCE, Rs1: 1, Rs2: 2, CmpOp: BGE, PredDst: 1},
+		{Op: PPRODUCE, Rs1: 1, Rs2: 2, CmpOp: BEQ, PredDst: 2, PredSrc: 1, PredDir: false},
+		{Op: MOVLIVE, Rd: 5, Rs1: 6},
+	}
+	for _, in := range insts {
+		if s := in.String(); s == "" {
+			t.Errorf("empty String() for %+v", in)
+		}
+	}
+	if Op(250).String() == "" {
+		t.Error("unknown op String() should be non-empty")
+	}
+}

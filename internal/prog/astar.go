@@ -1,0 +1,192 @@
+package prog
+
+import (
+	"fmt"
+
+	"phelps/internal/asm"
+	"phelps/internal/emu"
+	"phelps/internal/graph"
+	"phelps/internal/isa"
+)
+
+// Astar replicates the makebound2() flood-fill kernel of SPEC 473.astar
+// (Fig. 3 of the paper). A driver loop repeatedly calls makebound2, which
+// expands the current boundary worklist into the next one by testing the 8
+// neighbors of each cell:
+//
+//	for (i = 0; i < bound1l; i++) {          // the delinquent loop
+//	    index = bound1p[i];
+//	    // for each of 8 neighbor offsets (fully unrolled):
+//	    index1 = index + off_k;
+//	    if (waymap[index1].fillnum != fillnum)   // b1, b3, ... b15
+//	        if (maparp[index1] == 0)             // b2, b4, ... b16
+//	            waymap[index1].fillnum = fillnum; // s1..s8 (guarded,
+//	                                              //  influences b-odd)
+//	            bound2p[bound2l++] = index1;
+//	}
+//
+// The 16 branches are delinquent (grid contents are random), each even
+// branch is control-dependent on its odd guard, and each store both
+// influences future odd branches (loop-carried store->load over waymap) and
+// is control-dependent on both — exactly the paper's Section III challenges.
+//
+// makebound2 is placed at PCs disjoint from the driver loop so the
+// delinquent loop is the only loop enclosing the branches (inner-thread-only
+// deployment, as in the paper's astar discussion).
+//
+// w,h are interior grid dimensions (a blocked border ring is added);
+// pBlockPct is the obstacle density.
+func Astar(w, h int, pBlockPct int, maxSteps int, seed uint64) *Workload {
+	W := w + 2 // padded width
+	H := h + 2
+	cells := W * H
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	fillArr := al.Array(cells, 8) // waymap[].fillnum
+	mapArr := al.Array(cells, 8)  // maparp[]
+	bound1 := al.Array(cells, 8)
+	bound2 := al.Array(cells, 8)
+	outLen := al.Array(2, 8) // [0]=total enqueued, [1]=steps executed
+
+	r := graph.NewRand(seed)
+	blocked := make([]int64, cells)
+	for y := 0; y < H; y++ {
+		for x := 0; x < W; x++ {
+			i := y*W + x
+			if x == 0 || y == 0 || x == W-1 || y == H-1 {
+				blocked[i] = 1 // border ring
+			} else if int(r.Next()%100) < pBlockPct {
+				blocked[i] = 1
+			}
+			mem.SetI64(mapArr+uint64(i)*8, blocked[i])
+		}
+	}
+	start := (H/2)*W + W/2
+	blocked[start] = 0
+	mem.SetI64(mapArr+uint64(start)*8, 0)
+	mem.SetI64(bound1+0, int64(start))
+	mem.SetI64(fillArr+uint64(start)*8, 1)
+
+	offs := []int64{-int64(W) - 1, -int64(W), -int64(W) + 1, -1, 1, int64(W) - 1, int64(W), int64(W) + 1}
+
+	// Native mirror of the whole run.
+	fill := make([]int64, cells)
+	fill[start] = 1
+	cur := []int64{int64(start)}
+	totalEnq := int64(1)
+	steps := int64(0)
+	for s := 0; s < maxSteps && len(cur) > 0; s++ {
+		var next []int64
+		for _, idx := range cur {
+			for _, o := range offs {
+				i1 := idx + o
+				if fill[i1] != 1 {
+					if blocked[i1] == 0 {
+						fill[i1] = 1
+						next = append(next, i1)
+					}
+				}
+			}
+		}
+		cur = next
+		totalEnq += int64(len(next))
+		steps++
+	}
+
+	b := asm.New(CodeBase)
+	// --- driver ---
+	b.Li(isa.S0, int64(bound1)) // bound1p
+	b.Li(isa.S1, 1)             // bound1l
+	b.Li(isa.S2, int64(bound2)) // bound2p
+	b.Li(isa.S3, int64(fillArr))
+	b.Li(isa.S4, int64(mapArr))
+	b.Li(isa.S5, 1)                // fillnum
+	b.Li(isa.S6, int64(maxSteps))  // remaining steps
+	b.Li(isa.S7, 1)                // total enqueued
+	b.Li(isa.S8, 0)                // steps executed
+	b.Label("driver")
+	b.Beq(isa.S1, isa.X0, "done")
+	b.Beq(isa.S6, isa.X0, "done")
+	b.Mv(isa.A0, isa.S0)
+	b.Mv(isa.A1, isa.S1)
+	b.Mv(isa.A2, isa.S2)
+	b.Mv(isa.A3, isa.S3)
+	b.Mv(isa.A4, isa.S4)
+	b.Mv(isa.A5, isa.S5)
+	b.Jal(isa.RA, "makebound2")
+	// swap bound1p/bound2p, bound1l = returned bound2l
+	b.Mv(isa.T0, isa.S0)
+	b.Mv(isa.S0, isa.S2)
+	b.Mv(isa.S2, isa.T0)
+	b.Mv(isa.S1, isa.A0)
+	b.Add(isa.S7, isa.S7, isa.A0)
+	b.Addi(isa.S6, isa.S6, -1)
+	b.Addi(isa.S8, isa.S8, 1)
+	b.Label("driverbr")
+	b.J("driver")
+	b.Label("done")
+	b.Li(isa.T0, int64(outLen))
+	b.Sd(isa.S7, isa.T0, 0)
+	b.Sd(isa.S8, isa.T0, 8)
+	b.Halt()
+
+	// Pad so makebound2 sits in a distinct PC region (and distinct I-cache
+	// lines) from the driver.
+	for b.PC()%256 != 0 {
+		b.Nop()
+	}
+
+	// --- makebound2(A0=bound1p, A1=bound1l, A2=bound2p, A3=fill, A4=map,
+	//                A5=fillnum) -> A0=bound2l ---
+	b.Label("makebound2")
+	b.Li(isa.T5, 0) // i      (T5/T6 are scratch, preserved within the loop)
+	b.Li(isa.T6, 0) // bound2l
+	b.Beq(isa.A1, isa.X0, "mb2ret")
+	b.Label("mb2loop")
+	b.Slli(isa.T0, isa.T5, 3)
+	b.Add(isa.T0, isa.A0, isa.T0)
+	b.Ld(isa.S9, isa.T0, 0) // index = bound1p[i]
+	for k, off := range offs {
+		sk := fmt.Sprintf("skip%d", k)
+		b.Addi(isa.S10, isa.S9, off) // index1
+		b.Slli(isa.S11, isa.S10, 3)  // byte offset
+		b.Add(isa.T1, isa.A3, isa.S11)
+		b.Ld(isa.T2, isa.T1, 0) // waymap[index1].fillnum
+		b.Label(fmt.Sprintf("b%d", 2*k+1))
+		b.Beq(isa.T2, isa.A5, sk) // b(2k+1): already filled -> skip
+		b.Add(isa.T3, isa.A4, isa.S11)
+		b.Ld(isa.T4, isa.T3, 0) // maparp[index1]
+		b.Label(fmt.Sprintf("b%d", 2*k+2))
+		b.Bne(isa.T4, isa.X0, sk) // b(2k+2): blocked -> skip
+		b.Label(fmt.Sprintf("s%d", k+1))
+		b.Sd(isa.A5, isa.T1, 0) // s(k+1): waymap[index1].fillnum = fillnum
+		b.Slli(isa.T2, isa.T6, 3)
+		b.Add(isa.T2, isa.A2, isa.T2)
+		b.Sd(isa.S10, isa.T2, 0) // bound2p[bound2l] = index1
+		b.Addi(isa.T6, isa.T6, 1)
+		b.Label(sk)
+	}
+	b.Addi(isa.T5, isa.T5, 1)
+	b.Label("mb2loopbr")
+	b.Blt(isa.T5, isa.A1, "mb2loop") // the delinquent loop's backward branch
+	b.Label("mb2ret")
+	b.Mv(isa.A0, isa.T6)
+	b.Ret()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "astar",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			if err := checkEq("totalEnqueued", m.I64(outLen), totalEnq); err != nil {
+				return err
+			}
+			if err := checkEq("steps", m.I64(outLen+8), steps); err != nil {
+				return err
+			}
+			return checkArray(m, "fillnum", fillArr, fill)
+		},
+		Labels: p.Labels,
+	}
+}

@@ -1,0 +1,547 @@
+package prog
+
+import (
+	"phelps/internal/asm"
+	"phelps/internal/emu"
+	"phelps/internal/graph"
+	"phelps/internal/isa"
+)
+
+// csrImage is a graph laid out in workload memory as int64 arrays.
+type csrImage struct {
+	offsets uint64 // n+1 entries
+	adj     uint64 // one entry per directed edge
+	weights uint64 // optional, parallel to adj
+	n       int
+}
+
+// loadCSR writes a graph into memory as int64 arrays.
+func loadCSR(mem *emu.Memory, al *Alloc, g *graph.Graph, withWeights bool) csrImage {
+	img := csrImage{n: g.N}
+	img.offsets = al.Array(g.N+1, 8)
+	img.adj = al.Array(len(g.Adj)+1, 8)
+	for i := 0; i <= g.N; i++ {
+		mem.SetI64(img.offsets+uint64(i)*8, int64(g.Offsets[i]))
+	}
+	for i, v := range g.Adj {
+		mem.SetI64(img.adj+uint64(i)*8, int64(v))
+	}
+	if withWeights {
+		img.weights = al.Array(len(g.Adj)+1, 8)
+		for i, w := range g.Weights {
+			mem.SetI64(img.weights+uint64(i)*8, int64(w))
+		}
+	}
+	return img
+}
+
+// BFS builds the GAP-style top-down breadth-first search (Fig. 2's
+// nested-loop idiom): the outer loop walks the current frontier, the inner
+// loop scans each vertex's short, unpredictable adjacency list.
+//
+//	for ci in 0..curl:                    // outer loop (outer-thread)
+//	    u = cur[ci]
+//	    off, end = offsets[u], offsets[u+1]
+//	    if off >= end continue            // brA: inner header branch
+//	    for ei in off..end:               // inner loop (inner-thread)
+//	        v = adj[ei]
+//	        if parent[v] >= 0 continue    // brB: delinquent
+//	        parent[v] = u                 // guarded influential store
+//	        next[nextl++] = v
+//	                                      // brC: inner backward branch
+func BFS(g *graph.Graph, src int) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	img := loadCSR(mem, al, g, false)
+	parent := al.Array(g.N, 8)
+	depth := al.Array(g.N, 8)
+	cur := al.Array(g.N+1, 8)
+	next := al.Array(g.N+1, 8)
+	stats := al.Array(2, 8) // [0]=edges scanned, [1]=levels
+	for i := 0; i < g.N; i++ {
+		mem.SetI64(parent+uint64(i)*8, -1)
+		mem.SetI64(depth+uint64(i)*8, -1)
+	}
+	mem.SetI64(parent+uint64(src)*8, int64(src))
+	mem.SetI64(depth+uint64(src)*8, 0)
+	mem.SetI64(cur+0, int64(src))
+
+	want := g.BFSParents(src)
+	wantDepth := g.BFSDepths(src)
+	// Mirror the stats the kernel maintains.
+	edgesScanned := int64(0)
+	levels := int64(0)
+	{
+		frontier := []uint32{uint32(src)}
+		seen := make([]bool, g.N)
+		seen[src] = true
+		for len(frontier) > 0 {
+			levels++
+			var nxt []uint32
+			for _, u := range frontier {
+				edgesScanned += int64(g.Degree(int(u)))
+				for _, v := range g.Neighbors(int(u)) {
+					if !seen[v] {
+						seen[v] = true
+						nxt = append(nxt, v)
+					}
+				}
+			}
+			frontier = nxt
+		}
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(img.offsets))
+	b.Li(isa.S1, int64(img.adj))
+	b.Li(isa.S2, int64(parent))
+	b.Li(isa.S3, int64(cur))
+	b.Li(isa.S4, int64(next))
+	b.Li(isa.S5, 1)             // curl
+	b.Li(isa.A3, int64(depth))  // depth array
+	b.Li(isa.A4, 0)             // current level
+	b.Li(isa.A5, 0)             // edges scanned
+	b.Label("levels")
+	b.Beq(isa.S5, isa.X0, "done")
+	b.Addi(isa.A4, isa.A4, 1) // level counter (depth to assign)
+	b.Li(isa.S6, 0)           // nextl
+	b.Li(isa.S7, 0)           // ci
+	b.Label("outer")
+	b.Slli(isa.T0, isa.S7, 3)
+	b.Add(isa.T0, isa.S3, isa.T0)
+	b.Ld(isa.S8, isa.T0, 0) // u = cur[ci]
+	b.Slli(isa.T1, isa.S8, 3)
+	b.Add(isa.T1, isa.S0, isa.T1)
+	b.Ld(isa.S9, isa.T1, 0)  // off
+	b.Ld(isa.S10, isa.T1, 8) // end
+	// Edge-scan statistics (non-slice work, as in GAP's instrumented loops).
+	b.Sub(isa.T6, isa.S10, isa.S9)
+	b.Add(isa.A5, isa.A5, isa.T6)
+	b.Label("brA")
+	b.Bgeu(isa.S9, isa.S10, "skipinner") // brA: header branch
+	b.Label("inner")
+	b.Slli(isa.T2, isa.S9, 3)
+	b.Add(isa.T2, isa.S1, isa.T2)
+	b.Ld(isa.S11, isa.T2, 0) // v = adj[ei]
+	b.Slli(isa.T3, isa.S11, 3)
+	b.Add(isa.T3, isa.S2, isa.T3)
+	b.Ld(isa.T4, isa.T3, 0) // parent[v]
+	b.Label("brB")
+	b.Bge(isa.T4, isa.X0, "skipv") // brB: delinquent, reads what the store writes
+	b.Sd(isa.S8, isa.T3, 0)        // parent[v] = u (guarded influential store)
+	// depth[v] = level (guarded store; depth[] is never loaded by the
+	// kernel, so it stays out of the helper thread).
+	b.Slli(isa.T5, isa.S11, 3)
+	b.Add(isa.T5, isa.A3, isa.T5)
+	b.Sd(isa.A4, isa.T5, 0)
+	b.Slli(isa.T5, isa.S6, 3)
+	b.Add(isa.T5, isa.S4, isa.T5)
+	b.Sd(isa.S11, isa.T5, 0) // next[nextl] = v
+	b.Addi(isa.S6, isa.S6, 1)
+	b.Label("skipv")
+	b.Addi(isa.S9, isa.S9, 1)
+	b.Label("brC")
+	b.Bltu(isa.S9, isa.S10, "inner") // brC: short unpredictable trip count
+	b.Label("skipinner")
+	b.Addi(isa.S7, isa.S7, 1)
+	b.Label("outerbr")
+	b.Blt(isa.S7, isa.S5, "outer")
+	// Swap cur/next, curl = nextl.
+	b.Mv(isa.T0, isa.S3)
+	b.Mv(isa.S3, isa.S4)
+	b.Mv(isa.S4, isa.T0)
+	b.Mv(isa.S5, isa.S6)
+	b.J("levels")
+	b.Label("done")
+	b.Li(isa.T0, int64(stats))
+	b.Sd(isa.A5, isa.T0, 0)
+	b.Sd(isa.A4, isa.T0, 8)
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "bfs",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			if err := checkArray(m, "parent", parent, want); err != nil {
+				return err
+			}
+			if err := checkArray(m, "depth", depth, wantDepth); err != nil {
+				return err
+			}
+			if err := checkEq("edgesScanned", m.I64(stats), edgesScanned); err != nil {
+				return err
+			}
+			return checkEq("levels", m.I64(stats+8), levels)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// PageRank builds fixed-point synchronous PageRank (damping dNum/dDen,
+// scale 1<<20). The inner loop accumulates neighbor contributions; a
+// data-dependent "hot vertex" branch (scores[u] > cut) adds a delinquent
+// branch in the inner loop without perturbing the scores, and the inner
+// trip count (degree) is itself unpredictable on road-like graphs.
+func PageRank(g *graph.Graph, iters int, dNum, dDen int64, cut int64) *Workload {
+	const scale = 1 << 20
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	img := loadCSR(mem, al, g, false)
+	scoresA := al.Array(g.N, 8)
+	scoresB := al.Array(g.N, 8)
+	out := al.Array(1, 8)
+	n64 := int64(g.N)
+	init := int64(scale) / n64
+	base := (dDen - dNum) * init / dDen
+	for i := 0; i < g.N; i++ {
+		mem.SetI64(scoresA+uint64(i)*8, init)
+	}
+
+	// Native mirror (bit-exact, including hot counting).
+	ref := make([]int64, g.N)
+	refNext := make([]int64, g.N)
+	for i := range ref {
+		ref[i] = init
+	}
+	hot := int64(0)
+	for it := 0; it < iters; it++ {
+		for v := 0; v < g.N; v++ {
+			var sum int64
+			off := g.Offsets[v]
+			for _, u := range g.Neighbors(v) {
+				deg := int64(g.Degree(int(u)))
+				if ref[u] > cut {
+					hot++
+				}
+				if deg != 0 {
+					sum += ref[u] / deg
+				}
+			}
+			_ = off
+			refNext[v] = base + dNum*sum/dDen
+		}
+		ref, refNext = refNext, ref
+	}
+	finalBase := scoresA
+	if iters%2 == 1 {
+		finalBase = scoresB
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(img.offsets))
+	b.Li(isa.S1, int64(img.adj))
+	b.Li(isa.S2, int64(scoresA)) // current scores
+	b.Li(isa.S3, int64(scoresB)) // next scores
+	b.Li(isa.S4, n64)
+	b.Li(isa.S5, int64(iters)) // iterations remaining
+	b.Li(isa.S6, base)
+	b.Li(isa.S7, dNum)
+	b.Li(isa.S8, dDen)
+	b.Li(isa.S9, cut)
+	b.Li(isa.S10, 0) // hot count
+	b.Label("iter")
+	b.Beq(isa.S5, isa.X0, "done")
+	b.Li(isa.A0, 0) // v
+	b.Label("outer")
+	b.Slli(isa.T0, isa.A0, 3)
+	b.Add(isa.T0, isa.S0, isa.T0)
+	b.Ld(isa.A1, isa.T0, 0) // ei = offsets[v]
+	b.Ld(isa.A2, isa.T0, 8) // end
+	b.Li(isa.A3, 0)         // sum
+	b.Label("brA")
+	b.Bgeu(isa.A1, isa.A2, "skipinner") // header branch
+	b.Label("inner")
+	b.Slli(isa.T1, isa.A1, 3)
+	b.Add(isa.T1, isa.S1, isa.T1)
+	b.Ld(isa.A4, isa.T1, 0) // u = adj[ei]
+	b.Slli(isa.T2, isa.A4, 3)
+	b.Add(isa.T3, isa.S0, isa.T2)
+	b.Ld(isa.T4, isa.T3, 0) // offsets[u]
+	b.Ld(isa.T5, isa.T3, 8) // offsets[u+1]
+	b.Sub(isa.T5, isa.T5, isa.T4) // deg
+	b.Add(isa.T6, isa.S2, isa.T2)
+	b.Ld(isa.T6, isa.T6, 0) // scores[u]
+	b.Label("brHot")
+	b.Bge(isa.S9, isa.T6, "nothot") // delinquent: scores[u] > cut
+	b.Addi(isa.S10, isa.S10, 1)
+	b.Label("nothot")
+	b.Label("brDeg")
+	b.Beq(isa.T5, isa.X0, "nodeg")
+	b.Div(isa.T6, isa.T6, isa.T5)
+	b.Add(isa.A3, isa.A3, isa.T6)
+	b.Label("nodeg")
+	b.Addi(isa.A1, isa.A1, 1)
+	b.Label("brC")
+	b.Bltu(isa.A1, isa.A2, "inner") // inner backward branch
+	b.Label("skipinner")
+	// next[v] = base + dNum*sum/dDen
+	b.Mul(isa.T0, isa.S7, isa.A3)
+	b.Div(isa.T0, isa.T0, isa.S8)
+	b.Add(isa.T0, isa.S6, isa.T0)
+	b.Slli(isa.T1, isa.A0, 3)
+	b.Add(isa.T1, isa.S3, isa.T1)
+	b.Sd(isa.T0, isa.T1, 0)
+	b.Addi(isa.A0, isa.A0, 1)
+	b.Label("outerbr")
+	b.Blt(isa.A0, isa.S4, "outer")
+	// Swap score arrays.
+	b.Mv(isa.T0, isa.S2)
+	b.Mv(isa.S2, isa.S3)
+	b.Mv(isa.S3, isa.T0)
+	b.Addi(isa.S5, isa.S5, -1)
+	b.J("iter")
+	b.Label("done")
+	b.Li(isa.T0, int64(out))
+	b.Sd(isa.S10, isa.T0, 0)
+	b.Halt()
+	p := b.MustBuild()
+
+	refFinal := ref // after last swap, ref holds the result
+	return &Workload{
+		Name: "pr",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			if err := checkEq("hot", m.I64(out), hot); err != nil {
+				return err
+			}
+			return checkArray(m, "scores", finalBase, refFinal)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// CC builds connected components via in-place label propagation:
+//
+//	do {
+//	    changed = 0
+//	    for u in 0..n:                       // outer loop
+//	        for v in adj(u):                 // inner loop
+//	            cv = comp[v]; cu = comp[u]   // cu reloaded each iteration
+//	            if cv < cu {                 // brB: delinquent early on
+//	                comp[u] = cv             // guarded influential store
+//	                changed = 1
+//	            }
+//	} while changed
+//
+// comp[u] is reloaded inside the inner loop so the guarded store feeds the
+// next iteration through memory (the supported store->load idiom) rather
+// than through a conditionally-updated register (the "alternate producers"
+// scenario the paper's Section V-K omits).
+func CC(g *graph.Graph) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	img := loadCSR(mem, al, g, false)
+	comp := al.Array(g.N, 8)
+	visits := al.Array(g.N, 8)
+	stats := al.Array(2, 8) // [0]=edge-index checksum, [1]=edges scanned
+	for i := 0; i < g.N; i++ {
+		mem.SetI64(comp+uint64(i)*8, int64(i))
+	}
+
+	// Native mirror (including the pass statistics the kernel maintains).
+	ref := make([]int64, g.N)
+	refVisits := make([]int64, g.N)
+	eiSum := int64(0)
+	edges := int64(0)
+	for i := range ref {
+		ref[i] = int64(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < g.N; u++ {
+			off := int64(g.Offsets[u])
+			end := int64(g.Offsets[u+1])
+			edges += end - off
+			refVisits[u]++
+			for k := off; k < end; k++ {
+				v := g.Adj[k]
+				eiSum += k
+				if ref[v] < ref[u] {
+					ref[u] = ref[v]
+					changed = true
+				}
+			}
+		}
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(img.offsets))
+	b.Li(isa.S1, int64(img.adj))
+	b.Li(isa.S2, int64(comp))
+	b.Li(isa.S3, int64(g.N))
+	b.Li(isa.S9, int64(visits))
+	b.Li(isa.A6, 0) // edge-index checksum
+	b.Li(isa.A7, 0) // edges scanned
+	b.Label("pass")
+	b.Li(isa.S4, 0) // changed
+	b.Li(isa.S5, 0) // u
+	b.Label("outer")
+	b.Slli(isa.T0, isa.S5, 3)
+	b.Add(isa.T1, isa.S0, isa.T0)
+	b.Ld(isa.S6, isa.T1, 0)       // ei
+	b.Ld(isa.S7, isa.T1, 8)       // end
+	b.Add(isa.S8, isa.S2, isa.T0) // &comp[u]
+	// Pass statistics (non-slice work): edges scanned, visits[u]++.
+	b.Sub(isa.T6, isa.S7, isa.S6)
+	b.Add(isa.A7, isa.A7, isa.T6)
+	b.Add(isa.T6, isa.S9, isa.T0)
+	b.Ld(isa.T5, isa.T6, 0)
+	b.Addi(isa.T5, isa.T5, 1)
+	b.Sd(isa.T5, isa.T6, 0) // visits[u]++ (never read by the slice)
+	b.Label("brA")
+	b.Bgeu(isa.S6, isa.S7, "skipinner")
+	b.Label("inner")
+	b.Slli(isa.T2, isa.S6, 3)
+	b.Add(isa.T2, isa.S1, isa.T2)
+	b.Ld(isa.T3, isa.T2, 0) // v
+	b.Slli(isa.T3, isa.T3, 3)
+	b.Add(isa.T3, isa.S2, isa.T3)
+	b.Ld(isa.T4, isa.T3, 0) // cv = comp[v]
+	b.Ld(isa.T5, isa.S8, 0) // cu = comp[u] (reloaded: store->load idiom)
+	b.Add(isa.A6, isa.A6, isa.S6) // checksum of edge indices (non-slice)
+	b.Label("brB")
+	b.Bge(isa.T4, isa.T5, "skipv") // brB: delinquent while converging
+	b.Sd(isa.T4, isa.S8, 0)        // comp[u] = cv (guarded influential store)
+	b.Li(isa.S4, 1)
+	b.Label("skipv")
+	b.Addi(isa.S6, isa.S6, 1)
+	b.Label("brC")
+	b.Bltu(isa.S6, isa.S7, "inner")
+	b.Label("skipinner")
+	b.Addi(isa.S5, isa.S5, 1)
+	b.Label("outerbr")
+	b.Blt(isa.S5, isa.S3, "outer")
+	b.Bne(isa.S4, isa.X0, "pass")
+	b.Li(isa.T0, int64(stats))
+	b.Sd(isa.A6, isa.T0, 0)
+	b.Sd(isa.A7, isa.T0, 8)
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "cc",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			if err := checkArray(m, "comp", comp, ref); err != nil {
+				return err
+			}
+			if err := checkArray(m, "visits", visits, refVisits); err != nil {
+				return err
+			}
+			if err := checkEq("eiSum", m.I64(stats), eiSum); err != nil {
+				return err
+			}
+			return checkEq("edges", m.I64(stats+8), edges)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// CCSV builds Shiloach-Vishkin-style connected components with separate hook
+// and pointer-jumping compress phases. The two phases are two distinct
+// delinquent loop nests active in the same epoch, exercising the paper's
+// "more than one delinquent loop detected per epoch" path (Fig. 14's
+// cc_sv purple segment).
+func CCSV(g *graph.Graph) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	img := loadCSR(mem, al, g, false)
+	comp := al.Array(g.N, 8)
+	for i := 0; i < g.N; i++ {
+		mem.SetI64(comp+uint64(i)*8, int64(i))
+	}
+
+	// Native mirror.
+	ref := make([]int64, g.N)
+	for i := range ref {
+		ref[i] = int64(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < g.N; u++ {
+			for _, v := range g.Neighbors(u) {
+				if ref[u] < ref[v] {
+					ref[ref[v]] = ref[u]
+					changed = true
+				}
+			}
+		}
+		for u := 0; u < g.N; u++ {
+			for ref[u] != ref[ref[u]] {
+				ref[u] = ref[ref[u]]
+			}
+		}
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(img.offsets))
+	b.Li(isa.S1, int64(img.adj))
+	b.Li(isa.S2, int64(comp))
+	b.Li(isa.S3, int64(g.N))
+	b.Label("pass")
+	b.Li(isa.S4, 0) // changed
+	// --- hook phase ---
+	b.Li(isa.S5, 0) // u
+	b.Label("hookouter")
+	b.Slli(isa.T0, isa.S5, 3)
+	b.Add(isa.T1, isa.S0, isa.T0)
+	b.Ld(isa.S6, isa.T1, 0)
+	b.Ld(isa.S7, isa.T1, 8)
+	b.Add(isa.S8, isa.S2, isa.T0) // &comp[u]
+	b.Bgeu(isa.S6, isa.S7, "hookskip")
+	b.Label("hookinner")
+	b.Slli(isa.T2, isa.S6, 3)
+	b.Add(isa.T2, isa.S1, isa.T2)
+	b.Ld(isa.T3, isa.T2, 0) // v
+	b.Slli(isa.T3, isa.T3, 3)
+	b.Add(isa.T3, isa.S2, isa.T3)
+	b.Ld(isa.T4, isa.T3, 0) // cv = comp[v]
+	b.Ld(isa.T5, isa.S8, 0) // cu = comp[u]
+	b.Label("hookbrB")
+	b.Bge(isa.T5, isa.T4, "hookskipv") // if cu < cv: hook
+	b.Slli(isa.T6, isa.T4, 3)
+	b.Add(isa.T6, isa.S2, isa.T6)
+	b.Sd(isa.T5, isa.T6, 0) // comp[cv] = cu  (guarded influential store)
+	b.Li(isa.S4, 1)
+	b.Label("hookskipv")
+	b.Addi(isa.S6, isa.S6, 1)
+	b.Label("hookbrC")
+	b.Bltu(isa.S6, isa.S7, "hookinner")
+	b.Label("hookskip")
+	b.Addi(isa.S5, isa.S5, 1)
+	b.Label("hookouterbr")
+	b.Blt(isa.S5, isa.S3, "hookouter")
+	// --- compress phase (pointer jumping) ---
+	b.Li(isa.S5, 0) // u
+	b.Label("compouter")
+	b.Slli(isa.T0, isa.S5, 3)
+	b.Add(isa.S8, isa.S2, isa.T0) // &comp[u]
+	b.Label("compinner")
+	b.Ld(isa.T1, isa.S8, 0) // cu = comp[u]
+	b.Slli(isa.T2, isa.T1, 3)
+	b.Add(isa.T2, isa.S2, isa.T2)
+	b.Ld(isa.T3, isa.T2, 0) // comp[cu]
+	b.Sd(isa.T3, isa.S8, 0) // comp[u] = comp[comp[u]] (idempotent at fixpoint)
+	b.Label("compbrB")
+	b.Bne(isa.T1, isa.T3, "compinner") // backward branch: delinquent on chains
+	b.Addi(isa.S5, isa.S5, 1)
+	b.Label("compouterbr")
+	b.Blt(isa.S5, isa.S3, "compouter")
+	b.Bne(isa.S4, isa.X0, "pass")
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "cc_sv",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			return checkArray(m, "comp", comp, ref)
+		},
+		Labels: p.Labels,
+	}
+}

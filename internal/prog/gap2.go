@@ -1,0 +1,457 @@
+package prog
+
+import (
+	"phelps/internal/asm"
+	"phelps/internal/emu"
+	"phelps/internal/graph"
+	"phelps/internal/isa"
+)
+
+// ssspInf is the unreachable-distance sentinel (matches graph.BellmanFordSSSP).
+const ssspInf = int64(1) << 40
+
+// SSSP builds Bellman-Ford single-source shortest paths with in-place
+// relaxation:
+//
+//	do {
+//	    changed = 0
+//	    for u in 0..n:                       // outer loop
+//	        for ei in off[u]..off[u+1]:      // inner loop
+//	            du = dist[u]                 // reloaded per iteration
+//	            if du >= INF continue        // brD
+//	            v, w = adj[ei], wt[ei]
+//	            if du+w >= dist[v] continue  // brB: delinquent
+//	            dist[v] = du + w             // guarded influential store
+//	            changed = 1
+//	} while changed && rounds < maxRounds
+//
+// dist[u] is reloaded inside the inner loop (keeping the outer thread free
+// of data dependences on inner-thread stores, Section V-J condition 3).
+func SSSP(g *graph.Graph, src, maxRounds int) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	img := loadCSR(mem, al, g, true)
+	dist := al.Array(g.N, 8)
+	visits := al.Array(g.N, 8)
+	stats := al.Array(1, 8)
+	for i := 0; i < g.N; i++ {
+		mem.SetI64(dist+uint64(i)*8, ssspInf)
+	}
+	mem.SetI64(dist+uint64(src)*8, 0)
+
+	// Native mirror (identical relaxation order and round cap, including the
+	// per-round statistics the kernel maintains).
+	ref := make([]int64, g.N)
+	refVisits := make([]int64, g.N)
+	edges := int64(0)
+	for i := range ref {
+		ref[i] = ssspInf
+	}
+	ref[src] = 0
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for u := 0; u < g.N; u++ {
+			off := g.Offsets[u]
+			refVisits[u]++
+			edges += int64(g.Degree(u))
+			for i, v := range g.Neighbors(u) {
+				du := ref[u]
+				if du >= ssspInf {
+					continue
+				}
+				nd := du + int64(g.Weights[int(off)+i])
+				if nd < ref[v] {
+					ref[v] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(img.offsets))
+	b.Li(isa.S1, int64(img.adj))
+	b.Li(isa.S2, int64(img.weights))
+	b.Li(isa.S3, int64(dist))
+	b.Li(isa.S4, int64(g.N))
+	b.Li(isa.S5, ssspInf)
+	b.Li(isa.S6, int64(maxRounds))
+	b.Label("round")
+	b.Beq(isa.S6, isa.X0, "done")
+	b.Li(isa.S7, 0) // changed
+	b.Li(isa.S8, 0) // u
+	b.Label("outer")
+	b.Slli(isa.T0, isa.S8, 3)
+	b.Add(isa.T1, isa.S0, isa.T0)
+	b.Ld(isa.S9, isa.T1, 0)        // ei
+	b.Ld(isa.S10, isa.T1, 8)       // end
+	b.Add(isa.S11, isa.S3, isa.T0) // &dist[u]
+	// Round statistics (non-slice work): edges scanned, visits[u]++.
+	b.Sub(isa.T6, isa.S10, isa.S9)
+	b.Add(isa.A5, isa.A5, isa.T6)
+	b.Li(isa.T6, int64(visits))
+	b.Add(isa.T6, isa.T6, isa.T0)
+	b.Ld(isa.T5, isa.T6, 0)
+	b.Addi(isa.T5, isa.T5, 1)
+	b.Sd(isa.T5, isa.T6, 0)
+	b.Label("brA")
+	b.Bgeu(isa.S9, isa.S10, "skipinner")
+	b.Label("inner")
+	b.Ld(isa.T2, isa.S11, 0) // du (reloaded)
+	b.Label("brD")
+	b.Bge(isa.T2, isa.S5, "skipv") // unreachable yet
+	b.Slli(isa.T3, isa.S9, 3)
+	b.Add(isa.T4, isa.S1, isa.T3)
+	b.Ld(isa.T4, isa.T4, 0) // v
+	b.Add(isa.T5, isa.S2, isa.T3)
+	b.Ld(isa.T5, isa.T5, 0)       // w
+	b.Add(isa.T5, isa.T2, isa.T5) // nd = du + w
+	b.Slli(isa.T4, isa.T4, 3)
+	b.Add(isa.T4, isa.S3, isa.T4) // &dist[v]
+	b.Ld(isa.T6, isa.T4, 0)       // dv
+	b.Label("brB")
+	b.Bge(isa.T5, isa.T6, "skipv") // no improvement
+	b.Sd(isa.T5, isa.T4, 0)        // dist[v] = nd (guarded influential store)
+	b.Li(isa.S7, 1)
+	b.Label("skipv")
+	b.Addi(isa.S9, isa.S9, 1)
+	b.Label("brC")
+	b.Bltu(isa.S9, isa.S10, "inner")
+	b.Label("skipinner")
+	b.Addi(isa.S8, isa.S8, 1)
+	b.Label("outerbr")
+	b.Blt(isa.S8, isa.S4, "outer")
+	b.Addi(isa.S6, isa.S6, -1)
+	b.Bne(isa.S7, isa.X0, "round")
+	b.Label("done")
+	b.Li(isa.T0, int64(stats))
+	b.Sd(isa.A5, isa.T0, 0)
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "sssp",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			if err := checkArray(m, "dist", dist, ref); err != nil {
+				return err
+			}
+			if err := checkArray(m, "visits", visits, refVisits); err != nil {
+				return err
+			}
+			return checkEq("edges", m.I64(stats), edges)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// TC builds triangle counting over sorted adjacency lists. The intersection
+// loop advances its cursors branchlessly (as compilers emit for such merges),
+// so its only branches are the data-dependent loop-trip branches — a clean
+// nested-loop target with no stores:
+//
+//	for u: for iv: v = adj[iv]
+//	    if v <= u continue            // brB1
+//	    i, j = off[u], off[v]
+//	    while i < endU && j < endV:   // brC/brE: unpredictable trips
+//	        a, b = adj[i], adj[j]
+//	        count += (a == b && a > v)
+//	        i += (a <= b); j += (b <= a)
+func TC(g *graph.Graph) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	img := loadCSR(mem, al, g, false)
+	out := al.Array(1, 8)
+
+	want := g.TriangleCount()
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(img.offsets))
+	b.Li(isa.S1, int64(img.adj))
+	b.Li(isa.S2, int64(g.N))
+	b.Li(isa.S3, 0) // count
+	b.Li(isa.S4, 0) // u
+	b.Label("uloop")
+	b.Slli(isa.T0, isa.S4, 3)
+	b.Add(isa.T1, isa.S0, isa.T0)
+	b.Ld(isa.S5, isa.T1, 0) // offU
+	b.Ld(isa.S6, isa.T1, 8) // endU
+	b.Mv(isa.S7, isa.S5)    // iv
+	b.Label("ivhdr")
+	b.Bgeu(isa.S7, isa.S6, "uskip")
+	b.Label("ivloop")
+	b.Slli(isa.T2, isa.S7, 3)
+	b.Add(isa.T2, isa.S1, isa.T2)
+	b.Ld(isa.S8, isa.T2, 0) // v
+	b.Label("brB1")
+	b.Bge(isa.S4, isa.S8, "ivnext") // v <= u: counted from the other side
+	b.Slli(isa.T3, isa.S8, 3)
+	b.Add(isa.T3, isa.S0, isa.T3)
+	b.Ld(isa.S9, isa.T3, 0)  // j = offV
+	b.Ld(isa.S10, isa.T3, 8) // endV
+	b.Mv(isa.S11, isa.S5)    // i = offU
+	b.Label("mergehdr")
+	b.Bgeu(isa.S11, isa.S6, "ivnext")
+	b.Label("merge")
+	b.Label("brE")
+	b.Bgeu(isa.S9, isa.S10, "ivnext") // j exhausted (forward exit)
+	b.Slli(isa.T4, isa.S11, 3)
+	b.Add(isa.T4, isa.S1, isa.T4)
+	b.Ld(isa.T4, isa.T4, 0) // a = adj[i]
+	b.Slli(isa.T5, isa.S9, 3)
+	b.Add(isa.T5, isa.S1, isa.T5)
+	b.Ld(isa.T5, isa.T5, 0) // b = adj[j]
+	// count += (a == b) && (a > v), branchlessly.
+	b.Xor(isa.T6, isa.T4, isa.T5)
+	b.Sltiu(isa.T6, isa.T6, 1)    // eq
+	b.Slt(isa.T0, isa.S8, isa.T4) // gt = v < a
+	b.And(isa.T6, isa.T6, isa.T0)
+	b.Add(isa.S3, isa.S3, isa.T6)
+	// i += (a <= b); j += (b <= a).
+	b.Slt(isa.T0, isa.T5, isa.T4) // b < a
+	b.Xori(isa.T0, isa.T0, 1)     // a <= b
+	b.Add(isa.S11, isa.S11, isa.T0)
+	b.Slt(isa.T0, isa.T4, isa.T5) // a < b
+	b.Xori(isa.T0, isa.T0, 1)     // b <= a
+	b.Add(isa.S9, isa.S9, isa.T0)
+	b.Label("brC")
+	b.Bltu(isa.S11, isa.S6, "merge") // backward: unpredictable trip
+	b.Label("ivnext")
+	b.Addi(isa.S7, isa.S7, 1)
+	b.Label("ivbr")
+	b.Bltu(isa.S7, isa.S6, "ivloop")
+	b.Label("uskip")
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Label("ubr")
+	b.Blt(isa.S4, isa.S2, "uloop")
+	b.Li(isa.T0, int64(out))
+	b.Sd(isa.S3, isa.T0, 0)
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "tc",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			return checkEq("triangles", m.I64(out), want)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// BC builds Brandes-style betweenness centrality from K sources, fixed-point
+// scale 1<<12, structured level-synchronously so both the forward (BFS +
+// sigma) and backward (delta accumulation) phases are Phelps-friendly nested
+// loops with guarded influential stores (depth, sigma, delta).
+func BC(g *graph.Graph, sources []int) *Workload {
+	const scale = int64(1) << 12
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	img := loadCSR(mem, al, g, false)
+	depth := al.Array(g.N, 8)
+	sigma := al.Array(g.N, 8)
+	delta := al.Array(g.N, 8)
+	bcArr := al.Array(g.N, 8)
+	order := al.Array(g.N+1, 8)
+	cur := al.Array(g.N+1, 8)
+	next := al.Array(g.N+1, 8)
+	srcArr := al.Array(len(sources)+1, 8)
+	for i, s := range sources {
+		mem.SetI64(srcArr+uint64(i)*8, int64(s))
+	}
+
+	want := g.BCApprox(sources)
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(img.offsets))
+	b.Li(isa.S1, int64(img.adj))
+	b.Li(isa.S2, int64(depth))
+	b.Li(isa.S3, int64(sigma))
+	b.Li(isa.S4, int64(delta))
+	b.Li(isa.S5, int64(bcArr))
+	b.Li(isa.S6, int64(order))
+	b.Li(isa.S9, int64(g.N))
+	b.Li(isa.S10, 0) // source index
+	b.Label("srcloop")
+	// --- init depth/sigma/delta ---
+	b.Li(isa.T0, 0)
+	b.Li(isa.T1, -1)
+	b.Label("initloop")
+	b.Slli(isa.T2, isa.T0, 3)
+	b.Add(isa.T3, isa.S2, isa.T2)
+	b.Sd(isa.T1, isa.T3, 0) // depth = -1
+	b.Add(isa.T3, isa.S3, isa.T2)
+	b.Sd(isa.X0, isa.T3, 0) // sigma = 0
+	b.Add(isa.T3, isa.S4, isa.T2)
+	b.Sd(isa.X0, isa.T3, 0) // delta = 0
+	b.Addi(isa.T0, isa.T0, 1)
+	b.Blt(isa.T0, isa.S9, "initloop")
+	// --- seed source s ---
+	b.Slli(isa.T0, isa.S10, 3)
+	b.Li(isa.T1, int64(srcArr))
+	b.Add(isa.T1, isa.T1, isa.T0)
+	b.Ld(isa.S11, isa.T1, 0) // s
+	b.Slli(isa.T2, isa.S11, 3)
+	b.Add(isa.T3, isa.S2, isa.T2)
+	b.Sd(isa.X0, isa.T3, 0) // depth[s] = 0
+	b.Add(isa.T3, isa.S3, isa.T2)
+	b.Li(isa.T4, 1)
+	b.Sd(isa.T4, isa.T3, 0) // sigma[s] = 1
+	b.Li(isa.S7, int64(cur))
+	b.Li(isa.S8, int64(next))
+	b.Sd(isa.S11, isa.S7, 0) // cur[0] = s
+	b.Sd(isa.S11, isa.S6, 0) // order[0] = s
+	b.Li(isa.A0, 1)          // curl
+	b.Li(isa.A3, 1)          // olen
+	// --- forward phase, level synchronous ---
+	b.Label("fwdlevel")
+	b.Beq(isa.A0, isa.X0, "backward")
+	b.Li(isa.A1, 0) // nextl
+	b.Li(isa.A2, 0) // ci
+	b.Label("fwdouter")
+	b.Slli(isa.T0, isa.A2, 3)
+	b.Add(isa.T0, isa.S7, isa.T0)
+	b.Ld(isa.A4, isa.T0, 0) // u = cur[ci]
+	b.Slli(isa.T1, isa.A4, 3)
+	b.Add(isa.T1, isa.S0, isa.T1)
+	b.Ld(isa.A5, isa.T1, 0) // ei
+	b.Ld(isa.A6, isa.T1, 8) // end
+	b.Label("fwdbrA")
+	b.Bgeu(isa.A5, isa.A6, "fwdskipinner")
+	b.Label("fwdinner")
+	b.Slli(isa.T2, isa.A5, 3)
+	b.Add(isa.T2, isa.S1, isa.T2)
+	b.Ld(isa.A7, isa.T2, 0) // v
+	b.Slli(isa.T3, isa.A7, 3)
+	b.Add(isa.T4, isa.S2, isa.T3) // &depth[v]
+	b.Ld(isa.T5, isa.T4, 0)       // dv
+	b.Slli(isa.T6, isa.A4, 3)
+	b.Add(isa.T6, isa.S2, isa.T6)
+	b.Ld(isa.T6, isa.T6, 0)       // du (reloaded per iteration)
+	b.Addi(isa.T6, isa.T6, 1)     // du+1
+	b.Label("fwdbrDisc")
+	b.Bge(isa.T5, isa.X0, "fwdvisited") // discovered already?
+	b.Sd(isa.T6, isa.T4, 0)             // depth[v] = du+1 (guarded store)
+	b.Slli(isa.T0, isa.A1, 3)
+	b.Add(isa.T0, isa.S8, isa.T0)
+	b.Sd(isa.A7, isa.T0, 0) // next[nextl] = v
+	b.Addi(isa.A1, isa.A1, 1)
+	b.Slli(isa.T0, isa.A3, 3)
+	b.Add(isa.T0, isa.S6, isa.T0)
+	b.Sd(isa.A7, isa.T0, 0) // order[olen] = v
+	b.Addi(isa.A3, isa.A3, 1)
+	b.Label("fwdvisited")
+	b.Ld(isa.T5, isa.T4, 0) // dv (reloaded after possible store)
+	b.Label("fwdbrSig")
+	b.Bne(isa.T5, isa.T6, "fwdskipv") // dv == du+1 ?
+	// sigma[v] += sigma[u] (guarded read-modify-write)
+	b.Add(isa.T0, isa.S3, isa.T3) // &sigma[v]
+	b.Slli(isa.T2, isa.A4, 3)
+	b.Add(isa.T2, isa.S3, isa.T2)
+	b.Ld(isa.T2, isa.T2, 0) // sigma[u]
+	b.Ld(isa.T5, isa.T0, 0) // sigma[v]
+	b.Add(isa.T5, isa.T5, isa.T2)
+	b.Sd(isa.T5, isa.T0, 0)
+	b.Label("fwdskipv")
+	b.Addi(isa.A5, isa.A5, 1)
+	b.Label("fwdbrC")
+	b.Bltu(isa.A5, isa.A6, "fwdinner")
+	b.Label("fwdskipinner")
+	b.Addi(isa.A2, isa.A2, 1)
+	b.Label("fwdouterbr")
+	b.Blt(isa.A2, isa.A0, "fwdouter")
+	b.Mv(isa.T0, isa.S7) // swap cur/next
+	b.Mv(isa.S7, isa.S8)
+	b.Mv(isa.S8, isa.T0)
+	b.Mv(isa.A0, isa.A1)
+	b.J("fwdlevel")
+	// --- backward phase: reverse order accumulation ---
+	b.Label("backward")
+	b.Addi(isa.A2, isa.A3, -1) // oi = olen-1
+	b.Label("bwdouter")
+	b.Blt(isa.A2, isa.X0, "bcaccum")
+	b.Slli(isa.T0, isa.A2, 3)
+	b.Add(isa.T0, isa.S6, isa.T0)
+	b.Ld(isa.A4, isa.T0, 0) // u = order[oi]
+	b.Slli(isa.T1, isa.A4, 3)
+	b.Add(isa.T1, isa.S0, isa.T1)
+	b.Ld(isa.A5, isa.T1, 0) // ei
+	b.Ld(isa.A6, isa.T1, 8) // end
+	b.Label("bwdbrA")
+	b.Bgeu(isa.A5, isa.A6, "bwdskipinner")
+	b.Label("bwdinner")
+	b.Slli(isa.T2, isa.A5, 3)
+	b.Add(isa.T2, isa.S1, isa.T2)
+	b.Ld(isa.A7, isa.T2, 0) // v
+	b.Slli(isa.T3, isa.A7, 3)
+	b.Add(isa.T4, isa.S2, isa.T3)
+	b.Ld(isa.T4, isa.T4, 0) // depth[v]
+	b.Slli(isa.T5, isa.A4, 3)
+	b.Add(isa.T6, isa.S2, isa.T5)
+	b.Ld(isa.T6, isa.T6, 0)   // depth[u] (reloaded)
+	b.Addi(isa.T6, isa.T6, 1) // du+1
+	b.Label("bwdbrDep")
+	b.Bne(isa.T4, isa.T6, "bwdskipv") // v one level deeper?
+	b.Add(isa.T0, isa.S3, isa.T3)
+	b.Ld(isa.T0, isa.T0, 0) // sigma[v]
+	b.Label("bwdbrSig")
+	b.Bge(isa.X0, isa.T0, "bwdskipv") // sigma[v] > 0?
+	// delta[u] += sigma[u] * (scale + delta[v]) / sigma[v]
+	b.Add(isa.T2, isa.S4, isa.T3)
+	b.Ld(isa.T2, isa.T2, 0) // delta[v]
+	b.Li(isa.T4, scale)
+	b.Add(isa.T2, isa.T2, isa.T4) // scale + delta[v]
+	b.Add(isa.T4, isa.S3, isa.T5)
+	b.Ld(isa.T4, isa.T4, 0) // sigma[u]
+	b.Mul(isa.T2, isa.T4, isa.T2)
+	b.Div(isa.T2, isa.T2, isa.T0) // term
+	b.Add(isa.T0, isa.S4, isa.T5) // &delta[u]
+	b.Ld(isa.T4, isa.T0, 0)       // delta[u] (reloaded: store->load idiom)
+	b.Add(isa.T4, isa.T4, isa.T2)
+	b.Label("bwdst")
+	b.Sd(isa.T4, isa.T0, 0) // delta[u] store (guarded influential)
+	b.Label("bwdskipv")
+	b.Addi(isa.A5, isa.A5, 1)
+	b.Label("bwdbrC")
+	b.Bltu(isa.A5, isa.A6, "bwdinner")
+	b.Label("bwdskipinner")
+	b.Addi(isa.A2, isa.A2, -1)
+	b.Label("bwdouterbr")
+	b.Bge(isa.A2, isa.X0, "bwdouter")
+	// --- accumulate bc[u] += delta[u] for u != s ---
+	b.Label("bcaccum")
+	b.Li(isa.T0, 0)
+	b.Label("accloop")
+	b.Beq(isa.T0, isa.S11, "accskip") // skip the source
+	b.Slli(isa.T1, isa.T0, 3)
+	b.Add(isa.T2, isa.S4, isa.T1)
+	b.Ld(isa.T3, isa.T2, 0) // delta[u]
+	b.Add(isa.T4, isa.S5, isa.T1)
+	b.Ld(isa.T5, isa.T4, 0)
+	b.Add(isa.T5, isa.T5, isa.T3)
+	b.Sd(isa.T5, isa.T4, 0)
+	b.Label("accskip")
+	b.Addi(isa.T0, isa.T0, 1)
+	b.Blt(isa.T0, isa.S9, "accloop")
+	// next source
+	b.Addi(isa.S10, isa.S10, 1)
+	b.Li(isa.T0, int64(len(sources)))
+	b.Blt(isa.S10, isa.T0, "srcloop")
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "bc",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			return checkArray(m, "bc", bcArr, want)
+		},
+		Labels: p.Labels,
+	}
+}

@@ -1,0 +1,486 @@
+package prog
+
+import (
+	"fmt"
+
+	"phelps/internal/asm"
+	"phelps/internal/emu"
+	"phelps/internal/graph"
+	"phelps/internal/isa"
+)
+
+// DelinquentLoop builds the canonical single-loop workload used by unit and
+// integration tests: a long-running loop with one data-dependent (delinquent)
+// branch guarding a counter increment.
+//
+//	for i in 0..n:
+//	    if data[i] != 0 { hits++ }     // delinquent branch b1
+//	    checksum work (not in the branch's slice)
+//	hitsOut = hits
+//
+// takenPct controls the branch bias (50 = maximally delinquent). The loop
+// body carries realistic non-slice work so the backward slice is a modest
+// fraction of the loop (as in real kernels).
+func DelinquentLoop(n int, takenPct int, seed uint64) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	data := al.Array(n, 8)
+	out := al.Array(2, 8)
+	r := graph.NewRand(seed)
+	hits := int64(0)
+	check := int64(0)
+	vals := make([]int64, n)
+	for i := 0; i < n; i++ {
+		v := int64(0)
+		if int(r.Next()%100) < takenPct {
+			v = 1
+			hits++
+		}
+		vals[i] = v
+		mem.SetI64(data+uint64(i)*8, v)
+	}
+	for i := 0; i < n; i++ {
+		x := int64(i)*3 + 7
+		x ^= x << 2
+		y := x*13 + 11
+		y ^= y >> 5
+		y += y << 1
+		z := y ^ (x >> 3)
+		z = z*7 + 3
+		check += x + vals[i]*5 + y + z
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(data))
+	b.Li(isa.S1, int64(n))
+	b.Li(isa.S2, 0) // i
+	b.Li(isa.S3, 0) // hits
+	b.Li(isa.S4, 0) // checksum
+	b.Label("loop")
+	b.Slli(isa.T0, isa.S2, 3)
+	b.Add(isa.T0, isa.S0, isa.T0)
+	b.Ld(isa.T1, isa.T0, 0)
+	b.Label("b1")
+	b.Beq(isa.T1, isa.X0, "skip") // delinquent: data-dependent
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Label("skip")
+	// Non-slice checksum work (two mixing blocks; realistic loop-body bulk):
+	// x = i*3+7; x ^= x<<2
+	b.Li(isa.T2, 3)
+	b.Mul(isa.T3, isa.S2, isa.T2)
+	b.Addi(isa.T3, isa.T3, 7)
+	b.Slli(isa.T4, isa.T3, 2)
+	b.Xor(isa.T3, isa.T3, isa.T4)
+	// y = x*13+11; y ^= y>>5; y += y<<1
+	b.Li(isa.T5, 13)
+	b.Mul(isa.T5, isa.T3, isa.T5)
+	b.Addi(isa.T5, isa.T5, 11)
+	b.Srai(isa.T6, isa.T5, 5)
+	b.Xor(isa.T5, isa.T5, isa.T6)
+	b.Slli(isa.T6, isa.T5, 1)
+	b.Add(isa.T5, isa.T5, isa.T6)
+	// z = (y ^ (x>>3))*7 + 3
+	b.Srai(isa.T6, isa.T3, 3)
+	b.Xor(isa.T6, isa.T5, isa.T6)
+	b.Li(isa.A6, 7)
+	b.Mul(isa.T6, isa.T6, isa.A6)
+	b.Addi(isa.T6, isa.T6, 3)
+	// check += x + v*5 + y + z
+	b.Add(isa.S4, isa.S4, isa.T3)
+	b.Li(isa.A6, 5)
+	b.Mul(isa.A7, isa.T1, isa.A6)
+	b.Add(isa.S4, isa.S4, isa.A7)
+	b.Add(isa.S4, isa.S4, isa.T5)
+	b.Add(isa.S4, isa.S4, isa.T6)
+	b.Addi(isa.S2, isa.S2, 1)
+	b.Label("loopbr")
+	b.Blt(isa.S2, isa.S1, "loop")
+	b.Li(isa.T2, int64(out))
+	b.Sd(isa.S3, isa.T2, 0)
+	b.Sd(isa.S4, isa.T2, 8)
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "micro-delinquent",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			if err := checkEq("hits", m.I64(out), hits); err != nil {
+				return err
+			}
+			return checkEq("check", m.I64(out+8), check)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// GuardedPair builds the b1/b2/s1 idiom of Fig. 1: a delinquent branch b2
+// control-dependent on delinquent branch b1, plus a store s1 that both
+// influences b1's future instances and is control-dependent on b1 and b2.
+//
+//	for i in 0..n:
+//	    x = idx1[i]; y = idx2[i]
+//	    if mark[y] == 0 {           // b1 (reads what s1 writes)
+//	        if key[i] != 0 {        // b2
+//	            mark[x] = val[i]    // s1 (guarded by b1 && b2)
+//	            hits++
+//	        }
+//	    }
+//
+// The stored value val[i] is itself random so mark[] stays balanced and the
+// branches remain delinquent for the whole run (no saturation).
+func GuardedPair(n, cells int, seed uint64) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	mark := al.Array(cells, 8)
+	key := al.Array(n, 8)
+	idx1 := al.Array(n, 8)
+	idx2 := al.Array(n, 8)
+	valA := al.Array(n, 8)
+	out := al.Array(2, 8)
+
+	r := graph.NewRand(seed)
+	keyV := make([]int64, n)
+	i1 := make([]int64, n)
+	i2 := make([]int64, n)
+	vv := make([]int64, n)
+	for i := 0; i < n; i++ {
+		keyV[i] = int64(r.Next() % 2)
+		i1[i] = int64(r.Intn(cells))
+		i2[i] = int64(r.Intn(cells))
+		vv[i] = int64(r.Next() % 2)
+		mem.SetI64(key+uint64(i)*8, keyV[i])
+		mem.SetI64(idx1+uint64(i)*8, i1[i])
+		mem.SetI64(idx2+uint64(i)*8, i2[i])
+		mem.SetI64(valA+uint64(i)*8, vv[i])
+	}
+	// Native mirror.
+	markV := make([]int64, cells)
+	hits := int64(0)
+	check := int64(0)
+	for i := 0; i < n; i++ {
+		if markV[i2[i]] == 0 {
+			if keyV[i] != 0 {
+				markV[i1[i]] = vv[i]
+				hits++
+			}
+		}
+		x := int64(i) * 9
+		x += x >> 3
+		x ^= 0x5A
+		check += x
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(mark))
+	b.Li(isa.S1, int64(key))
+	b.Li(isa.S2, int64(idx1))
+	b.Li(isa.S3, int64(idx2))
+	b.Li(isa.S4, int64(n))
+	b.Li(isa.S5, 0) // i
+	b.Li(isa.S6, 0) // hits
+	b.Li(isa.S7, int64(valA)) // val[] base (store data source)
+	b.Label("loop")
+	b.Slli(isa.T0, isa.S5, 3)
+	b.Add(isa.T1, isa.S3, isa.T0)
+	b.Ld(isa.T2, isa.T1, 0) // y = idx2[i]
+	b.Slli(isa.T2, isa.T2, 3)
+	b.Add(isa.T2, isa.S0, isa.T2)
+	b.Ld(isa.T3, isa.T2, 0) // mark[y]
+	b.Label("b1")
+	b.Bne(isa.T3, isa.X0, "skip") // b1: taken = skip body
+	b.Add(isa.T4, isa.S1, isa.T0)
+	b.Ld(isa.T5, isa.T4, 0) // key[i]
+	b.Label("b2")
+	b.Beq(isa.T5, isa.X0, "skip") // b2: guarded by b1
+	b.Add(isa.T6, isa.S2, isa.T0)
+	b.Ld(isa.T6, isa.T6, 0) // x = idx1[i]
+	b.Slli(isa.T6, isa.T6, 3)
+	b.Add(isa.T6, isa.S0, isa.T6)
+	b.Add(isa.T4, isa.S7, isa.T0)
+	b.Ld(isa.T5, isa.T4, 0) // val[i]
+	b.Label("s1")
+	b.Sd(isa.T5, isa.T6, 0) // s1: mark[x] = val[i]
+	b.Addi(isa.S6, isa.S6, 1)
+	b.Label("skip")
+	// Non-slice checksum work: x = i*9; x += x>>3; x ^= 0x5A; check += x.
+	b.Li(isa.T0, 9)
+	b.Mul(isa.T1, isa.S5, isa.T0)
+	b.Srai(isa.T2, isa.T1, 3)
+	b.Add(isa.T1, isa.T1, isa.T2)
+	b.Xori(isa.T1, isa.T1, 0x5A)
+	b.Add(isa.S8, isa.S8, isa.T1)
+	b.Addi(isa.S5, isa.S5, 1)
+	b.Label("loopbr")
+	b.Blt(isa.S5, isa.S4, "loop")
+	b.Li(isa.T0, int64(out))
+	b.Sd(isa.S6, isa.T0, 0)
+	b.Sd(isa.S8, isa.T0, 8)
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "micro-guarded-pair",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			if err := checkEq("hits", m.I64(out), hits); err != nil {
+				return err
+			}
+			if err := checkEq("check", m.I64(out+8), check); err != nil {
+				return err
+			}
+			return checkArray(m, "mark", mark, markV)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// NestedLoop builds the Fig. 2 nested-loop idiom: a long-running outer loop
+// with a short, unpredictable-trip-count inner loop guarded by a header
+// branch (brA), containing a delinquent body branch (brB), closed by an
+// unpredictable backward branch (brC).
+//
+//	for i in 0..n:                      // outer
+//	    len = lens[i]                   // 0..maxTrip, random
+//	    if len == 0 continue            // brA
+//	    for j in 0..len:                // inner
+//	        if vals[i*maxTrip+j] != 0 { sum++ }   // brB
+//	                                    // brC = inner backward branch
+func NestedLoop(n, maxTrip int, seed uint64) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	lens := al.Array(n, 8)
+	vals := al.Array(n*maxTrip, 8)
+	out := al.Array(2, 8)
+	r := graph.NewRand(seed)
+	sum := int64(0)
+	check := int64(0)
+	for i := 0; i < n; i++ {
+		l := int64(r.Intn(maxTrip + 1))
+		mem.SetI64(lens+uint64(i)*8, l)
+		for j := int64(0); j < l; j++ {
+			v := int64(r.Next() % 2)
+			mem.SetI64(vals+uint64(i*maxTrip)*8+uint64(j)*8, v)
+			sum += v
+			check += (int64(i)+j)*7 ^ 0x33
+		}
+		check += int64(i)*11 + 13
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(lens))
+	b.Li(isa.S1, int64(vals))
+	b.Li(isa.S2, int64(n))
+	b.Li(isa.S3, 0) // i
+	b.Li(isa.S4, 0) // sum
+	b.Li(isa.S5, int64(maxTrip))
+	b.Label("outer")
+	b.Slli(isa.T0, isa.S3, 3)
+	b.Add(isa.T0, isa.S0, isa.T0)
+	b.Ld(isa.S6, isa.T0, 0) // len = lens[i]
+	b.Label("brA")
+	b.Beq(isa.S6, isa.X0, "skipinner") // brA: header branch
+	b.Mul(isa.T1, isa.S3, isa.S5)
+	b.Slli(isa.T1, isa.T1, 3)
+	b.Add(isa.S7, isa.S1, isa.T1) // row = &vals[i*maxTrip]
+	b.Li(isa.S8, 0)               // j
+	b.Label("inner")
+	b.Slli(isa.T2, isa.S8, 3)
+	b.Add(isa.T2, isa.S7, isa.T2)
+	b.Ld(isa.T3, isa.T2, 0)
+	b.Label("brB")
+	b.Beq(isa.T3, isa.X0, "skipv") // brB: delinquent body branch
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Label("skipv")
+	// Non-slice inner work: check += (i+j)*7 ^ 0x33.
+	b.Add(isa.T4, isa.S3, isa.S8)
+	b.Li(isa.T5, 7)
+	b.Mul(isa.T4, isa.T4, isa.T5)
+	b.Xori(isa.T4, isa.T4, 0x33)
+	b.Add(isa.S9, isa.S9, isa.T4)
+	b.Addi(isa.S8, isa.S8, 1)
+	b.Label("brC")
+	b.Blt(isa.S8, isa.S6, "inner") // brC: short unpredictable trip count
+	b.Label("skipinner")
+	// Non-slice outer work: check += i*11 + 13.
+	b.Li(isa.T0, 11)
+	b.Mul(isa.T1, isa.S3, isa.T0)
+	b.Addi(isa.T1, isa.T1, 13)
+	b.Add(isa.S9, isa.S9, isa.T1)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Label("outerbr")
+	b.Blt(isa.S3, isa.S2, "outer")
+	b.Li(isa.T0, int64(out))
+	b.Sd(isa.S4, isa.T0, 0)
+	b.Sd(isa.S9, isa.T0, 8)
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "micro-nested",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			if err := checkEq("sum", m.I64(out), sum); err != nil {
+				return err
+			}
+			return checkEq("check", m.I64(out+8), check)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// PredictableLoop is a fully branch-predictable control workload (no
+// delinquency; Phelps must not activate profitably).
+func PredictableLoop(n int) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	out := al.Array(1, 8)
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(n))
+	b.Li(isa.S1, 0)
+	b.Li(isa.S2, 0)
+	b.Label("loop")
+	b.Add(isa.S2, isa.S2, isa.S1)
+	b.Addi(isa.S1, isa.S1, 1)
+	b.Blt(isa.S1, isa.S0, "loop")
+	b.Li(isa.T0, int64(out))
+	b.Sd(isa.S2, isa.T0, 0)
+	b.Halt()
+	p := b.MustBuild()
+	want := int64(n) * int64(n-1) / 2
+	return &Workload{
+		Name: "micro-predictable",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			return checkEq("sum", m.I64(out), want)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// ChainedGuards builds a three-deep guard chain matching the CDFSM example of
+// Fig. 8: br1 guards br2 and br3 (br3 is control-*independent* of br2), and a
+// store guarded by br3.
+//
+//	for i in 0..n:
+//	    if a[i] != 0 {              // br1 (taken = skip)
+//	        if b[i] != 0 { t1++ }   // br2
+//	        if c[i] != 0 { ... }    // br3: CI of br2, CD on br1
+//	        else { st[i%cells] = i } // store guarded by br3 not-taken
+//	    }
+func ChainedGuards(n, cells int, seed uint64) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	aArr := al.Array(n, 8)
+	bArr := al.Array(n, 8)
+	cArr := al.Array(n, 8)
+	stArr := al.Array(cells, 8)
+	out := al.Array(2, 8)
+	r := graph.NewRand(seed)
+	av := make([]int64, n)
+	bv := make([]int64, n)
+	cv := make([]int64, n)
+	for i := 0; i < n; i++ {
+		av[i] = int64(r.Next() % 2)
+		bv[i] = int64(r.Next() % 2)
+		cv[i] = int64(r.Next() % 2)
+		mem.SetI64(aArr+uint64(i)*8, av[i])
+		mem.SetI64(bArr+uint64(i)*8, bv[i])
+		mem.SetI64(cArr+uint64(i)*8, cv[i])
+	}
+	stV := make([]int64, cells)
+	t1 := int64(0)
+	check := int64(0)
+	for i := 0; i < n; i++ {
+		if av[i] == 0 {
+			if bv[i] != 0 {
+				t1++
+			}
+			if cv[i] == 0 {
+				stV[i%cells] = int64(i)
+			}
+		}
+		check += int64(i)*5 ^ (int64(i) >> 2)
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(aArr))
+	b.Li(isa.S1, int64(bArr))
+	b.Li(isa.S2, int64(cArr))
+	b.Li(isa.S3, int64(stArr))
+	b.Li(isa.S4, int64(n))
+	b.Li(isa.S5, 0) // i
+	b.Li(isa.S6, 0) // t1
+	b.Li(isa.S7, int64(cells))
+	b.Label("loop")
+	b.Slli(isa.T0, isa.S5, 3)
+	b.Add(isa.T1, isa.S0, isa.T0)
+	b.Ld(isa.T1, isa.T1, 0)
+	b.Label("br1")
+	b.Bne(isa.T1, isa.X0, "next") // br1
+	b.Add(isa.T2, isa.S1, isa.T0)
+	b.Ld(isa.T2, isa.T2, 0)
+	b.Label("br2")
+	b.Beq(isa.T2, isa.X0, "past2") // br2
+	b.Addi(isa.S6, isa.S6, 1)
+	b.Label("past2")
+	b.Add(isa.T3, isa.S2, isa.T0)
+	b.Ld(isa.T3, isa.T3, 0)
+	b.Label("br3")
+	b.Bne(isa.T3, isa.X0, "next") // br3 (CI of br2)
+	b.Rem(isa.T4, isa.S5, isa.S7)
+	b.Slli(isa.T4, isa.T4, 3)
+	b.Add(isa.T4, isa.S3, isa.T4)
+	b.Label("st")
+	b.Sd(isa.S5, isa.T4, 0) // store guarded by br1,br3
+	b.Label("next")
+	// Non-slice checksum work: check += i*5 ^ (i>>2).
+	b.Li(isa.T0, 5)
+	b.Mul(isa.T1, isa.S5, isa.T0)
+	b.Srai(isa.T2, isa.S5, 2)
+	b.Xor(isa.T1, isa.T1, isa.T2)
+	b.Add(isa.S9, isa.S9, isa.T1)
+	b.Addi(isa.S5, isa.S5, 1)
+	b.Label("loopbr")
+	b.Blt(isa.S5, isa.S4, "loop")
+	b.Li(isa.T0, int64(out))
+	b.Sd(isa.S6, isa.T0, 0)
+	b.Sd(isa.S9, isa.T0, 8)
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "micro-chained-guards",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			if err := checkEq("t1", m.I64(out), t1); err != nil {
+				return err
+			}
+			if err := checkEq("check", m.I64(out+8), check); err != nil {
+				return err
+			}
+			return checkArray(m, "st", stArr, stV)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// RunAndVerify executes a workload functionally and checks its results.
+// It is the fast correctness gate used by tests.
+func RunAndVerify(w *Workload) error {
+	res := emu.Run(w.Prog, w.Mem, 0)
+	if !res.Reached {
+		return fmt.Errorf("%s: did not halt", w.Name)
+	}
+	if w.Verify != nil {
+		if err := w.Verify(w.Mem); err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,465 @@
+package prog
+
+import (
+	"fmt"
+
+	"phelps/internal/asm"
+	"phelps/internal/emu"
+	"phelps/internal/graph"
+	"phelps/internal/isa"
+)
+
+// The SPEC-2017-like synthetic kernels. Each reproduces the *structural*
+// condition the paper's Fig. 14 attributes to the corresponding benchmark:
+// the reason Phelps does or does not activate. They are not the SPEC
+// programs; they are minimal kernels with the same misprediction anatomy.
+
+// branchFarm emits a loop over `iters` iterations whose body contains
+// `sites` distinct branch sites, each testing one random byte-stream bit
+// with the given taken percentage. Each site's per-epoch misprediction count
+// stays below the delinquency threshold when sites is large (the "not
+// delinquent" / DBT-thrash anatomies).
+func branchFarm(name string, sites, iters, takenPct int, seed uint64) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	data := al.Array(iters*sites, 1)
+	out := al.Array(1, 8)
+	r := graph.NewRand(seed)
+	want := int64(0)
+	for i := 0; i < iters*sites; i++ {
+		v := int64(0)
+		if int(r.Next()%100) < takenPct {
+			v = 1
+			want++
+		}
+		mem.WriteArch(data+uint64(i), 1, uint64(v))
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(data))
+	b.Li(isa.S1, int64(iters))
+	b.Li(isa.S2, 0) // i
+	b.Li(isa.S3, 0) // hits
+	b.Li(isa.S4, int64(sites))
+	b.Label("loop")
+	b.Mul(isa.S5, isa.S2, isa.S4)
+	b.Add(isa.S5, isa.S0, isa.S5) // row base
+	for k := 0; k < sites; k++ {
+		b.Lbu(isa.T0, isa.S5, int64(k))
+		b.Label(fmt.Sprintf("site%d", k))
+		b.Beq(isa.T0, isa.X0, fmt.Sprintf("skip%d", k))
+		b.Addi(isa.S3, isa.S3, 1)
+		b.Label(fmt.Sprintf("skip%d", k))
+	}
+	b.Addi(isa.S2, isa.S2, 1)
+	b.Label("loopbr")
+	b.Blt(isa.S2, isa.S1, "loop")
+	b.Li(isa.T0, int64(out))
+	b.Sd(isa.S3, isa.T0, 0)
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: name,
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			return checkEq("hits", m.I64(out), want)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// GccLike floods the DBT: hundreds of static mispredicting branch sites
+// cause constant evictions, so branches never finish "gathering delinquency"
+// (Fig. 14 gcc, dark blue + orange).
+func GccLike(iters int, seed uint64) *Workload {
+	w := branchFarm("gcc-like", 320, iters, 50, seed)
+	return w
+}
+
+// LeelaLike spreads mispredictions across a few dozen sites so no single
+// branch clears the 0.5-MPKI delinquency threshold ("not delinquent",
+// Fig. 14 leela/deepsjeng orange).
+func LeelaLike(iters int, seed uint64) *Workload {
+	w := branchFarm("leela-like", 96, iters, 35, seed)
+	return w
+}
+
+// DeepsjengLike is LeelaLike with a different mix.
+func DeepsjengLike(iters int, seed uint64) *Workload {
+	w := branchFarm("deepsjeng-like", 112, iters, 30, seed)
+	return w
+}
+
+// XalancLike has diffuse, mildly-biased branches only.
+func XalancLike(iters int, seed uint64) *Workload {
+	w := branchFarm("xalanc-like", 96, iters, 20, seed)
+	return w
+}
+
+// McfLike places the delinquent branch inside a non-inlined function called
+// from the hot loop. The branch's PC is outside the loop's contiguous PC
+// bounds, so the DBT never associates it with a loop ("del. but not in
+// loop", Fig. 14 mcf dark green).
+func McfLike(n int, seed uint64) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	data := al.Array(n, 8)
+	out := al.Array(1, 8)
+	r := graph.NewRand(seed)
+	want := int64(0)
+	for i := 0; i < n; i++ {
+		v := int64(r.Next() % 2)
+		mem.SetI64(data+uint64(i)*8, v)
+		want += v
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(data))
+	b.Li(isa.S1, int64(n))
+	b.Li(isa.S2, 0) // i
+	b.Li(isa.S3, 0) // hits
+	b.Label("loop")
+	b.Slli(isa.A0, isa.S2, 3)
+	b.Add(isa.A0, isa.S0, isa.A0)
+	b.Jal(isa.RA, "test") // call into distant code
+	b.Add(isa.S3, isa.S3, isa.A0)
+	b.Addi(isa.S2, isa.S2, 1)
+	b.Label("loopbr")
+	b.Blt(isa.S2, isa.S1, "loop")
+	b.Li(isa.T0, int64(out))
+	b.Sd(isa.S3, isa.T0, 0)
+	b.Halt()
+	for b.PC()%512 != 0 {
+		b.Nop() // place the function far from the loop's PC bounds
+	}
+	b.Label("test")
+	b.Ld(isa.T1, isa.A0, 0)
+	b.Li(isa.A0, 0)
+	b.Label("delinq")
+	b.Beq(isa.T1, isa.X0, "ret") // delinquent, but not inside any loop bounds
+	b.Li(isa.A0, 1)
+	b.Label("ret")
+	b.Ret()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "mcf-like",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			return checkEq("hits", m.I64(out), want)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// XzLike mixes two misprediction sources: a sea of mildly-biased branches
+// (not delinquent) and a delinquent branch inside an inner loop that runs
+// only ~3 iterations per visit, making it ineligible for pre-execution
+// ("del. but ot/ito not iterating enough", Fig. 14 xz light green).
+func XzLike(n int, seed uint64) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	data := al.Array(n*4, 8)
+	out := al.Array(1, 8)
+	r := graph.NewRand(seed)
+	want := int64(0)
+	vals := make([]int64, n*4)
+	for i := range vals {
+		vals[i] = int64(r.Next() % 2)
+		mem.SetI64(data+uint64(i)*8, vals[i])
+		want += vals[i]
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(data))
+	b.Li(isa.S1, int64(n))
+	b.Li(isa.S2, 0) // i
+	b.Li(isa.S3, 0) // hits
+	b.Label("hot") // a separate tiny hot loop region per visit
+	// Sea of diffuse branches on the index bits (mildly biased each).
+	for k := 0; k < 12; k++ {
+		b.Srli(isa.T0, isa.S2, int64(k))
+		b.Andi(isa.T0, isa.T0, 1)
+		b.Label(fmt.Sprintf("sea%d", k))
+		b.Beq(isa.T0, isa.X0, fmt.Sprintf("seaskip%d", k))
+		b.Addi(isa.S4, isa.S4, 1)
+		b.Label(fmt.Sprintf("seaskip%d", k))
+	}
+	// Short inner loop: exactly 3 iterations per visit, delinquent branch
+	// inside.
+	b.Slli(isa.T1, isa.S2, 5) // i*32 = i*4 elements * 8 bytes
+	b.Add(isa.T1, isa.S0, isa.T1)
+	b.Li(isa.T2, 0) // j
+	b.Label("inner")
+	b.Slli(isa.T3, isa.T2, 3)
+	b.Add(isa.T3, isa.T1, isa.T3)
+	b.Ld(isa.T4, isa.T3, 0)
+	b.Label("delinq")
+	b.Beq(isa.T4, isa.X0, "skipd") // delinquent
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Label("skipd")
+	b.Addi(isa.T2, isa.T2, 1)
+	b.Slti(isa.T5, isa.T2, 3)
+	b.Label("innerbr")
+	b.Bne(isa.T5, isa.X0, "inner") // only 3 trips per visit
+	b.Addi(isa.S2, isa.S2, 1)
+	b.Label("hotbr")
+	b.Blt(isa.S2, isa.S1, "hot")
+	b.Li(isa.T0, int64(out))
+	b.Sd(isa.S3, isa.T0, 0)
+	b.Halt()
+	p := b.MustBuild()
+
+	// Only 3 of the 4 elements per row are summed by the kernel.
+	want = 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			want += vals[i*4+j]
+		}
+	}
+	return &Workload{
+		Name: "xz-like",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			return checkEq("hits", m.I64(out), want)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// OmnetppLike has a delinquent branch whose backward slice covers nearly the
+// whole (large) loop body: the constructed helper thread exceeds the 75%
+// size rule and is rejected ("del. but ht too big", Fig. 14 omnetpp red).
+func OmnetppLike(n, chainLen int, seed uint64) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	data := al.Array(n, 8)
+	out := al.Array(1, 8)
+	r := graph.NewRand(seed)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(r.Next() % 97)
+		mem.SetI64(data+uint64(i)*8, vals[i])
+	}
+	// Native mirror of the hash chain.
+	mix := func(v int64) int64 {
+		x := uint64(v)
+		for k := 0; k < chainLen; k++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			x ^= x >> 17
+		}
+		return int64(x)
+	}
+	want := int64(0)
+	for i := 0; i < n; i++ {
+		if uint64(mix(vals[i]))%2 == 1 {
+			want++
+		}
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(data))
+	b.Li(isa.S1, int64(n))
+	b.Li(isa.S2, 0)
+	b.Li(isa.S3, 0)
+	b.Li(isa.S4, 6364136223846793005)
+	b.Label("loop")
+	b.Slli(isa.T0, isa.S2, 3)
+	b.Add(isa.T0, isa.S0, isa.T0)
+	b.Ld(isa.T1, isa.T0, 0)
+	// Long serial mix chain: the branch's backward slice is ~the whole body.
+	for k := 0; k < chainLen; k++ {
+		b.Mul(isa.T1, isa.T1, isa.S4)
+		b.Li(isa.T2, 1442695040888963407)
+		b.Add(isa.T1, isa.T1, isa.T2)
+		b.Srli(isa.T3, isa.T1, 17)
+		b.Xor(isa.T1, isa.T1, isa.T3)
+	}
+	b.Andi(isa.T4, isa.T1, 1)
+	b.Label("delinq")
+	b.Beq(isa.T4, isa.X0, "skip") // delinquent, slice = whole body
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Label("skip")
+	b.Addi(isa.S2, isa.S2, 1)
+	b.Label("loopbr")
+	b.Blt(isa.S2, isa.S1, "loop")
+	b.Li(isa.T0, int64(out))
+	b.Sd(isa.S3, isa.T0, 0)
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "omnetpp-like",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			return checkEq("hits", m.I64(out), want)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// Exchange2Like is a fully predictable, high-ILP kernel (perfect branch
+// prediction gains nothing; halving the core's resources hurts the most,
+// Fig. 13c).
+func Exchange2Like(n int) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	out := al.Array(8, 8)
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(n))
+	b.Li(isa.S1, 0)
+	b.Label("loop")
+	// 8 independent accumulator chains: wide ILP, no memory, no mispredicts.
+	b.Addi(isa.S2, isa.S2, 1)
+	b.Addi(isa.S3, isa.S3, 2)
+	b.Addi(isa.S4, isa.S4, 3)
+	b.Addi(isa.S5, isa.S5, 4)
+	b.Addi(isa.S6, isa.S6, 5)
+	b.Addi(isa.S7, isa.S7, 6)
+	b.Addi(isa.S8, isa.S8, 7)
+	b.Addi(isa.S9, isa.S9, 8)
+	b.Addi(isa.S1, isa.S1, 1)
+	b.Label("loopbr")
+	b.Blt(isa.S1, isa.S0, "loop")
+	b.Li(isa.T0, int64(out))
+	for i := 0; i < 8; i++ {
+		b.Sd(isa.Reg(18+i), isa.T0, int64(i*8)) // S2..S9
+	}
+	b.Halt()
+	p := b.MustBuild()
+	return &Workload{
+		Name: "exchange2-like",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			for i := 0; i < 8; i++ {
+				if err := checkEq(fmt.Sprintf("acc%d", i), m.I64(out+uint64(i)*8), int64(n)*int64(i+1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Labels: p.Labels,
+	}
+}
+
+// PerlbenchLike is a predictable pointer-chasing kernel: low ILP, low MPKI
+// (partitioning hurts little, Fig. 13c's 2% end).
+func PerlbenchLike(n int, seed uint64) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	ring := al.Array(n, 8)
+	out := al.Array(1, 8)
+	// Random ring permutation.
+	r := graph.NewRand(seed)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < n; i++ {
+		mem.SetI64(ring+uint64(perm[i])*8, int64(perm[(i+1)%n]))
+	}
+	steps := 4 * n
+	// Mirror: walk the ring.
+	sum := int64(0)
+	cur := int64(perm[0])
+	ringVals := make([]int64, n)
+	for i := 0; i < n; i++ {
+		ringVals[perm[i]] = int64(perm[(i+1)%n])
+	}
+	for s := 0; s < steps; s++ {
+		sum += cur
+		cur = ringVals[cur]
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(ring))
+	b.Li(isa.S1, int64(steps))
+	b.Li(isa.S2, int64(perm[0])) // cur
+	b.Li(isa.S3, 0)              // sum
+	b.Li(isa.S4, 0)              // s
+	b.Label("loop")
+	b.Add(isa.S3, isa.S3, isa.S2)
+	b.Slli(isa.T0, isa.S2, 3)
+	b.Add(isa.T0, isa.S0, isa.T0)
+	b.Ld(isa.S2, isa.T0, 0) // cur = ring[cur]: serial load chain
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Label("loopbr")
+	b.Blt(isa.S4, isa.S1, "loop")
+	b.Li(isa.T0, int64(out))
+	b.Sd(isa.S3, isa.T0, 0)
+	b.Halt()
+	p := b.MustBuild()
+	return &Workload{
+		Name: "perlbench-like",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			return checkEq("sum", m.I64(out), sum)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// X264Like is a streaming, memory-bound kernel with one delinquent branch:
+// Phelps constructs a useful helper thread, but performance is limited by
+// DRAM bandwidth, not branch prediction (Fig. 14 x264).
+func X264Like(n int, seed uint64) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	data := al.Array(n, 8)
+	out := al.Array(1, 8)
+	r := graph.NewRand(seed)
+	want := int64(0)
+	for i := 0; i < n; i++ {
+		v := int64(r.Next() % 256)
+		mem.SetI64(data+uint64(i)*8, v)
+		if v >= 216 { // ~15% taken: mildly delinquent, not BP-limited
+			want += v
+		} else {
+			want -= v
+		}
+	}
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(data))
+	b.Li(isa.S1, int64(n))
+	b.Li(isa.S2, 0)
+	b.Li(isa.S3, 0)
+	b.Li(isa.S4, 216)
+	b.Label("loop")
+	b.Slli(isa.T0, isa.S2, 3)
+	b.Add(isa.T0, isa.S0, isa.T0)
+	b.Ld(isa.T1, isa.T0, 0)
+	b.Label("delinq")
+	b.Blt(isa.T1, isa.S4, "minus") // delinquent (random data)
+	b.Add(isa.S3, isa.S3, isa.T1)
+	b.J("join")
+	b.Label("minus")
+	b.Sub(isa.S3, isa.S3, isa.T1)
+	b.Label("join")
+	b.Addi(isa.S2, isa.S2, 1)
+	b.Label("loopbr")
+	b.Blt(isa.S2, isa.S1, "loop")
+	b.Li(isa.T0, int64(out))
+	b.Sd(isa.S3, isa.T0, 0)
+	b.Halt()
+	p := b.MustBuild()
+	return &Workload{
+		Name: "x264-like",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			return checkEq("sum", m.I64(out), want)
+		},
+		Labels: p.Labels,
+	}
+}

@@ -1,0 +1,461 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phelps/internal/core"
+	"phelps/internal/graph"
+	"phelps/internal/prog"
+)
+
+// This file is the experiment harness: it defines the workload suites and
+// regenerates every table and figure of the paper's evaluation (see
+// DESIGN.md's per-experiment index). Workloads are scaled down from the
+// paper's 100M-instruction SimPoints to simulator-friendly sizes; epochs are
+// scaled with them (EXPERIMENTS.md documents the scaling).
+
+// Spec is one benchmark in a suite.
+type Spec struct {
+	Name  string
+	Build func() *prog.Workload
+	Epoch uint64 // Phelps/BR epoch length for this workload
+}
+
+// GapSpecs returns the GAP-suite workloads plus astar (the paper's Fig. 12
+// left group). quick shrinks them for unit tests and benchmarks.
+func GapSpecs(quick bool) []Spec {
+	f := 1
+	if quick {
+		f = 2
+	}
+	return []Spec{
+		{"bc", func() *prog.Workload {
+			g := graph.Road(56/f, 56/f, 33)
+			return prog.BC(g, []int{g.MainComponentSource(), 1})
+		}, 30_000},
+		{"bfs", func() *prog.Workload {
+			g := graph.Road(96/f, 96/f, 11)
+			return prog.BFS(g, g.MainComponentSource())
+		}, 40_000},
+		{"pr", func() *prog.Workload {
+			return prog.PageRank(graph.Road(44/f, 44/f, 3), 6, 85, 100, (1<<20)/800)
+		}, 40_000},
+		{"cc", func() *prog.Workload {
+			return prog.CC(graph.Road(48/f, 48/f, 5))
+		}, 50_000},
+		{"cc_sv", func() *prog.Workload {
+			return prog.CCSV(graph.Road(36/f, 36/f, 9))
+		}, 40_000},
+		{"sssp", func() *prog.Workload {
+			g := graph.Road(44/f, 44/f, 13).WithRandomWeights(5, 15)
+			return prog.SSSP(g, g.N/2, 60)
+		}, 30_000},
+		{"tc", func() *prog.Workload {
+			return prog.TC(graph.Uniform(360/f, 2200/f, 23))
+		}, 50_000},
+		{"astar", func() *prog.Workload {
+			return prog.Astar(96/f, 96/f, 35, 600, 7)
+		}, 30_000},
+	}
+}
+
+// SpecCPUSpecs returns the SPEC-2017-like synthetic kernels (Fig. 12 right
+// group / Fig. 14).
+func SpecCPUSpecs(quick bool) []Spec {
+	f := 1
+	if quick {
+		f = 3
+	}
+	return []Spec{
+		{"perlbench", func() *prog.Workload { return prog.PerlbenchLike(30000/f, 8) }, 30_000},
+		{"gcc", func() *prog.Workload { return prog.GccLike(900/f, 1) }, 30_000},
+		{"mcf", func() *prog.Workload { return prog.McfLike(60000/f, 5) }, 30_000},
+		{"omnetpp", func() *prog.Workload { return prog.OmnetppLike(3000/f, 30, 7) }, 30_000},
+		{"xalanc", func() *prog.Workload { return prog.XalancLike(4000/f, 4) }, 30_000},
+		{"x264", func() *prog.Workload { return prog.X264Like(60000/f, 9) }, 30_000},
+		{"deepsjeng", func() *prog.Workload { return prog.DeepsjengLike(3000/f, 3) }, 30_000},
+		{"leela", func() *prog.Workload { return prog.LeelaLike(4000/f, 2) }, 30_000},
+		{"exchange2", func() *prog.Workload { return prog.Exchange2Like(120000/f) }, 30_000},
+		{"xz", func() *prog.Workload { return prog.XzLike(40000/f, 6) }, 30_000},
+	}
+}
+
+// Configuration names for the run matrix.
+const (
+	CfgBase          = "base"            // TAGE baseline
+	CfgPerfect       = "perfBP"          // perfect branch prediction
+	CfgPhelps        = "phelps"          // full Phelps
+	CfgPhelpsNoStore = "phelps-nostores" // Fig. 12b ablation
+	CfgBR            = "br"              // Branch Runahead, speculative, static partition
+	CfgBR12w         = "br-12w"          // BR with untouched main thread
+	CfgHalf          = "half"            // forced 1/2 partition, no helper threads
+)
+
+// configFor materializes a named configuration for a workload's epoch.
+func configFor(name string, epoch uint64) Config {
+	switch name {
+	case CfgPerfect:
+		cfg := DefaultConfig()
+		cfg.Predictor = PredPerfect
+		return cfg
+	case CfgPhelps:
+		return PhelpsConfig(epoch)
+	case CfgPhelpsNoStore:
+		cfg := PhelpsConfig(epoch)
+		cfg.Phelps.Construction.IncludeStores = false
+		return cfg
+	case CfgBR:
+		cfg := DefaultConfig()
+		cfg.Mode = ModeRunahead
+		cfg.Runahead.EpochLen = epoch
+		return cfg
+	case CfgBR12w:
+		cfg := DefaultConfig()
+		cfg.Mode = ModeRunahead
+		cfg.Runahead.EpochLen = epoch
+		cfg.Runahead.StaticPartition = false
+		return cfg
+	case CfgHalf:
+		cfg := DefaultConfig()
+		cfg.ForcePartition = true
+		return cfg
+	default:
+		return DefaultConfig()
+	}
+}
+
+// Matrix holds results per workload per configuration.
+type Matrix map[string]map[string]Result
+
+// RunMatrix runs each workload under each named configuration. Every run
+// verifies the workload's architectural results; verification failures are
+// reported via the Result.
+func RunMatrix(specs []Spec, configs []string) Matrix {
+	m := make(Matrix)
+	for _, s := range specs {
+		m[s.Name] = make(map[string]Result)
+		for _, c := range configs {
+			m[s.Name][c] = Run(s.Build(), configFor(c, s.Epoch))
+		}
+	}
+	return m
+}
+
+// Speedup returns cycles(base)/cycles(cfg) for a workload.
+func (m Matrix) Speedup(workload, cfg string) float64 {
+	b := m[workload][CfgBase]
+	r := m[workload][cfg]
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(b.Cycles) / float64(r.Cycles)
+}
+
+// --- Fig. 11: astar ablations + Branch Runahead variants ---
+
+// Fig11Row is one bar of Fig. 11.
+type Fig11Row struct {
+	Name    string
+	Speedup float64
+	MPKI    float64
+}
+
+// Fig11 reproduces the astar comparison: BR-non-spec, BR-spec, full Phelps,
+// and the three ablations (b1->b2->s1 is full Phelps; b1->b2 drops stores;
+// b1 drops guarded branches and stores; b1->s1 keeps stores but not guarded
+// branches).
+func Fig11(quick bool) []Fig11Row {
+	size := 96
+	if quick {
+		size = 56
+	}
+	mk := func() *prog.Workload { return prog.Astar(size, size, 35, 600, 7) }
+	epoch := uint64(30_000)
+
+	base := Run(mk(), DefaultConfig())
+	rows := []Fig11Row{{"baseline (TAGE-SC-L)", 1.0, base.MPKI()}}
+
+	runAs := func(name string, cfg Config) {
+		r := Run(mk(), cfg)
+		rows = append(rows, Fig11Row{name, float64(base.Cycles) / float64(r.Cycles), r.MPKI()})
+	}
+
+	brNon := configFor(CfgBR, epoch)
+	brNon.Runahead.Speculative = false
+	runAs("BR-non-spec", brNon)
+	runAs("BR-spec", configFor(CfgBR, epoch))
+
+	runAs("Phelps:b1->b2->s1 (full)", configFor(CfgPhelps, epoch))
+
+	b1b2 := configFor(CfgPhelps, epoch)
+	b1b2.Phelps.Construction.IncludeStores = false
+	runAs("Phelps:b1->b2", b1b2)
+
+	b1 := configFor(CfgPhelps, epoch)
+	b1.Phelps.Construction.IncludeStores = false
+	b1.Phelps.Construction.IncludeGuardedBranches = false
+	runAs("Phelps:b1", b1)
+
+	b1s1 := configFor(CfgPhelps, epoch)
+	b1s1.Phelps.Construction.IncludeGuardedBranches = false
+	runAs("Phelps:b1->s1", b1s1)
+
+	return rows
+}
+
+// FormatFig11 renders Fig. 11 as text.
+func FormatFig11(rows []Fig11Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 11 — astar: Phelps vs Branch Runahead, feature ablations\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-26s speedup %5.2fx   MPKI %6.2f\n", r.Name, r.Speedup, r.MPKI)
+	}
+	return b.String()
+}
+
+// --- Fig. 12a / 12b / 13a / 13b / 13c / 14 from the run matrix ---
+
+// FormatFig12a renders the speedup comparison (perfBP, Phelps, BR, BR-12w).
+func FormatFig12a(m Matrix, order []string) string {
+	var b strings.Builder
+	b.WriteString("Fig. 12a — speedup over baseline\n")
+	fmt.Fprintf(&b, "  %-10s %8s %8s %8s %8s\n", "workload", "perfBP", "Phelps", "BR", "BR-12w")
+	for _, w := range order {
+		fmt.Fprintf(&b, "  %-10s %7.2fx %7.2fx %7.2fx %7.2fx\n", w,
+			m.Speedup(w, CfgPerfect), m.Speedup(w, CfgPhelps),
+			m.Speedup(w, CfgBR), m.Speedup(w, CfgBR12w))
+	}
+	return b.String()
+}
+
+// FormatFig12b renders Phelps with/without helper-thread stores.
+func FormatFig12b(m Matrix, order []string) string {
+	var b strings.Builder
+	b.WriteString("Fig. 12b — Phelps speedup with/without stores\n")
+	fmt.Fprintf(&b, "  %-10s %10s %12s\n", "workload", "with", "without")
+	for _, w := range order {
+		fmt.Fprintf(&b, "  %-10s %9.2fx %11.2fx\n", w,
+			m.Speedup(w, CfgPhelps), m.Speedup(w, CfgPhelpsNoStore))
+	}
+	return b.String()
+}
+
+// FormatFig13a renders MPKI reduction.
+func FormatFig13a(m Matrix, order []string) string {
+	var b strings.Builder
+	b.WriteString("Fig. 13a — MPKI: baseline vs Phelps (reduction)\n")
+	fmt.Fprintf(&b, "  %-10s %8s %8s %8s\n", "workload", "base", "Phelps", "reduced")
+	for _, w := range order {
+		baseR := m[w][CfgBase]
+		phR := m[w][CfgPhelps]
+		base := baseR.MPKI()
+		ph := phR.MPKI()
+		red := 0.0
+		if base > 0 {
+			red = (base - ph) / base * 100
+		}
+		fmt.Fprintf(&b, "  %-10s %8.2f %8.2f %7.1f%%\n", w, base, ph, red)
+	}
+	return b.String()
+}
+
+// FormatFig13b renders helper-thread instruction overhead (retired HT
+// instructions per 100 retired main-thread instructions).
+func FormatFig13b(m Matrix, order []string) string {
+	var b strings.Builder
+	b.WriteString("Fig. 13b — helper thread overhead (HT insts per 100 MT insts)\n")
+	for _, w := range order {
+		r := m[w][CfgPhelps]
+		ratio := 0.0
+		if r.Retired > 0 {
+			ratio = float64(r.Phelps.HTRetired) / float64(r.Retired) * 100
+		}
+		fmt.Fprintf(&b, "  %-10s %6.1f\n", w, ratio)
+	}
+	return b.String()
+}
+
+// FormatFig13c renders the slowdown of partitioning the core without running
+// helper threads.
+func FormatFig13c(m Matrix, order []string) string {
+	var b strings.Builder
+	b.WriteString("Fig. 13c — main-thread slowdown from partitioning alone\n")
+	for _, w := range order {
+		s := m.Speedup(w, CfgHalf)
+		slow := 0.0
+		if s > 0 {
+			slow = (1/s - 1) * 100
+		}
+		fmt.Fprintf(&b, "  %-10s %6.1f%%\n", w, slow)
+	}
+	return b.String()
+}
+
+// FormatFig14 renders the misprediction characterization.
+func FormatFig14(m Matrix, order []string) string {
+	var b strings.Builder
+	b.WriteString("Fig. 14 — misprediction characterization (Phelps runs)\n")
+	for _, w := range order {
+		r := m[w][CfgPhelps]
+		base := m[w][CfgBase]
+		elim := int64(base.Mispredicts) - int64(r.Mispredicts)
+		if elim < 0 {
+			elim = 0
+		}
+		fmt.Fprintf(&b, "  %-10s baseMPKI %6.2f eliminated %7d residual:\n", w, base.MPKI(), elim)
+		type kv struct {
+			c core.Category
+			n uint64
+		}
+		var cats []kv
+		for c := core.Category(0); c < core.NumCategories; c++ {
+			if n := r.Phelps.Categories[c]; n > 0 {
+				cats = append(cats, kv{c, n})
+			}
+		}
+		sort.Slice(cats, func(i, j int) bool { return cats[i].n > cats[j].n })
+		for _, c := range cats {
+			fmt.Fprintf(&b, "      %-40s %8d\n", c.c.String(), c.n)
+		}
+	}
+	return b.String()
+}
+
+// --- Fig. 15: sensitivity studies ---
+
+// Fig15aRow is one (workload, ROB, depth) sensitivity point.
+type Fig15aRow struct {
+	Workload string
+	ROB      int
+	Depth    int
+	Speedup  float64
+}
+
+// Fig15a sweeps window size and pipeline depth for the three headline
+// workloads.
+func Fig15a(quick bool) []Fig15aRow {
+	specs := []Spec{}
+	for _, s := range GapSpecs(quick) {
+		if s.Name == "astar" || s.Name == "bfs" || s.Name == "bc" {
+			specs = append(specs, s)
+		}
+	}
+	robs := []int{320, 632, 1024}
+	depths := []int{11, 15, 19}
+	var rows []Fig15aRow
+	for _, s := range specs {
+		// ROB sweep at depth 11 (with commensurate PRF/LQ/SQ/IQ sizing).
+		for _, rob := range robs {
+			base := configFor(CfgBase, s.Epoch)
+			scaleWindow(&base, rob, 11)
+			ph := configFor(CfgPhelps, s.Epoch)
+			scaleWindow(&ph, rob, 11)
+			b := Run(s.Build(), base)
+			p := Run(s.Build(), ph)
+			rows = append(rows, Fig15aRow{s.Name, rob, 11, float64(b.Cycles) / float64(p.Cycles)})
+		}
+		// Depth sweep at ROB 632.
+		for _, d := range depths[1:] {
+			base := configFor(CfgBase, s.Epoch)
+			scaleWindow(&base, 632, d)
+			ph := configFor(CfgPhelps, s.Epoch)
+			scaleWindow(&ph, 632, d)
+			b := Run(s.Build(), base)
+			p := Run(s.Build(), ph)
+			rows = append(rows, Fig15aRow{s.Name, 632, d, float64(b.Cycles) / float64(p.Cycles)})
+		}
+	}
+	return rows
+}
+
+func scaleWindow(cfg *Config, rob, depth int) {
+	base := 632.0
+	f := float64(rob) / base
+	cfg.Core.ROB = rob
+	cfg.Core.PRF = int(696*f) + 32
+	cfg.Core.LQ = int(144 * f)
+	cfg.Core.SQ = int(144 * f)
+	cfg.Core.IQ = int(128 * f)
+	cfg.Core.PipelineDepth = depth
+}
+
+// FormatFig15a renders the sensitivity sweep.
+func FormatFig15a(rows []Fig15aRow) string {
+	var b strings.Builder
+	b.WriteString("Fig. 15a — Phelps speedup vs window size and pipeline depth\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-6s ROB=%4d depth=%2d  speedup %5.2fx\n", r.Workload, r.ROB, r.Depth, r.Speedup)
+	}
+	return b.String()
+}
+
+// Fig15bRow is one bfs input point.
+type Fig15bRow struct {
+	Input   string
+	Speedup float64
+	MPKIRed float64
+}
+
+// Fig15b runs bfs on the three input families (road / web / kron).
+func Fig15b(quick bool) []Fig15bRow {
+	f := 1
+	if quick {
+		f = 2
+	}
+	inputs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"road", graph.Road(96/f, 96/f, 11)},
+		{"web", graph.Web(6000/(f*f), 2, 13)},
+		{"kron", graph.Kron(12-f, 6, 17)},
+	}
+	var rows []Fig15bRow
+	for _, in := range inputs {
+		src := in.g.MainComponentSource()
+		b := Run(prog.BFS(in.g, src), DefaultConfig())
+		p := Run(prog.BFS(in.g, src), PhelpsConfig(40_000))
+		red := 0.0
+		if b.MPKI() > 0 {
+			red = (b.MPKI() - p.MPKI()) / b.MPKI() * 100
+		}
+		rows = append(rows, Fig15bRow{in.name, float64(b.Cycles) / float64(p.Cycles), red})
+	}
+	return rows
+}
+
+// FormatFig15b renders the input study.
+func FormatFig15b(rows []Fig15bRow) string {
+	var b strings.Builder
+	b.WriteString("Fig. 15b — bfs across inputs\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-6s speedup %5.2fx  MPKI reduction %5.1f%%\n", r.Input, r.Speedup, r.MPKIRed)
+	}
+	return b.String()
+}
+
+// FormatTableIII renders the core configuration (Table III).
+func FormatTableIII() string {
+	cfg := DefaultConfig()
+	var b strings.Builder
+	b.WriteString("Table III — superscalar core and memory hierarchy\n")
+	fmt.Fprintf(&b, "  branch predictor      TAGE-SC-L class\n")
+	fmt.Fprintf(&b, "  pipeline depth        %d stages (fetch to retire)\n", cfg.Core.PipelineDepth)
+	fmt.Fprintf(&b, "  fetch/retire width    %d instr./cycle\n", cfg.Core.FetchWidth)
+	fmt.Fprintf(&b, "  execution lanes       %d simple ALU, %d load/store, %d complex\n",
+		cfg.Core.SimpleALUs, cfg.Core.MemLanes, cfg.Core.ComplexALUs)
+	fmt.Fprintf(&b, "  ROB/PRF/LQ/SQ/IQ      %d/%d/%d/%d/%d\n",
+		cfg.Core.ROB, cfg.Core.PRF, cfg.Core.LQ, cfg.Core.SQ, cfg.Core.IQ)
+	fmt.Fprintf(&b, "  L1I                   %d KB, %d-way\n",
+		cfg.Cache.L1ISets*cfg.Cache.L1IWays*64/1024, cfg.Cache.L1IWays)
+	fmt.Fprintf(&b, "  L1D                   %d KB, %d-way, %d cycles\n",
+		cfg.Cache.L1DSets*cfg.Cache.L1DWays*64/1024, cfg.Cache.L1DWays, cfg.Cache.L1Latency)
+	fmt.Fprintf(&b, "  L2                    %d KB, %d-way, %d cycles (IPCP-class prefetcher at L1)\n",
+		cfg.Cache.L2Sets*cfg.Cache.L2Ways*64/1024, cfg.Cache.L2Ways, cfg.Cache.L2Latency)
+	fmt.Fprintf(&b, "  L3                    %d KB, %d-way, %d cycles (VLDP-class prefetcher at L2)\n",
+		cfg.Cache.L3Sets*cfg.Cache.L3Ways*64/1024, cfg.Cache.L3Ways, cfg.Cache.L3Latency)
+	fmt.Fprintf(&b, "  DRAM                  %d cycles\n", cfg.Cache.DRAMLatency)
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"phelps/internal/prog"
+)
+
+func TestConfigForMaterializesEveryName(t *testing.T) {
+	names := []string{CfgBase, CfgPerfect, CfgPhelps, CfgPhelpsNoStore, CfgBR, CfgBR12w, CfgHalf}
+	for _, n := range names {
+		cfg := configFor(n, 12345)
+		switch n {
+		case CfgPerfect:
+			if cfg.Predictor != PredPerfect {
+				t.Errorf("%s: predictor %v", n, cfg.Predictor)
+			}
+		case CfgPhelps:
+			if cfg.Mode != ModePhelps || cfg.Phelps.EpochLen != 12345 {
+				t.Errorf("%s: %+v", n, cfg.Phelps)
+			}
+		case CfgPhelpsNoStore:
+			if cfg.Phelps.Construction.IncludeStores {
+				t.Errorf("%s keeps stores", n)
+			}
+		case CfgBR:
+			if cfg.Mode != ModeRunahead || !cfg.Runahead.StaticPartition {
+				t.Errorf("%s: %+v", n, cfg.Runahead)
+			}
+		case CfgBR12w:
+			if cfg.Runahead.StaticPartition {
+				t.Errorf("%s statically partitions", n)
+			}
+		case CfgHalf:
+			if !cfg.ForcePartition {
+				t.Errorf("%s: no partition", n)
+			}
+		}
+	}
+}
+
+func TestMatrixAndFormatters(t *testing.T) {
+	// A miniature matrix on one tiny workload exercises the formatters.
+	specs := []Spec{{
+		Name:  "micro",
+		Build: func() *prog.Workload { return prog.DelinquentLoop(8000, 50, 1) },
+		Epoch: 4000,
+	}}
+	m := RunMatrix(specs, []string{CfgBase, CfgPerfect, CfgPhelps, CfgPhelpsNoStore, CfgBR, CfgBR12w, CfgHalf})
+	if m["micro"][CfgBase].VerifyErr != nil {
+		t.Fatalf("verify: %v", m["micro"][CfgBase].VerifyErr)
+	}
+	if s := m.Speedup("micro", CfgPerfect); s <= 1.0 {
+		t.Errorf("perfect BP speedup = %.2f, want > 1", s)
+	}
+	order := []string{"micro"}
+	for name, out := range map[string]string{
+		"12a": FormatFig12a(m, order),
+		"12b": FormatFig12b(m, order),
+		"13a": FormatFig13a(m, order),
+		"13b": FormatFig13b(m, order),
+		"13c": FormatFig13c(m, order),
+		"14":  FormatFig14(m, order),
+	} {
+		if !strings.Contains(out, "micro") {
+			t.Errorf("formatter %s missing workload row:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(FormatTableIII(), "632/696/144/144/128") {
+		t.Error("Table III missing window sizes")
+	}
+}
+
+func TestScaleWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	scaleWindow(&cfg, 1024, 19)
+	if cfg.Core.ROB != 1024 || cfg.Core.PipelineDepth != 19 {
+		t.Errorf("core: %+v", cfg.Core)
+	}
+	if cfg.Core.LQ <= 144 || cfg.Core.PRF <= 696 {
+		t.Errorf("resources not scaled up: LQ=%d PRF=%d", cfg.Core.LQ, cfg.Core.PRF)
+	}
+	scaleWindow(&cfg, 320, 11)
+	if cfg.Core.LQ >= 144 {
+		t.Errorf("resources not scaled down: LQ=%d", cfg.Core.LQ)
+	}
+}
+
+func TestGapAndSpecSuitesBuildable(t *testing.T) {
+	// Every spec must build a verifiable workload (functional check only;
+	// the timing runs are covered by the benchmarks and sim tests).
+	for _, s := range append(GapSpecs(true), SpecCPUSpecs(true)...) {
+		w := s.Build()
+		if err := prog.RunAndVerify(w); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}

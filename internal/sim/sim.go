@@ -1,0 +1,239 @@
+// Package sim wires the full system together: functional emulator, timing
+// core, branch predictor, cache hierarchy, and the Phelps controller (or the
+// Branch Runahead baseline), and runs workloads to produce the paper's
+// metrics (IPC, MPKI, helper-thread overhead, misprediction attribution).
+package sim
+
+import (
+	"fmt"
+
+	"phelps/internal/bpred"
+	"phelps/internal/cache"
+	"phelps/internal/core"
+	"phelps/internal/cpu"
+	"phelps/internal/emu"
+	"phelps/internal/prog"
+	"phelps/internal/runahead"
+)
+
+// PredictorKind selects the core's branch predictor.
+type PredictorKind int
+
+// Available predictors.
+const (
+	PredTAGE PredictorKind = iota
+	PredPerfect
+	PredBimodal
+	PredGshare
+)
+
+// Mode selects the pre-execution mechanism under test.
+type Mode int
+
+// Simulation modes.
+const (
+	ModeBaseline Mode = iota // core + predictor only
+	ModePhelps               // predicated helper threads
+	ModeRunahead             // Branch Runahead baseline
+)
+
+// Config is a full simulation configuration.
+type Config struct {
+	Core      cpu.Config
+	Cache     cache.Config
+	Predictor PredictorKind
+	Mode      Mode
+	Phelps    core.Config
+	Runahead  runahead.Config
+
+	// ForcePartition halves the main thread's resources for the entire run
+	// without running helper threads (Fig. 13c).
+	ForcePartition bool
+
+	// MaxInsts stops the simulation after this many retired instructions
+	// (0 = run to HALT). Verification only happens on complete runs.
+	MaxInsts uint64
+	// MaxCycles is a safety net against livelock.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper's baseline configuration with Phelps off.
+func DefaultConfig() Config {
+	return Config{
+		Core:      cpu.DefaultConfig(),
+		Cache:     cache.DefaultConfig(),
+		Predictor: PredTAGE,
+		Mode:      ModeBaseline,
+		Phelps:    core.DefaultConfig(),
+		Runahead:  runahead.DefaultConfig(),
+		MaxCycles: 2_000_000_000,
+	}
+}
+
+// PhelpsConfig returns a full-featured Phelps configuration with the given
+// epoch length (scaled-down runs use shorter epochs; see EXPERIMENTS.md).
+func PhelpsConfig(epochLen uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Mode = ModePhelps
+	cfg.Phelps.Enabled = true
+	cfg.Phelps.EpochLen = epochLen
+	return cfg
+}
+
+// Result carries the metrics of one run.
+type Result struct {
+	Cycles       uint64
+	Retired      uint64
+	CondBranches uint64
+	Mispredicts  uint64
+	QueuePreds   uint64
+	QueueMisps   uint64
+	Halted       bool
+	VerifyErr    error
+
+	Phelps   core.Stats
+	Runahead runahead.Stats
+	Cache    cache.Stats
+	Epochs   int
+}
+
+// IPC returns instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Retired) / float64(r.Cycles)
+}
+
+// MPKI returns mispredictions per kilo-instruction.
+func (r *Result) MPKI() float64 {
+	if r.Retired == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) * 1000 / float64(r.Retired)
+}
+
+func makePredictor(kind PredictorKind) bpred.Predictor {
+	switch kind {
+	case PredPerfect:
+		return bpred.Perfect{}
+	case PredBimodal:
+		return bpred.NewBimodal(14)
+	case PredGshare:
+		return bpred.NewGshare(15, 13)
+	default:
+		return bpred.NewTAGE(bpred.DefaultTAGEConfig())
+	}
+}
+
+// Run simulates a workload under a configuration. The workload's memory is
+// consumed by the run (build a fresh Workload per Run call).
+func Run(w *prog.Workload, cfg Config) Result {
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 2_000_000_000
+	}
+	mem := w.Mem
+	hier := cache.New(cfg.Cache)
+	e := emu.New(w.Prog, mem)
+	pred := makePredictor(cfg.Predictor)
+
+	var ctrl *core.Controller
+	var bra *runahead.Controller
+	hooks := cpu.Hooks{}
+
+	switch cfg.Mode {
+	case ModePhelps:
+		cfg.Phelps.Enabled = true
+		ctrl = core.NewController(cfg.Phelps, cfg.Core, mem, hier)
+		hooks.Predict = func(d *emu.DynInst) cpu.Prediction {
+			base := pred.PredictAndTrain(d.PC, d.Taken)
+			if p, handled := ctrl.Predict(d); handled {
+				return p
+			}
+			return cpu.Prediction{Taken: base}
+		}
+		hooks.OnFetch = ctrl.OnFetch
+		hooks.OnRetire = func(d *emu.DynInst, misp bool) { ctrl.OnRetire(d, misp) }
+	case ModeRunahead:
+		bra = runahead.NewController(cfg.Runahead, cfg.Core, mem, hier)
+		hooks.Predict = func(d *emu.DynInst) cpu.Prediction {
+			base := pred.PredictAndTrain(d.PC, d.Taken)
+			if p, handled := bra.Predict(d); handled {
+				return p
+			}
+			return cpu.Prediction{Taken: base}
+		}
+		hooks.OnFetch = bra.OnFetch
+		hooks.OnRetire = func(d *emu.DynInst, misp bool) { bra.OnRetire(d, misp) }
+	default:
+		hooks.Predict = func(d *emu.DynInst) cpu.Prediction {
+			return cpu.Prediction{Taken: pred.PredictAndTrain(d.PC, d.Taken)}
+		}
+	}
+
+	mt := cpu.NewCore(cfg.Core, mem, hier, func() (emu.DynInst, bool) { return e.Step() }, hooks)
+	if ctrl != nil {
+		ctrl.AttachCore(mt)
+	}
+	if bra != nil {
+		bra.AttachCore(mt)
+	}
+	if cfg.ForcePartition {
+		mt.SetLimits(cfg.Core.FullLimits().Scale(1, 2))
+	}
+
+	lanes := &cpu.LanePool{}
+	var now uint64
+	for ; ; now++ {
+		if mt.Halted() {
+			break
+		}
+		if cfg.MaxInsts > 0 && mt.Stats.Retired >= cfg.MaxInsts {
+			break
+		}
+		if now >= cfg.MaxCycles {
+			panic(fmt.Sprintf("sim: %s did not finish within %d cycles (retired %d)",
+				w.Name, cfg.MaxCycles, mt.Stats.Retired))
+		}
+		lanes.Reset(cfg.Core)
+		// The IQ and lanes are flexibly shared (Section IV-A). Helper
+		// threads issue first: they are latency-critical (their lead is what
+		// produces timely predictions) and naturally self-throttle at the
+		// prediction-queue depth, returning bandwidth to the main thread at
+		// the full-queue equilibrium.
+		if ctrl != nil {
+			ctrl.SetNow(now)
+			ctrl.CycleEngines(now, lanes)
+			mt.Cycle(now, lanes)
+		} else if bra != nil {
+			bra.SetNow(now)
+			bra.CycleChains(now, lanes)
+			mt.Cycle(now, lanes)
+		} else {
+			mt.Cycle(now, lanes)
+		}
+	}
+
+	res := Result{
+		Cycles:       mt.Stats.Cycles,
+		Retired:      mt.Stats.Retired,
+		CondBranches: mt.Stats.CondBranches,
+		Mispredicts:  mt.Stats.Mispredicts,
+		QueuePreds:   mt.Stats.QueuePreds,
+		QueueMisps:   mt.Stats.QueueMisps,
+		Halted:       mt.Halted(),
+		Cache:        hier.Stats,
+	}
+	if ctrl != nil {
+		ctrl.FinalizeAttribution()
+		res.Phelps = ctrl.Stats
+		res.Epochs = ctrl.EpochIndex
+	}
+	if bra != nil {
+		res.Runahead = bra.Stats
+	}
+	if res.Halted && w.Verify != nil {
+		res.VerifyErr = w.Verify(mem)
+	}
+	return res
+}

@@ -1,0 +1,226 @@
+// Package simpoint implements a compact version of the SimPoints methodology
+// [Sherwood et al., ASPLOS 2002] the paper uses to pick representative
+// regions: the dynamic instruction stream is chunked into fixed-size
+// intervals, each interval is summarized by its basic-block vector (BBV),
+// the vectors are clustered with k-means, and the interval closest to each
+// centroid becomes a SimPoint with a weight proportional to its cluster
+// size.
+package simpoint
+
+import (
+	"sort"
+
+	"phelps/internal/graph"
+)
+
+// BBVCollector accumulates basic-block vectors over fixed instruction
+// intervals. Feed it retired control-flow edges (or simply PCs of retired
+// basic-block heads); it chunks them into intervals.
+type BBVCollector struct {
+	intervalLen uint64
+	count       uint64
+	current     map[uint64]float64
+	intervals   []map[uint64]float64
+}
+
+// NewBBVCollector returns a collector with the given interval length in
+// instructions.
+func NewBBVCollector(intervalLen uint64) *BBVCollector {
+	return &BBVCollector{
+		intervalLen: intervalLen,
+		current:     make(map[uint64]float64),
+	}
+}
+
+// Observe records one retired instruction at pc; basic blocks are
+// approximated by 32-byte PC regions (8 instructions), which is faithful
+// enough for clustering.
+func (c *BBVCollector) Observe(pc uint64) {
+	c.current[pc>>5]++
+	c.count++
+	if c.count%c.intervalLen == 0 {
+		c.intervals = append(c.intervals, c.current)
+		c.current = make(map[uint64]float64)
+	}
+}
+
+// Flush closes the final partial interval if it covers at least half the
+// interval length.
+func (c *BBVCollector) Flush() {
+	if uint64(len(c.current)) > 0 && c.count%c.intervalLen >= c.intervalLen/2 {
+		c.intervals = append(c.intervals, c.current)
+	}
+	c.current = make(map[uint64]float64)
+}
+
+// Intervals returns the collected BBVs.
+func (c *BBVCollector) Intervals() []map[uint64]float64 { return c.intervals }
+
+// SimPoint is one representative interval.
+type SimPoint struct {
+	Interval int     // index of the representative interval
+	Weight   float64 // fraction of intervals in its cluster
+}
+
+// Pick clusters the intervals into at most k clusters (k-means with random
+// restarts on the sparse BBVs, L1-normalized) and returns one SimPoint per
+// non-empty cluster, sorted by weight descending. Deterministic for a given
+// seed.
+func Pick(intervals []map[uint64]float64, k int, seed uint64) []SimPoint {
+	n := len(intervals)
+	if n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	norm := make([]map[uint64]float64, n)
+	for i, v := range intervals {
+		norm[i] = normalize(v)
+	}
+	r := graph.NewRand(seed)
+
+	// k-means++ style init: first centroid random, the rest far away.
+	centroids := make([]map[uint64]float64, 0, k)
+	centroids = append(centroids, clone(norm[r.Intn(n)]))
+	for len(centroids) < k {
+		best, bestD := 0, -1.0
+		for i := 0; i < n; i++ {
+			d := minDist(norm[i], centroids)
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if bestD <= 0 {
+			break // all remaining points coincide with centroids
+		}
+		centroids = append(centroids, clone(norm[best]))
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < 20; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			bi, bd := 0, dist(norm[i], centroids[0])
+			for j := 1; j < len(centroids); j++ {
+				if d := dist(norm[i], centroids[j]); d < bd {
+					bi, bd = j, d
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		for j := range centroids {
+			sum := make(map[uint64]float64)
+			cnt := 0
+			for i := 0; i < n; i++ {
+				if assign[i] != j {
+					continue
+				}
+				cnt++
+				for b, w := range norm[i] {
+					sum[b] += w
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			for b := range sum {
+				sum[b] /= float64(cnt)
+			}
+			centroids[j] = sum
+		}
+	}
+
+	// Representative = interval closest to its centroid; weight = cluster
+	// fraction.
+	type cluster struct {
+		rep    int
+		repD   float64
+		member int
+	}
+	cl := make([]cluster, len(centroids))
+	for j := range cl {
+		cl[j] = cluster{rep: -1}
+	}
+	for i := 0; i < n; i++ {
+		j := assign[i]
+		d := dist(norm[i], centroids[j])
+		if cl[j].rep < 0 || d < cl[j].repD {
+			cl[j].rep, cl[j].repD = i, d
+		}
+		cl[j].member++
+	}
+	var out []SimPoint
+	for _, c := range cl {
+		if c.rep >= 0 && c.member > 0 {
+			out = append(out, SimPoint{Interval: c.rep, Weight: float64(c.member) / float64(n)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Interval < out[j].Interval
+	})
+	return out
+}
+
+func normalize(v map[uint64]float64) map[uint64]float64 {
+	var sum float64
+	for _, w := range v {
+		sum += w
+	}
+	out := make(map[uint64]float64, len(v))
+	if sum == 0 {
+		return out
+	}
+	for b, w := range v {
+		out[b] = w / sum
+	}
+	return out
+}
+
+func clone(v map[uint64]float64) map[uint64]float64 {
+	out := make(map[uint64]float64, len(v))
+	for b, w := range v {
+		out[b] = w
+	}
+	return out
+}
+
+// dist is the Manhattan distance between sparse vectors.
+func dist(a, b map[uint64]float64) float64 {
+	var d float64
+	for k, av := range a {
+		bv := b[k]
+		if av > bv {
+			d += av - bv
+		} else {
+			d += bv - av
+		}
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			d += bv
+		}
+	}
+	return d
+}
+
+func minDist(v map[uint64]float64, cs []map[uint64]float64) float64 {
+	best := -1.0
+	for _, c := range cs {
+		d := dist(v, c)
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}

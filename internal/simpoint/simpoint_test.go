@@ -1,0 +1,143 @@
+package simpoint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// synthetic phases: phase A executes PCs around 0x1000, phase B around
+// 0x9000; collector should produce clearly clusterable intervals.
+func collectPhases(intervalLen uint64, pattern []byte) *BBVCollector {
+	c := NewBBVCollector(intervalLen)
+	for _, ph := range pattern {
+		for i := uint64(0); i < intervalLen; i++ {
+			base := uint64(0x1000)
+			if ph == 'B' {
+				base = 0x9000
+			}
+			c.Observe(base + (i%16)*4)
+		}
+	}
+	c.Flush()
+	return c
+}
+
+func TestCollectorChunksIntervals(t *testing.T) {
+	c := collectPhases(1000, []byte("AABB"))
+	if got := len(c.Intervals()); got != 4 {
+		t.Fatalf("intervals = %d, want 4", got)
+	}
+}
+
+func TestPickSeparatesPhases(t *testing.T) {
+	c := collectPhases(1000, []byte("AAAABBBBAAAA"))
+	sps := Pick(c.Intervals(), 2, 7)
+	if len(sps) != 2 {
+		t.Fatalf("simpoints = %d, want 2", len(sps))
+	}
+	// Weights: 8 A-intervals vs 4 B-intervals.
+	if !(sps[0].Weight > sps[1].Weight) {
+		t.Errorf("weights not ordered: %+v", sps)
+	}
+	if w := sps[0].Weight + sps[1].Weight; w < 0.99 || w > 1.01 {
+		t.Errorf("weights sum to %v", w)
+	}
+	// The heavier simpoint must be an A interval (index <4 or >=8).
+	rep := sps[0].Interval
+	if rep >= 4 && rep < 8 {
+		t.Errorf("heavy simpoint %d is a B interval", rep)
+	}
+}
+
+func TestPickSingleCluster(t *testing.T) {
+	c := collectPhases(500, []byte("AAAA"))
+	sps := Pick(c.Intervals(), 3, 1)
+	// All intervals identical: a single cluster suffices.
+	total := 0.0
+	for _, s := range sps {
+		total += s.Weight
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("weights sum %v", total)
+	}
+}
+
+func TestPickDeterministic(t *testing.T) {
+	c := collectPhases(1000, []byte("AABBAABB"))
+	a := Pick(c.Intervals(), 2, 42)
+	b := Pick(c.Intervals(), 2, 42)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic pick: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestPickEmptyAndSmall(t *testing.T) {
+	if Pick(nil, 3, 1) != nil {
+		t.Error("empty input should give nil")
+	}
+	c := collectPhases(100, []byte("A"))
+	sps := Pick(c.Intervals(), 5, 1)
+	if len(sps) != 1 || sps[0].Weight != 1 {
+		t.Errorf("single interval: %+v", sps)
+	}
+}
+
+// Property: weights always sum to ~1 and intervals are valid indices.
+func TestPickInvariants_Property(t *testing.T) {
+	f := func(seed uint64, pat []bool) bool {
+		if len(pat) == 0 || len(pat) > 24 {
+			return true
+		}
+		pattern := make([]byte, len(pat))
+		for i, b := range pat {
+			if b {
+				pattern[i] = 'B'
+			} else {
+				pattern[i] = 'A'
+			}
+		}
+		c := collectPhases(200, pattern)
+		sps := Pick(c.Intervals(), 3, seed)
+		sum := 0.0
+		for _, s := range sps {
+			if s.Interval < 0 || s.Interval >= len(c.Intervals()) {
+				return false
+			}
+			sum += s.Weight
+		}
+		return sum > 0.99 && sum < 1.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSymmetry_Property(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		va := make(map[uint64]float64)
+		vb := make(map[uint64]float64)
+		for i, x := range a {
+			va[uint64(i%8)] += float64(x)
+		}
+		for i, x := range b {
+			vb[uint64(i%8)] += float64(x)
+		}
+		return approx(dist(va, vb), dist(vb, va))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestWeightedHarmonicMeanIPC(t *testing.T) {
+	// Equal weights, equal values.
+	if got := WeightedHarmonicMeanIPC([]float64{2, 2}, []float64{1, 1}); !approx(got, 2, 1e-9) {
+		t.Errorf("got %v", got)
+	}
+	// Harmonic mean of 1 and 3 is 1.5.
+	if got := WeightedHarmonicMeanIPC([]float64{1, 3}, []float64{1, 1}); !approx(got, 1.5, 1e-9) {
+		t.Errorf("got %v", got)
+	}
+	// Weighting toward the slow region pulls the mean down.
+	w := WeightedHarmonicMeanIPC([]float64{1, 3}, []float64{3, 1})
+	if w >= 1.5 {
+		t.Errorf("weighted mean %v should be below 1.5", w)
+	}
+	// Degenerate inputs.
+	if WeightedHarmonicMeanIPC(nil, nil) != 0 {
+		t.Error("nil inputs")
+	}
+	if WeightedHarmonicMeanIPC([]float64{1}, []float64{1, 2}) != 0 {
+		t.Error("mismatched lengths")
+	}
+}
+
+func TestHarmonicLessThanMean_Property(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r%1000)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		h := HarmonicMean(xs)
+		m := Mean(xs)
+		return h <= m+1e-9 && h > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); !approx(got, 4, 1e-3) {
+		t.Errorf("GeoMean(2,8) = %v", got)
+	}
+	if got := GeoMean([]float64{1, 1, 1}); !approx(got, 1, 1e-9) {
+		t.Errorf("GeoMean(ones) = %v", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{0}) != 0 {
+		t.Error("degenerate geomean")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(10, 2.5); !approx(got, 75, 1e-9) {
+		t.Errorf("reduction = %v", got)
+	}
+	if Reduction(0, 5) != 0 {
+		t.Error("zero before")
+	}
+}
+
+
+func TestSpeedupFormat(t *testing.T) {
+	if Speedup(1.5) != "1.50x" {
+		t.Errorf("got %s", Speedup(1.5))
+	}
+}
