@@ -6,16 +6,20 @@
 //	phelps -workload astar -mode phelps
 //	phelps -workload bfs -mode baseline -pred perfect
 //	phelps -workload guarded -mode runahead -epoch 50000
+//	phelps -workload astar -json -interval 10000 -trace astar.kanata
 //	phelps -list
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"phelps/internal/core"
+	"phelps/internal/obs"
 	"phelps/internal/prog"
 	"phelps/internal/sim"
 )
@@ -31,6 +35,9 @@ func main() {
 		depth    = flag.Int("depth", 0, "override pipeline depth")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 		verbose  = flag.Bool("v", false, "print detailed Phelps statistics")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
+		traceOut = flag.String("trace", "", "write a Konata pipeline trace of the main thread to this file")
+		interval = flag.Uint64("interval", 0, "sample counters every N cycles into the JSON time series")
 	)
 	flag.Parse()
 
@@ -117,7 +124,50 @@ func main() {
 		cfg.Core.PipelineDepth = d
 	}
 
+	// Any observability flag attaches a collector; -trace additionally
+	// attaches a Konata pipeline tracer, flushed after the run completes.
+	var coll *obs.Collector
+	var traceFile *os.File
+	var traceBuf *bufio.Writer
+	if *jsonOut || *traceOut != "" || *interval > 0 {
+		coll = obs.NewCollector(*interval)
+		cfg.Obs = coll
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				os.Exit(1)
+			}
+			traceFile = f
+			traceBuf = bufio.NewWriter(f)
+			coll.Trace = obs.NewKonataWriter(traceBuf)
+		}
+	}
+
 	res := sim.Run(spec.Build(), cfg)
+
+	if traceFile != nil {
+		err := coll.Trace.Flush()
+		if err == nil {
+			err = traceBuf.Flush()
+		}
+		if err == nil {
+			err = traceFile.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		emitJSON(spec.Name, *mode, *predName, ep, &res, coll)
+		if res.VerifyErr != nil {
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("workload       %s\n", spec.Name)
 	fmt.Printf("mode           %s (predictor %s, epoch %d)\n", *mode, *predName, ep)
 	fmt.Printf("instructions   %d\n", res.Retired)
@@ -132,7 +182,11 @@ func main() {
 		fmt.Printf("VERIFY FAILED  %v\n", res.VerifyErr)
 		os.Exit(1)
 	}
-	fmt.Printf("verification   ok\n")
+	if res.TimedOut {
+		fmt.Printf("TIMED OUT      %v\n", res.LivelockErr)
+	} else {
+		fmt.Printf("verification   ok\n")
+	}
 
 	if *verbose && *mode == "phelps" {
 		p := res.Phelps
@@ -151,5 +205,66 @@ func main() {
 		for loop, why := range p.RejectedLoops {
 			fmt.Printf("  rejected loop %#x: %s\n", loop, why)
 		}
+	}
+}
+
+// runJSON is the -json output schema: the run summary, the full registry
+// snapshot, and (with -interval) the interval time series.
+type runJSON struct {
+	Workload     string             `json:"workload"`
+	Mode         string             `json:"mode"`
+	Predictor    string             `json:"predictor"`
+	Epoch        uint64             `json:"epoch"`
+	Instructions uint64             `json:"instructions"`
+	Cycles       uint64             `json:"cycles"`
+	IPC          float64            `json:"ipc"`
+	MPKI         float64            `json:"mpki"`
+	CondBranches uint64             `json:"cond_branches"`
+	Mispredicts  uint64             `json:"mispredicts"`
+	QueuePreds   uint64             `json:"queue_preds,omitempty"`
+	QueueMisps   uint64             `json:"queue_misps,omitempty"`
+	Halted       bool               `json:"halted"`
+	TimedOut     bool               `json:"timed_out,omitempty"`
+	LivelockErr  string             `json:"livelock_error,omitempty"`
+	Verified     bool               `json:"verified"`
+	VerifyErr    string             `json:"verify_error,omitempty"`
+	Counters     map[string]uint64  `json:"counters"`
+	Gauges       map[string]float64 `json:"gauges,omitempty"`
+	Samples      []obs.Sample       `json:"samples,omitempty"`
+}
+
+func emitJSON(workload, mode, pred string, epoch uint64, res *sim.Result, coll *obs.Collector) {
+	snap := coll.Registry.Snapshot()
+	out := runJSON{
+		Workload:     workload,
+		Mode:         mode,
+		Predictor:    pred,
+		Epoch:        epoch,
+		Instructions: res.Retired,
+		Cycles:       res.Cycles,
+		IPC:          res.IPC(),
+		MPKI:         res.MPKI(),
+		CondBranches: res.CondBranches,
+		Mispredicts:  res.Mispredicts,
+		QueuePreds:   res.QueuePreds,
+		QueueMisps:   res.QueueMisps,
+		Halted:       res.Halted,
+		TimedOut:     res.TimedOut,
+		Verified:     res.Halted && res.VerifyErr == nil,
+		Counters:     snap.Counters,
+		Gauges:       snap.Gauges,
+		Samples:      coll.Series(),
+	}
+	if res.LivelockErr != nil {
+		out.LivelockErr = res.LivelockErr.Error()
+	}
+	if res.VerifyErr != nil {
+		out.VerifyErr = res.VerifyErr.Error()
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "json: %v\n", err)
+		os.Exit(1)
 	}
 }

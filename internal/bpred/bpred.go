@@ -4,6 +4,30 @@
 // configuration of Fig. 12a).
 package bpred
 
+import "phelps/internal/obs"
+
+// Stats counts predictor activity for observability. Predictors embed it,
+// which also promotes RegisterObs (so sim can register any stats-carrying
+// predictor under bpred.<name>.*).
+type Stats struct {
+	Lookups   uint64
+	PredTaken uint64
+}
+
+// RegisterObs registers the predictor's counters under scope.
+func (s *Stats) RegisterObs(r *obs.Registry, scope string) {
+	sc := r.Scope(scope)
+	sc.Counter("lookups", func() uint64 { return s.Lookups })
+	sc.Counter("pred_taken", func() uint64 { return s.PredTaken })
+}
+
+func (s *Stats) record(taken bool) {
+	s.Lookups++
+	if taken {
+		s.PredTaken++
+	}
+}
+
 // Predictor predicts a conditional branch at fetch and trains immediately
 // with the actual outcome (the simulator resolves correct-path outcomes
 // up front; see DESIGN.md). Implementations keep their own global history.
@@ -40,6 +64,7 @@ func (c ctr2) update(taken bool) ctr2 {
 // Bimodal is a PC-indexed table of 2-bit counters. Branch Runahead uses a
 // bimodal predictor for speculative chain triggering (Section VI).
 type Bimodal struct {
+	Stats
 	table []ctr2
 	mask  uint64
 }
@@ -70,6 +95,7 @@ func (b *Bimodal) Train(pc uint64, taken bool) {
 // PredictAndTrain implements Predictor.
 func (b *Bimodal) PredictAndTrain(pc uint64, taken bool) bool {
 	p := b.Predict(pc)
+	b.record(p)
 	b.Train(pc, taken)
 	return p
 }
@@ -81,6 +107,7 @@ func (b *Bimodal) Name() string { return "bimodal" }
 
 // Gshare XORs global history into the table index.
 type Gshare struct {
+	Stats
 	table []ctr2
 	mask  uint64
 	hist  uint64
@@ -102,6 +129,7 @@ func NewGshare(logSize, hbits uint) *Gshare {
 func (g *Gshare) PredictAndTrain(pc uint64, taken bool) bool {
 	i := ((pc >> 2) ^ (g.hist & ((1 << g.hbits) - 1))) & g.mask
 	p := g.table[i].taken()
+	g.record(p)
 	g.table[i] = g.table[i].update(taken)
 	g.hist = g.hist<<1 | b2u(taken)
 	return p

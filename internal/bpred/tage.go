@@ -55,6 +55,7 @@ func (f *foldedHist) update(newBit, oldBit uint64) {
 
 // TAGE is the TAGE-SC-L-class predictor.
 type TAGE struct {
+	Stats
 	base   []ctr2
 	bMask  uint64
 	tables [tageTables]tageTable
@@ -192,6 +193,8 @@ func (t *TAGE) PredictAndTrain(pc uint64, taken bool) bool {
 	if t.sc != nil {
 		pred = t.sc.correct(pc, t.ghistBit(0), pred, provider >= 0 && !weakProvider)
 	}
+
+	t.record(pred)
 
 	// --- update ---
 	t.train(pc, taken, provider, provIdx, altProvider, altIdx, altPred, tagePred, usedProvider)

@@ -5,6 +5,8 @@
 // (values) live in emu.Memory.
 package cache
 
+import "phelps/internal/obs"
+
 // LineBytes is the cache line size at every level.
 const LineBytes = 64
 
@@ -150,6 +152,25 @@ func New(cfg Config) *Hierarchy {
 		h.vldp = newVLDP()
 	}
 	return h
+}
+
+// RegisterObs registers the hierarchy's counters into an observability
+// registry under scope (e.g. "cache" yields cache.l1d.misses, ...).
+func (h *Hierarchy) RegisterObs(r *obs.Registry, scope string) {
+	s := r.Scope(scope)
+	level := func(name string, acc, miss *uint64) {
+		ls := s.Scope(name)
+		ls.Counter("accesses", func() uint64 { return *acc })
+		ls.Counter("misses", func() uint64 { return *miss })
+	}
+	level("l1i", &h.Stats.L1IAccesses, &h.Stats.L1IMisses)
+	level("l1d", &h.Stats.L1DAccesses, &h.Stats.L1DMisses)
+	level("l2", &h.Stats.L2Accesses, &h.Stats.L2Misses)
+	level("l3", &h.Stats.L3Accesses, &h.Stats.L3Misses)
+	pf := s.Scope("pref")
+	pf.Counter("issued", func() uint64 { return h.Stats.PrefIssued })
+	pf.Counter("useful", func() uint64 { return h.Stats.PrefUseful })
+	s.Scope("mshr").Counter("stall_cycles", func() uint64 { return h.Stats.MSHRStallCycles })
 }
 
 func lineOf(addr uint64) uint64 { return addr / LineBytes }

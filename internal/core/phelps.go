@@ -4,6 +4,7 @@ import (
 	"phelps/internal/cache"
 	"phelps/internal/cpu"
 	"phelps/internal/emu"
+	"phelps/internal/obs"
 )
 
 // Config parameterizes the Phelps controller (paper values by default).
@@ -196,6 +197,66 @@ func (c *Controller) SetNow(now uint64) { c.now = now }
 
 // Active reports whether helper threads are running.
 func (c *Controller) Active() bool { return c.active != nil }
+
+// ActiveEngines returns the number of helper-thread engines currently
+// running (0 when no activation is live).
+func (c *Controller) ActiveEngines() int {
+	if c.active == nil {
+		return 0
+	}
+	return len(c.active.engines)
+}
+
+// obsEngines is the number of per-engine observability scopes registered up
+// front (a nested-loop activation runs two decoupled engines).
+const obsEngines = 2
+
+// RegisterObs registers the controller's counters and gauges into an
+// observability registry under scope (e.g. "phelps" yields
+// phelps.ctrl.triggers, phelps.engine0.queue_deposits, ...). Cumulative
+// run-level counters live under <scope>.ctrl; the per-engine scopes are
+// live views of the current activation (zero between activations — the
+// cumulative totals are folded into ctrl.* at termination).
+func (c *Controller) RegisterObs(r *obs.Registry, scope string) {
+	s := r.Scope(scope)
+	ct := s.Scope("ctrl")
+	ct.Counter("triggers", func() uint64 { return c.Stats.Triggers })
+	ct.Counter("terminations", func() uint64 { return c.Stats.Terminations })
+	ct.Counter("ht_retired", func() uint64 { return c.Stats.HTRetired })
+	ct.Counter("ht_iterations", func() uint64 { return c.Stats.HTIterations })
+	ct.Counter("ht_visits", func() uint64 { return c.Stats.HTVisits })
+	ct.Counter("queue_consumed", func() uint64 { return c.Stats.QueueConsumed })
+	ct.Counter("queue_untimely", func() uint64 { return c.Stats.QueueUntimely })
+	ct.Counter("spec_cache_hits", func() uint64 { return c.Stats.SpecCacheHits })
+	ct.Counter("spec_cache_evicts", func() uint64 { return c.Stats.SpecCacheEvicts })
+	ct.Gauge("active_engines", func() float64 { return float64(c.ActiveEngines()) })
+	ct.Gauge("epoch", func() float64 { return float64(c.EpochIndex) })
+	for i := 0; i < obsEngines; i++ {
+		i := i
+		eng := func() *Engine {
+			if c.active != nil && i < len(c.active.engines) {
+				return c.active.engines[i]
+			}
+			return nil
+		}
+		es := s.Scopef("engine%d", i)
+		counter := func(name string, get func(*EngineStats) uint64) {
+			es.Counter(name, func() uint64 {
+				if e := eng(); e != nil {
+					return get(&e.Stats)
+				}
+				return 0
+			})
+		}
+		counter("fetched", func(st *EngineStats) uint64 { return st.Fetched })
+		counter("retired", func(st *EngineStats) uint64 { return st.Retired })
+		counter("queue_deposits", func(st *EngineStats) uint64 { return st.Deposits })
+		counter("iterations", func(st *EngineStats) uint64 { return st.Iterations })
+		counter("visits", func(st *EngineStats) uint64 { return st.Visits })
+		counter("loads_spec", func(st *EngineStats) uint64 { return st.LoadsSpec })
+		counter("queue_stalls", func(st *EngineStats) uint64 { return st.QueueStalls })
+	}
+}
 
 // HTC returns the helper thread cache rows (report/test use).
 func (c *Controller) HTC() []*HTCRow { return c.htc }

@@ -4,6 +4,7 @@ import (
 	"phelps/internal/cache"
 	"phelps/internal/emu"
 	"phelps/internal/isa"
+	"phelps/internal/obs"
 )
 
 // Prediction is the fetch-time direction prediction for a conditional
@@ -25,6 +26,19 @@ type Hooks struct {
 	// OnRetire fires at retirement with the misprediction flag (used for
 	// DBT/LPT/CDFSM training, trigger/terminate checks, and attribution).
 	OnRetire func(d *emu.DynInst, mispredicted bool)
+}
+
+// Tracer observes per-instruction pipeline lifecycle events (satisfied by
+// obs.KonataWriter). All cycles are absolute; Issue reports the completion
+// cycle as well, since execution latency is known at issue in this model.
+// Events for a sequence number that was never reported to Fetch (e.g. an
+// instruction squashed out of the fetch peek buffer) must be ignored.
+type Tracer interface {
+	Fetch(cycle uint64, d *emu.DynInst)
+	Dispatch(cycle, seq uint64)
+	Issue(cycle, doneAt, seq uint64)
+	Retire(cycle uint64, d *emu.DynInst, mispredicted, fromQueue bool)
+	Squash(cycle, seq uint64)
 }
 
 // Stats are the core's performance counters.
@@ -123,6 +137,8 @@ type Core struct {
 	archRegs [isa.NumRegs]uint64
 	halted   bool
 
+	trace Tracer
+
 	Stats Stats
 }
 
@@ -138,6 +154,26 @@ func NewCore(cfg Config, mem *emu.Memory, hier *cache.Hierarchy, next func() (em
 		next:          next,
 		lastFetchLine: ^uint64(0),
 	}
+}
+
+// SetTracer attaches a pipeline trace sink (nil detaches).
+func (c *Core) SetTracer(t Tracer) { c.trace = t }
+
+// RegisterObs registers the core's counters into an observability registry
+// under the given scope (e.g. "core.main"). The registry holds views: the
+// exported Stats fields remain the source of truth.
+func (c *Core) RegisterObs(r *obs.Registry, scope string) {
+	s := r.Scope(scope)
+	s.Counter("cycles", func() uint64 { return c.Stats.Cycles })
+	s.Counter("retired", func() uint64 { return c.Stats.Retired })
+	s.Counter("cond_branches", func() uint64 { return c.Stats.CondBranches })
+	s.Counter("mispredicts", func() uint64 { return c.Stats.Mispredicts })
+	s.Counter("queue_preds", func() uint64 { return c.Stats.QueuePreds })
+	s.Counter("queue_misps", func() uint64 { return c.Stats.QueueMisps })
+	s.Counter("loads_executed", func() uint64 { return c.Stats.LoadsExecuted })
+	s.Counter("store_forwards", func() uint64 { return c.Stats.StoreForwards })
+	s.Counter("fetch_stall_misp", func() uint64 { return c.Stats.FetchStallMisp })
+	s.Counter("squashes", func() uint64 { return c.Stats.Squashes })
 }
 
 // SetLimits applies (or removes) a resource partition.
@@ -252,6 +288,9 @@ func (c *Core) retire(now uint64) {
 		if c.hooks.OnRetire != nil {
 			c.hooks.OnRetire(d, e.misp)
 		}
+		if c.trace != nil {
+			c.trace.Retire(now, d, e.misp, e.fromQ)
+		}
 		// Compact the rob slice occasionally.
 		if c.robHead > 1024 {
 			c.rob = append(c.rob[:0], c.rob[c.robHead:]...)
@@ -313,6 +352,9 @@ func (c *Core) issue(now uint64, lanes *LanePool) {
 			e.doneAt = now + 1
 		}
 		c.nIQ--
+		if c.trace != nil {
+			c.trace.Issue(now, e.doneAt, e.d.Seq)
+		}
 		if c.stallActive && e.d.Seq == c.stallSeq {
 			c.stallClearAt = e.doneAt
 			c.stallClearSet = true
@@ -400,6 +442,9 @@ func (c *Core) dispatch(now uint64) {
 		}
 		c.rob = append(c.rob, e)
 		c.nIQ++
+		if c.trace != nil {
+			c.trace.Dispatch(now, d.Seq)
+		}
 		c.frontend = c.frontend[1:]
 	}
 }
@@ -466,6 +511,9 @@ func (c *Core) fetch(now uint64) {
 			endGroup = true // taken-redirect ends the fetch group
 		}
 		c.frontend = append(c.frontend, fe)
+		if c.trace != nil {
+			c.trace.Fetch(now, &fe.d)
+		}
 		if endGroup {
 			return
 		}
@@ -484,6 +532,13 @@ func (c *Core) SquashAll(now uint64) {
 	}
 	for i := range c.frontend {
 		replayed = append(replayed, c.frontend[i].d)
+	}
+	if c.trace != nil {
+		// The peeked instruction was never reported fetched; the tracer
+		// ignores its unknown sequence number on re-fetch.
+		for i := range replayed {
+			c.trace.Squash(now, replayed[i].Seq)
+		}
 	}
 	if c.peeked != nil {
 		replayed = append(replayed, *c.peeked)

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"phelps/internal/emu"
+)
+
+// KonataWriter records per-instruction pipeline lifecycle events and emits
+// them in the Kanata text format (version 0004) understood by the Konata
+// pipeline viewer (https://github.com/shioyadan/Konata), so any run can be
+// inspected visually.
+//
+// Stage lanes: F (fetch/frontend), D (dispatched, waiting in the IQ),
+// X (executing), C (complete, waiting to commit). Mispredicted conditional
+// branches and prediction-queue provenance are annotated as mouseover
+// labels on the retire event.
+//
+// The simulator reports some events out of cycle order (an instruction's
+// completion cycle is known at issue; retirement of older instructions is
+// modeled before fetch of younger ones within a cycle), so the writer
+// buffers events in memory and serializes them in cycle order on Flush.
+// It implements the cpu.Tracer interface.
+type KonataWriter struct {
+	w       io.Writer
+	events  []kevent
+	nextID  uint64
+	retired uint64
+	live    map[uint64]*kinst // DynInst.Seq -> in-flight trace record
+	max     uint64            // highest cycle seen
+}
+
+type kevent struct {
+	cycle uint64
+	text  string
+}
+
+// kinst tracks one in-flight instruction's trace identity. Squashed
+// instructions are re-fetched under a fresh id, like a real pipeline flush.
+type kinst struct {
+	id      uint64
+	stage   string
+	doneAt  uint64
+	doneSet bool
+}
+
+// NewKonataWriter returns a writer that buffers events and serializes them
+// to w on Flush.
+func NewKonataWriter(w io.Writer) *KonataWriter {
+	return &KonataWriter{w: w, live: make(map[uint64]*kinst)}
+}
+
+func (k *KonataWriter) add(cycle uint64, format string, args ...any) {
+	if cycle > k.max {
+		k.max = cycle
+	}
+	k.events = append(k.events, kevent{cycle, fmt.Sprintf(format, args...)})
+}
+
+// Fetch records an instruction entering the frontend (thread 0 = the main
+// thread; helper-thread engines are not pipeline-traced).
+func (k *KonataWriter) Fetch(cycle uint64, d *emu.DynInst) {
+	in := &kinst{id: k.nextID, stage: "F"}
+	k.nextID++
+	k.live[d.Seq] = in
+	k.add(cycle, "I\t%d\t%d\t0", in.id, d.Seq)
+	k.add(cycle, "L\t%d\t0\t%#x: %s", in.id, d.PC, d.Inst)
+	k.add(cycle, "S\t%d\t0\tF", in.id)
+}
+
+func (k *KonataWriter) shift(in *kinst, cycle uint64, stage string) {
+	k.add(cycle, "E\t%d\t0\t%s", in.id, in.stage)
+	in.stage = stage
+	k.add(cycle, "S\t%d\t0\t%s", in.id, stage)
+}
+
+// Dispatch records entry into the ROB/IQ.
+func (k *KonataWriter) Dispatch(cycle, seq uint64) {
+	if in := k.live[seq]; in != nil {
+		k.shift(in, cycle, "D")
+	}
+}
+
+// Issue records the instruction winning an issue slot; its completion cycle
+// (doneAt) is already known in this model.
+func (k *KonataWriter) Issue(cycle, doneAt, seq uint64) {
+	in := k.live[seq]
+	if in == nil {
+		return
+	}
+	k.shift(in, cycle, "X")
+	in.doneAt, in.doneSet = doneAt, true
+}
+
+// closeStages ends the instruction's open stage at cycle, inserting the
+// X->C transition at its completion cycle when execution finished earlier.
+func (k *KonataWriter) closeStages(in *kinst, cycle uint64) {
+	if in.stage == "X" && in.doneSet && in.doneAt < cycle {
+		k.shift(in, in.doneAt, "C")
+	}
+	k.add(cycle, "E\t%d\t0\t%s", in.id, in.stage)
+}
+
+// Retire records commitment; misp/fromQueue annotate conditional branches
+// with the prediction outcome and provenance.
+func (k *KonataWriter) Retire(cycle uint64, d *emu.DynInst, misp, fromQueue bool) {
+	in := k.live[d.Seq]
+	if in == nil {
+		return
+	}
+	if d.IsCondBranch() {
+		src := "core"
+		if fromQueue {
+			src = "queue"
+		}
+		out := "correct"
+		if misp {
+			out = "MISPREDICT"
+		}
+		k.add(cycle, "L\t%d\t1\tpred=%s %s", in.id, src, out)
+	}
+	k.closeStages(in, cycle)
+	k.add(cycle, "R\t%d\t%d\t0", in.id, k.retired)
+	k.retired++
+	delete(k.live, d.Seq)
+}
+
+// Squash records a pipeline flush of an in-flight instruction; a later
+// re-fetch of the same dynamic instruction gets a fresh trace id.
+func (k *KonataWriter) Squash(cycle, seq uint64) {
+	in := k.live[seq]
+	if in == nil {
+		return
+	}
+	k.closeStages(in, cycle)
+	k.add(cycle, "R\t%d\t0\t1", in.id)
+	delete(k.live, seq)
+}
+
+// Flush serializes the buffered trace. Instructions still in flight (a run
+// stopped at an instruction budget) are flushed at the last seen cycle.
+// Flush may be called once; the KonataWriter is spent afterwards.
+func (k *KonataWriter) Flush() error {
+	// Close out survivors deterministically (by trace id).
+	rest := make([]*kinst, 0, len(k.live))
+	for _, in := range k.live {
+		rest = append(rest, in)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].id < rest[j].id })
+	for _, in := range rest {
+		k.closeStages(in, k.max)
+		k.add(k.max, "R\t%d\t0\t1", in.id)
+	}
+	k.live = make(map[uint64]*kinst)
+
+	sort.SliceStable(k.events, func(i, j int) bool { return k.events[i].cycle < k.events[j].cycle })
+	bw := bufio.NewWriter(k.w)
+	if _, err := fmt.Fprintf(bw, "Kanata\t0004\n"); err != nil {
+		return err
+	}
+	if len(k.events) > 0 {
+		cur := k.events[0].cycle
+		fmt.Fprintf(bw, "C=\t%d\n", cur)
+		for _, e := range k.events {
+			if e.cycle > cur {
+				fmt.Fprintf(bw, "C\t%d\n", e.cycle-cur)
+				cur = e.cycle
+			}
+			bw.WriteString(e.text)
+			bw.WriteByte('\n')
+		}
+	}
+	k.events = nil
+	return bw.Flush()
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phelps/internal/emu"
+	"phelps/internal/isa"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestKonataGolden drives the writer through a representative lifecycle —
+// plain ALU op, mispredicted queue-provided branch, a squash with re-fetch,
+// and an instruction left in flight at the end of the run — and compares
+// against the golden trace (regenerate with `go test ./internal/obs -update`).
+func TestKonataGolden(t *testing.T) {
+	var buf bytes.Buffer
+	k := NewKonataWriter(&buf)
+
+	add := emu.DynInst{Seq: 0, PC: 0x100, Inst: isa.Inst{Op: isa.ADD, Rd: isa.A0, Rs1: isa.A1, Rs2: isa.A2}}
+	beq := emu.DynInst{Seq: 1, PC: 0x104, Inst: isa.Inst{Op: isa.BEQ, Rs1: isa.A0, Rs2: isa.X0, Imm: 16}, Taken: true}
+	ld := emu.DynInst{Seq: 2, PC: 0x108, Inst: isa.Inst{Op: isa.LD, Rd: isa.A3, Rs1: isa.A0}}
+	sub := emu.DynInst{Seq: 3, PC: 0x10c, Inst: isa.Inst{Op: isa.SUB, Rd: isa.A4, Rs1: isa.A3, Rs2: isa.A1}}
+
+	k.Fetch(0, &add)
+	k.Fetch(0, &beq)
+	k.Fetch(1, &ld)
+	k.Fetch(2, &sub)
+	k.Dispatch(8, add.Seq)
+	k.Dispatch(8, beq.Seq)
+	k.Dispatch(9, ld.Seq)
+	k.Issue(9, 10, add.Seq)
+	k.Issue(10, 11, beq.Seq)
+	k.Issue(10, 20, ld.Seq) // long-latency load
+	k.Retire(11, &add, false, false)
+	k.Retire(12, &beq, true, true) // queue-provided, mispredicted
+	// The mispredict squashes everything younger; ld is mid-execute and
+	// sub never left the frontend.
+	k.Squash(12, ld.Seq)
+	k.Squash(12, sub.Seq)
+	// ld is re-fetched under a fresh id and left in flight at run end.
+	k.Fetch(13, &ld)
+	k.Dispatch(21, ld.Seq)
+	k.Issue(22, 25, ld.Seq)
+
+	if err := k.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace.kanata")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden file %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+func TestKonataStructure(t *testing.T) {
+	var buf bytes.Buffer
+	k := NewKonataWriter(&buf)
+	d := emu.DynInst{Seq: 7, PC: 0x40, Inst: isa.Inst{Op: isa.ADDI, Rd: isa.A0, Rs1: isa.A0, Imm: 1}}
+	k.Fetch(5, &d)
+	k.Dispatch(13, 7)
+	k.Issue(14, 15, 7)
+	k.Retire(16, &d, false, false)
+	// Events for unknown sequence numbers (never fetched) are ignored.
+	k.Dispatch(13, 99)
+	k.Retire(16, &emu.DynInst{Seq: 99}, false, false)
+	if err := k.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	if !strings.HasPrefix(out, "Kanata\t0004\nC=\t5\n") {
+		t.Errorf("bad header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	stages := 0
+	for _, l := range lines[2:] {
+		f := strings.Split(l, "\t")
+		switch f[0] {
+		case "S", "E":
+			stages++
+		case "I":
+			if f[2] != "7" || f[3] != "0" {
+				t.Errorf("I line = %q, want seq 7 thread 0", l)
+			}
+		case "R":
+			if f[3] != "0" {
+				t.Errorf("R line = %q, want commit type 0", l)
+			}
+		}
+	}
+	// F, D, X, C each open and close: 8 stage events.
+	if stages != 8 {
+		t.Errorf("got %d stage events, want 8:\n%s", stages, out)
+	}
+	if strings.Contains(out, "\t99\t") {
+		t.Errorf("untracked seq leaked into trace:\n%s", out)
+	}
+}

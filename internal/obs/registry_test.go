@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	var retired uint64
+	active := 2.0
+	r.Counter("core.main.retired", func() uint64 { return retired })
+	r.Gauge("phelps.ctrl.active_engines", func() float64 { return active })
+
+	if v, ok := r.CounterValue("core.main.retired"); !ok || v != 0 {
+		t.Fatalf("CounterValue = %d, %v; want 0, true", v, ok)
+	}
+	retired = 42
+	snap := r.Snapshot()
+	if snap.Counters["core.main.retired"] != 42 {
+		t.Errorf("snapshot counter = %d, want 42 (views must read live state)", snap.Counters["core.main.retired"])
+	}
+	if snap.Gauges["phelps.ctrl.active_engines"] != 2.0 {
+		t.Errorf("snapshot gauge = %v, want 2.0", snap.Gauges["phelps.ctrl.active_engines"])
+	}
+	if _, ok := r.CounterValue("nope"); ok {
+		t.Error("CounterValue on unknown name should report !ok")
+	}
+}
+
+func TestRegistryScopes(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope("phelps")
+	s.Counter("triggers", func() uint64 { return 1 })
+	s.Scope("engine0").Counter("queue_deposits", func() uint64 { return 2 })
+	s.Scopef("engine%d", 1).Counter("queue_deposits", func() uint64 { return 3 })
+
+	want := []string{
+		"phelps.engine0.queue_deposits",
+		"phelps.engine1.queue_deposits",
+		"phelps.triggers",
+	}
+	if got := r.CounterNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("CounterNames = %v, want %v", got, want)
+	}
+	if v, _ := r.CounterValue("phelps.engine1.queue_deposits"); v != 3 {
+		t.Errorf("engine1 deposits = %d, want 3", v)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate counter registration should panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", func() uint64 { return 0 })
+	r.Counter("x", func() uint64 { return 0 })
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchReportWriteFile(t *testing.T) {
+	rep := NewBenchReport(true)
+	rep.AddFigure("fig11", []map[string]any{
+		{"name": "baseline (TAGE-SC-L)", "speedup": 1.0, "mpki": 12.5},
+		{"name": "Phelps:b1->b2->s1 (full)", "speedup": 1.42, "mpki": 3.1},
+	})
+	rep.Geomeans["gap.phelps"] = 1.31
+
+	path := filepath.Join(t.TempDir(), "BENCH_report.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got BenchReport
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if got.Schema != BenchReportSchema || !got.Quick {
+		t.Errorf("schema/quick = %d/%v", got.Schema, got.Quick)
+	}
+	if len(got.Figures) != 1 || got.Figures[0].Name != "fig11" || len(got.Figures[0].Rows) != 2 {
+		t.Errorf("figures = %+v", got.Figures)
+	}
+	if got.Geomeans["gap.phelps"] != 1.31 {
+		t.Errorf("geomeans = %v", got.Geomeans)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"phelps/internal/cpu"
 	"phelps/internal/emu"
 	"phelps/internal/isa"
+	"phelps/internal/obs"
 )
 
 // Controller drives the Branch Runahead baseline: delinquency
@@ -62,6 +63,27 @@ func NewController(cfg Config, coreCfg cpu.Config, mem *emu.Memory, hier *cache.
 
 // AttachCore links the main-thread core.
 func (c *Controller) AttachCore(mt *cpu.Core) { c.mt = mt }
+
+// RegisterObs registers the controller's counters and gauges into an
+// observability registry under scope (e.g. "runahead" yields
+// runahead.ctrl.chains_built, ...).
+func (c *Controller) RegisterObs(r *obs.Registry, scope string) {
+	ct := r.Scope(scope).Scope("ctrl")
+	ct.Counter("chains_built", func() uint64 { return c.Stats.ChainsBuilt })
+	ct.Counter("triggers", func() uint64 { return c.Stats.Triggers })
+	ct.Counter("chain_retired", func() uint64 { return c.Stats.ChainRetired })
+	ct.Counter("rollbacks", func() uint64 { return c.Stats.Rollbacks })
+	ct.Counter("late_triggers", func() uint64 { return c.Stats.LateTriggers })
+	ct.Counter("queue_consumed", func() uint64 { return c.Stats.QueueConsumed })
+	ct.Counter("queue_stale", func() uint64 { return c.Stats.QueueStale })
+	ct.Counter("queue_unavailable", func() uint64 { return c.Stats.QueueUnavailable })
+	ct.Gauge("active_engines", func() float64 {
+		if c.engine != nil {
+			return 1
+		}
+		return 0
+	})
+}
 
 // SetNow updates the controller clock.
 func (c *Controller) SetNow(now uint64) { c.now = now }

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"phelps/internal/core"
 	"phelps/internal/graph"
@@ -129,16 +131,46 @@ func configFor(name string, epoch uint64) Config {
 // Matrix holds results per workload per configuration.
 type Matrix map[string]map[string]Result
 
-// RunMatrix runs each workload under each named configuration. Every run
-// verifies the workload's architectural results; verification failures are
-// reported via the Result.
+// RunMatrix runs each workload under each named configuration, spreading
+// workloads across a bounded worker pool (each Spec.Build produces an
+// independent Workload, and Run shares no mutable state between runs, so
+// the results are identical to a serial sweep). Configurations for one
+// workload run serially on its worker. Every run verifies the workload's
+// architectural results; verification failures are reported via the Result.
 func RunMatrix(specs []Spec, configs []string) Matrix {
-	m := make(Matrix)
-	for _, s := range specs {
-		m[s.Name] = make(map[string]Result)
-		for _, c := range configs {
-			m[s.Name][c] = Run(s.Build(), configFor(c, s.Epoch))
-		}
+	rows := make([]map[string]Result, len(specs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				s := specs[i]
+				rs := make(map[string]Result, len(configs))
+				for _, c := range configs {
+					rs[c] = Run(s.Build(), configFor(c, s.Epoch))
+				}
+				rows[i] = rs
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	m := make(Matrix, len(specs))
+	for i, s := range specs {
+		m[s.Name] = rows[i]
 	}
 	return m
 }

@@ -12,6 +12,7 @@ import (
 	"phelps/internal/core"
 	"phelps/internal/cpu"
 	"phelps/internal/emu"
+	"phelps/internal/obs"
 	"phelps/internal/prog"
 	"phelps/internal/runahead"
 )
@@ -53,8 +54,16 @@ type Config struct {
 	// MaxInsts stops the simulation after this many retired instructions
 	// (0 = run to HALT). Verification only happens on complete runs.
 	MaxInsts uint64
-	// MaxCycles is a safety net against livelock.
+	// MaxCycles is a safety net against livelock. A run that exhausts it
+	// stops gracefully with Result.TimedOut set (it does not panic), so a
+	// hung configuration still produces a reportable matrix row.
 	MaxCycles uint64
+
+	// Obs optionally collects observability data for this run: registry
+	// counters, interval samples, and (if Obs.Trace is set) a Konata
+	// pipeline trace of the main thread. A Collector must not be shared
+	// between concurrent runs.
+	Obs *obs.Collector
 }
 
 // DefaultConfig returns the paper's baseline configuration with Phelps off.
@@ -89,7 +98,11 @@ type Result struct {
 	QueuePreds   uint64
 	QueueMisps   uint64
 	Halted       bool
-	VerifyErr    error
+	// TimedOut reports that the run hit Config.MaxCycles before halting;
+	// LivelockErr carries the detail (nil otherwise).
+	TimedOut    bool
+	LivelockErr error
+	VerifyErr   error
 
 	Phelps   core.Stats
 	Runahead runahead.Stats
@@ -182,8 +195,28 @@ func Run(w *prog.Workload, cfg Config) Result {
 		mt.SetLimits(cfg.Core.FullLimits().Scale(1, 2))
 	}
 
+	if o := cfg.Obs; o != nil {
+		mt.RegisterObs(o.Registry, "core.main")
+		hier.RegisterObs(o.Registry, "cache")
+		if ro, ok := pred.(interface {
+			RegisterObs(*obs.Registry, string)
+		}); ok {
+			ro.RegisterObs(o.Registry, "bpred."+pred.Name())
+		}
+		if ctrl != nil {
+			ctrl.RegisterObs(o.Registry, "phelps")
+		}
+		if bra != nil {
+			bra.RegisterObs(o.Registry, "runahead")
+		}
+		if o.Trace != nil {
+			mt.SetTracer(o.Trace)
+		}
+	}
+
 	lanes := &cpu.LanePool{}
 	var now uint64
+	timedOut := false
 	for ; ; now++ {
 		if mt.Halted() {
 			break
@@ -192,8 +225,8 @@ func Run(w *prog.Workload, cfg Config) Result {
 			break
 		}
 		if now >= cfg.MaxCycles {
-			panic(fmt.Sprintf("sim: %s did not finish within %d cycles (retired %d)",
-				w.Name, cfg.MaxCycles, mt.Stats.Retired))
+			timedOut = true
+			break
 		}
 		lanes.Reset(cfg.Core)
 		// The IQ and lanes are flexibly shared (Section IV-A). Helper
@@ -212,6 +245,12 @@ func Run(w *prog.Workload, cfg Config) Result {
 		} else {
 			mt.Cycle(now, lanes)
 		}
+		if cfg.Obs != nil {
+			cfg.Obs.MaybeSample(mt.Stats.Cycles)
+		}
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.Finish(mt.Stats.Cycles)
 	}
 
 	res := Result{
@@ -222,7 +261,12 @@ func Run(w *prog.Workload, cfg Config) Result {
 		QueuePreds:   mt.Stats.QueuePreds,
 		QueueMisps:   mt.Stats.QueueMisps,
 		Halted:       mt.Halted(),
+		TimedOut:     timedOut,
 		Cache:        hier.Stats,
+	}
+	if timedOut {
+		res.LivelockErr = fmt.Errorf("sim: %s did not finish within %d cycles (retired %d)",
+			w.Name, cfg.MaxCycles, mt.Stats.Retired)
 	}
 	if ctrl != nil {
 		ctrl.FinalizeAttribution()

@@ -73,7 +73,9 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
-	idx := int(p/100*float64(len(s))+0.5) - 1
+	// Nearest-rank: rank = ceil(p/100 * n). Rounding instead of ceiling
+	// underestimates at small n (e.g. p30 of 4 values picked rank 1, not 2).
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
 	if idx < 0 {
 		idx = 0
 	}

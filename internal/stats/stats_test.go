@@ -67,15 +67,30 @@ func TestGeoMean(t *testing.T) {
 }
 
 func TestPercentile(t *testing.T) {
-	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if got := Percentile(xs, 50); got != 5 {
-		t.Errorf("p50 = %v", got)
-	}
-	if got := Percentile(xs, 100); got != 10 {
-		t.Errorf("p100 = %v", got)
-	}
-	if got := Percentile(xs, 0); got != 1 {
-		t.Errorf("p0 = %v", got)
+	for _, tc := range []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"p50 of 10", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 50, 5},
+		{"p100 of 10", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 100, 10},
+		{"p0 of 10", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0, 1},
+		// Nearest-rank at small n: rank = ceil(p/100 * n).
+		{"p25 of 4", []float64{1, 2, 3, 4}, 25, 1},
+		{"p30 of 4", []float64{1, 2, 3, 4}, 30, 2}, // ceil(1.2)=2; rounding gave rank 1
+		{"p50 of 4", []float64{1, 2, 3, 4}, 50, 2},
+		{"p51 of 4", []float64{1, 2, 3, 4}, 51, 3},
+		{"p75 of 4", []float64{1, 2, 3, 4}, 75, 3},
+		{"p100 of 4", []float64{1, 2, 3, 4}, 100, 4},
+		{"p99 of 3", []float64{5, 1, 9}, 99, 9},
+		{"p34 of 3", []float64{5, 1, 9}, 34, 5}, // unsorted input is sorted first
+		{"single", []float64{7}, 50, 7},
+		{"empty", nil, 50, 0},
+	} {
+		if got := Percentile(tc.xs, tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", tc.name, tc.xs, tc.p, got, tc.want)
+		}
 	}
 }
 
