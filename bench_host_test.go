@@ -1,0 +1,198 @@
+// Host-performance benchmark suite: how fast the simulator itself runs on
+// the host, as opposed to bench_test.go which reproduces the paper's
+// simulated metrics. Three layers are covered, matching the hot path from
+// the inside out:
+//
+//   - emu.Memory primitive operations (arch/program reads, stage/retire),
+//   - the full core pipeline loop (simulated instructions per host second
+//     and allocations per simulated instruction, via b.ReportAllocs),
+//   - the quick Fig. 12a experiment matrix end to end.
+//
+// cmd/phelpsreport -host records the same quantities into BENCH_host.json
+// so the trajectory is tracked across PRs (see EXPERIMENTS.md).
+package phelps_test
+
+import (
+	"runtime"
+	"testing"
+
+	"phelps/internal/emu"
+	"phelps/internal/prog"
+	"phelps/internal/sim"
+)
+
+// --- emu.Memory primitives ---
+
+func BenchmarkHostMemArchRead8(b *testing.B) {
+	m := emu.NewMemory()
+	for a := uint64(0); a < 1<<16; a += 8 {
+		m.SetU64(a, a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m.ReadArch(uint64(i*8)&0xFFF8, 8)
+	}
+	_ = sink
+}
+
+func BenchmarkHostMemArchWrite8(b *testing.B) {
+	m := emu.NewMemory()
+	m.SetU64(0, 0) // touch the page once so the loop measures writes, not page faults
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.WriteArch(uint64(i*8)&0xFF8, 8, uint64(i))
+	}
+}
+
+func BenchmarkHostMemProgramReadClean(b *testing.B) {
+	// Program-order read with no pending stores anywhere: the common case for
+	// load-heavy workloads once stores retire promptly.
+	m := emu.NewMemory()
+	for a := uint64(0); a < 1<<12; a += 8 {
+		m.SetU64(a, a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m.ReadProgram(uint64(i*8)&0xFF8, 8)
+	}
+	_ = sink
+}
+
+func BenchmarkHostMemProgramReadPending(b *testing.B) {
+	// Program-order read through a page that carries pending stores.
+	m := emu.NewMemory()
+	for a := uint64(0); a < 1<<12; a += 8 {
+		m.SetU64(a, a)
+	}
+	for i := 0; i < 64; i++ {
+		m.StagePendingStore(uint64(i), uint64(i*8), 8, uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m.ReadProgram(uint64(i*8)&0x1F8, 8)
+	}
+	_ = sink
+}
+
+func BenchmarkHostMemStageRetire(b *testing.B) {
+	// The store lifecycle: stage at fetch, retire in order. One op = one
+	// 8-byte store staged and retired.
+	m := emu.NewMemory()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := uint64(i*8) & 0xFFF8
+		m.StagePendingStore(uint64(i), a, 8, uint64(i))
+		if err := m.RetireStore(uint64(i), a, 8, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHostMemStageRetireWindow(b *testing.B) {
+	// Stage/retire with a realistic in-flight window (64 stores deep), so the
+	// overlay always has pending data in the touched pages.
+	m := emu.NewMemory()
+	const depth = 64
+	var seq uint64
+	for ; seq < depth; seq++ {
+		m.StagePendingStore(seq, (seq*8)&0xFFF8, 8, seq)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		old := seq - depth
+		if err := m.RetireStore(old, (old*8)&0xFFF8, 8, old); err != nil {
+			b.Fatal(err)
+		}
+		m.StagePendingStore(seq, (seq*8)&0xFFF8, 8, seq)
+		seq++
+	}
+}
+
+// --- core pipeline loop ---
+
+// runSimBench runs builds of a workload under cfg, reporting simulated
+// instructions per host-second and heap allocations per simulated
+// instruction (workload construction excluded from both).
+func runSimBench(b *testing.B, build func() *prog.Workload, cfg sim.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	var retired uint64
+	var mallocs uint64
+	var ms runtime.MemStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := build()
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
+		b.StartTimer()
+		r := sim.Run(w, cfg)
+		b.StopTimer()
+		runtime.ReadMemStats(&ms)
+		mallocs += ms.Mallocs - before
+		if r.VerifyErr != nil {
+			b.Fatalf("verify: %v", r.VerifyErr)
+		}
+		retired += r.Retired
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if retired > 0 {
+		b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "sim-inst/s")
+		b.ReportMetric(float64(mallocs)/float64(retired), "allocs/sim-inst")
+	}
+}
+
+func BenchmarkHostCoreLoopPredictable(b *testing.B) {
+	// Steady-state pipeline throughput: a predictable loop keeps the frontend
+	// streaming and the backend full, so this measures the per-instruction
+	// cost of fetch/dispatch/issue/retire with almost no recovery events.
+	runSimBench(b, func() *prog.Workload { return prog.PredictableLoop(400_000) }, sim.DefaultConfig())
+}
+
+func BenchmarkHostCoreLoopDelinquent(b *testing.B) {
+	// Mispredict-heavy baseline: exercises squash-free fetch stalls plus the
+	// store stage/retire path under pressure.
+	runSimBench(b, func() *prog.Workload { return prog.DelinquentLoop(50_000, 50, 1) }, sim.DefaultConfig())
+}
+
+func BenchmarkHostCoreLoopPhelps(b *testing.B) {
+	// Phelps mode adds helper-thread engines and frequent SquashAll calls at
+	// trigger/termination — the scratch-reuse paths.
+	runSimBench(b, func() *prog.Workload { return prog.DelinquentLoop(50_000, 50, 1) }, sim.PhelpsConfig(50_000))
+}
+
+// --- full quick experiment matrix ---
+
+func BenchmarkHostQuickMatrixFig12a(b *testing.B) {
+	// End-to-end host throughput of the quick Fig. 12a matrix (the
+	// acceptance-gate quantity for the allocation-free hot path work).
+	configs := []string{sim.CfgBase, sim.CfgPerfect, sim.CfgPhelps, sim.CfgBR, sim.CfgBR12w}
+	b.ReportAllocs()
+	var retired uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := sim.RunMatrix(sim.GapSpecs(true), configs)
+		for w, cfgs := range m {
+			for c, r := range cfgs {
+				if r.VerifyErr != nil {
+					b.Fatalf("%s under %s failed verification: %v", w, c, r.VerifyErr)
+				}
+				retired += r.Retired
+			}
+		}
+	}
+	b.StopTimer()
+	if retired > 0 {
+		b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "sim-inst/s")
+	}
+}

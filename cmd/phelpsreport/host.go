@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"phelps/internal/emu"
+	"phelps/internal/obs"
+	"phelps/internal/prog"
+	"phelps/internal/sim"
+)
+
+// runHostBench measures the simulator's host performance — simulated
+// instructions per host-second, allocations per simulated instruction, and
+// memory-primitive op costs — and writes them to BENCH_host.json. The
+// measurements mirror bench_host_test.go so the recorded artifact and
+// `go test -bench` agree on what is being measured.
+func runHostBench(jsonPath string) error {
+	report := obs.NewHostBenchReport(runtime.Version())
+
+	fmt.Println("host performance (see EXPERIMENTS.md · Host performance):")
+
+	// --- pipeline-level: sim-inst/s and allocs/sim-inst ---
+	simEntry := func(name string, build func() *prog.Workload, cfg sim.Config) error {
+		w := build()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
+		start := time.Now()
+		r := sim.Run(w, cfg)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		if r.VerifyErr != nil {
+			return fmt.Errorf("%s failed verification: %v", name, r.VerifyErr)
+		}
+		e := obs.HostBenchEntry{
+			Name:             name,
+			SimInstPerSec:    float64(r.Retired) / elapsed.Seconds(),
+			AllocsPerSimInst: float64(ms.Mallocs-before) / float64(r.Retired),
+		}
+		report.Add(e)
+		fmt.Printf("  %-28s %12.0f sim-inst/s  %8.4f allocs/sim-inst\n",
+			e.Name, e.SimInstPerSec, e.AllocsPerSimInst)
+		return nil
+	}
+	if err := simEntry("core_loop.predictable",
+		func() *prog.Workload { return prog.PredictableLoop(400_000) }, sim.DefaultConfig()); err != nil {
+		return err
+	}
+	if err := simEntry("core_loop.delinquent",
+		func() *prog.Workload { return prog.DelinquentLoop(50_000, 50, 1) }, sim.DefaultConfig()); err != nil {
+		return err
+	}
+	if err := simEntry("core_loop.phelps",
+		func() *prog.Workload { return prog.DelinquentLoop(50_000, 50, 1) }, sim.PhelpsConfig(50_000)); err != nil {
+		return err
+	}
+
+	// --- quick Fig. 12a matrix end to end ---
+	{
+		configs := []string{sim.CfgBase, sim.CfgPerfect, sim.CfgPhelps, sim.CfgBR, sim.CfgBR12w}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
+		start := time.Now()
+		m := sim.RunMatrix(sim.GapSpecs(true), configs)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		var retired uint64
+		for w, cfgs := range m {
+			for c, r := range cfgs {
+				if r.VerifyErr != nil {
+					return fmt.Errorf("%s under %s failed verification: %v", w, c, r.VerifyErr)
+				}
+				retired += r.Retired
+			}
+		}
+		e := obs.HostBenchEntry{
+			Name:             "quick_matrix.fig12a",
+			SimInstPerSec:    float64(retired) / elapsed.Seconds(),
+			AllocsPerSimInst: float64(ms.Mallocs-before) / float64(retired),
+		}
+		report.Add(e)
+		fmt.Printf("  %-28s %12.0f sim-inst/s  %8.4f allocs/sim-inst\n",
+			e.Name, e.SimInstPerSec, e.AllocsPerSimInst)
+	}
+
+	// --- emu.Memory primitives: ns/op and allocs/op ---
+	memEntry := func(name string, iters int, setup func() *emu.Memory, op func(m *emu.Memory, i int)) {
+		m := setup()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			op(m, i)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		e := obs.HostBenchEntry{
+			Name:             name,
+			NsPerOp:          float64(elapsed.Nanoseconds()) / float64(iters),
+			AllocsPerSimInst: float64(ms.Mallocs-before) / float64(iters),
+		}
+		report.Add(e)
+		fmt.Printf("  %-28s %12.2f ns/op       %8.4f allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerSimInst)
+	}
+	const memIters = 2_000_000
+	warm := func() *emu.Memory {
+		m := emu.NewMemory()
+		for a := uint64(0); a < 1<<12; a += 8 {
+			m.SetU64(a, a)
+		}
+		return m
+	}
+	var sink uint64
+	memEntry("mem.arch_read8", memIters, warm, func(m *emu.Memory, i int) {
+		sink += m.ReadArch(uint64(i*8)&0xFF8, 8)
+	})
+	memEntry("mem.program_read8_clean", memIters, warm, func(m *emu.Memory, i int) {
+		sink += m.ReadProgram(uint64(i*8)&0xFF8, 8)
+	})
+	memEntry("mem.stage_retire8", memIters, emu.NewMemory, func(m *emu.Memory, i int) {
+		a := uint64(i*8) & 0xFFF8
+		m.StagePendingStore(uint64(i), a, 8, uint64(i))
+		if err := m.RetireStore(uint64(i), a, 8, uint64(i)); err != nil {
+			panic(err)
+		}
+	})
+	_ = sink
+
+	if err := report.WriteFile(jsonPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}

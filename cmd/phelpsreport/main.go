@@ -8,6 +8,7 @@
 //	phelpsreport -fig 11       # just Fig. 11
 //	phelpsreport -tables       # Tables II and III
 //	phelpsreport -quick        # everything at reduced sizes
+//	phelpsreport -host         # host-performance suite -> BENCH_host.json
 package main
 
 import (
@@ -29,8 +30,19 @@ func main() {
 		tables   = flag.Bool("tables", false, "print Tables II and III")
 		quick    = flag.Bool("quick", false, "reduced workload sizes (alone, implies -all)")
 		jsonPath = flag.String("json", "BENCH_report.json", "path for the JSON report artifact")
+		host     = flag.Bool("host", false, "measure host performance (sim-inst/s, allocs/sim-inst)")
+		hostPath = flag.String("hostjson", "BENCH_host.json", "path for the host-performance artifact")
 	)
 	flag.Parse()
+	if *host {
+		if err := runHostBench(*hostPath); err != nil {
+			fmt.Fprintf(os.Stderr, "host bench: %v\n", err)
+			os.Exit(1)
+		}
+		if !*all && *fig == 0 && !*tables && !*quick {
+			return
+		}
+	}
 	if *quick && *fig == 0 && !*tables {
 		*all = true
 	}

@@ -190,7 +190,7 @@ func (h *Hierarchy) beyondL1(line uint64) uint64 {
 	}
 	h.Stats.L2Misses++
 	if h.vldp != nil {
-		for _, p := range h.vldp.trainAndPredict(line) {
+		if p, ok := h.vldp.trainAndPredict(line); ok {
 			h.prefetchIntoL2(p)
 		}
 	}
@@ -249,8 +249,10 @@ func (h *Hierarchy) Load(pc, addr, now uint64) uint64 {
 	h.Stats.L1DAccesses++
 	hit, wasPref := h.l1d.lookup(line)
 	if h.ipcp != nil {
-		for _, p := range h.ipcp.trainAndPredict(pc, line) {
-			h.prefetchIntoL1(p)
+		if ps, n := h.ipcp.trainAndPredict(pc, line); n > 0 {
+			for i := 0; i < n; i++ {
+				h.prefetchIntoL1(ps[i])
+			}
 		}
 	}
 	if hit {
@@ -333,16 +335,19 @@ type ipcpPrefetcher struct {
 
 func newIPCP() *ipcpPrefetcher { return &ipcpPrefetcher{} }
 
-func (p *ipcpPrefetcher) trainAndPredict(pc, line uint64) []uint64 {
+// trainAndPredict returns up to two prefetch lines in issue order (degree 2),
+// by value so the per-load predict path never allocates.
+func (p *ipcpPrefetcher) trainAndPredict(pc, line uint64) ([2]uint64, int) {
+	var out [2]uint64
 	e := &p.entries[(pc>>2)%64]
 	if e.pc != pc {
 		*e = ipcpEntry{pc: pc, lastLine: line}
-		return nil
+		return out, 0
 	}
 	d := int64(line) - int64(e.lastLine)
 	e.lastLine = line
 	if d == 0 {
-		return nil
+		return out, 0
 	}
 	if d == e.stride {
 		if e.conf < 3 {
@@ -351,13 +356,15 @@ func (p *ipcpPrefetcher) trainAndPredict(pc, line uint64) []uint64 {
 	} else {
 		e.stride = d
 		e.conf = 0
-		return nil
+		return out, 0
 	}
 	if e.conf >= 2 {
 		// Issue two prefetches down the stream (degree 2).
-		return []uint64{uint64(int64(line) + d), uint64(int64(line) + 2*d)}
+		out[0] = uint64(int64(line) + d)
+		out[1] = uint64(int64(line) + 2*d)
+		return out, 2
 	}
-	return nil
+	return out, 0
 }
 
 // --- VLDP-class L2 prefetcher: per-page delta history ---
@@ -369,45 +376,85 @@ type vldpEntry struct {
 	valid    uint8
 }
 
+// The delta-pattern table is a fixed open-addressed hash table instead of a
+// Go map: no per-insert allocation, no hash-map overhead on the L2 miss path,
+// and — unlike the map's delete-random-key eviction — fully deterministic
+// when the bound is hit. Capacity matches the old map bound; below it the two
+// are behaviorally identical (exact-key insert/overwrite and lookup, no
+// eviction). At capacity the table resets wholesale, which quick-profile
+// workloads never reach (measured peak occupancy ~3.7k of 4096).
+const (
+	dptSlots   = 8192 // power of two, 2x capacity keeps probe chains short
+	dptMaxKeys = 4096
+)
+
+type dptSlot struct {
+	d1, d2 int64
+	next   int64
+	used   bool
+}
+
 type vldpPrefetcher struct {
 	entries [32]vldpEntry
 	// Delta-pattern table: maps (d1,d2) to the next predicted delta.
-	dpt map[[2]int64]int64
+	dpt  [dptSlots]dptSlot
+	nDPT int
 }
 
-func newVLDP() *vldpPrefetcher { return &vldpPrefetcher{dpt: make(map[[2]int64]int64)} }
+func newVLDP() *vldpPrefetcher { return &vldpPrefetcher{} }
+
+func dptHash(d1, d2 int64) uint64 {
+	h := uint64(d1)*0x9E3779B97F4A7C15 ^ uint64(d2)*0xC2B2AE3D27D4EB4F
+	h ^= h >> 29
+	return h & (dptSlots - 1)
+}
+
+// dptSlotFor linear-probes to the slot holding (d1,d2), or the empty slot
+// where it would be inserted. The table never fills completely (nDPT is
+// capped at dptMaxKeys = dptSlots/2), so a probe always terminates.
+func (p *vldpPrefetcher) dptSlotFor(d1, d2 int64) *dptSlot {
+	for i := dptHash(d1, d2); ; i = (i + 1) & (dptSlots - 1) {
+		s := &p.dpt[i]
+		if !s.used || (s.d1 == d1 && s.d2 == d2) {
+			return s
+		}
+	}
+}
 
 func (p *vldpPrefetcher) train(line uint64) { p.trainAndPredict(line) }
 
-func (p *vldpPrefetcher) trainAndPredict(line uint64) []uint64 {
+func (p *vldpPrefetcher) trainAndPredict(line uint64) (uint64, bool) {
 	page := line >> 6 // 4KB pages of 64B lines
 	e := &p.entries[page%32]
 	if e.page != page {
 		*e = vldpEntry{page: page, lastLine: line}
-		return nil
+		return 0, false
 	}
 	d := int64(line) - int64(e.lastLine)
 	e.lastLine = line
 	if d == 0 {
-		return nil
+		return 0, false
 	}
 	if e.valid >= 2 {
-		key := [2]int64{e.delta[0], e.delta[1]}
-		p.dpt[key] = d
-		if len(p.dpt) > 4096 { // bounded table
-			for k := range p.dpt {
-				delete(p.dpt, k)
-				break
+		s := p.dptSlotFor(e.delta[0], e.delta[1])
+		if !s.used {
+			if p.nDPT >= dptMaxKeys { // bounded table: deterministic reset
+				p.dpt = [dptSlots]dptSlot{}
+				p.nDPT = 0
+				s = p.dptSlotFor(e.delta[0], e.delta[1])
 			}
+			*s = dptSlot{d1: e.delta[0], d2: e.delta[1], used: true}
+			p.nDPT++
 		}
+		s.next = d
 	}
 	e.delta[0], e.delta[1] = e.delta[1], d
 	if e.valid < 2 {
 		e.valid++
-		return nil
+		return 0, false
 	}
-	if next, ok := p.dpt[[2]int64{e.delta[0], e.delta[1]}]; ok && next != 0 {
-		return []uint64{uint64(int64(line) + next)}
+	if s := p.dptSlotFor(e.delta[0], e.delta[1]); s.used && s.next != 0 {
+		return uint64(int64(line) + s.next), true
 	}
-	return nil
+	return 0, false
 }

@@ -72,28 +72,24 @@ func (s *Stats) IPC() float64 {
 	return float64(s.Retired) / float64(s.Cycles)
 }
 
-type robEntry struct {
-	d       emu.DynInst
-	srcs    [2]*robEntry // producers still tracked at dispatch; nil = ready
-	nsrc    int
-	issued  bool
-	retired bool
-	doneAt  uint64
-	misp    bool
-	fromQ   bool
-}
+// noOrd marks an absent producer ordinal (see Core.rob).
+const noOrd = ^uint64(0)
 
-func (e *robEntry) ready(now uint64) bool {
-	for i := 0; i < e.nsrc; i++ {
-		p := e.srcs[i]
-		if p == nil || p.retired {
-			continue
-		}
-		if !p.issued || p.doneAt > now {
-			return false
-		}
-	}
-	return true
+// robEntry is one in-flight instruction. Entries live in the Core's pooled
+// ROB ring and are addressed by dispatch *ordinal* — a monotonically
+// increasing counter that serves as stable index + generation fused: slot =
+// ordinal & robMask, and an ordinal below robHead denotes a retired (or
+// squashed) producer whose slot may since have been recycled. Producers are
+// therefore tracked by ordinal, never by pointer, so recycling entries can
+// never alias a stale reference.
+type robEntry struct {
+	d      emu.DynInst
+	srcs   [2]uint64 // producer ordinals still in flight at dispatch
+	nsrc   int
+	issued bool
+	doneAt uint64
+	misp   bool
+	fromQ  bool
 }
 
 type frontEntry struct {
@@ -112,19 +108,33 @@ type Core struct {
 	hier  *cache.Hierarchy
 
 	next     func() (emu.DynInst, bool)
-	peeked   *emu.DynInst
+	peeked   emu.DynInst // valid iff hasPeek (a value, not a pointer: keeps fetch allocation-free)
+	hasPeek  bool
+	fetchBuf emu.DynInst // fetch's persistent scratch; hooks get &fetchBuf, so nothing escapes per instruction
 	replay   []emu.DynInst
 	replayAt int
 
-	frontend []frontEntry
-	rob      []*robEntry
-	robHead  int // index of oldest unretired entry within rob slice
+	// Frontend buffer: a power-of-two ring indexed by monotonic counters.
+	front     []frontEntry
+	frontHead uint64
+	frontTail uint64
 
-	lastWriter     [isa.NumRegs]*robEntry
-	inflightStores []*robEntry
+	// Pooled ROB ring: entries are recycled in place across retire and
+	// squash; robHead..robTail are the live dispatch ordinals.
+	rob     []robEntry
+	robHead uint64
+	robTail uint64
+
+	lastWriter [isa.NumRegs]uint64 // producer ordinals; noOrd = none
+
+	// In-flight store ordinals in program order (a ring: stores dispatch and
+	// retire in order).
+	storeQ     []uint64
+	storeHead  uint64
+	storeTail  uint64
 	nLoads, nStores, nDests, nIQ int
 
-	issueHead int // rob index: everything below is issued (scan start)
+	issueOrd uint64 // ordinal: everything below is issued (scan start)
 
 	stallSeq      uint64 // seq of mispredicted branch blocking fetch
 	stallActive   bool
@@ -139,13 +149,15 @@ type Core struct {
 
 	trace Tracer
 
+	replayScratch []emu.DynInst // SquashAll's reusable assembly buffer
+
 	Stats Stats
 }
 
 // NewCore builds a core over a dynamic-instruction source. mem receives
 // retired stores; hier provides load/store/I-fetch timing.
 func NewCore(cfg Config, mem *emu.Memory, hier *cache.Hierarchy, next func() (emu.DynInst, bool), hooks Hooks) *Core {
-	return &Core{
+	c := &Core{
 		cfg:           cfg,
 		lim:           cfg.FullLimits(),
 		hooks:         hooks,
@@ -153,7 +165,14 @@ func NewCore(cfg Config, mem *emu.Memory, hier *cache.Hierarchy, next func() (em
 		hier:          hier,
 		next:          next,
 		lastFetchLine: ^uint64(0),
+		front:         make([]frontEntry, 64),
+		rob:           make([]robEntry, 256),
+		storeQ:        make([]uint64, 64),
 	}
+	for i := range c.lastWriter {
+		c.lastWriter[i] = noOrd
+	}
+	return c
 }
 
 // SetTracer attaches a pipeline trace sink (nil detaches).
@@ -191,8 +210,8 @@ func (c *Core) Halted() bool { return c.halted }
 
 // Drained reports whether no instructions remain anywhere in the machine.
 func (c *Core) Drained() bool {
-	return len(c.rob) == c.robHead && len(c.frontend) == 0 &&
-		c.peeked == nil && c.replayAt >= len(c.replay)
+	return c.robTail == c.robHead && c.frontTail == c.frontHead &&
+		!c.hasPeek && c.replayAt >= len(c.replay)
 }
 
 // BlockFetchUntil stalls fetch until the given cycle (used to model the
@@ -203,28 +222,53 @@ func (c *Core) BlockFetchUntil(cycle uint64) {
 	}
 }
 
-// nextDyn returns the next correct-path instruction: replayed (post-squash)
-// instructions first, then fresh emulation.
-func (c *Core) nextDyn() (emu.DynInst, bool) {
-	if c.peeked != nil {
-		d := *c.peeked
-		c.peeked = nil
-		return d, true
+func (c *Core) entry(ord uint64) *robEntry { return &c.rob[ord&uint64(len(c.rob)-1)] }
+
+// entryReady reports whether every in-flight producer has executed. An
+// ordinal below robHead is a retired producer (always ready to consumers).
+func (c *Core) entryReady(e *robEntry, now uint64) bool {
+	for i := 0; i < e.nsrc; i++ {
+		ord := e.srcs[i]
+		if ord < c.robHead {
+			continue
+		}
+		p := c.entry(ord)
+		if !p.issued || p.doneAt > now {
+			return false
+		}
+	}
+	return true
+}
+
+// nextDynInto fills dst with the next correct-path instruction: replayed
+// (post-squash) instructions first, then fresh emulation. Writing through a
+// caller-owned pointer keeps the instruction from escaping per fetch.
+func (c *Core) nextDynInto(dst *emu.DynInst) bool {
+	if c.hasPeek {
+		*dst = c.peeked
+		c.hasPeek = false
+		return true
 	}
 	if c.replayAt < len(c.replay) {
-		d := c.replay[c.replayAt]
+		*dst = c.replay[c.replayAt]
 		c.replayAt++
 		if c.replayAt == len(c.replay) {
 			c.replay = c.replay[:0]
 			c.replayAt = 0
 		}
-		return d, true
+		return true
 	}
-	return c.next()
+	d, ok := c.next()
+	if !ok {
+		return false
+	}
+	*dst = d
+	return true
 }
 
-func (c *Core) unfetch(d emu.DynInst) {
-	c.peeked = &d
+func (c *Core) unfetch(d *emu.DynInst) {
+	c.peeked = *d
+	c.hasPeek = true
 }
 
 // Cycle advances the core by one clock at time now, drawing issue slots from
@@ -238,15 +282,19 @@ func (c *Core) Cycle(now uint64, lanes *LanePool) {
 }
 
 func (c *Core) retire(now uint64) {
-	for n := 0; n < c.cfg.RetireWidth && c.robHead < len(c.rob); n++ {
-		e := c.rob[c.robHead]
+	for n := 0; n < c.cfg.RetireWidth && c.robHead < c.robTail; n++ {
+		ord := c.robHead
+		e := c.entry(ord)
 		if !e.issued || e.doneAt > now {
 			break
 		}
-		e.retired = true
+		// Advancing robHead is what marks the entry retired: consumers see
+		// any ordinal below robHead as ready, and the slot becomes
+		// recyclable once the ring wraps.
 		c.robHead++
 		d := &e.d
 		op := d.Inst.Op
+		misp, fromQ := e.misp, e.fromQ
 		if op.WritesRd() && d.Inst.Rd != isa.X0 {
 			c.archRegs[d.Inst.Rd] = d.RdVal
 		}
@@ -255,7 +303,7 @@ func (c *Core) retire(now uint64) {
 				panic(err)
 			}
 			c.hier.Store(d.Addr, now)
-			c.inflightStores = c.inflightStores[1:]
+			c.storeHead++
 			c.nStores--
 		}
 		if op.IsLoad() {
@@ -266,12 +314,12 @@ func (c *Core) retire(now uint64) {
 		}
 		if op.IsCondBranch() {
 			c.Stats.CondBranches++
-			if e.misp {
+			if misp {
 				c.Stats.Mispredicts++
 			}
-			if e.fromQ {
+			if fromQ {
 				c.Stats.QueuePreds++
-				if e.misp {
+				if misp {
 					c.Stats.QueueMisps++
 				}
 			}
@@ -282,44 +330,35 @@ func (c *Core) retire(now uint64) {
 		c.Stats.Retired++
 		// Drop writer mapping if this entry is still the last writer (a
 		// retired producer is always ready to consumers).
-		if op.WritesRd() && c.lastWriter[d.Inst.Rd] == e {
-			c.lastWriter[d.Inst.Rd] = nil
+		if op.WritesRd() && c.lastWriter[d.Inst.Rd] == ord {
+			c.lastWriter[d.Inst.Rd] = noOrd
 		}
 		if c.hooks.OnRetire != nil {
-			c.hooks.OnRetire(d, e.misp)
+			c.hooks.OnRetire(d, misp)
 		}
 		if c.trace != nil {
-			c.trace.Retire(now, d, e.misp, e.fromQ)
-		}
-		// Compact the rob slice occasionally.
-		if c.robHead > 1024 {
-			c.rob = append(c.rob[:0], c.rob[c.robHead:]...)
-			c.issueHead -= c.robHead
-			if c.issueHead < 0 {
-				c.issueHead = 0
-			}
-			c.robHead = 0
+			c.trace.Retire(now, d, misp, fromQ)
 		}
 	}
 }
 
 func (c *Core) issue(now uint64, lanes *LanePool) {
 	// Advance the scan start past the fully-issued prefix (issued is
-	// monotonic per entry; squash/compaction reset the pointer).
-	if c.issueHead < c.robHead {
-		c.issueHead = c.robHead
+	// monotonic per entry; squash resets the pointer).
+	if c.issueOrd < c.robHead {
+		c.issueOrd = c.robHead
 	}
-	for c.issueHead < len(c.rob) && c.rob[c.issueHead].issued {
-		c.issueHead++
+	for c.issueOrd < c.robTail && c.entry(c.issueOrd).issued {
+		c.issueOrd++
 	}
 	scanned := 0
-	for i := c.issueHead; i < len(c.rob) && scanned < c.cfg.IQScanLimit; i++ {
-		e := c.rob[i]
+	for ord := c.issueOrd; ord < c.robTail && scanned < c.cfg.IQScanLimit; ord++ {
+		e := c.entry(ord)
 		if e.issued {
 			continue
 		}
 		scanned++
-		if !e.ready(now) {
+		if !c.entryReady(e, now) {
 			continue
 		}
 		op := e.d.Inst.Op
@@ -367,8 +406,9 @@ func (c *Core) issue(now uint64, lanes *LanePool) {
 // executed; otherwise it accesses the cache hierarchy.
 func (c *Core) tryIssueLoad(e *robEntry, now uint64, lanes *LanePool) bool {
 	var dep *robEntry
-	for i := len(c.inflightStores) - 1; i >= 0; i-- {
-		s := c.inflightStores[i]
+	mask := uint64(len(c.storeQ) - 1)
+	for i := c.storeTail; i > c.storeHead; i-- {
+		s := c.entry(c.storeQ[(i-1)&mask])
 		if s.d.Seq > e.d.Seq {
 			continue
 		}
@@ -398,15 +438,36 @@ func overlaps(a1 uint64, s1 int, a2 uint64, s2 int) bool {
 	return a1 < a2+uint64(s2) && a2 < a1+uint64(s1)
 }
 
+// growROB doubles the ROB ring, re-laying entries out at their ordinals'
+// new slots.
+func (c *Core) growROB() {
+	next := make([]robEntry, len(c.rob)*2)
+	mask := uint64(len(c.rob) - 1)
+	nextMask := uint64(len(next) - 1)
+	for ord := c.robHead; ord < c.robTail; ord++ {
+		next[ord&nextMask] = c.rob[ord&mask]
+	}
+	c.rob = next
+}
+
+func (c *Core) growStoreQ() {
+	next := make([]uint64, len(c.storeQ)*2)
+	mask := uint64(len(c.storeQ) - 1)
+	nextMask := uint64(len(next) - 1)
+	for i := c.storeHead; i < c.storeTail; i++ {
+		next[i&nextMask] = c.storeQ[i&mask]
+	}
+	c.storeQ = next
+}
+
 func (c *Core) dispatch(now uint64) {
-	for len(c.frontend) > 0 {
-		fe := &c.frontend[0]
+	for c.frontTail > c.frontHead {
+		fe := &c.front[c.frontHead&uint64(len(c.front)-1)]
 		if fe.readyAt > now {
 			break
 		}
-		d := &fe.d
-		op := d.Inst.Op
-		if len(c.rob)-c.robHead >= c.lim.ROB || c.nIQ >= c.lim.IQ {
+		op := fe.d.Inst.Op
+		if c.robTail-c.robHead >= uint64(c.lim.ROB) || c.nIQ >= c.lim.IQ {
 			break
 		}
 		if op.IsLoad() && c.nLoads >= c.lim.LQ {
@@ -418,19 +479,25 @@ func (c *Core) dispatch(now uint64) {
 		if op.WritesRd() && c.nDests >= c.lim.PRF-isa.NumRegs {
 			break
 		}
-		e := &robEntry{d: fe.d, misp: fe.misp, fromQ: fe.fromQ}
+		if c.robTail-c.robHead == uint64(len(c.rob)) {
+			c.growROB()
+		}
+		ord := c.robTail
+		e := c.entry(ord)
+		*e = robEntry{d: fe.d, misp: fe.misp, fromQ: fe.fromQ}
+		d := &e.d
 		srcs, n := d.Inst.SrcRegs()
 		for i := 0; i < n; i++ {
 			if srcs[i] == isa.X0 {
 				continue
 			}
-			if w := c.lastWriter[srcs[i]]; w != nil && !w.retired {
+			if w := c.lastWriter[srcs[i]]; w != noOrd && w >= c.robHead {
 				e.srcs[e.nsrc] = w
 				e.nsrc++
 			}
 		}
 		if op.WritesRd() && d.Inst.Rd != isa.X0 {
-			c.lastWriter[d.Inst.Rd] = e
+			c.lastWriter[d.Inst.Rd] = ord
 			c.nDests++
 		}
 		if op.IsLoad() {
@@ -438,15 +505,29 @@ func (c *Core) dispatch(now uint64) {
 		}
 		if op.IsStore() {
 			c.nStores++
-			c.inflightStores = append(c.inflightStores, e)
+			if c.storeTail-c.storeHead == uint64(len(c.storeQ)) {
+				c.growStoreQ()
+			}
+			c.storeQ[c.storeTail&uint64(len(c.storeQ)-1)] = ord
+			c.storeTail++
 		}
-		c.rob = append(c.rob, e)
+		c.robTail = ord + 1
 		c.nIQ++
 		if c.trace != nil {
 			c.trace.Dispatch(now, d.Seq)
 		}
-		c.frontend = c.frontend[1:]
+		c.frontHead++
 	}
+}
+
+func (c *Core) growFront() {
+	next := make([]frontEntry, len(c.front)*2)
+	mask := uint64(len(c.front) - 1)
+	nextMask := uint64(len(next) - 1)
+	for i := c.frontHead; i < c.frontTail; i++ {
+		next[i&nextMask] = c.front[i&mask]
+	}
+	c.front = next
 }
 
 func (c *Core) fetch(now uint64) {
@@ -463,14 +544,14 @@ func (c *Core) fetch(now uint64) {
 		return
 	}
 	// Frontend buffer backpressure: bounded by width * frontend depth.
-	maxFront := c.lim.FetchWidth * int(c.cfg.FrontendLatency())
+	maxFront := uint64(c.lim.FetchWidth) * c.cfg.FrontendLatency()
 	fl := c.cfg.FrontendLatency()
 	for n := 0; n < c.lim.FetchWidth; n++ {
-		if len(c.frontend) >= maxFront {
+		if c.frontTail-c.frontHead >= maxFront {
 			return
 		}
-		d, ok := c.nextDyn()
-		if !ok {
+		d := &c.fetchBuf
+		if !c.nextDynInto(d) {
 			return
 		}
 		// Instruction cache: crossing into a new line may block fetch.
@@ -486,14 +567,18 @@ func (c *Core) fetch(now uint64) {
 			}
 		}
 		if c.hooks.OnFetch != nil {
-			c.hooks.OnFetch(&d)
+			c.hooks.OnFetch(d)
 		}
-		fe := frontEntry{d: d, readyAt: now + fl}
+		if c.frontTail-c.frontHead == uint64(len(c.front)) {
+			c.growFront()
+		}
+		fe := &c.front[c.frontTail&uint64(len(c.front)-1)]
+		*fe = frontEntry{d: *d, readyAt: now + fl}
 		endGroup := false
 		if d.Inst.Op.IsCondBranch() {
 			pred := Prediction{Taken: false}
 			if c.hooks.Predict != nil {
-				pred = c.hooks.Predict(&d)
+				pred = c.hooks.Predict(d)
 			}
 			fe.misp = pred.Taken != d.Taken
 			fe.fromQ = pred.FromQueue
@@ -510,7 +595,7 @@ func (c *Core) fetch(now uint64) {
 		} else if d.Inst.Op.IsJump() {
 			endGroup = true // taken-redirect ends the fetch group
 		}
-		c.frontend = append(c.frontend, fe)
+		c.frontTail++
 		if c.trace != nil {
 			c.trace.Fetch(now, &fe.d)
 		}
@@ -523,39 +608,43 @@ func (c *Core) fetch(now uint64) {
 // SquashAll flushes every in-flight instruction back into the replay queue
 // (program order preserved) and resets pipeline state. Used at helper-thread
 // trigger/termination (Section V-F/V-G). The squashed instructions will be
-// refetched, paying the frontend refill.
+// refetched, paying the frontend refill. The assembly buffer is recycled
+// across squashes (they are frequent under Phelps configurations).
 func (c *Core) SquashAll(now uint64) {
 	c.Stats.Squashes++
-	var replayed []emu.DynInst
-	for i := c.robHead; i < len(c.rob); i++ {
-		replayed = append(replayed, c.rob[i].d)
+	buf := c.replayScratch[:0]
+	robMask := uint64(len(c.rob) - 1)
+	for ord := c.robHead; ord < c.robTail; ord++ {
+		buf = append(buf, c.rob[ord&robMask].d)
 	}
-	for i := range c.frontend {
-		replayed = append(replayed, c.frontend[i].d)
+	frontMask := uint64(len(c.front) - 1)
+	for i := c.frontHead; i < c.frontTail; i++ {
+		buf = append(buf, c.front[i&frontMask].d)
 	}
 	if c.trace != nil {
 		// The peeked instruction was never reported fetched; the tracer
 		// ignores its unknown sequence number on re-fetch.
-		for i := range replayed {
-			c.trace.Squash(now, replayed[i].Seq)
+		for i := range buf {
+			c.trace.Squash(now, buf[i].Seq)
 		}
 	}
-	if c.peeked != nil {
-		replayed = append(replayed, *c.peeked)
-		c.peeked = nil
+	if c.hasPeek {
+		buf = append(buf, c.peeked)
+		c.hasPeek = false
 	}
-	// Prepend before any not-yet-replayed instructions.
-	rest := append([]emu.DynInst{}, c.replay[c.replayAt:]...)
-	c.replay = append(replayed, rest...)
+	// Prepend before any not-yet-replayed instructions, then swap buffers so
+	// the old replay backing array becomes the next squash's scratch.
+	buf = append(buf, c.replay[c.replayAt:]...)
+	c.replayScratch = c.replay[:0]
+	c.replay = buf
 	c.replayAt = 0
 
-	c.frontend = c.frontend[:0]
-	c.rob = c.rob[:0]
-	c.robHead = 0
-	c.issueHead = 0
-	c.inflightStores = c.inflightStores[:0]
+	c.frontHead = c.frontTail
+	c.robHead = c.robTail
+	c.issueOrd = c.robTail
+	c.storeHead = c.storeTail
 	for i := range c.lastWriter {
-		c.lastWriter[i] = nil
+		c.lastWriter[i] = noOrd
 	}
 	c.nLoads, c.nStores, c.nDests, c.nIQ = 0, 0, 0, 0
 	c.stallActive = false

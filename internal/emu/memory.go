@@ -16,9 +16,20 @@
 //
 // Main-thread stores enter a pending overlay at emulation (fetch) time and
 // are folded into the architectural image when the timing model retires them.
+//
+// The overlay is a page-shadow design sized for the simulation hot path: the
+// architectural image is flat 4KB pages, and each page with pending stores
+// carries a shadow — the youngest pending value per byte, an occupancy
+// bitmap, and a per-byte count of covering stores. The program-order FIFO of
+// staged stores is one flat ring of (seq, addr, size, value) records, so
+// staging and retiring a store never allocates in steady state and the
+// program-order view is a bitmap test away from the architectural fast path.
 package emu
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 const (
 	pageShift = 12
@@ -28,24 +39,65 @@ const (
 
 type page [pageSize]byte
 
-type byteVersion struct {
-	seq uint64
-	val byte
+// shadowPage overlays one architectural page with its pending-store image.
+// data holds the youngest staged value for every occupied byte, occ is the
+// byte-occupancy bitmap (bit set ⇔ count > 0), and count tracks how many
+// staged-but-unretired stores cover each byte (bounded by the core's
+// in-flight window, so uint16 has ample headroom). n is the number of
+// occupied bytes; when it returns to zero the shadow is recycled.
+type shadowPage struct {
+	data  [pageSize]byte
+	count [pageSize]uint16
+	occ   [pageSize / 64]uint64
+	n     int
+}
+
+// anyPending reports whether any byte in [off, off+size) is occupied.
+// size is at most 8 and the range must lie within the page.
+func (sp *shadowPage) anyPending(off uint64, size int) bool {
+	w := off >> 6
+	b := off & 63
+	mask := (uint64(1)<<size - 1) << b
+	if sp.occ[w]&mask != 0 {
+		return true
+	}
+	if spill := b + uint64(size); spill > 64 {
+		return sp.occ[w+1]&(uint64(1)<<(spill-64)-1) != 0
+	}
+	return false
+}
+
+// pendingStore is one staged-but-unretired store, held in program order in
+// the Memory's flat ring.
+type pendingStore struct {
+	seq  uint64
+	addr uint64
+	val  uint64
+	size int32
 }
 
 // Memory is a sparse 64-bit byte-addressable memory with a pending-store
 // overlay. The zero value is not usable; call NewMemory.
 type Memory struct {
-	pages   map[uint64]*page
-	pending map[uint64][]byteVersion // per-byte versions, oldest first
-	nPend   int
+	pages  map[uint64]*page
+	shadow map[uint64]*shadowPage
+
+	// Program-order FIFO of staged stores: a power-of-two ring indexed by
+	// monotonic head/tail counters.
+	ring []pendingStore
+	head uint64
+	tail uint64
+
+	shadowFree []*shadowPage // recycled empty shadows (bounds steady-state allocation)
+	nPend      int
 }
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
 	return &Memory{
-		pages:   make(map[uint64]*page),
-		pending: make(map[uint64][]byteVersion),
+		pages:  make(map[uint64]*page),
+		shadow: make(map[uint64]*shadowPage),
+		ring:   make([]pendingStore, 64),
 	}
 }
 
@@ -61,7 +113,7 @@ func (m *Memory) pageFor(addr uint64, create bool) *page {
 
 // ReadArchByte reads one byte from the architectural (retire-time) view.
 func (m *Memory) ReadArchByte(addr uint64) byte {
-	p := m.pageFor(addr, false)
+	p := m.pages[addr>>pageShift]
 	if p == nil {
 		return 0
 	}
@@ -75,8 +127,29 @@ func (m *Memory) WriteArchByte(addr uint64, v byte) {
 }
 
 // ReadArch reads size bytes (1, 4, or 8) little-endian from the architectural
-// view.
+// view. Accesses that stay within one page read the page image directly;
+// only page-crossing accesses take the byte loop.
 func (m *Memory) ReadArch(addr uint64, size int) uint64 {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := m.pages[addr>>pageShift]
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 1:
+			return uint64(p[off])
+		}
+		var v uint64
+		for i := 0; i < size; i++ {
+			v |= uint64(p[off+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
 	var v uint64
 	for i := 0; i < size; i++ {
 		v |= uint64(m.ReadArchByte(addr+uint64(i))) << (8 * i)
@@ -86,20 +159,65 @@ func (m *Memory) ReadArch(addr uint64, size int) uint64 {
 
 // WriteArch writes size bytes little-endian into the architectural view.
 func (m *Memory) WriteArch(addr uint64, size int, v uint64) {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := m.pageFor(addr, true)
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+		case 1:
+			p[off] = byte(v)
+		default:
+			for i := 0; i < size; i++ {
+				p[off+uint64(i)] = byte(v >> (8 * i))
+			}
+		}
+		return
+	}
 	for i := 0; i < size; i++ {
 		m.WriteArchByte(addr+uint64(i), byte(v>>(8*i)))
 	}
 }
 
 // ReadProgram reads size bytes from the program-order view: pending store
-// data if present, architectural data otherwise.
+// data if present, architectural data otherwise. The common case — no
+// pending bytes under the access — is one bitmap probe on top of the
+// architectural fast path.
 func (m *Memory) ReadProgram(addr uint64, size int) uint64 {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		pn := addr >> pageShift
+		sp := m.shadow[pn]
+		if sp == nil || !sp.anyPending(off, size) {
+			return m.ReadArch(addr, size)
+		}
+		p := m.pages[pn]
+		var v uint64
+		for i := 0; i < size; i++ {
+			o := off + uint64(i)
+			var b byte
+			if sp.occ[o>>6]&(1<<(o&63)) != 0 {
+				b = sp.data[o]
+			} else if p != nil {
+				b = p[o]
+			}
+			v |= uint64(b) << (8 * i)
+		}
+		return v
+	}
 	var v uint64
 	for i := 0; i < size; i++ {
 		a := addr + uint64(i)
 		var b byte
-		if vs := m.pending[a]; len(vs) > 0 {
-			b = vs[len(vs)-1].val
+		if sp := m.shadow[a>>pageShift]; sp != nil {
+			o := a & pageMask
+			if sp.occ[o>>6]&(1<<(o&63)) != 0 {
+				b = sp.data[o]
+			} else {
+				b = m.ReadArchByte(a)
+			}
 		} else {
 			b = m.ReadArchByte(a)
 		}
@@ -108,33 +226,102 @@ func (m *Memory) ReadProgram(addr uint64, size int) uint64 {
 	return v
 }
 
-// StagePendingStore records a store executed by the emulator but not yet
-// retired by the timing model. seq must be strictly increasing across calls.
-func (m *Memory) StagePendingStore(seq, addr uint64, size int, v uint64) {
-	for i := 0; i < size; i++ {
-		a := addr + uint64(i)
-		m.pending[a] = append(m.pending[a], byteVersion{seq: seq, val: byte(v >> (8 * i))})
-		m.nPend++
+// shadowFor returns the shadow for addr's page, creating (or recycling) one
+// if absent.
+func (m *Memory) shadowFor(addr uint64) *shadowPage {
+	pn := addr >> pageShift
+	sp := m.shadow[pn]
+	if sp == nil {
+		if n := len(m.shadowFree); n > 0 {
+			sp = m.shadowFree[n-1]
+			m.shadowFree = m.shadowFree[:n-1]
+		} else {
+			sp = new(shadowPage)
+		}
+		m.shadow[pn] = sp
+	}
+	return sp
+}
+
+// releaseShadow recycles an emptied shadow page.
+func (m *Memory) releaseShadow(pn uint64, sp *shadowPage) {
+	delete(m.shadow, pn)
+	// A released shadow is fully clean (n == 0 implies every count and occ
+	// bit is zero), so it can be handed back out as-is. The free list stays
+	// small: simulations touch few distinct pages per in-flight window.
+	if len(m.shadowFree) < 16 {
+		m.shadowFree = append(m.shadowFree, sp)
 	}
 }
 
-// RetireStore folds the pending store with the given sequence number into the
-// architectural view. Stores must be retired in the order they were staged.
-func (m *Memory) RetireStore(seq, addr uint64, size int, v uint64) error {
+// StagePendingStore records a store executed by the emulator but not yet
+// retired by the timing model. seq must be strictly increasing across calls.
+func (m *Memory) StagePendingStore(seq, addr uint64, size int, v uint64) {
+	if m.tail-m.head == uint64(len(m.ring)) {
+		m.growRing()
+	}
+	m.ring[m.tail&uint64(len(m.ring)-1)] = pendingStore{seq: seq, addr: addr, val: v, size: int32(size)}
+	m.tail++
+
+	sp := m.shadowFor(addr)
 	for i := 0; i < size; i++ {
 		a := addr + uint64(i)
-		vs := m.pending[a]
-		if len(vs) == 0 || vs[0].seq != seq {
-			return fmt.Errorf("emu: retire store seq=%d addr=%#x out of order", seq, addr)
+		o := a & pageMask
+		if i > 0 && o == 0 {
+			sp = m.shadowFor(a) // crossed into the next page
 		}
-		m.WriteArchByte(a, vs[0].val)
-		if len(vs) == 1 {
-			delete(m.pending, a)
-		} else {
-			m.pending[a] = vs[1:]
+		if sp.count[o] == 0 {
+			sp.occ[o>>6] |= 1 << (o & 63)
+			sp.n++
 		}
-		m.nPend--
+		sp.count[o]++
+		sp.data[o] = byte(v >> (8 * i))
 	}
+	m.nPend += size
+}
+
+func (m *Memory) growRing() {
+	next := make([]pendingStore, len(m.ring)*2)
+	mask := uint64(len(m.ring) - 1)
+	nextMask := uint64(len(next) - 1)
+	for i := m.head; i != m.tail; i++ {
+		next[i&nextMask] = m.ring[i&mask]
+	}
+	m.ring = next
+}
+
+// RetireStore folds the oldest pending store into the architectural view.
+// Stores must be retired in the order they were staged; the ring head is the
+// single source of truth, so a mismatched sequence number is rejected before
+// any state changes.
+func (m *Memory) RetireStore(seq, addr uint64, size int, v uint64) error {
+	if m.head == m.tail {
+		return fmt.Errorf("emu: retire store seq=%d addr=%#x with no stores pending", seq, addr)
+	}
+	ps := &m.ring[m.head&uint64(len(m.ring)-1)]
+	if ps.seq != seq || ps.addr != addr || int(ps.size) != size {
+		return fmt.Errorf("emu: retire store seq=%d addr=%#x out of order", seq, addr)
+	}
+	m.head++
+	m.WriteArch(addr, size, ps.val)
+
+	sp := m.shadow[addr>>pageShift]
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		o := a & pageMask
+		if i > 0 && o == 0 {
+			sp = m.shadow[a>>pageShift]
+		}
+		sp.count[o]--
+		if sp.count[o] == 0 {
+			sp.occ[o>>6] &^= 1 << (o & 63)
+			sp.n--
+			if sp.n == 0 {
+				m.releaseShadow(a>>pageShift, sp)
+			}
+		}
+	}
+	m.nPend -= size
 	return nil
 }
 

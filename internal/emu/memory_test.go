@@ -1,0 +1,294 @@
+package emu
+
+import (
+	"testing"
+)
+
+// TestRetireReclaimsOverlayMemory is the regression test for the unbounded
+// retention bug in the old per-byte overlay: retiring a store sliced the
+// version list (`m.pending[a] = vs[1:]`), which kept the whole backing array
+// alive, so long runs grew without bound. The ring overlay must reclaim
+// everything: once all staged stores retire, no shadow pages remain, the
+// ring stays at its steady-state size for the in-flight window, and the
+// recycled-shadow free list stays bounded.
+func TestRetireReclaimsOverlayMemory(t *testing.T) {
+	m := NewMemory()
+	const (
+		window = 32      // stores in flight at once
+		n      = 200_000 // total stores, spread over many pages
+	)
+	var seq uint64
+	addr := func(s uint64) uint64 { return (s * 8) % (1 << 24) }
+	for ; seq < window; seq++ {
+		m.StagePendingStore(seq, addr(seq), 8, seq)
+	}
+	for ; seq < n; seq++ {
+		old := seq - window
+		if err := m.RetireStore(old, addr(old), 8, old); err != nil {
+			t.Fatal(err)
+		}
+		m.StagePendingStore(seq, addr(seq), 8, seq)
+	}
+	for s := seq - window; s < seq; s++ {
+		if err := m.RetireStore(s, addr(s), 8, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.PendingBytes() != 0 {
+		t.Errorf("PendingBytes = %d after all stores retired, want 0", m.PendingBytes())
+	}
+	if len(m.shadow) != 0 {
+		t.Errorf("%d shadow pages still live after all stores retired, want 0", len(m.shadow))
+	}
+	// The ring is sized by the in-flight window, not by run length: window
+	// stores fit in the initial 64 slots, so 200k stores must not grow it.
+	if len(m.ring) != 64 {
+		t.Errorf("ring grew to %d slots for a %d-deep window, want 64", len(m.ring), window)
+	}
+	if len(m.shadowFree) > 16 {
+		t.Errorf("shadow free list holds %d pages, want <= 16", len(m.shadowFree))
+	}
+	// And the data actually retired into the architectural image.
+	if got := m.U64(addr(n - 1)); got != n-1 {
+		t.Errorf("arch[last] = %d, want %d", got, uint64(n-1))
+	}
+}
+
+// TestMemoryAccessTable drives the aligned fast paths and their fallbacks
+// through both views: every size the ISA uses (1, 4, 8 bytes), misaligned
+// within a page, and straddling a page boundary.
+func TestMemoryAccessTable(t *testing.T) {
+	cases := []struct {
+		name string
+		addr uint64
+		size int
+		val  uint64
+	}{
+		{"aligned8", 0x2000, 8, 0x1122334455667788},
+		{"aligned4", 0x2100, 4, 0xDEADBEEF},
+		{"byte", 0x2200, 1, 0x5A},
+		{"misaligned8", 0x2301, 8, 0x8877665544332211},
+		{"misaligned4", 0x2403, 4, 0xCAFEBABE},
+		{"cross_page8", 0x2FFD, 8, 0xA1B2C3D4E5F60718}, // 3 bytes in page 2, 5 in page 3
+		{"cross_page4", 0x3FFE, 4, 0x90ABCDEF},         // 2 and 2
+		{"page_last_byte", 0x4FFF, 1, 0x7E},
+		{"page_first8", 0x5000, 8, 0x0F0E0D0C0B0A0908},
+	}
+	t.Run("arch", func(t *testing.T) {
+		m := NewMemory()
+		for _, c := range cases {
+			m.WriteArch(c.addr, c.size, c.val)
+		}
+		for _, c := range cases {
+			if got := m.ReadArch(c.addr, c.size); got != c.val {
+				t.Errorf("%s: ReadArch(%#x,%d) = %#x, want %#x", c.name, c.addr, c.size, got, c.val)
+			}
+			// Byte-wise readback cross-checks the fast path against the
+			// canonical little-endian layout.
+			for i := 0; i < c.size; i++ {
+				want := byte(c.val >> (8 * i))
+				if got := m.ReadArchByte(c.addr + uint64(i)); got != want {
+					t.Errorf("%s: byte %d = %#x, want %#x", c.name, i, got, want)
+				}
+			}
+			// A clean program-order view must agree with the architectural one.
+			if got := m.ReadProgram(c.addr, c.size); got != c.val {
+				t.Errorf("%s: clean ReadProgram = %#x, want %#x", c.name, got, c.val)
+			}
+		}
+	})
+	t.Run("staged", func(t *testing.T) {
+		// The same accesses staged as pending stores: the program view sees
+		// them, the architectural view does not until retirement.
+		m := NewMemory()
+		for i, c := range cases {
+			m.StagePendingStore(uint64(i), c.addr, c.size, c.val)
+		}
+		for _, c := range cases {
+			if got := m.ReadProgram(c.addr, c.size); got != c.val {
+				t.Errorf("%s: staged ReadProgram = %#x, want %#x", c.name, got, c.val)
+			}
+			if got := m.ReadArch(c.addr, c.size); got != 0 {
+				t.Errorf("%s: ReadArch sees unretired store: %#x", c.name, got)
+			}
+		}
+		for i, c := range cases {
+			if err := m.RetireStore(uint64(i), c.addr, c.size, c.val); err != nil {
+				t.Fatalf("%s: retire: %v", c.name, err)
+			}
+		}
+		for _, c := range cases {
+			if got := m.ReadArch(c.addr, c.size); got != c.val {
+				t.Errorf("%s: post-retire ReadArch = %#x, want %#x", c.name, got, c.val)
+			}
+		}
+		if len(m.shadow) != 0 || m.PendingBytes() != 0 {
+			t.Errorf("overlay not empty after full retirement: %d shadows, %d pending bytes",
+				len(m.shadow), m.PendingBytes())
+		}
+	})
+}
+
+// TestOverlappingStagedStoresRetireInOrder walks a stack of overlapping
+// staged stores through retirement: the program view must always show the
+// youngest write per byte, and each retirement folds exactly its own value
+// into the architectural image (older bytes re-exposed by a retire are then
+// re-covered by the still-pending younger stores in the program view).
+func TestOverlappingStagedStoresRetireInOrder(t *testing.T) {
+	m := NewMemory()
+	const base = 0x9000
+	stores := []struct {
+		addr uint64
+		size int
+		val  uint64
+	}{
+		{base, 8, 0x1111111111111111},     // covers [0,8)
+		{base + 2, 4, 0x22222222},         // covers [2,6)
+		{base + 4, 8, 0x3333333333333333}, // covers [4,12)
+		{base + 5, 1, 0x44},               // covers [5,6)
+	}
+	for i, s := range stores {
+		m.StagePendingStore(uint64(i), s.addr, s.size, s.val)
+	}
+
+	// expected program-order image: youngest writer per byte.
+	wantByte := func() [12]byte {
+		var img [12]byte
+		for _, s := range stores {
+			for i := 0; i < s.size; i++ {
+				img[s.addr-base+uint64(i)] = byte(s.val >> (8 * i))
+			}
+		}
+		return img
+	}()
+	for i, wb := range wantByte {
+		if got := byte(m.ReadProgram(base+uint64(i), 1)); got != wb {
+			t.Errorf("program byte %d = %#x, want %#x", i, got, wb)
+		}
+	}
+
+	// Retire one by one; after each, arch = all retired stores folded in
+	// order, program = arch overlaid with the still-pending suffix.
+	var archImg [12]byte
+	for i, s := range stores {
+		if err := m.RetireStore(uint64(i), s.addr, s.size, s.val); err != nil {
+			t.Fatalf("retire %d: %v", i, err)
+		}
+		for j := 0; j < s.size; j++ {
+			archImg[s.addr-base+uint64(j)] = byte(s.val >> (8 * j))
+		}
+		progImg := archImg
+		for _, y := range stores[i+1:] {
+			for j := 0; j < y.size; j++ {
+				progImg[y.addr-base+uint64(j)] = byte(y.val >> (8 * j))
+			}
+		}
+		for b := 0; b < 12; b++ {
+			if got := byte(m.ReadArch(base+uint64(b), 1)); got != archImg[b] {
+				t.Errorf("after retire %d: arch byte %d = %#x, want %#x", i, b, got, archImg[b])
+			}
+			if got := byte(m.ReadProgram(base+uint64(b), 1)); got != progImg[b] {
+				t.Errorf("after retire %d: program byte %d = %#x, want %#x", i, b, got, progImg[b])
+			}
+		}
+	}
+	if len(m.shadow) != 0 || m.PendingBytes() != 0 {
+		t.Errorf("overlay not empty after full retirement: %d shadows, %d pending bytes",
+			len(m.shadow), m.PendingBytes())
+	}
+}
+
+// TestRetireStoreRejectsMismatch pins the stricter FIFO contract: the ring
+// head is the single source of truth, so retiring anything but the oldest
+// staged store fails without mutating state.
+func TestRetireStoreRejectsMismatch(t *testing.T) {
+	m := NewMemory()
+	m.StagePendingStore(1, 0x100, 8, 0xAA)
+	m.StagePendingStore(2, 0x200, 8, 0xBB)
+	for _, bad := range []struct {
+		seq, addr uint64
+		size      int
+	}{
+		{2, 0x200, 8}, // younger first
+		{1, 0x108, 8}, // wrong address
+		{1, 0x100, 4}, // wrong size
+	} {
+		if err := m.RetireStore(bad.seq, bad.addr, bad.size, 0); err == nil {
+			t.Errorf("RetireStore(seq=%d addr=%#x size=%d) succeeded, want error", bad.seq, bad.addr, bad.size)
+		}
+	}
+	if err := m.RetireStore(1, 0x100, 8, 0xAA); err != nil {
+		t.Fatalf("in-order retire failed after rejected attempts: %v", err)
+	}
+	if err := m.RetireStore(2, 0x200, 8, 0xBB); err != nil {
+		t.Fatalf("in-order retire failed: %v", err)
+	}
+	if m.PendingBytes() != 0 {
+		t.Errorf("PendingBytes = %d, want 0", m.PendingBytes())
+	}
+}
+
+// TestStagePendingStoreCrossPage covers a staged store straddling a page
+// boundary: both pages carry shadows, and retirement releases both.
+func TestStagePendingStoreCrossPage(t *testing.T) {
+	const addr = 0xFFFC // 4 bytes below the boundary, 4 above
+	m := NewMemory()
+	m.WriteArch(addr, 8, 0x0101010101010101)
+	m.StagePendingStore(7, addr, 8, 0xFEDCBA9876543210)
+	if got := m.ReadProgram(addr, 8); got != 0xFEDCBA9876543210 {
+		t.Errorf("ReadProgram = %#x", got)
+	}
+	if got := m.ReadArch(addr, 8); got != 0x0101010101010101 {
+		t.Errorf("ReadArch = %#x, want pre-store image", got)
+	}
+	if len(m.shadow) != 2 {
+		t.Errorf("%d shadow pages for a page-crossing store, want 2", len(m.shadow))
+	}
+	if err := m.RetireStore(7, addr, 8, 0xFEDCBA9876543210); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadArch(addr, 8); got != 0xFEDCBA9876543210 {
+		t.Errorf("post-retire ReadArch = %#x", got)
+	}
+	if len(m.shadow) != 0 {
+		t.Errorf("%d shadow pages after retirement, want 0", len(m.shadow))
+	}
+}
+
+// TestRingGrowthPreservesOrder fills far past the initial ring capacity
+// without retiring, then retires everything in order — exercising growRing's
+// re-lay of a wrapped ring.
+func TestRingGrowthPreservesOrder(t *testing.T) {
+	m := NewMemory()
+	const n = 500 // > initial 64 slots, with interleaved partial retirement
+	var staged, retired uint64
+	// Interleave so head is nonzero (a wrapped ring) when growth happens.
+	for staged < 40 {
+		m.StagePendingStore(staged, staged*16, 8, staged)
+		staged++
+	}
+	for retired < 20 {
+		if err := m.RetireStore(retired, retired*16, 8, retired); err != nil {
+			t.Fatal(err)
+		}
+		retired++
+	}
+	for staged < n {
+		m.StagePendingStore(staged, staged*16, 8, staged)
+		staged++
+	}
+	for retired < n {
+		if err := m.RetireStore(retired, retired*16, 8, retired); err != nil {
+			t.Fatalf("retire %d after growth: %v", retired, err)
+		}
+		retired++
+	}
+	for i := uint64(0); i < n; i++ {
+		if got := m.U64(i * 16); got != i {
+			t.Errorf("arch[%d] = %d, want %d", i, got, i)
+		}
+	}
+	if m.PendingBytes() != 0 {
+		t.Errorf("PendingBytes = %d, want 0", m.PendingBytes())
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// HostBenchSchema versions the BENCH_host.json layout; bump it when a field
+// changes meaning so trajectory-diffing tools can tell.
+const HostBenchSchema = 1
+
+// HostBenchReport is the machine-readable artifact `phelpsreport -host`
+// writes: how fast the simulator itself runs on the host (as opposed to
+// BENCH_report.json, which records the simulated metrics). One entry per
+// measurement, mirroring the bench_host_test.go suite so numbers are
+// comparable between CI benches and the recorded artifact. The format is
+// documented in EXPERIMENTS.md.
+type HostBenchReport struct {
+	Schema    int              `json:"schema"`
+	GoVersion string           `json:"go_version"`
+	Entries   []HostBenchEntry `json:"entries"`
+}
+
+// HostBenchEntry is one measurement. Pipeline-level entries report
+// sim_inst_per_sec and allocs_per_sim_inst; memory-primitive entries report
+// ns_per_op and allocs_per_op. Unused fields are omitted.
+type HostBenchEntry struct {
+	Name             string  `json:"name"`
+	SimInstPerSec    float64 `json:"sim_inst_per_sec,omitempty"`
+	AllocsPerSimInst float64 `json:"allocs_per_sim_inst"`
+	NsPerOp          float64 `json:"ns_per_op,omitempty"`
+}
+
+// NewHostBenchReport returns an empty report stamped with the Go version.
+func NewHostBenchReport(goVersion string) *HostBenchReport {
+	return &HostBenchReport{Schema: HostBenchSchema, GoVersion: goVersion}
+}
+
+// Add appends one measurement.
+func (h *HostBenchReport) Add(e HostBenchEntry) {
+	h.Entries = append(h.Entries, e)
+}
+
+// WriteFile writes the report as indented JSON to path.
+func (h *HostBenchReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
