@@ -6,7 +6,9 @@
 //   - emu.Memory primitive operations (arch/program reads, stage/retire),
 //   - the full core pipeline loop (simulated instructions per host second
 //     and allocations per simulated instruction, via b.ReportAllocs),
-//   - the quick Fig. 12a experiment matrix end to end.
+//   - the quick Fig. 12a experiment matrix end to end,
+//   - sampled (SimPoint) vs full cycle-accurate simulation of the longest
+//     quick-profile workload.
 //
 // cmd/phelpsreport -host records the same quantities into BENCH_host.json
 // so the trajectory is tracked across PRs (see EXPERIMENTS.md).
@@ -135,12 +137,12 @@ func runSimBench(b *testing.B, build func() *prog.Workload, cfg sim.Config) {
 		runtime.ReadMemStats(&ms)
 		before := ms.Mallocs
 		b.StartTimer()
-		r := sim.Run(w, cfg)
+		r, err := sim.Run(w, cfg)
 		b.StopTimer()
 		runtime.ReadMemStats(&ms)
 		mallocs += ms.Mallocs - before
-		if r.VerifyErr != nil {
-			b.Fatalf("verify: %v", r.VerifyErr)
+		if err != nil {
+			b.Fatalf("sim: %v", err)
 		}
 		retired += r.Retired
 		b.StartTimer()
@@ -181,12 +183,12 @@ func BenchmarkHostQuickMatrixFig12a(b *testing.B) {
 	var retired uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := sim.RunMatrix(sim.GapSpecs(true), configs)
-		for w, cfgs := range m {
-			for c, r := range cfgs {
-				if r.VerifyErr != nil {
-					b.Fatalf("%s under %s failed verification: %v", w, c, r.VerifyErr)
-				}
+		m, err := sim.RunMatrix(sim.GapSpecs(true), configs)
+		if err != nil {
+			b.Fatalf("matrix: %v", err)
+		}
+		for _, cfgs := range m {
+			for _, r := range cfgs {
 				retired += r.Retired
 			}
 		}
@@ -194,5 +196,55 @@ func BenchmarkHostQuickMatrixFig12a(b *testing.B) {
 	b.StopTimer()
 	if retired > 0 {
 		b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "sim-inst/s")
+	}
+}
+
+// --- sampled vs full simulation ---
+
+// xzSpec is the longest quick-profile workload (~925k retired instructions),
+// the one the sampled-vs-full speedup gate is measured on.
+func xzSpec(b *testing.B) sim.Spec {
+	b.Helper()
+	for _, s := range sim.SpecCPUSpecs(true) {
+		if s.Name == "xz" {
+			return s
+		}
+	}
+	b.Fatal("xz spec not found")
+	return sim.Spec{}
+}
+
+func BenchmarkHostFullXz(b *testing.B) {
+	// Full cycle-accurate baseline run; the denominator of the sampled
+	// speedup.
+	spec := xzSpec(b)
+	cfg, err := sim.ConfigByName(sim.CfgBase, spec.Epoch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := spec.Build()
+		b.StartTimer()
+		if _, err := sim.Run(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHostSampledXz(b *testing.B) {
+	// End-to-end sampled run: functional profile, checkpoint pass, and k
+	// cycle-accurate interval measurements (default SampleConfig).
+	spec := xzSpec(b)
+	cfg, err := sim.ConfigByName(sim.CfgBase, spec.Epoch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.SampledRun(spec, cfg, sim.SampleConfig{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -58,13 +58,9 @@ func quickGapMatrix(b *testing.B, configs []string) (sim.Matrix, []string) {
 	for i, s := range specs {
 		names[i] = s.Name
 	}
-	m := sim.RunMatrix(specs, configs)
-	for w, cfgs := range m {
-		for c, r := range cfgs {
-			if r.VerifyErr != nil {
-				b.Fatalf("%s under %s failed verification: %v", w, c, r.VerifyErr)
-			}
-		}
+	m, err := sim.RunMatrix(specs, configs)
+	if err != nil {
+		b.Fatalf("matrix: %v", err)
 	}
 	return m, names
 }
@@ -150,7 +146,11 @@ func BenchmarkFig14_MispCharacterization(b *testing.B) {
 		for _, s := range specs {
 			names = append(names, s.Name)
 		}
-		m = sim.RunMatrix(specs, []string{sim.CfgBase, sim.CfgPhelps})
+		var err error
+		m, err = sim.RunMatrix(specs, []string{sim.CfgBase, sim.CfgPhelps})
+		if err != nil {
+			b.Fatalf("matrix: %v", err)
+		}
 	}
 	mcf := m["mcf"][sim.CfgPhelps]
 	b.ReportMetric(float64(mcf.Phelps.Categories[core.CatNotInLoop]), "mcf-not-in-loop")

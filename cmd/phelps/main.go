@@ -6,13 +6,17 @@
 //	phelps -workload astar -mode phelps
 //	phelps -workload bfs -mode baseline -pred perfect
 //	phelps -workload guarded -mode runahead -epoch 50000
+//	phelps -workload astar -config br-12w
+//	phelps -workload xz -sampled
 //	phelps -workload astar -json -interval 10000 -trace astar.kanata
 //	phelps -list
+//	phelps -list-configs
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,18 +32,31 @@ func main() {
 	var (
 		workload = flag.String("workload", "astar", "workload name (see -list)")
 		mode     = flag.String("mode", "phelps", "baseline | phelps | runahead | half")
+		cfgName  = flag.String("config", "", "run a registered configuration by name (see -list-configs; overrides -mode/-pred)")
 		predName = flag.String("pred", "tage", "tage | perfect | bimodal | gshare")
 		epoch    = flag.Uint64("epoch", 0, "epoch length in instructions (0 = workload default)")
 		quick    = flag.Bool("quick", false, "use reduced workload sizes")
 		rob      = flag.Int("rob", 0, "override ROB size (scales PRF/LQ/SQ/IQ)")
 		depth    = flag.Int("depth", 0, "override pipeline depth")
 		list     = flag.Bool("list", false, "list available workloads and exit")
+		listCfgs = flag.Bool("list-configs", false, "list registered configurations and exit")
 		verbose  = flag.Bool("v", false, "print detailed Phelps statistics")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
 		traceOut = flag.String("trace", "", "write a Konata pipeline trace of the main thread to this file")
 		interval = flag.Uint64("interval", 0, "sample counters every N cycles into the JSON time series")
+		sampled  = flag.Bool("sampled", false, "SimPoint-sampled run: functional fast-forward + k measured intervals")
+		spIvl    = flag.Uint64("sp-interval", 0, "sampled: interval length in instructions (0 = auto)")
+		spK      = flag.Int("sp-k", 0, "sampled: number of SimPoints (0 = default)")
+		spWarm   = flag.Uint64("sp-warmup", 0, "sampled: cycle-accurate warmup instructions per point (0 = default)")
 	)
 	flag.Parse()
+
+	if *listCfgs {
+		for _, n := range sim.ConfigNames() {
+			fmt.Printf("%-16s %s\n", n, sim.ConfigDescription(n))
+		}
+		return
+	}
 
 	specs := map[string]sim.Spec{}
 	for _, s := range append(sim.GapSpecs(*quick), sim.SpecCPUSpecs(*quick)...) {
@@ -78,34 +95,45 @@ func main() {
 	}
 
 	var cfg sim.Config
-	switch *mode {
-	case "baseline":
-		cfg = sim.DefaultConfig()
-	case "phelps":
-		cfg = sim.PhelpsConfig(ep)
-	case "runahead":
-		cfg = sim.DefaultConfig()
-		cfg.Mode = sim.ModeRunahead
-		cfg.Runahead.EpochLen = ep
-	case "half":
-		cfg = sim.DefaultConfig()
-		cfg.ForcePartition = true
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(1)
-	}
-	switch *predName {
-	case "tage":
-		cfg.Predictor = sim.PredTAGE
-	case "perfect":
-		cfg.Predictor = sim.PredPerfect
-	case "bimodal":
-		cfg.Predictor = sim.PredBimodal
-	case "gshare":
-		cfg.Predictor = sim.PredGshare
-	default:
-		fmt.Fprintf(os.Stderr, "unknown predictor %q\n", *predName)
-		os.Exit(1)
+	modeLabel := *mode
+	if *cfgName != "" {
+		c, err := sim.ConfigByName(*cfgName, ep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		cfg = c
+		modeLabel = *cfgName
+	} else {
+		switch *mode {
+		case "baseline":
+			cfg = sim.DefaultConfig()
+		case "phelps":
+			cfg = sim.PhelpsConfig(ep)
+		case "runahead":
+			cfg = sim.DefaultConfig()
+			cfg.Mode = sim.ModeRunahead
+			cfg.Runahead.EpochLen = ep
+		case "half":
+			cfg = sim.DefaultConfig()
+			cfg.ForcePartition = true
+		default:
+			fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+			os.Exit(1)
+		}
+		switch *predName {
+		case "tage":
+			cfg.Predictor = sim.PredTAGE
+		case "perfect":
+			cfg.Predictor = sim.PredPerfect
+		case "bimodal":
+			cfg.Predictor = sim.PredBimodal
+		case "gshare":
+			cfg.Predictor = sim.PredGshare
+		default:
+			fmt.Fprintf(os.Stderr, "unknown predictor %q\n", *predName)
+			os.Exit(1)
+		}
 	}
 	if *rob != 0 || *depth != 0 {
 		r, d := cfg.Core.ROB, cfg.Core.PipelineDepth
@@ -130,21 +158,37 @@ func main() {
 	var traceFile *os.File
 	var traceBuf *bufio.Writer
 	if *jsonOut || *traceOut != "" || *interval > 0 {
-		coll = obs.NewCollector(*interval)
-		cfg.Obs = coll
-		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-				os.Exit(1)
+		if *sampled && (*traceOut != "" || *interval > 0) {
+			fmt.Fprintf(os.Stderr, "-sampled does not support -trace or -interval\n")
+			os.Exit(1)
+		}
+		if !*sampled {
+			coll = obs.NewCollector(*interval)
+			cfg.Obs = coll
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+					os.Exit(1)
+				}
+				traceFile = f
+				traceBuf = bufio.NewWriter(f)
+				coll.Trace = obs.NewKonataWriter(traceBuf)
 			}
-			traceFile = f
-			traceBuf = bufio.NewWriter(f)
-			coll.Trace = obs.NewKonataWriter(traceBuf)
 		}
 	}
 
-	res := sim.Run(spec.Build(), cfg)
+	var res sim.Result
+	var runErr error
+	if *sampled {
+		runSpec := spec
+		runSpec.Epoch = ep
+		res, runErr = sim.SampledRun(runSpec, cfg, sim.SampleConfig{
+			IntervalLen: *spIvl, K: *spK, WarmupInsts: *spWarm,
+		})
+	} else {
+		res, runErr = sim.Run(spec.Build(), cfg)
+	}
 
 	if traceFile != nil {
 		err := coll.Trace.Flush()
@@ -161,15 +205,15 @@ func main() {
 	}
 
 	if *jsonOut {
-		emitJSON(spec.Name, *mode, *predName, ep, &res, coll)
-		if res.VerifyErr != nil {
+		emitJSON(spec.Name, modeLabel, *predName, ep, &res, runErr, coll)
+		if errors.Is(runErr, sim.ErrVerify) {
 			os.Exit(1)
 		}
 		return
 	}
 
 	fmt.Printf("workload       %s\n", spec.Name)
-	fmt.Printf("mode           %s (predictor %s, epoch %d)\n", *mode, *predName, ep)
+	fmt.Printf("mode           %s (predictor %s, epoch %d)\n", modeLabel, *predName, ep)
 	fmt.Printf("instructions   %d\n", res.Retired)
 	fmt.Printf("cycles         %d\n", res.Cycles)
 	fmt.Printf("IPC            %.3f\n", res.IPC())
@@ -178,13 +222,28 @@ func main() {
 	if res.QueuePreds > 0 {
 		fmt.Printf("queue preds    %d consumed, %d wrong\n", res.QueuePreds, res.QueueMisps)
 	}
-	if res.VerifyErr != nil {
-		fmt.Printf("VERIFY FAILED  %v\n", res.VerifyErr)
-		os.Exit(1)
+	if s := res.Sampled; s != nil {
+		if s.FullRun {
+			fmt.Printf("sampled        fell back to a full run (%d intervals < minimum)\n", s.Intervals)
+		} else {
+			fmt.Printf("sampled        %d points over %d intervals of %d insts\n",
+				len(s.Points), s.Intervals, s.IntervalLen)
+			for _, p := range s.Points {
+				fmt.Printf("  point @%-9d weight %.3f  warm %d  measured %d  IPC %.3f  MPKI %.2f\n",
+					p.StartInst, p.Weight, p.Warmed, p.Measured, p.IPC, p.MPKI)
+			}
+		}
 	}
-	if res.TimedOut {
-		fmt.Printf("TIMED OUT      %v\n", res.LivelockErr)
-	} else {
+	switch {
+	case errors.Is(runErr, sim.ErrVerify):
+		fmt.Printf("VERIFY FAILED  %v\n", runErr)
+		os.Exit(1)
+	case errors.Is(runErr, sim.ErrLivelock):
+		fmt.Printf("TIMED OUT      %v\n", runErr)
+	case runErr != nil:
+		fmt.Printf("RUN FAILED     %v\n", runErr)
+		os.Exit(1)
+	default:
 		fmt.Printf("verification   ok\n")
 	}
 
@@ -228,13 +287,13 @@ type runJSON struct {
 	LivelockErr  string             `json:"livelock_error,omitempty"`
 	Verified     bool               `json:"verified"`
 	VerifyErr    string             `json:"verify_error,omitempty"`
-	Counters     map[string]uint64  `json:"counters"`
+	Sampled      *sim.SampleReport  `json:"sampled,omitempty"`
+	Counters     map[string]uint64  `json:"counters,omitempty"`
 	Gauges       map[string]float64 `json:"gauges,omitempty"`
 	Samples      []obs.Sample       `json:"samples,omitempty"`
 }
 
-func emitJSON(workload, mode, pred string, epoch uint64, res *sim.Result, coll *obs.Collector) {
-	snap := coll.Registry.Snapshot()
+func emitJSON(workload, mode, pred string, epoch uint64, res *sim.Result, runErr error, coll *obs.Collector) {
 	out := runJSON{
 		Workload:     workload,
 		Mode:         mode,
@@ -250,16 +309,20 @@ func emitJSON(workload, mode, pred string, epoch uint64, res *sim.Result, coll *
 		QueueMisps:   res.QueueMisps,
 		Halted:       res.Halted,
 		TimedOut:     res.TimedOut,
-		Verified:     res.Halted && res.VerifyErr == nil,
-		Counters:     snap.Counters,
-		Gauges:       snap.Gauges,
-		Samples:      coll.Series(),
+		Verified:     res.Halted && !errors.Is(runErr, sim.ErrVerify),
+		Sampled:      res.Sampled,
 	}
-	if res.LivelockErr != nil {
-		out.LivelockErr = res.LivelockErr.Error()
+	if coll != nil {
+		snap := coll.Registry.Snapshot()
+		out.Counters = snap.Counters
+		out.Gauges = snap.Gauges
+		out.Samples = coll.Series()
 	}
-	if res.VerifyErr != nil {
-		out.VerifyErr = res.VerifyErr.Error()
+	if errors.Is(runErr, sim.ErrLivelock) {
+		out.LivelockErr = runErr.Error()
+	}
+	if errors.Is(runErr, sim.ErrVerify) {
+		out.VerifyErr = runErr.Error()
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

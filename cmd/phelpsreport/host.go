@@ -28,11 +28,11 @@ func runHostBench(jsonPath string) error {
 		runtime.ReadMemStats(&ms)
 		before := ms.Mallocs
 		start := time.Now()
-		r := sim.Run(w, cfg)
+		r, err := sim.Run(w, cfg)
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&ms)
-		if r.VerifyErr != nil {
-			return fmt.Errorf("%s failed verification: %v", name, r.VerifyErr)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		e := obs.HostBenchEntry{
 			Name:             name,
@@ -64,15 +64,15 @@ func runHostBench(jsonPath string) error {
 		runtime.ReadMemStats(&ms)
 		before := ms.Mallocs
 		start := time.Now()
-		m := sim.RunMatrix(sim.GapSpecs(true), configs)
+		m, err := sim.RunMatrix(sim.GapSpecs(true), configs)
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&ms)
+		if err != nil {
+			return fmt.Errorf("quick matrix: %w", err)
+		}
 		var retired uint64
-		for w, cfgs := range m {
-			for c, r := range cfgs {
-				if r.VerifyErr != nil {
-					return fmt.Errorf("%s under %s failed verification: %v", w, c, r.VerifyErr)
-				}
+		for _, cfgs := range m {
+			for _, r := range cfgs {
 				retired += r.Retired
 			}
 		}
@@ -84,6 +84,53 @@ func runHostBench(jsonPath string) error {
 		report.Add(e)
 		fmt.Printf("  %-28s %12.0f sim-inst/s  %8.4f allocs/sim-inst\n",
 			e.Name, e.SimInstPerSec, e.AllocsPerSimInst)
+	}
+
+	// --- sampled vs full: wall-clock speedup on the two longest workloads ---
+	// Each workload is run cycle-accurately end to end and via SampledRun
+	// with default sampling parameters, best of three each (min wall-clock
+	// filters scheduler noise). Speedup is full wall-clock over sampled
+	// wall-clock; SimInstPerSec is the *effective* sampled rate (total
+	// workload instructions over sampled wall-clock).
+	sampledEntry := func(spec sim.Spec) error {
+		cfg, err := sim.ConfigByName(sim.CfgBase, spec.Epoch)
+		if err != nil {
+			return err
+		}
+		var full, sr sim.Result
+		var fullElapsed, sampledElapsed time.Duration
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			full, err = sim.Run(spec.Build(), cfg)
+			if d := time.Since(start); i == 0 || d < fullElapsed {
+				fullElapsed = d
+			}
+			if err != nil {
+				return fmt.Errorf("%s full: %w", spec.Name, err)
+			}
+			start = time.Now()
+			sr, err = sim.SampledRun(spec, cfg, sim.SampleConfig{})
+			if d := time.Since(start); i == 0 || d < sampledElapsed {
+				sampledElapsed = d
+			}
+			if err != nil {
+				return fmt.Errorf("%s sampled: %w", spec.Name, err)
+			}
+		}
+		e := obs.HostBenchEntry{
+			Name:          "sampled_vs_full." + spec.Name,
+			SimInstPerSec: float64(full.Retired) / sampledElapsed.Seconds(),
+			Speedup:       fullElapsed.Seconds() / sampledElapsed.Seconds(),
+		}
+		report.Add(e)
+		fmt.Printf("  %-28s %12.0f sim-inst/s  %8.2fx vs full (IPC %.3f vs %.3f)\n",
+			e.Name, e.SimInstPerSec, e.Speedup, sr.IPC(), full.IPC())
+		return nil
+	}
+	for _, spec := range longestSpecs() {
+		if err := sampledEntry(spec); err != nil {
+			return err
+		}
 	}
 
 	// --- emu.Memory primitives: ns/op and allocs/op ---
@@ -135,4 +182,17 @@ func runHostBench(jsonPath string) error {
 	}
 	fmt.Printf("wrote %s\n", jsonPath)
 	return nil
+}
+
+// longestSpecs returns the two longest quick-profile workloads (xz and tc by
+// retired instruction count), the ones the sampled-vs-full acceptance gate is
+// measured on.
+func longestSpecs() []sim.Spec {
+	var out []sim.Spec
+	for _, s := range append(sim.SpecCPUSpecs(true), sim.GapSpecs(true)...) {
+		if s.Name == "xz" || s.Name == "tc" {
+			out = append(out, s)
+		}
+	}
+	return out
 }

@@ -11,11 +11,10 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"phelps/internal/prog"
 	"phelps/internal/sim"
-	"phelps/internal/simpoint"
-	"phelps/internal/stats"
 )
 
 func main() {
@@ -39,51 +38,44 @@ func main() {
 	fmt.Println("  - Full Phelps keeps s1, predicated on b1 and b2, and wins.")
 	fmt.Println()
 
-	// SimPoints methodology demo: chunk the run into intervals, cluster, and
-	// combine per-region IPCs with the weighted harmonic mean.
-	fmt.Println("SimPoints on the astar run")
-	fmt.Println("--------------------------")
-	w := prog.Astar(56, 56, 35, 600, 7)
-	collector := simpoint.NewBBVCollector(20_000)
-
-	// Functional pass to collect BBVs (the paper profiles, then simulates
-	// the representative regions).
-	res := sim.Run(w, sim.DefaultConfig())
-	_ = res
-	w2 := prog.Astar(56, 56, 35, 600, 7)
-	e := newFunctionalRunner(w2, collector)
-	e.run()
-	collector.Flush()
-
-	sps := simpoint.Pick(collector.Intervals(), 4, 7)
-	fmt.Printf("  %d intervals -> %d SimPoints\n", len(collector.Intervals()), len(sps))
-	var ipcs, weights []float64
-	for _, sp := range sps {
-		// In a full flow each representative region would be simulated in
-		// detail; here the whole (small) run was simulated, so per-region
-		// IPC is approximated by the overall IPC for illustration.
-		ipcs = append(ipcs, res.IPC())
-		weights = append(weights, sp.Weight)
-		fmt.Printf("  simpoint at interval %3d  weight %.2f\n", sp.Interval, sp.Weight)
+	// Sampled simulation on the same workload: SampledRun profiles the run
+	// functionally, clusters the interval BBVs into SimPoints, and simulates
+	// only the representative intervals cycle-accurately, reconstructing the
+	// whole-run metrics from the cluster weights.
+	fmt.Println("Sampled simulation (SimPoints) on the astar run")
+	fmt.Println("-----------------------------------------------")
+	spec := sim.Spec{
+		Name:  "astar",
+		Build: func() *prog.Workload { return prog.Astar(56, 56, 35, 600, 7) },
 	}
-	fmt.Printf("  weighted harmonic mean IPC: %.2f\n",
-		stats.WeightedHarmonicMeanIPC(ipcs, weights))
-}
-
-// functionalRunner drives a workload functionally, feeding retired PCs to
-// the BBV collector.
-type functionalRunner struct {
-	w *prog.Workload
-	c *simpoint.BBVCollector
-}
-
-func newFunctionalRunner(w *prog.Workload, c *simpoint.BBVCollector) *functionalRunner {
-	return &functionalRunner{w: w, c: c}
-}
-
-func (f *functionalRunner) run() {
-	run := prog.RunAndVerifyWithObserver(f.w, f.c.Observe)
-	if run != nil {
-		fmt.Printf("  functional pass failed: %v\n", run)
+	full, err := sim.Run(spec.Build(), sim.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "full run failed: %v\n", err)
+		os.Exit(1)
 	}
+	sampled, err := sim.SampledRun(spec, sim.DefaultConfig(), sim.SampleConfig{K: 4})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sampled run failed: %v\n", err)
+		os.Exit(1)
+	}
+	rep := sampled.Sampled
+	fmt.Printf("  %d intervals of %d insts -> %d SimPoints\n",
+		rep.Intervals, rep.IntervalLen, len(rep.Points))
+	for _, p := range rep.Points {
+		fmt.Printf("  simpoint at interval %3d  weight %.2f  IPC %.2f\n",
+			p.Interval, p.Weight, p.IPC)
+	}
+	fmt.Printf("  sampled IPC %.3f vs full IPC %.3f (%.1f%% error, %d of %d insts measured)\n",
+		sampled.IPC(), full.IPC(),
+		(sampled.IPC()-full.IPC())/full.IPC()*100,
+		measuredInsts(rep), full.Retired)
+}
+
+// measuredInsts sums the cycle-accurately measured instructions across points.
+func measuredInsts(rep *sim.SampleReport) uint64 {
+	var n uint64
+	for _, p := range rep.Points {
+		n += p.Measured
+	}
+	return n
 }

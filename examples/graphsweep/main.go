@@ -41,10 +41,10 @@ func main() {
 	var speedups []float64
 	for _, k := range kernels {
 		for _, in := range inputs {
-			base := sim.Run(k.mk(in.mk()), sim.DefaultConfig())
-			ph := sim.Run(k.mk(in.mk()), sim.PhelpsConfig(40_000))
+			base, baseErr := sim.Run(k.mk(in.mk()), sim.DefaultConfig())
+			ph, phErr := sim.Run(k.mk(in.mk()), sim.PhelpsConfig(40_000))
 			ok := "yes"
-			if base.VerifyErr != nil || ph.VerifyErr != nil {
+			if baseErr != nil || phErr != nil {
 				ok = "NO"
 			}
 			s := float64(base.Cycles) / float64(ph.Cycles)

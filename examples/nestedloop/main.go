@@ -9,10 +9,20 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"phelps/internal/prog"
 	"phelps/internal/sim"
 )
+
+func mustRun(w *prog.Workload, cfg sim.Config) sim.Result {
+	r, err := sim.Run(w, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sim failed: %v\n", err)
+		os.Exit(1)
+	}
+	return r
+}
 
 func main() {
 	fmt.Println("Nested-loop idiom: dual decoupled helper threads")
@@ -27,11 +37,11 @@ func main() {
 
 	mk := func() *prog.Workload { return prog.NestedLoop(30000, 6, 4) }
 
-	base := sim.Run(mk(), sim.DefaultConfig())
-	ph := sim.Run(mk(), sim.PhelpsConfig(60_000))
+	base := mustRun(mk(), sim.DefaultConfig())
+	ph := mustRun(mk(), sim.PhelpsConfig(60_000))
 	perfect := sim.DefaultConfig()
 	perfect.Predictor = sim.PredPerfect
-	perf := sim.Run(mk(), perfect)
+	perf := mustRun(mk(), perfect)
 
 	fmt.Printf("%-24s IPC %5.2f   MPKI %6.2f\n", "baseline", base.IPC(), base.MPKI())
 	fmt.Printf("%-24s IPC %5.2f   MPKI %6.2f\n", "Phelps (dual threads)", ph.IPC(), ph.MPKI())
@@ -48,9 +58,4 @@ func main() {
 	fmt.Println()
 	fmt.Println("The outer thread's progress is independent of brC mispredictions —")
 	fmt.Println("they serialize only the inner thread (Section I of the paper).")
-	for _, r := range []sim.Result{base, ph, perf} {
-		if r.VerifyErr != nil {
-			fmt.Printf("VERIFICATION FAILED: %v\n", r.VerifyErr)
-		}
-	}
 }

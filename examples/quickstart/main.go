@@ -6,10 +6,23 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"phelps/internal/prog"
 	"phelps/internal/sim"
 )
+
+// mustRun runs a workload and exits on simulation error (livelock or
+// functional-verification failure) — fine for an example, where any error
+// means the demo itself is broken.
+func mustRun(w *prog.Workload, cfg sim.Config) sim.Result {
+	r, err := sim.Run(w, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sim failed: %v\n", err)
+		os.Exit(1)
+	}
+	return r
+}
 
 func main() {
 	fmt.Println("Phelps quickstart")
@@ -20,10 +33,10 @@ func main() {
 	fmt.Println()
 
 	// 50,000 iterations, 50% taken (maximally delinquent), seed 1.
-	baseline := sim.Run(prog.DelinquentLoop(50000, 50, 1), sim.DefaultConfig())
+	baseline := mustRun(prog.DelinquentLoop(50000, 50, 1), sim.DefaultConfig())
 
 	// Same workload, with Phelps enabled (epoch scaled to the run length).
-	phelps := sim.Run(prog.DelinquentLoop(50000, 50, 1), sim.PhelpsConfig(50_000))
+	phelps := mustRun(prog.DelinquentLoop(50000, 50, 1), sim.PhelpsConfig(50_000))
 
 	for _, r := range []struct {
 		name string
@@ -31,9 +44,6 @@ func main() {
 	}{{"baseline (TAGE-SC-L)", baseline}, {"Phelps", phelps}} {
 		fmt.Printf("%-22s IPC %5.2f   MPKI %6.2f   cycles %9d\n",
 			r.name, r.res.IPC(), r.res.MPKI(), r.res.Cycles)
-		if r.res.VerifyErr != nil {
-			fmt.Printf("  VERIFICATION FAILED: %v\n", r.res.VerifyErr)
-		}
 	}
 
 	fmt.Println()

@@ -15,13 +15,13 @@ import (
 type Builder struct {
 	base  uint64
 	code  []isa.Inst
-	label map[string]int  // label -> instruction index
-	fix   []fixup         // pending label references
+	label map[string]int // label -> instruction index
+	fix   []fixup        // pending label references
 	errs  []error
 }
 
 type fixup struct {
-	idx   int    // instruction index with unresolved Imm
+	idx   int // instruction index with unresolved Imm
 	label string
 	rel   bool // pc-relative (branches, JAL) vs absolute
 }
@@ -52,32 +52,74 @@ func (b *Builder) emitToLabel(i isa.Inst, label string) {
 
 // --- ALU, register-register ---
 
-func (b *Builder) Add(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.ADD, Rd: rd, Rs1: rs1, Rs2: rs2}) }
-func (b *Builder) Sub(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.SUB, Rd: rd, Rs1: rs1, Rs2: rs2}) }
-func (b *Builder) Slt(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.SLT, Rd: rd, Rs1: rs1, Rs2: rs2}) }
-func (b *Builder) Sltu(rd, rs1, rs2 isa.Reg) { b.emit(isa.Inst{Op: isa.SLTU, Rd: rd, Rs1: rs1, Rs2: rs2}) }
-func (b *Builder) And(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.AND, Rd: rd, Rs1: rs1, Rs2: rs2}) }
-func (b *Builder) Or(rd, rs1, rs2 isa.Reg)   { b.emit(isa.Inst{Op: isa.OR, Rd: rd, Rs1: rs1, Rs2: rs2}) }
-func (b *Builder) Xor(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.XOR, Rd: rd, Rs1: rs1, Rs2: rs2}) }
-func (b *Builder) Sll(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.SLL, Rd: rd, Rs1: rs1, Rs2: rs2}) }
-func (b *Builder) Srl(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.SRL, Rd: rd, Rs1: rs1, Rs2: rs2}) }
-func (b *Builder) Sra(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.SRA, Rd: rd, Rs1: rs1, Rs2: rs2}) }
-func (b *Builder) Mul(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.MUL, Rd: rd, Rs1: rs1, Rs2: rs2}) }
-func (b *Builder) Div(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.DIV, Rd: rd, Rs1: rs1, Rs2: rs2}) }
-func (b *Builder) Rem(rd, rs1, rs2 isa.Reg)  { b.emit(isa.Inst{Op: isa.REM, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.ADD, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SUB, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SLT, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Sltu(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SLTU, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.AND, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) { b.emit(isa.Inst{Op: isa.OR, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.XOR, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Sll(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SLL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Srl(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SRL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Sra(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SRA, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.MUL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.DIV, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.REM, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
 
 // --- ALU, register-immediate ---
 
-func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs1, Imm: imm}) }
-func (b *Builder) Slti(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.SLTI, Rd: rd, Rs1: rs1, Imm: imm}) }
-func (b *Builder) Sltiu(rd, rs1 isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.SLTIU, Rd: rd, Rs1: rs1, Imm: imm}) }
-func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.ANDI, Rd: rd, Rs1: rs1, Imm: imm}) }
-func (b *Builder) Ori(rd, rs1 isa.Reg, imm int64)   { b.emit(isa.Inst{Op: isa.ORI, Rd: rd, Rs1: rs1, Imm: imm}) }
-func (b *Builder) Xori(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.XORI, Rd: rd, Rs1: rs1, Imm: imm}) }
-func (b *Builder) Slli(rd, rs1 isa.Reg, sh int64)   { b.emit(isa.Inst{Op: isa.SLLI, Rd: rd, Rs1: rs1, Imm: sh}) }
-func (b *Builder) Srli(rd, rs1 isa.Reg, sh int64)   { b.emit(isa.Inst{Op: isa.SRLI, Rd: rd, Rs1: rs1, Imm: sh}) }
-func (b *Builder) Srai(rd, rs1 isa.Reg, sh int64)   { b.emit(isa.Inst{Op: isa.SRAI, Rd: rd, Rs1: rs1, Imm: sh}) }
-func (b *Builder) Lui(rd isa.Reg, imm int64)        { b.emit(isa.Inst{Op: isa.LUI, Rd: rd, Imm: imm}) }
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Slti(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.SLTI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Sltiu(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.SLTIU, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.ANDI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Ori(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.ORI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Xori(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.XORI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Slli(rd, rs1 isa.Reg, sh int64) {
+	b.emit(isa.Inst{Op: isa.SLLI, Rd: rd, Rs1: rs1, Imm: sh})
+}
+func (b *Builder) Srli(rd, rs1 isa.Reg, sh int64) {
+	b.emit(isa.Inst{Op: isa.SRLI, Rd: rd, Rs1: rs1, Imm: sh})
+}
+func (b *Builder) Srai(rd, rs1 isa.Reg, sh int64) {
+	b.emit(isa.Inst{Op: isa.SRAI, Rd: rd, Rs1: rs1, Imm: sh})
+}
+func (b *Builder) Lui(rd isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.LUI, Rd: rd, Imm: imm}) }
 
 // Nop appends a no-op.
 func (b *Builder) Nop() { b.emit(isa.Inst{Op: isa.NOP}) }
@@ -102,23 +144,51 @@ func (b *Builder) Li(rd isa.Reg, v int64) {
 
 // --- memory ---
 
-func (b *Builder) Ld(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.LD, Rd: rd, Rs1: rs1, Imm: imm}) }
-func (b *Builder) Lw(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.LW, Rd: rd, Rs1: rs1, Imm: imm}) }
-func (b *Builder) Lwu(rd, rs1 isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.LWU, Rd: rd, Rs1: rs1, Imm: imm}) }
-func (b *Builder) Lb(rd, rs1 isa.Reg, imm int64)  { b.emit(isa.Inst{Op: isa.LB, Rd: rd, Rs1: rs1, Imm: imm}) }
-func (b *Builder) Lbu(rd, rs1 isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.LBU, Rd: rd, Rs1: rs1, Imm: imm}) }
-func (b *Builder) Sd(rs2, rs1 isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.SD, Rs1: rs1, Rs2: rs2, Imm: imm}) }
-func (b *Builder) Sw(rs2, rs1 isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.SW, Rs1: rs1, Rs2: rs2, Imm: imm}) }
-func (b *Builder) Sb(rs2, rs1 isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.SB, Rs1: rs1, Rs2: rs2, Imm: imm}) }
+func (b *Builder) Ld(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.LD, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Lw(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.LW, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Lwu(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.LWU, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Lb(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.LB, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Lbu(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.LBU, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Sd(rs2, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.SD, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+func (b *Builder) Sw(rs2, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.SW, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+func (b *Builder) Sb(rs2, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.SB, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
 
 // --- control flow ---
 
-func (b *Builder) Beq(rs1, rs2 isa.Reg, label string)  { b.emitToLabel(isa.Inst{Op: isa.BEQ, Rs1: rs1, Rs2: rs2}, label) }
-func (b *Builder) Bne(rs1, rs2 isa.Reg, label string)  { b.emitToLabel(isa.Inst{Op: isa.BNE, Rs1: rs1, Rs2: rs2}, label) }
-func (b *Builder) Blt(rs1, rs2 isa.Reg, label string)  { b.emitToLabel(isa.Inst{Op: isa.BLT, Rs1: rs1, Rs2: rs2}, label) }
-func (b *Builder) Bge(rs1, rs2 isa.Reg, label string)  { b.emitToLabel(isa.Inst{Op: isa.BGE, Rs1: rs1, Rs2: rs2}, label) }
-func (b *Builder) Bltu(rs1, rs2 isa.Reg, label string) { b.emitToLabel(isa.Inst{Op: isa.BLTU, Rs1: rs1, Rs2: rs2}, label) }
-func (b *Builder) Bgeu(rs1, rs2 isa.Reg, label string) { b.emitToLabel(isa.Inst{Op: isa.BGEU, Rs1: rs1, Rs2: rs2}, label) }
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string) {
+	b.emitToLabel(isa.Inst{Op: isa.BEQ, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string) {
+	b.emitToLabel(isa.Inst{Op: isa.BNE, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string) {
+	b.emitToLabel(isa.Inst{Op: isa.BLT, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string) {
+	b.emitToLabel(isa.Inst{Op: isa.BGE, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bltu(rs1, rs2 isa.Reg, label string) {
+	b.emitToLabel(isa.Inst{Op: isa.BLTU, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bgeu(rs1, rs2 isa.Reg, label string) {
+	b.emitToLabel(isa.Inst{Op: isa.BGEU, Rs1: rs1, Rs2: rs2}, label)
+}
 
 // J is an unconditional jump to a label (JAL with rd=x0).
 func (b *Builder) J(label string) { b.emitToLabel(isa.Inst{Op: isa.JAL, Rd: isa.X0}, label) }

@@ -41,6 +41,15 @@ type Predictor interface {
 	Name() string
 }
 
+// Cloner is implemented by predictors whose trained state can be
+// snapshotted. Sampled simulation (sim.SampledRun) warms one predictor
+// functionally over the whole run prefix and clones it at each SimPoint
+// checkpoint.
+type Cloner interface {
+	// ClonePredictor returns an independent deep copy of the predictor.
+	ClonePredictor() Predictor
+}
+
 // ctr2 is a 2-bit saturating counter; taken if >= 2.
 type ctr2 uint8
 
@@ -103,6 +112,13 @@ func (b *Bimodal) PredictAndTrain(pc uint64, taken bool) bool {
 // Name implements Predictor.
 func (b *Bimodal) Name() string { return "bimodal" }
 
+// ClonePredictor implements Cloner.
+func (b *Bimodal) ClonePredictor() Predictor {
+	cp := *b
+	cp.table = append([]ctr2(nil), b.table...)
+	return &cp
+}
+
 // --- Gshare ---
 
 // Gshare XORs global history into the table index.
@@ -138,6 +154,13 @@ func (g *Gshare) PredictAndTrain(pc uint64, taken bool) bool {
 // Name implements Predictor.
 func (g *Gshare) Name() string { return "gshare" }
 
+// ClonePredictor implements Cloner.
+func (g *Gshare) ClonePredictor() Predictor {
+	cp := *g
+	cp.table = append([]ctr2(nil), g.table...)
+	return &cp
+}
+
 // --- Perfect ---
 
 // Perfect is the oracle predictor used for the perfBP configuration.
@@ -148,6 +171,9 @@ func (Perfect) PredictAndTrain(_ uint64, taken bool) bool { return taken }
 
 // Name implements Predictor.
 func (Perfect) Name() string { return "perfect" }
+
+// ClonePredictor implements Cloner (the oracle is stateless).
+func (Perfect) ClonePredictor() Predictor { return Perfect{} }
 
 func b2u(b bool) uint64 {
 	if b {

@@ -203,7 +203,6 @@ func TestNames(t *testing.T) {
 	}
 }
 
-
 func TestFoldedHistory(t *testing.T) {
 	f := newFolded(16, 8)
 	// Push 16 ones; comp must be nonzero and within 8 bits.

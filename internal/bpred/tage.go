@@ -10,7 +10,7 @@ import "math"
 
 const (
 	tageTables  = 6
-	tageCtrMax  = 3  // 3-bit signed counter range [-4,3]
+	tageCtrMax  = 3 // 3-bit signed counter range [-4,3]
 	tageCtrMin  = -4
 	tageUMax    = 3
 	histMaxBits = 640
@@ -23,10 +23,10 @@ type tageEntry struct {
 }
 
 type tageTable struct {
-	entries  []tageEntry
-	mask     uint64
-	histLen  int
-	tagBits  uint
+	entries []tageEntry
+	mask    uint64
+	histLen int
+	tagBits uint
 	// folded history registers for index and tag computation
 	foldIdx  foldedHist
 	foldTag0 foldedHist
@@ -60,9 +60,9 @@ type TAGE struct {
 	bMask  uint64
 	tables [tageTables]tageTable
 
-	ghist    [histMaxBits]uint8 // circular buffer of outcomes
-	ghead    int
-	useAlt   int8 // use-alt-on-newly-allocated counter
+	ghist  [histMaxBits]uint8 // circular buffer of outcomes
+	ghead  int
+	useAlt int8 // use-alt-on-newly-allocated counter
 
 	loop *loopPredictor
 	sc   *statCorrector
@@ -72,12 +72,12 @@ type TAGE struct {
 
 // TAGEConfig sizes the predictor.
 type TAGEConfig struct {
-	LogBase    uint // log2 entries of bimodal base
-	LogTagged  uint // log2 entries of each tagged table
-	MinHist    int
-	MaxHist    int
-	WithLoop   bool
-	WithSC     bool
+	LogBase   uint // log2 entries of bimodal base
+	LogTagged uint // log2 entries of each tagged table
+	MinHist   int
+	MaxHist   int
+	WithLoop  bool
+	WithSC    bool
 }
 
 // DefaultTAGEConfig approximates the storage balance of 64KB TAGE-SC-L at
@@ -130,7 +130,6 @@ func NewTAGE(cfg TAGEConfig) *TAGE {
 	t.allocSeed = 0x123456789
 	return t
 }
-
 
 func (t *TAGE) index(ti int) uint64 {
 	tt := &t.tables[ti]
@@ -328,6 +327,29 @@ func (t *TAGE) pushHistory(taken bool) {
 
 // Name implements Predictor.
 func (t *TAGE) Name() string { return "tage-sc-l" }
+
+// ClonePredictor implements Cloner: a deep copy of every table and the
+// history state (ghist and the folded registers are arrays/values, so the
+// struct copy already covers them).
+func (t *TAGE) ClonePredictor() Predictor {
+	cp := *t
+	cp.base = append([]ctr2(nil), t.base...)
+	for i := range cp.tables {
+		cp.tables[i].entries = append([]tageEntry(nil), t.tables[i].entries...)
+	}
+	if t.loop != nil {
+		l := *t.loop
+		l.entries = append([]loopEntry(nil), t.loop.entries...)
+		cp.loop = &l
+	}
+	if t.sc != nil {
+		s := *t.sc
+		s.bias = append([]int8(nil), t.sc.bias...)
+		s.hist = append([]int8(nil), t.sc.hist...)
+		cp.sc = &s
+	}
+	return &cp
+}
 
 // --- loop predictor ---
 

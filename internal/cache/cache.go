@@ -65,6 +65,18 @@ type level struct {
 	setMask uint64
 }
 
+func (l *level) clone() *level {
+	cp := &level{sets: make([]set, len(l.sets)), ways: l.ways, setMask: l.setMask}
+	for i := range l.sets {
+		s, cs := &l.sets[i], &cp.sets[i]
+		cs.tags = make([]uint64, len(s.tags), cap(s.tags))
+		copy(cs.tags, s.tags)
+		cs.pref = make([]bool, len(s.pref), cap(s.pref))
+		copy(cs.pref, s.pref)
+	}
+	return cp
+}
+
 func newLevel(nSets, ways int) *level {
 	l := &level{sets: make([]set, nSets), ways: ways, setMask: uint64(nSets - 1)}
 	for i := range l.sets {
@@ -154,6 +166,34 @@ func New(cfg Config) *Hierarchy {
 	return h
 }
 
+// Clone returns an independent deep copy of the hierarchy: tag arrays,
+// prefetcher tables, stats, and outstanding-miss bookkeeping. Sampled
+// simulation (sim.SampledRun) warms one hierarchy functionally over the whole
+// run prefix and clones it at each SimPoint checkpoint.
+func (h *Hierarchy) Clone() *Hierarchy {
+	cp := &Hierarchy{
+		cfg:   h.cfg,
+		l1i:   h.l1i.clone(),
+		l1d:   h.l1d.clone(),
+		l2:    h.l2.clone(),
+		l3:    h.l3.clone(),
+		Stats: h.Stats,
+	}
+	if h.mshr != nil {
+		cp.mshr = make([]uint64, len(h.mshr), cap(h.mshr))
+		copy(cp.mshr, h.mshr)
+	}
+	if h.ipcp != nil {
+		p := *h.ipcp
+		cp.ipcp = &p
+	}
+	if h.vldp != nil {
+		p := *h.vldp
+		cp.vldp = &p
+	}
+	return cp
+}
+
 // RegisterObs registers the hierarchy's counters into an observability
 // registry under scope (e.g. "cache" yields cache.l1d.misses, ...).
 func (h *Hierarchy) RegisterObs(r *obs.Registry, scope string) {
@@ -171,6 +211,21 @@ func (h *Hierarchy) RegisterObs(r *obs.Registry, scope string) {
 	pf.Counter("issued", func() uint64 { return h.Stats.PrefIssued })
 	pf.Counter("useful", func() uint64 { return h.Stats.PrefUseful })
 	s.Scope("mshr").Counter("stall_cycles", func() uint64 { return h.Stats.MSHRStallCycles })
+}
+
+// ResetStats zeroes the hierarchy's counters; tag arrays, prefetcher state,
+// and outstanding misses are untouched (the point of a warmup phase is that
+// they stay warm).
+func (h *Hierarchy) ResetStats() { h.Stats = Stats{} }
+
+// Quiesce drops all outstanding-miss bookkeeping. Functional cache warming
+// advances a pseudo-clock unrelated to the timing model's cycle count;
+// without a quiesce, stale MSHR completion times from warming would
+// serialize the first real misses of a measured interval.
+func (h *Hierarchy) Quiesce() {
+	if h.mshr != nil {
+		h.mshr = h.mshr[:0]
+	}
 }
 
 func lineOf(addr uint64) uint64 { return addr / LineBytes }

@@ -125,9 +125,9 @@ func (c *CDFSM) trainRow(row int) {
 // Guard is a learned immediate predicate producer: the guarding branch's
 // column and its enabling direction.
 type Guard struct {
-	Col     int
+	Col      int
 	DirTaken bool // consumer enabled when guard resolves in this direction
-	Valid   bool
+	Valid    bool
 	// Complex reports that multiple CD columns were found (OR-guard
 	// scenario, Section V-K) — unsupported in base Phelps.
 	Complex bool

@@ -98,7 +98,7 @@ type ConstructionConfig struct {
 	SizeRulePct     int // 75
 	MinTrips        float64
 
-	IncludeStores         bool // ablation: Fig. 12b / Fig. 11
+	IncludeStores          bool // ablation: Fig. 12b / Fig. 11
 	IncludeGuardedBranches bool // ablation: Fig. 11 (pre-execute b2 or not)
 }
 
@@ -144,8 +144,8 @@ type Construction struct {
 
 	// CDFSM per thread (inner rows cleared at inner loop branch, outer rows
 	// at outer loop branch).
-	cdInner *CDFSM
-	cdOuter *CDFSM
+	cdInner    *CDFSM
+	cdOuter    *CDFSM
 	rowOfInner map[uint64]int // pc -> row (branches then stores)
 	colOfInner map[uint64]int // delinquent branch pc -> column
 	rowOfOuter map[uint64]int

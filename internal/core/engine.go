@@ -27,8 +27,8 @@ type VisitQueue struct {
 	entries []Visit
 	cap     int
 
-	Pushed  uint64
-	Popped  uint64
+	Pushed     uint64
+	Popped     uint64
 	FullStalls uint64
 }
 
@@ -137,12 +137,12 @@ type Engine struct {
 	regs  [isa.NumRegs]uint64
 	preds [isa.NumPredRegs]predVal
 
-	window    []*htEntry
-	head      int
-	issueHead int // window index: everything below is issued (scan start)
-	fetchIdx  int
-	lastWriter     [isa.NumRegs]*htEntry
-	lastPredWriter [isa.NumPredRegs]*htEntry
+	window                  []*htEntry
+	head                    int
+	issueHead               int // window index: everything below is issued (scan start)
+	fetchIdx                int
+	lastWriter              [isa.NumRegs]*htEntry
+	lastPredWriter          [isa.NumPredRegs]*htEntry
 	nDests, nLoads, nStores int
 
 	fetchBlockedUntil uint64

@@ -15,6 +15,7 @@ import (
 // executes unconditionally.
 //
 // Program (per iteration i):
+//
 //	t1 = a[i] ; p1 = (t1 == 0)            b1: taken means "skip"
 //	t2 = b[i] ; p2 = (t2 == 0) [p1=nt]    b2: guarded by b1 not-taken
 //	sd 7 -> out[i]             [p2=nt]    store: guarded by b2 not-taken
@@ -48,7 +49,7 @@ func TestEnginePredicatedStoreChain(t *testing.T) {
 	// Store fires iff a[i]==0 && b[i]==0.
 	expectStore := make([]bool, n)
 	for i := 0; i < n; i++ {
-		a := uint64(i % 2)       // even i: a==0 -> b1 not taken
+		a := uint64(i % 2)        // even i: a==0 -> b1 not taken
 		bv := uint64((i / 2) % 2) // -> b2 varies
 		mem.SetU64(aBase+uint64(i)*8, a)
 		mem.SetU64(bBase+uint64(i)*8, bv)

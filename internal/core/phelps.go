@@ -151,8 +151,8 @@ type Controller struct {
 	hier *cache.Hierarchy
 	mt   *cpu.Core
 
-	dbt   *DBT
-	trips *TripStats
+	dbt          *DBT
+	trips        *TripStats
 	lastBackward LoopBounds
 
 	htc          []*HTCRow
@@ -257,6 +257,11 @@ func (c *Controller) RegisterObs(r *obs.Registry, scope string) {
 		counter("queue_stalls", func(st *EngineStats) uint64 { return st.QueueStalls })
 	}
 }
+
+// ResetStats zeroes the controller's counters without touching the HTC,
+// DBT, or any in-flight engine (sampled simulation's warmup/measure
+// boundary).
+func (c *Controller) ResetStats() { c.Stats = Stats{} }
 
 // HTC returns the helper thread cache rows (report/test use).
 func (c *Controller) HTC() []*HTCRow { return c.htc }

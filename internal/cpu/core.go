@@ -129,9 +129,9 @@ type Core struct {
 
 	// In-flight store ordinals in program order (a ring: stores dispatch and
 	// retire in order).
-	storeQ     []uint64
-	storeHead  uint64
-	storeTail  uint64
+	storeQ                       []uint64
+	storeHead                    uint64
+	storeTail                    uint64
 	nLoads, nStores, nDests, nIQ int
 
 	issueOrd uint64 // ordinal: everything below is issued (scan start)
@@ -197,6 +197,12 @@ func (c *Core) RegisterObs(r *obs.Registry, scope string) {
 
 // SetLimits applies (or removes) a resource partition.
 func (c *Core) SetLimits(l Limits) { c.lim = l }
+
+// ResetStats zeroes the performance counters without disturbing
+// microarchitectural state. Sampled simulation calls it at the
+// warmup/measure boundary so the measured interval starts from clean
+// counters but warm predictors, caches, and pipeline.
+func (c *Core) ResetStats() { c.Stats = Stats{} }
 
 // Limits returns the current partition limits.
 func (c *Core) Limits() Limits { return c.lim }

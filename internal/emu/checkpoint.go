@@ -1,0 +1,189 @@
+// Architectural checkpointing and functional fast-forward for sampled
+// simulation (see DESIGN.md · Sampled simulation). A checkpoint captures the
+// full architectural state — registers, PC, sequence number, and a
+// copy-on-write image of memory — cheaply: the page-shadow memory design
+// keeps the architectural image as a flat map of 4KB pages, so a snapshot is
+// one map copy plus freezing the shared pages. Neither the snapshotted
+// memory nor any memory materialized from the image pays for the sharing
+// until it writes a shared page, at which point pageFor clones just that
+// page.
+package emu
+
+import (
+	"fmt"
+
+	"phelps/internal/isa"
+)
+
+// MemImage is an immutable architectural memory snapshot. Pages are shared
+// copy-on-write with the Memory the image was taken from and with every
+// Memory later materialized from it; the image itself is never written.
+type MemImage struct {
+	pages map[uint64]*page
+}
+
+// Snapshot captures the architectural view as an immutable image. The
+// pending-store overlay must be empty (stores staged but unretired have no
+// well-defined architectural image); callers fast-forwarding functionally
+// always satisfy this because FastForward retires stores in place.
+func (m *Memory) Snapshot() (*MemImage, error) {
+	if m.nPend != 0 {
+		return nil, fmt.Errorf("emu: snapshot with %d pending store bytes", m.nPend)
+	}
+	img := &MemImage{pages: make(map[uint64]*page, len(m.pages))}
+	if m.frozen == nil {
+		m.frozen = make(map[uint64]bool, len(m.pages))
+	}
+	for pn, p := range m.pages {
+		img.pages[pn] = p
+		m.frozen[pn] = true
+	}
+	return img, nil
+}
+
+// Materialize returns a fresh Memory backed by the image's pages,
+// copy-on-write. Materializing is O(pages) map inserts; no page data is
+// copied until written.
+func (img *MemImage) Materialize() *Memory {
+	m := NewMemory()
+	m.frozen = make(map[uint64]bool, len(img.pages))
+	for pn, p := range img.pages {
+		m.pages[pn] = p
+		m.frozen[pn] = true
+	}
+	return m
+}
+
+// Checkpoint is a complete architectural state: resume it to continue
+// execution — functionally or under the timing model — exactly where the
+// checkpointed emulator stood.
+type Checkpoint struct {
+	Regs   [isa.NumRegs]uint64
+	PC     uint64
+	Seq    uint64
+	Halted bool
+	Mem    *MemImage
+}
+
+// Checkpoint snapshots the emulator's architectural state. The memory's
+// pending-store overlay must be empty (see Memory.Snapshot).
+func (e *Emulator) Checkpoint() (*Checkpoint, error) {
+	img, err := e.Mem.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{Regs: e.Regs, PC: e.PC, Seq: e.Seq, Halted: e.Halted, Mem: img}, nil
+}
+
+// Resume materializes an independent emulator (with its own copy-on-write
+// memory) at the checkpointed state. Multiple Resumes of one checkpoint are
+// fully isolated from each other.
+func (c *Checkpoint) Resume(p *isa.Program) (*Emulator, *Memory) {
+	mem := c.Mem.Materialize()
+	e := New(p, mem)
+	e.Regs = c.Regs
+	e.PC = c.PC
+	e.Seq = c.Seq
+	e.Halted = c.Halted
+	return e, mem
+}
+
+// FFObserver receives architectural events during FastForward. Any callback
+// may be nil. Branch fires for conditional branches only; Block fires at
+// every basic-block boundary (any control transfer or HALT, plus the final
+// partial block) with the block's head PC and instruction count.
+type FFObserver struct {
+	Branch func(pc uint64, taken bool)
+	Load   func(pc, addr uint64, size int)
+	Store  func(addr uint64, size int)
+	Block  func(head uint64, n uint64)
+}
+
+// FastForward executes up to n instructions functionally — no DynInst
+// records, no pending-store overlay (stores retire in place into the
+// architectural view) — and returns how many it executed. It stops early on
+// HALT or MaxInsts. The semantics per instruction are identical to Step; the
+// memory must have an empty pending-store overlay so that the architectural
+// view is the program-order view.
+func (e *Emulator) FastForward(n uint64, obs *FFObserver) uint64 {
+	if e.Mem.nPend != 0 {
+		panic(fmt.Sprintf("emu: FastForward with %d pending store bytes", e.Mem.nPend))
+	}
+	var executed uint64
+	blockHead := e.PC
+	var blockN uint64
+	emitBlock := func(next uint64) {
+		if obs != nil && obs.Block != nil && blockN > 0 {
+			obs.Block(blockHead, blockN)
+		}
+		blockHead, blockN = next, 0
+	}
+	for executed < n {
+		if e.Halted || (e.MaxInsts != 0 && e.Seq >= e.MaxInsts) {
+			break
+		}
+		// Pointer fetch instead of Prog.At: skipping the Inst copy is worth
+		// a few ns on this path, which re-executes the whole workload twice
+		// per sampled run.
+		if e.PC < e.Prog.Base || (e.PC-e.Prog.Base)%isa.InstBytes != 0 ||
+			(e.PC-e.Prog.Base)/isa.InstBytes >= uint64(len(e.Prog.Code)) {
+			panic(fmt.Sprintf("emu: PC %#x outside program [%#x,%#x)", e.PC, e.Prog.Base, e.Prog.End()))
+		}
+		inst := &e.Prog.Code[(e.PC-e.Prog.Base)/isa.InstBytes]
+		nextPC := e.PC + isa.InstBytes
+		ctl := false
+
+		op := inst.Op
+		switch {
+		case op == isa.NOP:
+		case op == isa.HALT:
+			e.Halted = true
+			ctl = true
+		case op.IsCondBranch():
+			taken := isa.BranchTaken(op, e.Regs[inst.Rs1], e.Regs[inst.Rs2])
+			if taken {
+				nextPC = e.PC + uint64(inst.Imm)
+			}
+			if obs != nil && obs.Branch != nil {
+				obs.Branch(e.PC, taken)
+			}
+			ctl = true
+		case op == isa.JAL:
+			e.setReg(inst.Rd, e.PC+isa.InstBytes)
+			nextPC = e.PC + uint64(inst.Imm)
+			ctl = true
+		case op == isa.JALR:
+			rd := e.PC + isa.InstBytes
+			nextPC = (e.Regs[inst.Rs1] + uint64(inst.Imm)) &^ 1
+			e.setReg(inst.Rd, rd)
+			ctl = true
+		case op.IsLoad():
+			addr := e.Regs[inst.Rs1] + uint64(inst.Imm)
+			size := op.MemBytes()
+			raw := e.Mem.ReadArch(addr, size)
+			e.setReg(inst.Rd, extendLoad(op, raw))
+			if obs != nil && obs.Load != nil {
+				obs.Load(e.PC, addr, size)
+			}
+		case op.IsStore():
+			addr := e.Regs[inst.Rs1] + uint64(inst.Imm)
+			size := op.MemBytes()
+			e.Mem.WriteArch(addr, size, e.Regs[inst.Rs2])
+			if obs != nil && obs.Store != nil {
+				obs.Store(addr, size)
+			}
+		default: // ALU (incl. LUI, MUL/DIV/REM)
+			e.setReg(inst.Rd, isa.EvalALU(op, e.Regs[inst.Rs1], e.Regs[inst.Rs2], inst.Imm))
+		}
+
+		e.PC = nextPC
+		e.Seq++
+		executed++
+		blockN++
+		if ctl {
+			emitBlock(nextPC)
+		}
+	}
+	emitBlock(e.PC)
+	return executed
+}

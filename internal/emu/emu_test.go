@@ -239,7 +239,7 @@ func TestBranchAndJumpTargets(t *testing.T) {
 		isa.Inst{Op: isa.ADDI, Rd: isa.S0, Rs1: isa.X0, Imm: 1}, // skipped
 		isa.Inst{Op: isa.JAL, Rd: isa.RA, Imm: 8},               // 0x108 -> 0x110
 		isa.Inst{Op: isa.ADDI, Rd: isa.S1, Rs1: isa.X0, Imm: 1}, // skipped
-		isa.Inst{Op: isa.HALT}, // 0x110
+		isa.Inst{Op: isa.HALT},                                  // 0x110
 	)
 	res := Run(p, NewMemory(), 0)
 	if res.Regs[isa.S0] != 0 || res.Regs[isa.S1] != 0 {
@@ -254,7 +254,7 @@ func TestJalrAlignsTarget(t *testing.T) {
 	p := prog(0,
 		isa.Inst{Op: isa.ADDI, Rd: isa.T0, Rs1: isa.X0, Imm: 9}, // odd target
 		isa.Inst{Op: isa.JALR, Rd: isa.X0, Rs1: isa.T0, Imm: 0}, // -> 8 (cleared bit 0)
-		isa.Inst{Op: isa.HALT},                                  // 8: halt
+		isa.Inst{Op: isa.HALT}, // 8: halt
 	)
 	res := Run(p, NewMemory(), 0)
 	if !res.Reached {
@@ -283,8 +283,8 @@ func TestDynInstRecordsValues(t *testing.T) {
 		isa.Inst{Op: isa.LD, Rd: isa.T1, Rs1: isa.T0, Imm: 0},
 		isa.Inst{Op: isa.SD, Rs1: isa.T0, Rs2: isa.T1, Imm: 8},
 		isa.Inst{Op: isa.BNE, Rs1: isa.T1, Rs2: isa.X0, Imm: 8}, // taken -> 0x14
-		isa.Inst{Op: isa.NOP},                                   // skipped
-		isa.Inst{Op: isa.HALT},                                  // 0x14
+		isa.Inst{Op: isa.NOP},  // skipped
+		isa.Inst{Op: isa.HALT}, // 0x14
 	)
 	e := New(p, m)
 	var recs []DynInst

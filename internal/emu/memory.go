@@ -90,6 +90,12 @@ type Memory struct {
 
 	shadowFree []*shadowPage // recycled empty shadows (bounds steady-state allocation)
 	nPend      int
+
+	// frozen marks pages shared copy-on-write with a MemImage snapshot
+	// (see checkpoint.go). Writes to a frozen page clone it first. nil —
+	// the common case for memories that were never snapshotted — costs one
+	// nil check on the write path and nothing on reads.
+	frozen map[uint64]bool
 }
 
 // NewMemory returns an empty memory.
@@ -104,9 +110,19 @@ func NewMemory() *Memory {
 func (m *Memory) pageFor(addr uint64, create bool) *page {
 	pn := addr >> pageShift
 	p := m.pages[pn]
-	if p == nil && create {
+	if !create {
+		return p
+	}
+	if p == nil {
 		p = new(page)
 		m.pages[pn] = p
+	} else if m.frozen != nil && m.frozen[pn] {
+		// Copy-on-write: the page is shared with a snapshot image.
+		cp := new(page)
+		*cp = *p
+		m.pages[pn] = cp
+		delete(m.frozen, pn)
+		p = cp
 	}
 	return p
 }

@@ -19,10 +19,10 @@ func Road(w, h int, seed uint64) *Graph {
 			// Keep ~72% of east edges and ~72% of south edges: mean
 			// symmetrized degree ≈ 2.9, with per-vertex variance.
 			if x+1 < w && r.Float64() < 0.72 {
-				edges = append(edges, edge{id(x, y), id(x + 1, y)})
+				edges = append(edges, edge{id(x, y), id(x+1, y)})
 			}
 			if y+1 < h && r.Float64() < 0.72 {
-				edges = append(edges, edge{id(x, y), id(x, y + 1)})
+				edges = append(edges, edge{id(x, y), id(x, y+1)})
 			}
 		}
 	}

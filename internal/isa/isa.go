@@ -16,38 +16,38 @@ const NumRegs = 32
 
 // Conventional register aliases (a subset of the RISC-V ABI names).
 const (
-	X0 Reg = 0  // hardwired zero
-	RA Reg = 1  // return address
-	SP Reg = 2  // stack pointer
-	GP Reg = 3
-	TP Reg = 4
-	T0 Reg = 5
-	T1 Reg = 6
-	T2 Reg = 7
-	S0 Reg = 8
-	S1 Reg = 9
-	A0 Reg = 10
-	A1 Reg = 11
-	A2 Reg = 12
-	A3 Reg = 13
-	A4 Reg = 14
-	A5 Reg = 15
-	A6 Reg = 16
-	A7 Reg = 17
-	S2 Reg = 18
-	S3 Reg = 19
-	S4 Reg = 20
-	S5 Reg = 21
-	S6 Reg = 22
-	S7 Reg = 23
-	S8 Reg = 24
-	S9 Reg = 25
+	X0  Reg = 0 // hardwired zero
+	RA  Reg = 1 // return address
+	SP  Reg = 2 // stack pointer
+	GP  Reg = 3
+	TP  Reg = 4
+	T0  Reg = 5
+	T1  Reg = 6
+	T2  Reg = 7
+	S0  Reg = 8
+	S1  Reg = 9
+	A0  Reg = 10
+	A1  Reg = 11
+	A2  Reg = 12
+	A3  Reg = 13
+	A4  Reg = 14
+	A5  Reg = 15
+	A6  Reg = 16
+	A7  Reg = 17
+	S2  Reg = 18
+	S3  Reg = 19
+	S4  Reg = 20
+	S5  Reg = 21
+	S6  Reg = 22
+	S7  Reg = 23
+	S8  Reg = 24
+	S9  Reg = 25
 	S10 Reg = 26
 	S11 Reg = 27
-	T3 Reg = 28
-	T4 Reg = 29
-	T5 Reg = 30
-	T6 Reg = 31
+	T3  Reg = 28
+	T4  Reg = 29
+	T5  Reg = 30
+	T6  Reg = 31
 )
 
 // PredReg is a logical predicate register for the Phelps extension. Pred0 is

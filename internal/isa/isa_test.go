@@ -7,8 +7,8 @@ import (
 
 func TestOpClassPredicates(t *testing.T) {
 	cases := []struct {
-		op                               Op
-		branch, load, store, jump, cplx  bool
+		op                              Op
+		branch, load, store, jump, cplx bool
 	}{
 		{ADD, false, false, false, false, false},
 		{ADDI, false, false, false, false, false},
@@ -90,10 +90,10 @@ func TestBranchTaken(t *testing.T) {
 
 func TestEvalALUBasics(t *testing.T) {
 	cases := []struct {
-		op       Op
-		a, b     uint64
-		imm      int64
-		want     uint64
+		op   Op
+		a, b uint64
+		imm  int64
+		want uint64
 	}{
 		{ADD, 3, 4, 0, 7},
 		{SUB, 3, 4, 0, ^uint64(0)},

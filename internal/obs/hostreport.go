@@ -7,7 +7,7 @@ import (
 
 // HostBenchSchema versions the BENCH_host.json layout; bump it when a field
 // changes meaning so trajectory-diffing tools can tell.
-const HostBenchSchema = 1
+const HostBenchSchema = 2
 
 // HostBenchReport is the machine-readable artifact `phelpsreport -host`
 // writes: how fast the simulator itself runs on the host (as opposed to
@@ -23,12 +23,14 @@ type HostBenchReport struct {
 
 // HostBenchEntry is one measurement. Pipeline-level entries report
 // sim_inst_per_sec and allocs_per_sim_inst; memory-primitive entries report
-// ns_per_op and allocs_per_op. Unused fields are omitted.
+// ns_per_op and allocs_per_op; sampled-vs-full entries additionally report
+// speedup (full wall-clock / sampled wall-clock). Unused fields are omitted.
 type HostBenchEntry struct {
 	Name             string  `json:"name"`
 	SimInstPerSec    float64 `json:"sim_inst_per_sec,omitempty"`
 	AllocsPerSimInst float64 `json:"allocs_per_sim_inst"`
 	NsPerOp          float64 `json:"ns_per_op,omitempty"`
+	Speedup          float64 `json:"speedup,omitempty"`
 }
 
 // NewHostBenchReport returns an empty report stamped with the Go version.

@@ -100,10 +100,10 @@ func Astar(w, h int, pBlockPct int, maxSteps int, seed uint64) *Workload {
 	b.Li(isa.S2, int64(bound2)) // bound2p
 	b.Li(isa.S3, int64(fillArr))
 	b.Li(isa.S4, int64(mapArr))
-	b.Li(isa.S5, 1)                // fillnum
-	b.Li(isa.S6, int64(maxSteps))  // remaining steps
-	b.Li(isa.S7, 1)                // total enqueued
-	b.Li(isa.S8, 0)                // steps executed
+	b.Li(isa.S5, 1)               // fillnum
+	b.Li(isa.S6, int64(maxSteps)) // remaining steps
+	b.Li(isa.S7, 1)               // total enqueued
+	b.Li(isa.S8, 0)               // steps executed
 	b.Label("driver")
 	b.Beq(isa.S1, isa.X0, "done")
 	b.Beq(isa.S6, isa.X0, "done")

@@ -97,10 +97,10 @@ func BFS(g *graph.Graph, src int) *Workload {
 	b.Li(isa.S2, int64(parent))
 	b.Li(isa.S3, int64(cur))
 	b.Li(isa.S4, int64(next))
-	b.Li(isa.S5, 1)             // curl
-	b.Li(isa.A3, int64(depth))  // depth array
-	b.Li(isa.A4, 0)             // current level
-	b.Li(isa.A5, 0)             // edges scanned
+	b.Li(isa.S5, 1)            // curl
+	b.Li(isa.A3, int64(depth)) // depth array
+	b.Li(isa.A4, 0)            // current level
+	b.Li(isa.A5, 0)            // edges scanned
 	b.Label("levels")
 	b.Beq(isa.S5, isa.X0, "done")
 	b.Addi(isa.A4, isa.A4, 1) // level counter (depth to assign)
@@ -258,8 +258,8 @@ func PageRank(g *graph.Graph, iters int, dNum, dDen int64, cut int64) *Workload 
 	b.Ld(isa.A4, isa.T1, 0) // u = adj[ei]
 	b.Slli(isa.T2, isa.A4, 3)
 	b.Add(isa.T3, isa.S0, isa.T2)
-	b.Ld(isa.T4, isa.T3, 0) // offsets[u]
-	b.Ld(isa.T5, isa.T3, 8) // offsets[u+1]
+	b.Ld(isa.T4, isa.T3, 0)       // offsets[u]
+	b.Ld(isa.T5, isa.T3, 8)       // offsets[u+1]
 	b.Sub(isa.T5, isa.T5, isa.T4) // deg
 	b.Add(isa.T6, isa.S2, isa.T2)
 	b.Ld(isa.T6, isa.T6, 0) // scores[u]
@@ -399,8 +399,8 @@ func CC(g *graph.Graph) *Workload {
 	b.Ld(isa.T3, isa.T2, 0) // v
 	b.Slli(isa.T3, isa.T3, 3)
 	b.Add(isa.T3, isa.S2, isa.T3)
-	b.Ld(isa.T4, isa.T3, 0) // cv = comp[v]
-	b.Ld(isa.T5, isa.S8, 0) // cu = comp[u] (reloaded: store->load idiom)
+	b.Ld(isa.T4, isa.T3, 0)       // cv = comp[v]
+	b.Ld(isa.T5, isa.S8, 0)       // cu = comp[u] (reloaded: store->load idiom)
 	b.Add(isa.A6, isa.A6, isa.S6) // checksum of edge indices (non-slice)
 	b.Label("brB")
 	b.Bge(isa.T4, isa.T5, "skipv") // brB: delinquent while converging

@@ -332,8 +332,8 @@ func BC(g *graph.Graph, sources []int) *Workload {
 	b.Ld(isa.T5, isa.T4, 0)       // dv
 	b.Slli(isa.T6, isa.A4, 3)
 	b.Add(isa.T6, isa.S2, isa.T6)
-	b.Ld(isa.T6, isa.T6, 0)       // du (reloaded per iteration)
-	b.Addi(isa.T6, isa.T6, 1)     // du+1
+	b.Ld(isa.T6, isa.T6, 0)   // du (reloaded per iteration)
+	b.Addi(isa.T6, isa.T6, 1) // du+1
 	b.Label("fwdbrDisc")
 	b.Bge(isa.T5, isa.X0, "fwdvisited") // discovered already?
 	b.Sd(isa.T6, isa.T4, 0)             // depth[v] = du+1 (guarded store)

@@ -178,8 +178,8 @@ func GuardedPair(n, cells int, seed uint64) *Workload {
 	b.Li(isa.S2, int64(idx1))
 	b.Li(isa.S3, int64(idx2))
 	b.Li(isa.S4, int64(n))
-	b.Li(isa.S5, 0) // i
-	b.Li(isa.S6, 0) // hits
+	b.Li(isa.S5, 0)           // i
+	b.Li(isa.S6, 0)           // hits
 	b.Li(isa.S7, int64(valA)) // val[] base (store data source)
 	b.Label("loop")
 	b.Slli(isa.T0, isa.S5, 3)

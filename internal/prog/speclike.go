@@ -178,7 +178,7 @@ func XzLike(n int, seed uint64) *Workload {
 	b.Li(isa.S1, int64(n))
 	b.Li(isa.S2, 0) // i
 	b.Li(isa.S3, 0) // hits
-	b.Label("hot") // a separate tiny hot loop region per visit
+	b.Label("hot")  // a separate tiny hot loop region per visit
 	// Sea of diffuse branches on the index bits (mildly biased each).
 	for k := 0; k < 12; k++ {
 		b.Srli(isa.T0, isa.S2, int64(k))

@@ -33,11 +33,11 @@ type Controller struct {
 	startPC uint64
 
 	// Active chain engine state.
-	engine  *core.Engine
-	queues  *brQueues
-	qidOf   map[uint64]int // branch PC -> queue id
-	loopPC  uint64
-	mtIter  uint64
+	engine   *core.Engine
+	queues   *brQueues
+	qidOf    map[uint64]int // branch PC -> queue id
+	loopPC   uint64
+	mtIter   uint64
 	suppress bool
 
 	partitioned bool
@@ -63,6 +63,11 @@ func NewController(cfg Config, coreCfg cpu.Config, mem *emu.Memory, hier *cache.
 
 // AttachCore links the main-thread core.
 func (c *Controller) AttachCore(mt *cpu.Core) { c.mt = mt }
+
+// ResetStats zeroes the controller's counters without touching chain or
+// queue state (sampled simulation's warmup/measure boundary). Pointers into
+// the Stats field (brQueues) stay valid: the field is reassigned in place.
+func (c *Controller) ResetStats() { c.Stats = Stats{} }
 
 // RegisterObs registers the controller's counters and gauges into an
 // observability registry under scope (e.g. "runahead" yields

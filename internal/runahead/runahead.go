@@ -76,14 +76,14 @@ func DefaultConfig() Config {
 
 // Stats counts Branch Runahead activity.
 type Stats struct {
-	RejectedLoops   map[uint64]core.RejectReason
-	ChainsBuilt     uint64
-	Triggers        uint64
-	ChainRetired    uint64
-	Rollbacks       uint64
-	LateTriggers    uint64
-	QueueConsumed   uint64
-	QueueStale      uint64
+	RejectedLoops    map[uint64]core.RejectReason
+	ChainsBuilt      uint64
+	Triggers         uint64
+	ChainRetired     uint64
+	Rollbacks        uint64
+	LateTriggers     uint64
+	QueueConsumed    uint64
+	QueueStale       uint64
 	QueueUnavailable uint64
 }
 
@@ -95,12 +95,12 @@ type brQueues struct {
 	stats *Stats
 	now   func() uint64
 
-	nQueues int
-	guards  []int  // queue -> guard queue (-1 = top-level chain)
+	nQueues  int
+	guards   []int  // queue -> guard queue (-1 = top-level chain)
 	guardDir []bool // enabling direction of the guard
-	bim     *bpred.Bimodal
+	bim      *bpred.Bimodal
 
-	entries [][]brEntry // per queue
+	entries  [][]brEntry // per queue
 	tailIter uint64
 
 	// per-iteration guard state (reset at AdvanceTail)
@@ -125,7 +125,7 @@ func newBRQueues(cfg *Config, stats *Stats, n int, guards []int, guardDir []bool
 		bim:     bpred.NewBimodal(12),
 		entries: make([][]brEntry, n),
 		actual:  make([]bool, n), hasActual: make([]bool, n),
-		spec: make([]bool, n),
+		spec:  make([]bool, n),
 		depth: cfg.QueueDepth,
 	}
 }

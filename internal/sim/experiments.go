@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -79,7 +80,7 @@ func SpecCPUSpecs(quick bool) []Spec {
 		{"x264", func() *prog.Workload { return prog.X264Like(60000/f, 9) }, 30_000},
 		{"deepsjeng", func() *prog.Workload { return prog.DeepsjengLike(3000/f, 3) }, 30_000},
 		{"leela", func() *prog.Workload { return prog.LeelaLike(4000/f, 2) }, 30_000},
-		{"exchange2", func() *prog.Workload { return prog.Exchange2Like(120000/f) }, 30_000},
+		{"exchange2", func() *prog.Workload { return prog.Exchange2Like(120000 / f) }, 30_000},
 		{"xz", func() *prog.Workload { return prog.XzLike(40000/f, 6) }, 30_000},
 	}
 }
@@ -95,37 +96,102 @@ const (
 	CfgHalf          = "half"            // forced 1/2 partition, no helper threads
 )
 
-// configFor materializes a named configuration for a workload's epoch.
-func configFor(name string, epoch uint64) Config {
-	switch name {
-	case CfgPerfect:
+// configEntry is one registered named configuration. The registry is the
+// single source of truth RunMatrix, phelps, and phelpsreport share; build
+// takes the workload's epoch length because Phelps/BR epochs scale with the
+// workload (see EXPERIMENTS.md).
+type configEntry struct {
+	name  string
+	desc  string
+	build func(epoch uint64) Config
+}
+
+var configRegistry = []configEntry{
+	{CfgBase, "TAGE-SC-L baseline, no pre-execution", func(uint64) Config {
+		return DefaultConfig()
+	}},
+	{CfgPerfect, "perfect branch prediction oracle (Fig. 12a upper bound)", func(uint64) Config {
 		cfg := DefaultConfig()
 		cfg.Predictor = PredPerfect
 		return cfg
-	case CfgPhelps:
+	}},
+	{CfgPhelps, "full Phelps: predicated helper threads", func(epoch uint64) Config {
 		return PhelpsConfig(epoch)
-	case CfgPhelpsNoStore:
+	}},
+	{CfgPhelpsNoStore, "Phelps without helper-thread stores (Fig. 12b ablation)", func(epoch uint64) Config {
 		cfg := PhelpsConfig(epoch)
 		cfg.Phelps.Construction.IncludeStores = false
 		return cfg
-	case CfgBR:
+	}},
+	{CfgBR, "Branch Runahead, speculative chains, static partition", func(epoch uint64) Config {
 		cfg := DefaultConfig()
 		cfg.Mode = ModeRunahead
 		cfg.Runahead.EpochLen = epoch
 		return cfg
-	case CfgBR12w:
+	}},
+	{CfgBR12w, "Branch Runahead with an untouched 12-wide main thread", func(epoch uint64) Config {
 		cfg := DefaultConfig()
 		cfg.Mode = ModeRunahead
 		cfg.Runahead.EpochLen = epoch
 		cfg.Runahead.StaticPartition = false
 		return cfg
-	case CfgHalf:
+	}},
+	{CfgHalf, "half-partitioned main thread, no helper threads (Fig. 13c)", func(uint64) Config {
 		cfg := DefaultConfig()
 		cfg.ForcePartition = true
 		return cfg
-	default:
-		return DefaultConfig()
+	}},
+}
+
+// ConfigNames returns every registered configuration name, in registry
+// (paper-figure) order.
+func ConfigNames() []string {
+	names := make([]string, len(configRegistry))
+	for i, e := range configRegistry {
+		names[i] = e.name
 	}
+	return names
+}
+
+// ConfigDescription returns a one-line description of a registered
+// configuration ("" if unknown).
+func ConfigDescription(name string) string {
+	for _, e := range configRegistry {
+		if e.name == name {
+			return e.desc
+		}
+	}
+	return ""
+}
+
+// ConfigByName materializes a registered configuration for a workload's
+// epoch length. Unknown names are an error (they were silently the baseline
+// in the old stringly-typed switch).
+func ConfigByName(name string, epoch uint64) (Config, error) {
+	for _, e := range configRegistry {
+		if e.name == name {
+			return e.build(epoch), nil
+		}
+	}
+	return Config{}, fmt.Errorf("sim: unknown configuration %q (have %s)",
+		name, strings.Join(ConfigNames(), ", "))
+}
+
+// mustConfig is ConfigByName for the registry's own constant names.
+func mustConfig(name string, epoch uint64) Config {
+	cfg, err := ConfigByName(name, epoch)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// runQuiet runs and keeps only the metrics: figure builders tolerate
+// timed-out or unverified cells (the numbers still render; RunMatrix is the
+// error-reporting path).
+func runQuiet(w *prog.Workload, cfg Config) Result {
+	r, _ := Run(w, cfg)
+	return r
 }
 
 // Matrix holds results per workload per configuration.
@@ -135,10 +201,22 @@ type Matrix map[string]map[string]Result
 // workloads across a bounded worker pool (each Spec.Build produces an
 // independent Workload, and Run shares no mutable state between runs, so
 // the results are identical to a serial sweep). Configurations for one
-// workload run serially on its worker. Every run verifies the workload's
-// architectural results; verification failures are reported via the Result.
-func RunMatrix(specs []Spec, configs []string) Matrix {
+// workload run serially on its worker.
+//
+// Every run verifies the workload's architectural results. Per-cell
+// failures (livelock, verification) are joined into the returned error —
+// match with errors.Is(err, ErrLivelock / ErrVerify) — while the Matrix
+// still carries every cell's metrics, so figures can render a partially
+// failed sweep. An unknown configuration name fails the whole call before
+// any simulation starts.
+func RunMatrix(specs []Spec, configs []string) (Matrix, error) {
+	for _, c := range configs {
+		if _, err := ConfigByName(c, 0); err != nil {
+			return nil, err
+		}
+	}
 	rows := make([]map[string]Result, len(specs))
+	errs := make([]error, len(specs))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(specs) {
 		workers = len(specs)
@@ -155,10 +233,16 @@ func RunMatrix(specs []Spec, configs []string) Matrix {
 			for i := range jobs {
 				s := specs[i]
 				rs := make(map[string]Result, len(configs))
+				var cellErrs []error
 				for _, c := range configs {
-					rs[c] = Run(s.Build(), configFor(c, s.Epoch))
+					r, err := Run(s.Build(), mustConfig(c, s.Epoch))
+					rs[c] = r
+					if err != nil {
+						cellErrs = append(cellErrs, fmt.Errorf("%s under %s: %w", s.Name, c, err))
+					}
 				}
 				rows[i] = rs
+				errs[i] = errors.Join(cellErrs...)
 			}
 		}()
 	}
@@ -172,7 +256,7 @@ func RunMatrix(specs []Spec, configs []string) Matrix {
 	for i, s := range specs {
 		m[s.Name] = rows[i]
 	}
-	return m
+	return m, errors.Join(errs...)
 }
 
 // Speedup returns cycles(base)/cycles(cfg) for a workload.
@@ -206,31 +290,31 @@ func Fig11(quick bool) []Fig11Row {
 	mk := func() *prog.Workload { return prog.Astar(size, size, 35, 600, 7) }
 	epoch := uint64(30_000)
 
-	base := Run(mk(), DefaultConfig())
+	base := runQuiet(mk(), DefaultConfig())
 	rows := []Fig11Row{{"baseline (TAGE-SC-L)", 1.0, base.MPKI()}}
 
 	runAs := func(name string, cfg Config) {
-		r := Run(mk(), cfg)
+		r := runQuiet(mk(), cfg)
 		rows = append(rows, Fig11Row{name, float64(base.Cycles) / float64(r.Cycles), r.MPKI()})
 	}
 
-	brNon := configFor(CfgBR, epoch)
+	brNon := mustConfig(CfgBR, epoch)
 	brNon.Runahead.Speculative = false
 	runAs("BR-non-spec", brNon)
-	runAs("BR-spec", configFor(CfgBR, epoch))
+	runAs("BR-spec", mustConfig(CfgBR, epoch))
 
-	runAs("Phelps:b1->b2->s1 (full)", configFor(CfgPhelps, epoch))
+	runAs("Phelps:b1->b2->s1 (full)", mustConfig(CfgPhelps, epoch))
 
-	b1b2 := configFor(CfgPhelps, epoch)
+	b1b2 := mustConfig(CfgPhelps, epoch)
 	b1b2.Phelps.Construction.IncludeStores = false
 	runAs("Phelps:b1->b2", b1b2)
 
-	b1 := configFor(CfgPhelps, epoch)
+	b1 := mustConfig(CfgPhelps, epoch)
 	b1.Phelps.Construction.IncludeStores = false
 	b1.Phelps.Construction.IncludeGuardedBranches = false
 	runAs("Phelps:b1", b1)
 
-	b1s1 := configFor(CfgPhelps, epoch)
+	b1s1 := mustConfig(CfgPhelps, epoch)
 	b1s1.Phelps.Construction.IncludeGuardedBranches = false
 	runAs("Phelps:b1->s1", b1s1)
 
@@ -380,22 +464,22 @@ func Fig15a(quick bool) []Fig15aRow {
 	for _, s := range specs {
 		// ROB sweep at depth 11 (with commensurate PRF/LQ/SQ/IQ sizing).
 		for _, rob := range robs {
-			base := configFor(CfgBase, s.Epoch)
+			base := mustConfig(CfgBase, s.Epoch)
 			scaleWindow(&base, rob, 11)
-			ph := configFor(CfgPhelps, s.Epoch)
+			ph := mustConfig(CfgPhelps, s.Epoch)
 			scaleWindow(&ph, rob, 11)
-			b := Run(s.Build(), base)
-			p := Run(s.Build(), ph)
+			b := runQuiet(s.Build(), base)
+			p := runQuiet(s.Build(), ph)
 			rows = append(rows, Fig15aRow{s.Name, rob, 11, float64(b.Cycles) / float64(p.Cycles)})
 		}
 		// Depth sweep at ROB 632.
 		for _, d := range depths[1:] {
-			base := configFor(CfgBase, s.Epoch)
+			base := mustConfig(CfgBase, s.Epoch)
 			scaleWindow(&base, 632, d)
-			ph := configFor(CfgPhelps, s.Epoch)
+			ph := mustConfig(CfgPhelps, s.Epoch)
 			scaleWindow(&ph, 632, d)
-			b := Run(s.Build(), base)
-			p := Run(s.Build(), ph)
+			b := runQuiet(s.Build(), base)
+			p := runQuiet(s.Build(), ph)
 			rows = append(rows, Fig15aRow{s.Name, 632, d, float64(b.Cycles) / float64(p.Cycles)})
 		}
 	}
@@ -447,8 +531,8 @@ func Fig15b(quick bool) []Fig15bRow {
 	var rows []Fig15bRow
 	for _, in := range inputs {
 		src := in.g.MainComponentSource()
-		b := Run(prog.BFS(in.g, src), DefaultConfig())
-		p := Run(prog.BFS(in.g, src), PhelpsConfig(40_000))
+		b := runQuiet(prog.BFS(in.g, src), DefaultConfig())
+		p := runQuiet(prog.BFS(in.g, src), PhelpsConfig(40_000))
 		red := 0.0
 		if b.MPKI() > 0 {
 			red = (b.MPKI() - p.MPKI()) / b.MPKI() * 100

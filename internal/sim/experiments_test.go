@@ -7,10 +7,25 @@ import (
 	"phelps/internal/prog"
 )
 
-func TestConfigForMaterializesEveryName(t *testing.T) {
-	names := []string{CfgBase, CfgPerfect, CfgPhelps, CfgPhelpsNoStore, CfgBR, CfgBR12w, CfgHalf}
+func TestConfigRegistryMaterializesEveryName(t *testing.T) {
+	names := ConfigNames()
+	want := []string{CfgBase, CfgPerfect, CfgPhelps, CfgPhelpsNoStore, CfgBR, CfgBR12w, CfgHalf}
+	if len(names) != len(want) {
+		t.Fatalf("ConfigNames() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("ConfigNames()[%d] = %q, want %q", i, names[i], n)
+		}
+	}
 	for _, n := range names {
-		cfg := configFor(n, 12345)
+		cfg, err := ConfigByName(n, 12345)
+		if err != nil {
+			t.Fatalf("ConfigByName(%q): %v", n, err)
+		}
+		if ConfigDescription(n) == "" {
+			t.Errorf("%s: empty description", n)
+		}
 		switch n {
 		case CfgPerfect:
 			if cfg.Predictor != PredPerfect {
@@ -40,6 +55,14 @@ func TestConfigForMaterializesEveryName(t *testing.T) {
 	}
 }
 
+func TestConfigByNameUnknown(t *testing.T) {
+	if _, err := ConfigByName("no-such-config", 0); err == nil {
+		t.Fatal("ConfigByName accepted an unknown name")
+	} else if !strings.Contains(err.Error(), CfgBase) {
+		t.Errorf("error should list valid names, got: %v", err)
+	}
+}
+
 func TestMatrixAndFormatters(t *testing.T) {
 	// A miniature matrix on one tiny workload exercises the formatters.
 	specs := []Spec{{
@@ -47,9 +70,9 @@ func TestMatrixAndFormatters(t *testing.T) {
 		Build: func() *prog.Workload { return prog.DelinquentLoop(8000, 50, 1) },
 		Epoch: 4000,
 	}}
-	m := RunMatrix(specs, []string{CfgBase, CfgPerfect, CfgPhelps, CfgPhelpsNoStore, CfgBR, CfgBR12w, CfgHalf})
-	if m["micro"][CfgBase].VerifyErr != nil {
-		t.Fatalf("verify: %v", m["micro"][CfgBase].VerifyErr)
+	m, err := RunMatrix(specs, []string{CfgBase, CfgPerfect, CfgPhelps, CfgPhelpsNoStore, CfgBR, CfgBR12w, CfgHalf})
+	if err != nil {
+		t.Fatalf("RunMatrix: %v", err)
 	}
 	if s := m.Speedup("micro", CfgPerfect); s <= 1.0 {
 		t.Errorf("perfect BP speedup = %.2f, want > 1", s)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -17,10 +18,7 @@ func TestObsCountersMatchResult(t *testing.T) {
 	coll := obs.NewCollector(0)
 	cfg := PhelpsConfig(50_000)
 	cfg.Obs = coll
-	res := Run(prog.DelinquentLoop(50000, 50, 1), cfg)
-	if res.VerifyErr != nil {
-		t.Fatalf("verify: %v", res.VerifyErr)
-	}
+	res := mustRun(t, prog.DelinquentLoop(50000, 50, 1), cfg)
 
 	snap := coll.Registry.Snapshot()
 	for name, want := range map[string]uint64{
@@ -59,10 +57,7 @@ func TestObsIntervalSeries(t *testing.T) {
 	coll := obs.NewCollector(2000)
 	cfg := PhelpsConfig(20_000)
 	cfg.Obs = coll
-	res := Run(prog.DelinquentLoop(30000, 50, 1), cfg)
-	if res.VerifyErr != nil {
-		t.Fatalf("verify: %v", res.VerifyErr)
-	}
+	res := mustRun(t, prog.DelinquentLoop(30000, 50, 1), cfg)
 	series := coll.Series()
 	if len(series) < 5 {
 		t.Fatalf("got %d samples for a %d-cycle run at interval 2000", len(series), res.Cycles)
@@ -97,7 +92,9 @@ func TestObsKonataTraceFromRun(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxInsts = 2000
 	cfg.Obs = coll
-	Run(prog.DelinquentLoop(5000, 50, 1), cfg)
+	if _, err := Run(prog.DelinquentLoop(5000, 50, 1), cfg); err != nil {
+		t.Fatal(err)
+	}
 	if err := coll.Trace.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -132,22 +129,39 @@ func TestObsKonataTraceFromRun(t *testing.T) {
 }
 
 // TestRunTimeoutIsGraceful is the satellite check: exhausting MaxCycles
-// produces a reportable Result instead of a panic.
+// produces an ErrLivelock-wrapped error plus a Result that still carries the
+// partial stats.
 func TestRunTimeoutIsGraceful(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxCycles = 500
-	res := Run(prog.DelinquentLoop(50000, 50, 1), cfg)
+	res, err := Run(prog.DelinquentLoop(50000, 50, 1), cfg)
 	if !res.TimedOut {
 		t.Fatal("run should have timed out at 500 cycles")
 	}
-	if res.LivelockErr == nil || !strings.Contains(res.LivelockErr.Error(), "500") {
-		t.Errorf("LivelockErr = %v", res.LivelockErr)
+	if !errors.Is(err, ErrLivelock) {
+		t.Fatalf("err = %v, want ErrLivelock", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "500") {
+		t.Errorf("error should carry the cycle bound: %v", err)
 	}
 	if res.Halted {
 		t.Error("timed-out run reported Halted")
 	}
 	if res.Cycles == 0 {
 		t.Error("timed-out run carries no partial stats")
+	}
+}
+
+// TestRunConsumedWorkload pins the double-run contract: a Workload's memory
+// image is consumed by the first Run, and a second Run on the same value is
+// an ErrConsumed error instead of a silently wrong simulation.
+func TestRunConsumedWorkload(t *testing.T) {
+	w := prog.DelinquentLoop(5000, 50, 1)
+	if _, err := Run(w, DefaultConfig()); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if _, err := Run(w, DefaultConfig()); !errors.Is(err, ErrConsumed) {
+		t.Fatalf("second run err = %v, want ErrConsumed", err)
 	}
 }
 
@@ -166,12 +180,15 @@ func TestRunMatrixParallelMatchesSerial(t *testing.T) {
 	for _, s := range specs {
 		rows := make(map[string]Result, len(configs))
 		for _, c := range configs {
-			rows[c] = Run(s.Build(), configFor(c, s.Epoch))
+			rows[c] = mustRun(t, s.Build(), mustConfig(c, s.Epoch))
 		}
 		serial[s.Name] = rows
 	}
 
-	parallel := RunMatrix(specs, configs)
+	parallel, err := RunMatrix(specs, configs)
+	if err != nil {
+		t.Fatalf("RunMatrix: %v", err)
+	}
 	for _, s := range specs {
 		for _, c := range configs {
 			ps, ss := parallel[s.Name][c], serial[s.Name][c]

@@ -1,0 +1,465 @@
+package sim
+
+// Sampled simulation (see DESIGN.md · Sampled simulation): instead of
+// running every instruction through the cycle model, profile the workload in
+// a fast functional pass, pick k representative intervals with the SimPoint
+// methodology (internal/simpoint), fast-forward to an architectural
+// checkpoint just before each one, and run only those intervals
+// cycle-accurately. The weighted per-interval rates reconstruct whole-run
+// IPC/MPKI in the same Result shape the matrix and report layers consume.
+//
+// The pipeline is two functional passes plus k short timing runs:
+//
+//  1. profile:    FastForward to HALT collecting interval BBVs live
+//                 (simpoint.BBVCollector, merged from fixed-grain chunks).
+//  2. pick:       k-means over the BBVs (simpoint.Pick) -> k weighted
+//                 SimPoints.
+//  3. checkpoint: FastForward again, functionally warming a fresh branch
+//                 predictor and cache hierarchy over the last FuncWarmInsts
+//                 before each SimPoint, then Checkpoint (copy-on-write
+//                 memory snapshot) at the interval start.
+//  4. measure:    per point, Resume the checkpoint into a timing machine
+//                 with the warmed predictor/hierarchy, run WarmupInsts
+//                 cycle-accurately, reset the counters, measure the
+//                 interval.
+//  5. weigh:      Result rates are the weight-averaged per-point rates
+//                 scaled to the profiled instruction total.
+
+import (
+	"fmt"
+
+	"phelps/internal/bpred"
+	"phelps/internal/cache"
+	"phelps/internal/emu"
+	"phelps/internal/simpoint"
+)
+
+// SampleConfig tunes SampledRun. The zero value auto-sizes everything from
+// the workload's dynamic instruction count.
+type SampleConfig struct {
+	// IntervalLen is the SimPoint interval in instructions. 0 auto-sizes to
+	// total/50 rounded to a multiple of the 2000-inst profiling grain and
+	// clamped to [2_000, 4_000].
+	IntervalLen uint64
+	// K scales the number of SimPoints: the clustering yields about K
+	// weighted representatives (at most 2K; see simpoint.Pick), plus one
+	// mandatory cold-start point covering the first intervals. 0 means 5.
+	K int
+	// WarmupInsts is the cycle-accurate warmup run before each measured
+	// interval (counters are reset at the warmup/measure boundary). 0 means
+	// max(IntervalLen/2, 4000): functional warming approximates timing
+	// state, and the cycle-accurate warmup corrects it regardless of how
+	// short the measured interval is.
+	WarmupInsts uint64
+	// FuncWarmInsts bounds functional warming. 0 (the default) warms one
+	// branch predictor and cache hierarchy continuously from instruction 0
+	// and clones them at each checkpoint — the most accurate option, since
+	// the cloned state matches what a full run would have accumulated. A
+	// nonzero value instead warms a fresh predictor/hierarchy over only the
+	// last FuncWarmInsts before each checkpoint, which is cheaper on very
+	// long workloads but cold-starts long-lived cache state.
+	FuncWarmInsts uint64
+	// MinIntervals is the minimum number of profiled intervals worth
+	// sampling; below it SampledRun falls back to a full Run (the workload
+	// is too short for fast-forwarding to pay). 0 means 4.
+	MinIntervals int
+	// Seed drives the k-means clustering (deterministic per seed). 0 means
+	// 42.
+	Seed uint64
+	// MaxProfileInsts bounds the functional profile pass. 0 means 1e9.
+	MaxProfileInsts uint64
+}
+
+func (sc SampleConfig) withDefaults() SampleConfig {
+	if sc.K == 0 {
+		sc.K = 4
+	}
+	if sc.MinIntervals == 0 {
+		sc.MinIntervals = 4
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 42
+	}
+	if sc.MaxProfileInsts == 0 {
+		sc.MaxProfileInsts = 1_000_000_000
+	}
+	return sc
+}
+
+// chunkLen is the fixed grain of the live BBV profile. Auto-sized intervals
+// are multiples of it, so the profile pass can collect BBVs directly (no
+// intermediate block stream) and merge chunks once the total is known.
+const chunkLen = 2_000
+
+// autoInterval sizes the interval for a profiled total when the caller
+// didn't: ~50 intervals, rounded to a multiple of chunkLen and clamped so
+// tiny workloads keep enough intervals to cluster and huge ones keep the
+// measured fraction small.
+func autoInterval(total uint64) uint64 {
+	l := (total/50 + chunkLen/2) / chunkLen * chunkLen
+	if l < chunkLen {
+		l = chunkLen
+	}
+	if l > 2*chunkLen {
+		l = 2 * chunkLen
+	}
+	return l
+}
+
+// SampleReport describes how a sampled Result was reconstructed.
+type SampleReport struct {
+	// FullRun is set when the workload was below MinIntervals and SampledRun
+	// fell back to a complete cycle-accurate run (Points is then empty).
+	FullRun     bool
+	TotalInsts  uint64 // dynamic instructions in the functional profile
+	IntervalLen uint64
+	Intervals   int // profiled intervals
+	Points      []PointResult
+}
+
+// PointResult is one measured SimPoint.
+type PointResult struct {
+	Interval  int     // interval index in the profile
+	Weight    float64 // cluster weight (fractions sum to ~1)
+	StartInst uint64  // first instruction of the interval
+	Warmed    uint64  // instructions retired in the cycle-accurate warmup
+	Measured  uint64  // instructions retired in the measured phase
+	Cycles    uint64  // cycles of the measured phase
+	IPC       float64
+	MPKI      float64
+}
+
+// WeightedIPC returns the weighted harmonic-mean IPC over the measured
+// points — the whole-run estimate (cycles add across intervals, IPC doesn't).
+func (s *SampleReport) WeightedIPC() float64 {
+	var inv, wsum float64
+	for _, p := range s.Points {
+		if p.IPC <= 0 {
+			continue
+		}
+		inv += p.Weight / p.IPC
+		wsum += p.Weight
+	}
+	if inv == 0 {
+		return 0
+	}
+	return wsum / inv
+}
+
+// SampledRun estimates a workload's full-run metrics from k SimPoint
+// intervals. It takes a Spec — a workload builder — rather than a Workload
+// because it needs independent instances for the profile and checkpoint
+// passes (and because Run consumes workload memory; a builder cannot alias
+// consumed state). The returned Result has the same shape as Run's: Cycles,
+// Retired, and the rate counters are scaled to the profiled total so IPC()
+// and MPKI() read as whole-run estimates, and Result.Sampled records the
+// reconstruction. Result.Cache holds the summed measured-interval cache
+// stats (rates over the measured windows, not whole-run totals).
+//
+// cfg.Obs is not supported for sampled runs (k independent machines would
+// race on one collector) and must be nil. cfg.MaxInsts bounds the profile
+// pass. Workloads too short to sample fall back to a full Run, reported via
+// Result.Sampled.FullRun.
+func SampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
+	if cfg.Obs != nil {
+		return Result{}, fmt.Errorf("sim: SampledRun does not support Config.Obs")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 2_000_000_000
+	}
+	sc = sc.withDefaults()
+	profileCap := sc.MaxProfileInsts
+	if cfg.MaxInsts > 0 && cfg.MaxInsts < profileCap {
+		profileCap = cfg.MaxInsts
+	}
+
+	// --- 1. profile: functional pass recording the basic-block stream ---
+	w := spec.Build()
+	if w.Mem == nil {
+		return Result{}, fmt.Errorf("sim: %s: built workload has nil memory", spec.Name)
+	}
+	// BBVs are collected live at chunkLen grain (or directly at the caller's
+	// interval) rather than via an intermediate block stream; auto-sized
+	// intervals are merged from whole chunks after the total is known.
+	grain := sc.IntervalLen
+	if grain == 0 {
+		grain = chunkLen
+	}
+	coll := simpoint.NewBBVCollector(grain)
+	e := emu.New(w.Prog, w.Mem)
+	total := e.FastForward(profileCap, &emu.FFObserver{Block: coll.ObserveBlock})
+	if total == 0 {
+		return Result{}, fmt.Errorf("sim: %s: empty profile", spec.Name)
+	}
+	// The profile pass reached HALT: verify it, catching functional bugs
+	// before they hide inside weighted estimates.
+	if e.Halted && w.Verify != nil {
+		if verr := w.Verify(w.Mem); verr != nil {
+			return Result{}, fmt.Errorf("sim: %s (functional profile): %w: %v", spec.Name, ErrVerify, verr)
+		}
+	}
+
+	coll.Flush()
+	intervalLen := sc.IntervalLen
+	intervals := coll.Intervals()
+	if intervalLen == 0 {
+		intervalLen = autoInterval(total)
+		intervals = simpoint.MergeIntervals(intervals, int(intervalLen/chunkLen))
+	}
+	warmup := sc.WarmupInsts
+	if warmup == 0 {
+		warmup = intervalLen / 2
+		if warmup < chunkLen {
+			warmup = chunkLen
+		}
+	}
+	if len(intervals) < sc.MinIntervals {
+		// Too short to sample: a full run is cheaper than the machinery.
+		res, err := Run(spec.Build(), cfg)
+		res.Sampled = &SampleReport{FullRun: true, TotalInsts: total, IntervalLen: intervalLen, Intervals: len(intervals)}
+		return res, err
+	}
+
+	// --- 2. pick SimPoints ---
+	// The first coldIv intervals are one mandatory sample point, measured
+	// contiguously from the true initial state without warmup. Their BBVs
+	// usually match later intervals (same code), but their performance is the
+	// cold-start transient — empty caches, untrained predictor — which
+	// typically stretches over several intervals and is invisible to BBV
+	// clustering; clustered together, a cold representative can stand in for
+	// the whole run (or a warm one hide the cold phase). Only the remainder
+	// is clustered and sampled.
+	nIv := len(intervals)
+	coldIv := nIv / 16
+	if coldIv < 1 {
+		coldIv = 1
+	}
+	if coldIv > 3 {
+		// The transient is over after a few intervals; measuring more cold
+		// intervals cycle-accurately only eats into the speedup.
+		coldIv = 3
+	}
+	points := simpoint.Pick(intervals[coldIv:], sc.K, sc.Seed)
+	scale := float64(nIv-coldIv) / float64(nIv)
+	byStart := make([]simpoint.SimPoint, 0, len(points)+1)
+	byStart = append(byStart, simpoint.SimPoint{Interval: 0, Weight: float64(coldIv) / float64(nIv)})
+	for _, sp := range points {
+		byStart = append(byStart, simpoint.SimPoint{Interval: sp.Interval + coldIv, Weight: sp.Weight * scale})
+	}
+	for i := 1; i < len(byStart); i++ { // insertion sort by interval index
+		for j := i; j > 0 && byStart[j].Interval < byStart[j-1].Interval; j-- {
+			byStart[j], byStart[j-1] = byStart[j-1], byStart[j]
+		}
+	}
+
+	// --- 3. checkpoint pass: fast-forward once, warming microarch state ---
+	w2 := spec.Build()
+	e2 := emu.New(w2.Prog, w2.Mem)
+	type prepared struct {
+		sp   simpoint.SimPoint
+		ck   *emu.Checkpoint
+		pred bpred.Predictor
+		hier *cache.Hierarchy
+		warm uint64 // cycle-accurate warmup insts between checkpoint and interval
+	}
+	preps := make([]prepared, 0, len(byStart))
+	pos := uint64(0) // instructions executed so far in this pass
+
+	// Continuous mode (FuncWarmInsts == 0): one predictor and hierarchy
+	// train on the whole prefix, on a pseudo-clock, and are cloned at each
+	// checkpoint so every point starts from the state a full run would have
+	// accumulated. Quiesce clears the clock-relative MSHR bookkeeping; the
+	// tag, replacement, and prefetcher state is what carries over.
+	continuous := sc.FuncWarmInsts == 0
+	var (
+		warmPred bpred.Predictor
+		warmHier *cache.Hierarchy
+		warmObs  *emu.FFObserver
+		cacheObs *emu.FFObserver
+		tclk     uint64
+	)
+	// Predictor and I-cache state saturate within a few thousand
+	// instructions (the code footprint is tiny next to the data footprint),
+	// so training them over the whole prefix buys nothing — the far part of
+	// each segment warms the data hierarchy only (cacheObs) and the
+	// predictor plus instruction fetch train over the last predWindow
+	// instructions before each checkpoint. Data-cache state has run-long
+	// memory and is warmed continuously.
+	predWindow := 2 * intervalLen
+	if continuous {
+		warmPred = makePredictor(cfg.Predictor)
+		warmHier = cache.New(cfg.Cache)
+		warmObs = &emu.FFObserver{
+			Branch: func(pc uint64, taken bool) { warmPred.PredictAndTrain(pc, taken) },
+			Load:   func(pc, addr uint64, size int) { warmHier.Load(pc, addr, tclk); tclk += 4 },
+			Store:  func(addr uint64, size int) { warmHier.Store(addr, tclk); tclk += 4 },
+			Block:  func(head, n uint64) { warmHier.FetchInst(head, tclk); tclk += n },
+		}
+		cacheObs = &emu.FFObserver{
+			Load:  warmObs.Load,
+			Store: warmObs.Store,
+			Block: func(head, n uint64) { tclk += n },
+		}
+	}
+	clonePred := func(p bpred.Predictor) bpred.Predictor {
+		if c, ok := p.(bpred.Cloner); ok {
+			return c.ClonePredictor()
+		}
+		return makePredictor(cfg.Predictor) // untrained fallback
+	}
+
+	for _, sp := range byStart {
+		start := uint64(sp.Interval) * intervalLen
+		// Checkpoint warmup instructions BEFORE the interval, so the
+		// cycle-accurate warmup lands the measured window exactly on
+		// [start, start+intervalLen) — the interval the weight stands for.
+		// The cold-start point checkpoints at 0 and measures from there.
+		ckAt := start
+		if sp.Interval != 0 {
+			if warmup < start {
+				ckAt = start - warmup
+			} else {
+				ckAt = 0
+			}
+		}
+		var p prepared
+		if continuous {
+			if ckAt > pos+predWindow {
+				e2.FastForward(ckAt-predWindow-pos, cacheObs)
+				pos = ckAt - predWindow
+			}
+			if ckAt > pos {
+				e2.FastForward(ckAt-pos, warmObs)
+				pos = ckAt
+			}
+			p = prepared{sp: sp, pred: clonePred(warmPred), hier: warmHier.Clone()}
+		} else {
+			// Window mode: plain fast-forward to the warming window, then a
+			// fresh predictor/hierarchy over the last FuncWarmInsts.
+			warmFrom := uint64(0)
+			if sc.FuncWarmInsts < ckAt {
+				warmFrom = ckAt - sc.FuncWarmInsts
+			}
+			if warmFrom < pos {
+				warmFrom = pos
+			}
+			if warmFrom > pos {
+				e2.FastForward(warmFrom-pos, nil)
+				pos = warmFrom
+			}
+			p = prepared{sp: sp, pred: makePredictor(cfg.Predictor), hier: cache.New(cfg.Cache)}
+			if ckAt > pos {
+				var t uint64
+				pred, hier := p.pred, p.hier
+				e2.FastForward(ckAt-pos, &emu.FFObserver{
+					Branch: func(pc uint64, taken bool) { pred.PredictAndTrain(pc, taken) },
+					Load:   func(pc, addr uint64, size int) { hier.Load(pc, addr, t); t += 4 },
+					Store:  func(addr uint64, size int) { hier.Store(addr, t); t += 4 },
+					Block:  func(head, n uint64) { hier.FetchInst(head, t); t += n },
+				})
+				pos = ckAt
+			}
+		}
+		p.warm = start - ckAt
+		p.hier.Quiesce()
+		p.hier.ResetStats()
+		ck, err := e2.Checkpoint()
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %s: checkpoint at inst %d: %v", spec.Name, pos, err)
+		}
+		p.ck = ck
+		preps = append(preps, p)
+	}
+
+	// --- 4. measure each point cycle-accurately ---
+	report := &SampleReport{TotalInsts: total, IntervalLen: intervalLen, Intervals: len(intervals)}
+	var (
+		wSum               float64
+		invW, mpkiW, condW float64
+		qpW, qmW           float64
+		sumCache           cache.Stats
+	)
+	for _, p := range preps {
+		em, mem := p.ck.Resume(w2.Prog)
+		mcfg := cfg
+		mcfg.Obs = nil
+		m := newMachine(mcfg, mem, em, p.pred, p.hier)
+		warmed := uint64(0)
+		measLen := intervalLen
+		// The cold-start point (interval 0) skips warmup and measures the
+		// whole cold prefix: cold behavior is exactly what it is there to
+		// measure.
+		if p.sp.Interval == 0 {
+			measLen = uint64(coldIv) * intervalLen
+		} else if p.warm > 0 {
+			if m.run(p.warm, cfg.MaxCycles) {
+				return Result{}, fmt.Errorf("sim: %s: SimPoint %d warmup did not finish within %d cycles: %w",
+					spec.Name, p.sp.Interval, cfg.MaxCycles, ErrLivelock)
+			}
+			warmed = m.mt.Stats.Retired
+			m.resetStats()
+		}
+		if m.run(measLen, cfg.MaxCycles) {
+			return Result{}, fmt.Errorf("sim: %s: SimPoint %d did not finish within %d cycles: %w",
+				spec.Name, p.sp.Interval, cfg.MaxCycles, ErrLivelock)
+		}
+		st := &m.mt.Stats
+		pr := PointResult{
+			Interval:  p.sp.Interval,
+			Weight:    p.sp.Weight,
+			StartInst: uint64(p.sp.Interval) * intervalLen,
+			Warmed:    warmed,
+			Measured:  st.Retired,
+			Cycles:    st.Cycles,
+		}
+		if st.Cycles > 0 && st.Retired > 0 {
+			pr.IPC = float64(st.Retired) / float64(st.Cycles)
+			pr.MPKI = float64(st.Mispredicts) * 1000 / float64(st.Retired)
+			w := p.sp.Weight
+			wSum += w
+			// Cycles add, IPC doesn't: each point stands for w*total
+			// instructions costing w*total/IPC cycles, so the whole-run IPC
+			// is the weighted harmonic mean of the per-point IPCs.
+			invW += w / pr.IPC
+			mpkiW += w * pr.MPKI
+			condW += w * float64(st.CondBranches) / float64(st.Retired)
+			qpW += w * float64(st.QueuePreds) / float64(st.Retired)
+			qmW += w * float64(st.QueueMisps) / float64(st.Retired)
+		}
+		addCacheStats(&sumCache, &m.hier.Stats)
+		report.Points = append(report.Points, pr)
+	}
+	if wSum == 0 {
+		return Result{}, fmt.Errorf("sim: %s: no SimPoint produced measurable cycles", spec.Name)
+	}
+
+	// --- 5. weigh: reconstruct whole-run metrics from per-point rates ---
+	ipc := wSum / invW
+	res := Result{
+		Retired:      total,
+		Cycles:       uint64(float64(total)/ipc + 0.5),
+		CondBranches: uint64(condW/wSum*float64(total) + 0.5),
+		Mispredicts:  uint64(mpkiW / wSum * float64(total) / 1000.0),
+		QueuePreds:   uint64(qpW/wSum*float64(total) + 0.5),
+		QueueMisps:   uint64(qmW/wSum*float64(total) + 0.5),
+		Halted:       e.Halted,
+		Cache:        sumCache,
+		Sampled:      report,
+	}
+	return res, nil
+}
+
+// addCacheStats accumulates b into a field-by-field.
+func addCacheStats(a, b *cache.Stats) {
+	a.L1IAccesses += b.L1IAccesses
+	a.L1IMisses += b.L1IMisses
+	a.L1DAccesses += b.L1DAccesses
+	a.L1DMisses += b.L1DMisses
+	a.L2Accesses += b.L2Accesses
+	a.L2Misses += b.L2Misses
+	a.L3Accesses += b.L3Accesses
+	a.L3Misses += b.L3Misses
+	a.PrefIssued += b.PrefIssued
+	a.PrefUseful += b.PrefUseful
+	a.MSHRStallCycles += b.MSHRStallCycles
+}

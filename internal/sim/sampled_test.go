@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+
+	"phelps/internal/obs"
+	"phelps/internal/prog"
+)
+
+// mustSampled runs SampledRun and fails the test on error.
+func mustSampled(t *testing.T, spec Spec, cfg Config, sc SampleConfig) Result {
+	t.Helper()
+	r, err := SampledRun(spec, cfg, sc)
+	if err != nil {
+		t.Fatalf("SampledRun(%s): %v", spec.Name, err)
+	}
+	return r
+}
+
+// goldenBaseIPC loads the checked-in golden matrix and returns workload ->
+// full-run IPC under the baseline config.
+func goldenBaseIPC(t *testing.T) map[string]float64 {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (%v); generate with UPDATE_GOLDEN=1", err)
+	}
+	var g goldenFile
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatalf("bad golden file: %v", err)
+	}
+	out := make(map[string]float64)
+	for _, c := range g.Cells {
+		if c.Config != CfgBase {
+			continue
+		}
+		ipc, err := strconv.ParseFloat(c.IPC, 64)
+		if err != nil {
+			t.Fatalf("golden %s/%s: bad IPC %q", c.Workload, c.Config, c.IPC)
+		}
+		out[c.Workload] = ipc
+	}
+	return out
+}
+
+// TestSampledAccuracyVsGolden is the acceptance gate for sampled simulation:
+// on every quick-profile workload, the SimPoint-reconstructed IPC must land
+// within 10% of the full cycle-accurate run pinned in the golden file.
+func TestSampledAccuracyVsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampled accuracy sweep skipped in -short mode")
+	}
+	golden := goldenBaseIPC(t)
+	for _, spec := range append(GapSpecs(true), SpecCPUSpecs(true)...) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			want, ok := golden[spec.Name]
+			if !ok {
+				t.Fatalf("no golden base cell for %s", spec.Name)
+			}
+			res := mustSampled(t, spec, mustConfig(CfgBase, spec.Epoch), SampleConfig{})
+			got := res.IPC()
+			errPct := (got - want) / want * 100
+			rep := res.Sampled
+			t.Logf("sampled IPC %.4f vs full %.4f (%+.2f%%), %d intervals of %d, %d points, fullrun=%v",
+				got, want, errPct, rep.Intervals, rep.IntervalLen, len(rep.Points), rep.FullRun)
+			if errPct < -10 || errPct > 10 {
+				t.Errorf("sampled IPC %.4f off golden %.4f by %+.2f%% (limit 10%%)", got, want, errPct)
+			}
+		})
+	}
+}
+
+// TestSampledRunFallbackTinyWorkload: workloads too short to chunk into
+// MinIntervals intervals fall back to a full run, flagged in the report.
+func TestSampledRunFallbackTinyWorkload(t *testing.T) {
+	spec := Spec{
+		Name:  "tiny",
+		Build: func() *prog.Workload { return prog.PredictableLoop(1_000) },
+	}
+	res := mustSampled(t, spec, DefaultConfig(), SampleConfig{})
+	if res.Sampled == nil || !res.Sampled.FullRun {
+		t.Fatalf("tiny workload should fall back to a full run, report: %+v", res.Sampled)
+	}
+	if len(res.Sampled.Points) != 0 {
+		t.Errorf("fallback run has %d points", len(res.Sampled.Points))
+	}
+	if !res.Halted {
+		t.Error("fallback run did not halt")
+	}
+}
+
+// TestSampledRunDeterminism: same spec, same SampleConfig, same Result —
+// clustering is seeded and the machines are deterministic.
+func TestSampledRunDeterminism(t *testing.T) {
+	spec := Spec{
+		Name:  "dl",
+		Build: func() *prog.Workload { return prog.DelinquentLoop(30_000, 50, 1) },
+	}
+	a := mustSampled(t, spec, DefaultConfig(), SampleConfig{})
+	b := mustSampled(t, spec, DefaultConfig(), SampleConfig{})
+	if a.Cycles != b.Cycles || a.Retired != b.Retired || a.Mispredicts != b.Mispredicts {
+		t.Errorf("sampled runs diverge: (%d cyc, %d ret, %d misp) vs (%d cyc, %d ret, %d misp)",
+			a.Cycles, a.Retired, a.Mispredicts, b.Cycles, b.Retired, b.Mispredicts)
+	}
+	for i := range a.Sampled.Points {
+		pa, pb := a.Sampled.Points[i], b.Sampled.Points[i]
+		if pa != pb {
+			t.Errorf("point %d differs: %+v vs %+v", i, pa, pb)
+		}
+	}
+}
+
+// TestSampledRunPointsShape sanity-checks the report invariants on a
+// workload long enough to sample for real.
+func TestSampledRunPointsShape(t *testing.T) {
+	spec := Spec{
+		Name:  "dl",
+		Build: func() *prog.Workload { return prog.DelinquentLoop(30_000, 50, 1) },
+	}
+	res := mustSampled(t, spec, DefaultConfig(), SampleConfig{K: 3})
+	rep := res.Sampled
+	if rep.FullRun {
+		t.Fatal("workload unexpectedly fell back to a full run")
+	}
+	// K scales the clustered points (at most 2K, see simpoint.Pick); the
+	// mandatory cold-start point adds one more.
+	if len(rep.Points) == 0 || len(rep.Points) > 7 {
+		t.Fatalf("got %d points for K=3", len(rep.Points))
+	}
+	var wsum float64
+	for _, p := range rep.Points {
+		wsum += p.Weight
+		if p.Measured == 0 || p.Cycles == 0 {
+			t.Errorf("point %d measured nothing: %+v", p.Interval, p)
+		}
+		if p.StartInst != uint64(p.Interval)*rep.IntervalLen {
+			t.Errorf("point %d: StartInst %d != interval*len %d", p.Interval, p.StartInst, uint64(p.Interval)*rep.IntervalLen)
+		}
+	}
+	if wsum < 0.99 || wsum > 1.01 {
+		t.Errorf("point weights sum to %.4f, want ~1", wsum)
+	}
+	if res.Retired != rep.TotalInsts {
+		t.Errorf("Result.Retired %d != profiled total %d", res.Retired, rep.TotalInsts)
+	}
+}
+
+// TestSampledRunRejectsObs: the observability collector is single-machine
+// state; sampled runs must refuse it rather than race.
+func TestSampledRunRejectsObs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Obs = obs.NewCollector(0)
+	spec := Spec{
+		Name:  "dl",
+		Build: func() *prog.Workload { return prog.DelinquentLoop(30_000, 50, 1) },
+	}
+	if _, err := SampledRun(spec, cfg, SampleConfig{}); err == nil {
+		t.Fatal("SampledRun accepted a Config with Obs set")
+	}
+}

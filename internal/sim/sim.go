@@ -2,9 +2,16 @@
 // core, branch predictor, cache hierarchy, and the Phelps controller (or the
 // Branch Runahead baseline), and runs workloads to produce the paper's
 // metrics (IPC, MPKI, helper-thread overhead, misprediction attribution).
+//
+// Run is the full cycle-accurate entry point; SampledRun (sampled.go) is the
+// SimPoint-sampled one. Both return (Result, error): failures surface as
+// wrapped sentinel errors (ErrLivelock, ErrVerify, ErrConsumed) matchable
+// with errors.Is, and the Result carries whatever metrics were collected up
+// to the failure.
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"phelps/internal/bpred"
@@ -15,6 +22,21 @@ import (
 	"phelps/internal/obs"
 	"phelps/internal/prog"
 	"phelps/internal/runahead"
+)
+
+// Sentinel errors returned (wrapped) by Run and SampledRun.
+var (
+	// ErrLivelock: the run hit Config.MaxCycles before halting. The
+	// accompanying Result is still populated (and Result.TimedOut set) so a
+	// hung configuration produces a reportable matrix row.
+	ErrLivelock = errors.New("simulation exceeded MaxCycles")
+	// ErrVerify: the workload halted but its architectural results are
+	// wrong.
+	ErrVerify = errors.New("workload verification failed")
+	// ErrConsumed: the workload's memory was already consumed by a previous
+	// Run (build a fresh Workload per run, or use SampledRun, which takes a
+	// Spec builder and cannot alias consumed state).
+	ErrConsumed = errors.New("workload memory already consumed")
 )
 
 // PredictorKind selects the core's branch predictor.
@@ -55,8 +77,9 @@ type Config struct {
 	// (0 = run to HALT). Verification only happens on complete runs.
 	MaxInsts uint64
 	// MaxCycles is a safety net against livelock. A run that exhausts it
-	// stops gracefully with Result.TimedOut set (it does not panic), so a
-	// hung configuration still produces a reportable matrix row.
+	// stops gracefully with Result.TimedOut set and Run returning a wrapped
+	// ErrLivelock (it does not panic), so a hung configuration still
+	// produces a reportable matrix row.
 	MaxCycles uint64
 
 	// Obs optionally collects observability data for this run: registry
@@ -98,16 +121,18 @@ type Result struct {
 	QueuePreds   uint64
 	QueueMisps   uint64
 	Halted       bool
-	// TimedOut reports that the run hit Config.MaxCycles before halting;
-	// LivelockErr carries the detail (nil otherwise).
-	TimedOut    bool
-	LivelockErr error
-	VerifyErr   error
+	// TimedOut reports that the run hit Config.MaxCycles before halting
+	// (the returned error wraps ErrLivelock with the detail).
+	TimedOut bool
 
 	Phelps   core.Stats
 	Runahead runahead.Stats
 	Cache    cache.Stats
 	Epochs   int
+
+	// Sampled is set by SampledRun only: how this Result was reconstructed
+	// from SimPoint-weighted intervals (nil for full runs).
+	Sampled *SampleReport
 }
 
 // IPC returns instructions per cycle.
@@ -139,25 +164,32 @@ func makePredictor(kind PredictorKind) bpred.Predictor {
 	}
 }
 
-// Run simulates a workload under a configuration. The workload's memory is
-// consumed by the run (build a fresh Workload per Run call).
-func Run(w *prog.Workload, cfg Config) Result {
-	if cfg.MaxCycles == 0 {
-		cfg.MaxCycles = 2_000_000_000
-	}
-	mem := w.Mem
-	hier := cache.New(cfg.Cache)
-	e := emu.New(w.Prog, mem)
-	pred := makePredictor(cfg.Predictor)
+// machine is one assembled timing system: core, predictor, hierarchy, and
+// the mode's controller, plus the cycle loop's mutable state. Run drives a
+// machine from reset to halt; SampledRun drives one per SimPoint from a
+// resumed checkpoint through warmup and measurement phases.
+type machine struct {
+	cfg   Config
+	mt    *cpu.Core
+	ctrl  *core.Controller
+	bra   *runahead.Controller
+	hier  *cache.Hierarchy
+	pred  bpred.Predictor
+	lanes cpu.LanePool
+	now   uint64
+}
 
-	var ctrl *core.Controller
-	var bra *runahead.Controller
+// newMachine assembles a machine over an emulator. pred and hier may be
+// pre-warmed (SampledRun trains them functionally before the timing phases).
+func newMachine(cfg Config, mem *emu.Memory, e *emu.Emulator, pred bpred.Predictor, hier *cache.Hierarchy) *machine {
+	m := &machine{cfg: cfg, pred: pred, hier: hier}
 	hooks := cpu.Hooks{}
 
 	switch cfg.Mode {
 	case ModePhelps:
-		cfg.Phelps.Enabled = true
-		ctrl = core.NewController(cfg.Phelps, cfg.Core, mem, hier)
+		m.cfg.Phelps.Enabled = true
+		m.ctrl = core.NewController(m.cfg.Phelps, cfg.Core, mem, hier)
+		ctrl := m.ctrl
 		hooks.Predict = func(d *emu.DynInst) cpu.Prediction {
 			base := pred.PredictAndTrain(d.PC, d.Taken)
 			if p, handled := ctrl.Predict(d); handled {
@@ -168,7 +200,8 @@ func Run(w *prog.Workload, cfg Config) Result {
 		hooks.OnFetch = ctrl.OnFetch
 		hooks.OnRetire = func(d *emu.DynInst, misp bool) { ctrl.OnRetire(d, misp) }
 	case ModeRunahead:
-		bra = runahead.NewController(cfg.Runahead, cfg.Core, mem, hier)
+		m.bra = runahead.NewController(cfg.Runahead, cfg.Core, mem, hier)
+		bra := m.bra
 		hooks.Predict = func(d *emu.DynInst) cpu.Prediction {
 			base := pred.PredictAndTrain(d.PC, d.Taken)
 			if p, handled := bra.Predict(d); handled {
@@ -184,100 +217,156 @@ func Run(w *prog.Workload, cfg Config) Result {
 		}
 	}
 
-	mt := cpu.NewCore(cfg.Core, mem, hier, func() (emu.DynInst, bool) { return e.Step() }, hooks)
-	if ctrl != nil {
-		ctrl.AttachCore(mt)
+	m.mt = cpu.NewCore(cfg.Core, mem, hier, func() (emu.DynInst, bool) { return e.Step() }, hooks)
+	if m.ctrl != nil {
+		m.ctrl.AttachCore(m.mt)
 	}
-	if bra != nil {
-		bra.AttachCore(mt)
+	if m.bra != nil {
+		m.bra.AttachCore(m.mt)
 	}
 	if cfg.ForcePartition {
-		mt.SetLimits(cfg.Core.FullLimits().Scale(1, 2))
+		m.mt.SetLimits(cfg.Core.FullLimits().Scale(1, 2))
 	}
+	return m
+}
 
-	if o := cfg.Obs; o != nil {
-		mt.RegisterObs(o.Registry, "core.main")
-		hier.RegisterObs(o.Registry, "cache")
-		if ro, ok := pred.(interface {
-			RegisterObs(*obs.Registry, string)
-		}); ok {
-			ro.RegisterObs(o.Registry, "bpred."+pred.Name())
-		}
-		if ctrl != nil {
-			ctrl.RegisterObs(o.Registry, "phelps")
-		}
-		if bra != nil {
-			bra.RegisterObs(o.Registry, "runahead")
-		}
-		if o.Trace != nil {
-			mt.SetTracer(o.Trace)
-		}
+// registerObs wires the machine's components into a collector's registry.
+func (m *machine) registerObs(o *obs.Collector) {
+	m.mt.RegisterObs(o.Registry, "core.main")
+	m.hier.RegisterObs(o.Registry, "cache")
+	if ro, ok := m.pred.(interface {
+		RegisterObs(*obs.Registry, string)
+	}); ok {
+		ro.RegisterObs(o.Registry, "bpred."+m.pred.Name())
 	}
+	if m.ctrl != nil {
+		m.ctrl.RegisterObs(o.Registry, "phelps")
+	}
+	if m.bra != nil {
+		m.bra.RegisterObs(o.Registry, "runahead")
+	}
+	if o.Trace != nil {
+		m.mt.SetTracer(o.Trace)
+	}
+}
 
-	lanes := &cpu.LanePool{}
-	var now uint64
-	timedOut := false
-	for ; ; now++ {
-		if mt.Halted() {
-			break
+// run advances the cycle loop until the core halts, maxInsts instructions
+// have retired (0 = unbounded), or now reaches maxCycles — in which case it
+// reports a timeout. The clock (m.now) persists across calls, so sampled
+// runs chain warmup and measurement phases on one machine.
+func (m *machine) run(maxInsts, maxCycles uint64) (timedOut bool) {
+	for ; ; m.now++ {
+		if m.mt.Halted() {
+			return false
 		}
-		if cfg.MaxInsts > 0 && mt.Stats.Retired >= cfg.MaxInsts {
-			break
+		if maxInsts > 0 && m.mt.Stats.Retired >= maxInsts {
+			return false
 		}
-		if now >= cfg.MaxCycles {
-			timedOut = true
-			break
+		if m.now >= maxCycles {
+			return true
 		}
-		lanes.Reset(cfg.Core)
+		m.lanes.Reset(m.cfg.Core)
 		// The IQ and lanes are flexibly shared (Section IV-A). Helper
 		// threads issue first: they are latency-critical (their lead is what
 		// produces timely predictions) and naturally self-throttle at the
 		// prediction-queue depth, returning bandwidth to the main thread at
 		// the full-queue equilibrium.
-		if ctrl != nil {
-			ctrl.SetNow(now)
-			ctrl.CycleEngines(now, lanes)
-			mt.Cycle(now, lanes)
-		} else if bra != nil {
-			bra.SetNow(now)
-			bra.CycleChains(now, lanes)
-			mt.Cycle(now, lanes)
+		if m.ctrl != nil {
+			m.ctrl.SetNow(m.now)
+			m.ctrl.CycleEngines(m.now, &m.lanes)
+			m.mt.Cycle(m.now, &m.lanes)
+		} else if m.bra != nil {
+			m.bra.SetNow(m.now)
+			m.bra.CycleChains(m.now, &m.lanes)
+			m.mt.Cycle(m.now, &m.lanes)
 		} else {
-			mt.Cycle(now, lanes)
+			m.mt.Cycle(m.now, &m.lanes)
 		}
-		if cfg.Obs != nil {
-			cfg.Obs.MaybeSample(mt.Stats.Cycles)
+		if m.cfg.Obs != nil {
+			m.cfg.Obs.MaybeSample(m.mt.Stats.Cycles)
 		}
 	}
-	if cfg.Obs != nil {
-		cfg.Obs.Finish(mt.Stats.Cycles)
-	}
+}
 
+// resetStats clears every component's counters at a phase boundary
+// (microarchitectural state — predictors, caches, the pipeline — stays
+// warm).
+func (m *machine) resetStats() {
+	m.mt.ResetStats()
+	m.hier.ResetStats()
+	if m.ctrl != nil {
+		m.ctrl.ResetStats()
+	}
+	if m.bra != nil {
+		m.bra.ResetStats()
+	}
+}
+
+// result assembles a Result from the machine's current counters.
+func (m *machine) result(timedOut bool) Result {
 	res := Result{
-		Cycles:       mt.Stats.Cycles,
-		Retired:      mt.Stats.Retired,
-		CondBranches: mt.Stats.CondBranches,
-		Mispredicts:  mt.Stats.Mispredicts,
-		QueuePreds:   mt.Stats.QueuePreds,
-		QueueMisps:   mt.Stats.QueueMisps,
-		Halted:       mt.Halted(),
+		Cycles:       m.mt.Stats.Cycles,
+		Retired:      m.mt.Stats.Retired,
+		CondBranches: m.mt.Stats.CondBranches,
+		Mispredicts:  m.mt.Stats.Mispredicts,
+		QueuePreds:   m.mt.Stats.QueuePreds,
+		QueueMisps:   m.mt.Stats.QueueMisps,
+		Halted:       m.mt.Halted(),
 		TimedOut:     timedOut,
-		Cache:        hier.Stats,
+		Cache:        m.hier.Stats,
 	}
-	if timedOut {
-		res.LivelockErr = fmt.Errorf("sim: %s did not finish within %d cycles (retired %d)",
-			w.Name, cfg.MaxCycles, mt.Stats.Retired)
+	if m.ctrl != nil {
+		m.ctrl.FinalizeAttribution()
+		res.Phelps = m.ctrl.Stats
+		res.Epochs = m.ctrl.EpochIndex
 	}
-	if ctrl != nil {
-		ctrl.FinalizeAttribution()
-		res.Phelps = ctrl.Stats
-		res.Epochs = ctrl.EpochIndex
-	}
-	if bra != nil {
-		res.Runahead = bra.Stats
-	}
-	if res.Halted && w.Verify != nil {
-		res.VerifyErr = w.Verify(mem)
+	if m.bra != nil {
+		res.Runahead = m.bra.Stats
 	}
 	return res
+}
+
+// Run simulates a workload under a configuration, cycle-accurately from
+// reset to HALT. The workload's memory is consumed: the run mutates it in
+// place and clears w.Mem, so a second Run of the same Workload value returns
+// ErrConsumed (build a fresh Workload per run — or hand a Spec to
+// SampledRun, which rebuilds as needed).
+//
+// The error is nil for a clean, verified run. Otherwise it wraps ErrLivelock
+// (MaxCycles exhausted) or ErrVerify (wrong architectural results); the
+// Result is populated either way with the metrics collected so far.
+func Run(w *prog.Workload, cfg Config) (Result, error) {
+	if w.Mem == nil {
+		return Result{}, fmt.Errorf("sim: %s: %w", w.Name, ErrConsumed)
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 2_000_000_000
+	}
+	mem := w.Mem
+	w.Mem = nil // consumed: the run mutates mem in place
+	hier := cache.New(cfg.Cache)
+	e := emu.New(w.Prog, mem)
+	pred := makePredictor(cfg.Predictor)
+
+	m := newMachine(cfg, mem, e, pred, hier)
+	if cfg.Obs != nil {
+		m.registerObs(cfg.Obs)
+	}
+
+	timedOut := m.run(cfg.MaxInsts, cfg.MaxCycles)
+	if cfg.Obs != nil {
+		cfg.Obs.Finish(m.mt.Stats.Cycles)
+	}
+
+	res := m.result(timedOut)
+	if timedOut {
+		return res, fmt.Errorf("sim: %s did not finish within %d cycles (retired %d): %w",
+			w.Name, cfg.MaxCycles, res.Retired, ErrLivelock)
+	}
+	if res.Halted && w.Verify != nil {
+		if verr := w.Verify(mem); verr != nil {
+			return res, fmt.Errorf("sim: %s: %w: %v", w.Name, ErrVerify, verr)
+		}
+	}
+	return res, nil
 }

@@ -12,15 +12,20 @@ import (
 // and checks both performance shape and end-to-end correctness (the
 // workload's memory-resident results are verified after every run).
 
+// mustRun runs a workload and fails the test on any simulation error
+// (livelock or functional-verification mismatch).
+func mustRun(t *testing.T, w *prog.Workload, cfg Config) Result {
+	t.Helper()
+	r, err := Run(w, cfg)
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return r
+}
+
 func TestPhelpsOnDelinquentLoop(t *testing.T) {
-	base := Run(prog.DelinquentLoop(50000, 50, 1), DefaultConfig())
-	if base.VerifyErr != nil {
-		t.Fatalf("baseline verify: %v", base.VerifyErr)
-	}
-	ph := Run(prog.DelinquentLoop(50000, 50, 1), PhelpsConfig(50_000))
-	if ph.VerifyErr != nil {
-		t.Fatalf("phelps verify: %v", ph.VerifyErr)
-	}
+	base := mustRun(t, prog.DelinquentLoop(50000, 50, 1), DefaultConfig())
+	ph := mustRun(t, prog.DelinquentLoop(50000, 50, 1), PhelpsConfig(50_000))
 	t.Logf("baseline: IPC=%.2f MPKI=%.1f", base.IPC(), base.MPKI())
 	t.Logf("phelps:   IPC=%.2f MPKI=%.1f triggers=%d htRetired=%d queueMisp=%d/%d",
 		ph.IPC(), ph.MPKI(), ph.Phelps.Triggers, ph.Phelps.HTRetired, ph.QueueMisps, ph.QueuePreds)
@@ -41,11 +46,8 @@ func TestPhelpsOnDelinquentLoop(t *testing.T) {
 func TestPhelpsGuardedPair(t *testing.T) {
 	// The Fig. 1 idiom: b2 guarded by b1 plus the guarded influential store
 	// s1. Full Phelps must pre-execute both branches and keep the store.
-	base := Run(prog.GuardedPair(60000, 24, 3), DefaultConfig())
-	ph := Run(prog.GuardedPair(60000, 24, 3), PhelpsConfig(50_000))
-	if ph.VerifyErr != nil {
-		t.Fatalf("verify: %v", ph.VerifyErr)
-	}
+	base := mustRun(t, prog.GuardedPair(60000, 24, 3), DefaultConfig())
+	ph := mustRun(t, prog.GuardedPair(60000, 24, 3), PhelpsConfig(50_000))
 	t.Logf("baseline MPKI=%.1f phelps MPKI=%.1f (triggers=%d, specHits=%d)",
 		base.MPKI(), ph.MPKI(), ph.Phelps.Triggers, ph.Phelps.SpecCacheHits)
 	if ph.Phelps.Triggers == 0 {
@@ -62,23 +64,18 @@ func TestPhelpsGuardedPair(t *testing.T) {
 func TestPhelpsAblationsOrdering(t *testing.T) {
 	// Fig. 11: full Phelps > b1->b2 (no stores) > b1 only, in MPKI terms.
 	mk := func() *prog.Workload { return prog.GuardedPair(60000, 24, 3) }
-	full := Run(mk(), PhelpsConfig(50_000))
+	full := mustRun(t, mk(), PhelpsConfig(50_000))
 
 	noStores := PhelpsConfig(50_000)
 	noStores.Phelps.Construction.IncludeStores = false
-	b1b2 := Run(mk(), noStores)
+	b1b2 := mustRun(t, mk(), noStores)
 
 	b1Only := PhelpsConfig(50_000)
 	b1Only.Phelps.Construction.IncludeStores = false
 	b1Only.Phelps.Construction.IncludeGuardedBranches = false
-	b1 := Run(mk(), b1Only)
+	b1 := mustRun(t, mk(), b1Only)
 
 	t.Logf("MPKI: full=%.2f b1->b2=%.2f b1=%.2f", full.MPKI(), b1b2.MPKI(), b1.MPKI())
-	for _, r := range []*Result{&full, &b1b2, &b1} {
-		if r.VerifyErr != nil {
-			t.Fatalf("ablation broke program semantics: %v", r.VerifyErr)
-		}
-	}
 	if full.MPKI() >= b1b2.MPKI() {
 		t.Errorf("full (%.2f) should beat b1->b2 (%.2f)", full.MPKI(), b1b2.MPKI())
 	}
@@ -90,11 +87,8 @@ func TestPhelpsAblationsOrdering(t *testing.T) {
 func TestPhelpsNestedLoopDualThreads(t *testing.T) {
 	// The Fig. 2 idiom: dual decoupled helper threads over an outer loop
 	// with short unpredictable inner trip counts.
-	base := Run(prog.NestedLoop(30000, 6, 4), DefaultConfig())
-	ph := Run(prog.NestedLoop(30000, 6, 4), PhelpsConfig(60_000))
-	if ph.VerifyErr != nil {
-		t.Fatalf("verify: %v", ph.VerifyErr)
-	}
+	base := mustRun(t, prog.NestedLoop(30000, 6, 4), DefaultConfig())
+	ph := mustRun(t, prog.NestedLoop(30000, 6, 4), PhelpsConfig(60_000))
 	t.Logf("baseline MPKI=%.1f phelps MPKI=%.1f triggers=%d visits=%d iterations=%d",
 		base.MPKI(), ph.MPKI(), ph.Phelps.Triggers, ph.Phelps.HTVisits, ph.Phelps.HTIterations)
 	if ph.Phelps.Triggers == 0 {
@@ -109,10 +103,7 @@ func TestPhelpsNestedLoopDualThreads(t *testing.T) {
 }
 
 func TestPhelpsDoesNotActivateOnPredictableCode(t *testing.T) {
-	ph := Run(prog.PredictableLoop(200_000), PhelpsConfig(50_000))
-	if ph.VerifyErr != nil {
-		t.Fatalf("verify: %v", ph.VerifyErr)
-	}
+	ph := mustRun(t, prog.PredictableLoop(200_000), PhelpsConfig(50_000))
 	if ph.Phelps.Triggers != 0 {
 		t.Errorf("phelps triggered %d times on predictable code", ph.Phelps.Triggers)
 	}
@@ -122,8 +113,8 @@ func TestPhelpsPerfectBPUpperBound(t *testing.T) {
 	// Phelps must not beat perfect branch prediction.
 	perf := DefaultConfig()
 	perf.Predictor = PredPerfect
-	p := Run(prog.DelinquentLoop(40000, 50, 2), perf)
-	ph := Run(prog.DelinquentLoop(40000, 50, 2), PhelpsConfig(50_000))
+	p := mustRun(t, prog.DelinquentLoop(40000, 50, 2), perf)
+	ph := mustRun(t, prog.DelinquentLoop(40000, 50, 2), PhelpsConfig(50_000))
 	if ph.Cycles < p.Cycles {
 		t.Errorf("phelps (%d cycles) beat perfect BP (%d cycles)", ph.Cycles, p.Cycles)
 	}
@@ -131,10 +122,10 @@ func TestPhelpsPerfectBPUpperBound(t *testing.T) {
 
 func TestForcePartitionSlowdown(t *testing.T) {
 	// Fig. 13c: halving the main thread's resources with no helper threads.
-	base := Run(prog.DelinquentLoop(30000, 90, 5), DefaultConfig())
+	base := mustRun(t, prog.DelinquentLoop(30000, 90, 5), DefaultConfig())
 	part := DefaultConfig()
 	part.ForcePartition = true
-	half := Run(prog.DelinquentLoop(30000, 90, 5), part)
+	half := mustRun(t, prog.DelinquentLoop(30000, 90, 5), part)
 	if half.Cycles <= base.Cycles {
 		t.Errorf("forced partition not slower: %d vs %d", half.Cycles, base.Cycles)
 	}
@@ -146,14 +137,11 @@ func TestForcePartitionSlowdown(t *testing.T) {
 }
 
 func TestRunaheadOnDelinquentLoop(t *testing.T) {
-	base := Run(prog.DelinquentLoop(50000, 50, 1), DefaultConfig())
+	base := mustRun(t, prog.DelinquentLoop(50000, 50, 1), DefaultConfig())
 	cfg := DefaultConfig()
 	cfg.Mode = ModeRunahead
 	cfg.Runahead.EpochLen = 50_000
-	br := Run(prog.DelinquentLoop(50000, 50, 1), cfg)
-	if br.VerifyErr != nil {
-		t.Fatalf("verify: %v", br.VerifyErr)
-	}
+	br := mustRun(t, prog.DelinquentLoop(50000, 50, 1), cfg)
 	t.Logf("baseline MPKI=%.1f BR MPKI=%.1f chains=%d triggers=%d consumed=%d",
 		base.MPKI(), br.MPKI(), br.Runahead.ChainsBuilt, br.Runahead.Triggers, br.Runahead.QueueConsumed)
 	if br.Runahead.ChainsBuilt == 0 {
@@ -171,16 +159,13 @@ func TestRunaheadSpecVsNonSpecOnGuardedPair(t *testing.T) {
 	spec := DefaultConfig()
 	spec.Mode = ModeRunahead
 	spec.Runahead.EpochLen = 50_000
-	s := Run(mk(), spec)
+	s := mustRun(t, mk(), spec)
 
 	nonspec := spec
 	nonspec.Runahead.Speculative = false
-	n := Run(mk(), nonspec)
+	n := mustRun(t, mk(), nonspec)
 	t.Logf("BR-spec MPKI=%.2f cycles=%d; BR-non-spec MPKI=%.2f cycles=%d rollbacks=%d",
 		s.MPKI(), s.Cycles, n.MPKI(), n.Cycles, s.Runahead.Rollbacks)
-	if s.VerifyErr != nil || n.VerifyErr != nil {
-		t.Fatalf("verify: %v / %v", s.VerifyErr, n.VerifyErr)
-	}
 }
 
 func TestPhelpsBeatsRunaheadOnGuardedStorePattern(t *testing.T) {
@@ -188,11 +173,11 @@ func TestPhelpsBeatsRunaheadOnGuardedStorePattern(t *testing.T) {
 	// (prediction-free, rollback-free, with predicated stores) beats Branch
 	// Runahead (speculative triggering, no stores).
 	mk := func() *prog.Workload { return prog.GuardedPair(60000, 24, 3) }
-	ph := Run(mk(), PhelpsConfig(50_000))
+	ph := mustRun(t, mk(), PhelpsConfig(50_000))
 	brCfg := DefaultConfig()
 	brCfg.Mode = ModeRunahead
 	brCfg.Runahead.EpochLen = 50_000
-	br := Run(mk(), brCfg)
+	br := mustRun(t, mk(), brCfg)
 	t.Logf("phelps: MPKI=%.2f cycles=%d; BR: MPKI=%.2f cycles=%d",
 		ph.MPKI(), ph.Cycles, br.MPKI(), br.Cycles)
 	if ph.Cycles >= br.Cycles {
@@ -201,11 +186,8 @@ func TestPhelpsBeatsRunaheadOnGuardedStorePattern(t *testing.T) {
 }
 
 func TestPhelpsOnChainedGuards(t *testing.T) {
-	base := Run(prog.ChainedGuards(50000, 64, 5), DefaultConfig())
-	ph := Run(prog.ChainedGuards(50000, 64, 5), PhelpsConfig(50_000))
-	if ph.VerifyErr != nil {
-		t.Fatalf("verify: %v", ph.VerifyErr)
-	}
+	base := mustRun(t, prog.ChainedGuards(50000, 64, 5), DefaultConfig())
+	ph := mustRun(t, prog.ChainedGuards(50000, 64, 5), PhelpsConfig(50_000))
 	t.Logf("chained guards: baseline MPKI=%.1f phelps MPKI=%.1f", base.MPKI(), ph.MPKI())
 	if ph.Phelps.Triggers == 0 {
 		t.Fatal("never triggered")
@@ -218,11 +200,8 @@ func TestPhelpsOnChainedGuards(t *testing.T) {
 func TestPhelpsBFS(t *testing.T) {
 	g := graph.Road(72, 72, 11)
 	src := g.MainComponentSource()
-	base := Run(prog.BFS(g, src), DefaultConfig())
-	ph := Run(prog.BFS(graph.Road(72, 72, 11), src), PhelpsConfig(80_000))
-	if base.VerifyErr != nil || ph.VerifyErr != nil {
-		t.Fatalf("verify: %v / %v", base.VerifyErr, ph.VerifyErr)
-	}
+	base := mustRun(t, prog.BFS(g, src), DefaultConfig())
+	ph := mustRun(t, prog.BFS(graph.Road(72, 72, 11), src), PhelpsConfig(80_000))
 	t.Logf("bfs baseline: MPKI=%.1f IPC=%.2f; phelps: MPKI=%.1f IPC=%.2f triggers=%d visits=%d rejected=%v",
 		base.MPKI(), base.IPC(), ph.MPKI(), ph.IPC(), ph.Phelps.Triggers, ph.Phelps.HTVisits, ph.Phelps.RejectedLoops)
 	if ph.Phelps.Triggers == 0 {
@@ -235,13 +214,13 @@ func TestPhelpsBFS(t *testing.T) {
 
 func TestMispredictAttributionCategories(t *testing.T) {
 	// mcf-like: the delinquent branch is not inside any loop's PC bounds.
-	mcf := Run(prog.McfLike(40000, 5), PhelpsConfig(50_000))
+	mcf := mustRun(t, prog.McfLike(40000, 5), PhelpsConfig(50_000))
 	cats := mcf.Phelps.Categories
 	if cats[core.CatNotInLoop] == 0 {
 		t.Errorf("mcf-like: expected 'not in loop' attributions, got %v", cats)
 	}
 	// omnetpp-like: slice covers the whole body -> ht too big.
-	omn := Run(prog.OmnetppLike(4000, 30, 7), PhelpsConfig(50_000))
+	omn := mustRun(t, prog.OmnetppLike(4000, 30, 7), PhelpsConfig(50_000))
 	if omn.Phelps.Categories[core.CatTooBig] == 0 {
 		t.Errorf("omnetpp-like: expected 'ht too big', got %v", omn.Phelps.Categories)
 	}
@@ -249,7 +228,7 @@ func TestMispredictAttributionCategories(t *testing.T) {
 		t.Error("omnetpp-like: no rejected loops recorded")
 	}
 	// xz-like: inner loop with 3 trips per visit -> not iterating enough.
-	xz := Run(prog.XzLike(30000, 6), PhelpsConfig(50_000))
+	xz := mustRun(t, prog.XzLike(30000, 6), PhelpsConfig(50_000))
 	if xz.Phelps.Categories[core.CatNotIterating] == 0 {
 		t.Logf("xz-like categories: %v, rejected: %v", xz.Phelps.Categories, xz.Phelps.RejectedLoops)
 		t.Error("xz-like: expected 'not iterating enough'")
@@ -270,10 +249,7 @@ func TestVerificationUnderAllModes(t *testing.T) {
 			cfg.Mode = mode
 			cfg.Phelps.EpochLen = 30_000
 			cfg.Runahead.EpochLen = 30_000
-			r := Run(mk(), cfg)
-			if r.VerifyErr != nil {
-				t.Errorf("mode %d: %v", mode, r.VerifyErr)
-			}
+			r := mustRun(t, mk(), cfg)
 			if !r.Halted {
 				t.Errorf("mode %d: did not halt", mode)
 			}

@@ -2,9 +2,9 @@
 // [Sherwood et al., ASPLOS 2002] the paper uses to pick representative
 // regions: the dynamic instruction stream is chunked into fixed-size
 // intervals, each interval is summarized by its basic-block vector (BBV),
-// the vectors are clustered with k-means, and the interval closest to each
-// centroid becomes a SimPoint with a weight proportional to its cluster
-// size.
+// the vectors are clustered with k-means, and each cluster contributes
+// size-proportional representative intervals (SimPoints) whose weights sum
+// to its share of the run.
 package simpoint
 
 import (
@@ -53,8 +53,80 @@ func (c *BBVCollector) Flush() {
 	c.current = make(map[uint64]float64)
 }
 
+// ObserveBlock records one retired basic block of n instructions headed at
+// pc. It is the batch form of Observe that emu.FastForward's Block callback
+// feeds: all n instructions are credited to the head's BBV dimension, and a
+// block spanning an interval boundary is split exactly so every interval
+// holds precisely intervalLen instructions.
+func (c *BBVCollector) ObserveBlock(pc, n uint64) {
+	key := pc >> 5
+	for n > 0 {
+		room := c.intervalLen - c.count%c.intervalLen
+		take := n
+		if take > room {
+			take = room
+		}
+		c.current[key] += float64(take)
+		c.count += take
+		n -= take
+		if take == room {
+			c.intervals = append(c.intervals, c.current)
+			c.current = make(map[uint64]float64)
+		}
+	}
+}
+
 // Intervals returns the collected BBVs.
 func (c *BBVCollector) Intervals() []map[uint64]float64 { return c.intervals }
+
+// Block is one retired basic block: head PC and instruction count. A flat
+// []Block is the cheapest profile a functional pass can record (append-only,
+// no map work per block); ChunkBlocks turns it into interval BBVs afterward.
+type Block struct {
+	Head uint64
+	N    uint64
+}
+
+// ChunkBlocks chunks a block stream into interval BBVs of exactly
+// intervalLen instructions each (the final partial interval is kept if it
+// covers at least half the interval, as in Flush).
+func ChunkBlocks(blocks []Block, intervalLen uint64) []map[uint64]float64 {
+	c := NewBBVCollector(intervalLen)
+	for _, b := range blocks {
+		c.ObserveBlock(b.Head, b.N)
+	}
+	c.Flush()
+	return c.Intervals()
+}
+
+// MergeIntervals coalesces each group of g consecutive interval BBVs into
+// one (summing vectors). A final partial group is kept only if it covers at
+// least half a merged interval, mirroring Flush. It lets a profiling pass
+// collect BBVs live at a fine fixed grain before the final interval length
+// — a multiple of that grain — is known.
+func MergeIntervals(ivs []map[uint64]float64, g int) []map[uint64]float64 {
+	if g <= 1 {
+		return ivs
+	}
+	out := make([]map[uint64]float64, 0, (len(ivs)+g-1)/g)
+	for lo := 0; lo < len(ivs); lo += g {
+		hi := lo + g
+		if hi > len(ivs) {
+			if 2*(len(ivs)-lo) < g {
+				break
+			}
+			hi = len(ivs)
+		}
+		m := make(map[uint64]float64, len(ivs[lo]))
+		for _, iv := range ivs[lo:hi] {
+			for k, v := range iv {
+				m[k] += v
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
 
 // SimPoint is one representative interval.
 type SimPoint struct {
@@ -63,9 +135,12 @@ type SimPoint struct {
 }
 
 // Pick clusters the intervals into at most k clusters (k-means with random
-// restarts on the sparse BBVs, L1-normalized) and returns one SimPoint per
-// non-empty cluster, sorted by weight descending. Deterministic for a given
-// seed.
+// restarts on the sparse BBVs, L1-normalized) and returns weighted
+// SimPoints sorted by weight descending. Each non-empty cluster yields
+// representatives proportional to its size — about k points in total,
+// never more than 2k — spread across the cluster's temporal extent so a
+// phase whose BBVs collapse into one cluster is not represented solely by
+// its (cold) earliest interval. Deterministic for a given seed.
 func Pick(intervals []map[uint64]float64, k int, seed uint64) []SimPoint {
 	n := len(intervals)
 	if n == 0 {
@@ -98,7 +173,7 @@ func Pick(intervals []map[uint64]float64, k int, seed uint64) []SimPoint {
 	}
 
 	assign := make([]int, n)
-	for iter := 0; iter < 20; iter++ {
+	for iter := 0; iter < 10; iter++ {
 		changed := false
 		for i := 0; i < n; i++ {
 			bi, bd := 0, dist(norm[i], centroids[0])
@@ -138,29 +213,61 @@ func Pick(intervals []map[uint64]float64, k int, seed uint64) []SimPoint {
 		}
 	}
 
-	// Representative = interval closest to its centroid; weight = cluster
-	// fraction.
+	// Stratified representatives: each cluster gets reps proportional to its
+	// share of the run (at least one, at most its member count), spread over
+	// contiguous temporal segments of its member list. BBVs capture code, not
+	// data — a big cluster of identical-code intervals can still ramp in
+	// performance as caches warm over the run, and a single early
+	// representative would bias the whole cluster cold. Within a segment the
+	// rep is the member closest to the centroid; (near-)ties break toward the
+	// segment's temporal median.
 	type cluster struct {
-		rep    int
-		repD   float64
-		member int
+		members []int
+		dists   []float64
 	}
 	cl := make([]cluster, len(centroids))
-	for j := range cl {
-		cl[j] = cluster{rep: -1}
-	}
 	for i := 0; i < n; i++ {
 		j := assign[i]
-		d := dist(norm[i], centroids[j])
-		if cl[j].rep < 0 || d < cl[j].repD {
-			cl[j].rep, cl[j].repD = i, d
-		}
-		cl[j].member++
+		cl[j].members = append(cl[j].members, i)
+		cl[j].dists = append(cl[j].dists, dist(norm[i], centroids[j]))
 	}
 	var out []SimPoint
 	for _, c := range cl {
-		if c.rep >= 0 && c.member > 0 {
-			out = append(out, SimPoint{Interval: c.rep, Weight: float64(c.member) / float64(n)})
+		m := len(c.members)
+		if m == 0 {
+			continue
+		}
+		reps := int(float64(k)*float64(m)/float64(n) + 0.5)
+		if reps < 1 {
+			reps = 1
+		}
+		if reps > m {
+			reps = m
+		}
+		for s := 0; s < reps; s++ {
+			lo, hi := s*m/reps, (s+1)*m/reps
+			dmin := c.dists[lo]
+			for i := lo + 1; i < hi; i++ {
+				if c.dists[i] < dmin {
+					dmin = c.dists[i]
+				}
+			}
+			const eps = 1e-9
+			mid := c.members[(lo+hi)/2]
+			rep, repGap := -1, 0
+			for i := lo; i < hi; i++ {
+				if c.dists[i] > dmin+eps {
+					continue
+				}
+				gap := c.members[i] - mid
+				if gap < 0 {
+					gap = -gap
+				}
+				if rep < 0 || gap < repGap {
+					rep, repGap = c.members[i], gap
+				}
+			}
+			out = append(out, SimPoint{Interval: rep, Weight: float64(hi-lo) / float64(n)})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -87,6 +87,110 @@ func TestPickEmptyAndSmall(t *testing.T) {
 	}
 }
 
+func TestPickKAtLeastIntervalCount(t *testing.T) {
+	// Distinct intervals with k == n and k > n: every interval becomes its
+	// own cluster, each weight 1/n, no representative repeats.
+	c := collectPhases(1000, []byte("ABAB"))
+	for _, k := range []int{4, 9} {
+		sps := Pick(c.Intervals(), k, 3)
+		if len(sps) == 0 || len(sps) > 4 {
+			t.Fatalf("k=%d: got %d simpoints for 4 intervals", k, len(sps))
+		}
+		seen := map[int]bool{}
+		sum := 0.0
+		for _, s := range sps {
+			if seen[s.Interval] {
+				t.Fatalf("k=%d: duplicate representative %d", k, s.Interval)
+			}
+			seen[s.Interval] = true
+			sum += s.Weight
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("k=%d: weights sum to %v", k, sum)
+		}
+	}
+}
+
+func TestPickDeterministicAcrossCollections(t *testing.T) {
+	// Determinism must hold for independently rebuilt inputs, not just for
+	// the same map values (map iteration order varies between runs).
+	mk := func() []map[uint64]float64 {
+		return collectPhases(1000, []byte("AABBAABBAB")).Intervals()
+	}
+	a := Pick(mk(), 3, 42)
+	b := Pick(mk(), 3, 42)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic pick: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestObserveBlockMatchesObserve(t *testing.T) {
+	// Single-instruction blocks must be exactly equivalent to Observe.
+	a := NewBBVCollector(100)
+	b := NewBBVCollector(100)
+	for i := uint64(0); i < 1000; i++ {
+		pc := 0x1000 + (i%37)*4
+		a.Observe(pc)
+		b.ObserveBlock(pc, 1)
+	}
+	a.Flush()
+	b.Flush()
+	ia, ib := a.Intervals(), b.Intervals()
+	if len(ia) != len(ib) {
+		t.Fatalf("intervals: %d vs %d", len(ia), len(ib))
+	}
+	for i := range ia {
+		if dist(ia[i], ib[i]) != 0 {
+			t.Fatalf("interval %d differs", i)
+		}
+	}
+}
+
+func TestObserveBlockSplitsAtBoundaries(t *testing.T) {
+	// Blocks larger than the remaining interval room are split exactly:
+	// every sealed interval holds intervalLen instructions.
+	c := NewBBVCollector(100)
+	c.ObserveBlock(0x1000, 70)
+	c.ObserveBlock(0x2000, 260) // spans three boundaries
+	if got := len(c.Intervals()); got != 3 {
+		t.Fatalf("sealed intervals = %d, want 3", got)
+	}
+	for i, iv := range c.Intervals() {
+		sum := 0.0
+		for _, w := range iv {
+			sum += w
+		}
+		if sum != 100 {
+			t.Fatalf("interval %d holds %v insts, want 100", i, sum)
+		}
+	}
+	// 30 insts remain in the open interval: below half, dropped by Flush.
+	c.Flush()
+	if got := len(c.Intervals()); got != 3 {
+		t.Fatalf("after flush: %d intervals, want 3 (short tail dropped)", got)
+	}
+}
+
+func TestChunkBlocks(t *testing.T) {
+	blocks := []Block{{0x1000, 150}, {0x9000, 150}, {0x1000, 80}}
+	ivs := ChunkBlocks(blocks, 100)
+	// 380 insts -> 3 full intervals + an 80-inst tail (kept: >= half).
+	if len(ivs) != 4 {
+		t.Fatalf("intervals = %d, want 4", len(ivs))
+	}
+	if ivs[0][0x1000>>5] != 100 {
+		t.Fatalf("interval 0: %+v", ivs[0])
+	}
+	if ivs[1][0x1000>>5] != 50 || ivs[1][0x9000>>5] != 50 {
+		t.Fatalf("interval 1 split wrong: %+v", ivs[1])
+	}
+}
+
 // Property: weights always sum to ~1 and intervals are valid indices.
 func TestPickInvariants_Property(t *testing.T) {
 	f := func(seed uint64, pat []bool) bool {

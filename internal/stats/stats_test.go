@@ -103,7 +103,6 @@ func TestReduction(t *testing.T) {
 	}
 }
 
-
 func TestSpeedupFormat(t *testing.T) {
 	if Speedup(1.5) != "1.50x" {
 		t.Errorf("got %s", Speedup(1.5))

@@ -10,4 +10,7 @@ go vet ./...
 go test ./...
 go test -race -short ./internal/sim ./internal/obs
 go test -race -run TestCycleExactnessGolden ./internal/sim
+# Sampled-vs-full smoke: one workload through the checkpointed SimPoint
+# pipeline must land within the accuracy gate against the full-run golden.
+go test -count=1 -run 'TestSampledAccuracyVsGolden/astar$' -v ./internal/sim
 go test -run '^$' -bench . -benchtime 1x ./...
