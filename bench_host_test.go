@@ -173,6 +173,17 @@ func BenchmarkHostCoreLoopPhelps(b *testing.B) {
 	runSimBench(b, func() *prog.Workload { return prog.DelinquentLoop(50_000, 50, 1) }, sim.PhelpsConfig(50_000))
 }
 
+func BenchmarkHostCoreLoopVerified(b *testing.B) {
+	// Full verification on: per-cycle invariant checks plus the lockstep
+	// oracle. Compare against BenchmarkHostCoreLoopDelinquent (the same run
+	// with verification off) to price the machinery; the off state costs
+	// nothing because the cycle loop's guard pointer stays nil.
+	cfg := sim.DefaultConfig()
+	cfg.Checks = true
+	cfg.Lockstep = true
+	runSimBench(b, func() *prog.Workload { return prog.DelinquentLoop(50_000, 50, 1) }, cfg)
+}
+
 // --- full quick experiment matrix ---
 
 func BenchmarkHostQuickMatrixFig12a(b *testing.B) {

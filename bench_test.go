@@ -37,7 +37,11 @@ func BenchmarkTableIII_CoreConfig(b *testing.B) {
 func BenchmarkFig11_AstarTopSimpoint(b *testing.B) {
 	var rows []sim.Fig11Row
 	for i := 0; i < b.N; i++ {
-		rows = Fig11Once()
+		var err error
+		rows, err = sim.Fig11(true)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range rows {
 		if r.Name == "Phelps:b1->b2->s1 (full)" {
@@ -47,9 +51,6 @@ func BenchmarkFig11_AstarTopSimpoint(b *testing.B) {
 	}
 	b.Logf("\n%s", sim.FormatFig11(rows))
 }
-
-// Fig11Once runs the quick-profile Fig. 11 experiment.
-func Fig11Once() []sim.Fig11Row { return sim.Fig11(true) }
 
 func quickGapMatrix(b *testing.B, configs []string) (sim.Matrix, []string) {
 	b.Helper()
@@ -161,7 +162,11 @@ func BenchmarkFig14_MispCharacterization(b *testing.B) {
 func BenchmarkFig15a_WindowSensitivity(b *testing.B) {
 	var rows []sim.Fig15aRow
 	for i := 0; i < b.N; i++ {
-		rows = sim.Fig15a(true)
+		var err error
+		rows, err = sim.Fig15a(true)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range rows {
 		if r.Workload == "bfs" && r.ROB == 1024 {

@@ -45,6 +45,8 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Konata pipeline trace of the main thread to this file")
 		interval = flag.Uint64("interval", 0, "sample counters every N cycles into the JSON time series")
 		sampled  = flag.Bool("sampled", false, "SimPoint-sampled run: functional fast-forward + k measured intervals")
+		checks   = flag.Bool("checks", false, "enable per-cycle microarchitectural invariant checks")
+		lockstep = flag.Bool("lockstep", false, "enable the lockstep retirement oracle (differential verification)")
 		spIvl    = flag.Uint64("sp-interval", 0, "sampled: interval length in instructions (0 = auto)")
 		spK      = flag.Int("sp-k", 0, "sampled: number of SimPoints (0 = default)")
 		spWarm   = flag.Uint64("sp-warmup", 0, "sampled: cycle-accurate warmup instructions per point (0 = default)")
@@ -135,6 +137,8 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	cfg.Checks = *checks
+	cfg.Lockstep = *lockstep
 	if *rob != 0 || *depth != 0 {
 		r, d := cfg.Core.ROB, cfg.Core.PipelineDepth
 		if *rob != 0 {

@@ -58,7 +58,11 @@ func main() {
 		fmt.Println(sim.FormatTableIII())
 	}
 	if *all || *fig == 11 {
-		rows := sim.Fig11(*quick)
+		rows, err := sim.Fig11(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig11: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Println(sim.FormatFig11(rows))
 		report.AddFigure("fig11", fig11Rows(rows))
 	}
@@ -119,7 +123,11 @@ func main() {
 			[]string{sim.CfgPerfect, sim.CfgPhelps, sim.CfgBR, sim.CfgBR12w, sim.CfgHalf})
 	}
 	if *all || *fig == 15 {
-		aRows := sim.Fig15a(*quick)
+		aRows, err := sim.Fig15a(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig15a: %v\n", err)
+			os.Exit(1)
+		}
 		bRows := sim.Fig15b(*quick)
 		fmt.Println(sim.FormatFig15a(aRows))
 		fmt.Println(sim.FormatFig15b(bRows))

@@ -28,7 +28,11 @@ func main() {
 	fmt.Println("          waymap[index1].fillnum = fill     // s1 (guarded, influences b1)")
 	fmt.Println()
 
-	rows := sim.Fig11(true)
+	rows, err := sim.Fig11(true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fig11: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Print(sim.FormatFig11(rows))
 	fmt.Println()
 	fmt.Println("The ordering to notice (Section VI of the paper):")

@@ -1,0 +1,76 @@
+package check
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"phelps/internal/isa"
+)
+
+// Report is a minimized crash reproduction: everything needed to re-run the
+// failing cell without the rest of the matrix — the workload and config
+// names, the generator seed (for fuzzed programs), the failure itself, and
+// the full program listing. See EXPERIMENTS.md · Reproducing a dumped crash.
+type Report struct {
+	Name   string // workload / experiment cell name
+	Config string // configuration name or description
+	Seed   uint64 // fuzzgen seed, when the program was generated (else 0)
+	Err    string // the failure: panic value, divergence, or invariant
+	Stack  string // goroutine stack at recovery (empty for non-panic failures)
+	Prog   *isa.Program
+}
+
+// Dump writes a crash report under dir (created if missing) and returns the
+// file path. The file name is derived from the cell name and a hash of the
+// report contents, so identical failures dedupe and distinct ones never
+// collide in practice.
+func Dump(dir string, r *Report) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload: %s\nconfig: %s\n", r.Name, r.Config)
+	if r.Seed != 0 {
+		fmt.Fprintf(&b, "fuzzgen seed: %#x\n", r.Seed)
+	}
+	fmt.Fprintf(&b, "failure: %s\n", r.Err)
+	if r.Stack != "" {
+		fmt.Fprintf(&b, "\nstack:\n%s\n", r.Stack)
+	}
+	if r.Prog != nil {
+		fmt.Fprintf(&b, "\nprogram (base %#x, entry %#x):\n", r.Prog.Base, r.Prog.Entry)
+		for i := range r.Prog.Code {
+			pc := r.Prog.Base + uint64(i)*isa.InstBytes
+			fmt.Fprintf(&b, "  %#07x: %s\n", pc, r.Prog.Code[i].String())
+		}
+	}
+	content := b.String()
+
+	h := fnv.New32a()
+	h.Write([]byte(content))
+	name := fmt.Sprintf("%s-%08x.crash", sanitize(r.Name), h.Sum32())
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("check: crash dir: %w", err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return "", fmt.Errorf("check: crash dump: %w", err)
+	}
+	return path, nil
+}
+
+// sanitize maps a cell name onto a safe file-name fragment.
+func sanitize(s string) string {
+	if s == "" {
+		return "crash"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

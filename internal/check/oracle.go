@@ -1,0 +1,160 @@
+// Package check is the differential-verification layer of the simulator
+// (DESIGN.md · Verification): a lockstep retirement oracle that replays the
+// functional emulator alongside any cycle-level run and compares the retired
+// instruction stream record-by-record, plus crash-report dumping for fault
+// containment in matrix runs.
+//
+// The oracle's power comes from independence: the reference emulator executes
+// on its own copy-on-write materialization of the initial memory and retires
+// its stores immediately, so its architectural state evolves with no help
+// from the timing model. Any timing-model corruption — a dropped or
+// duplicated retirement across squash/replay, a store folded out of order, a
+// stale value forwarded into a load, a register file clobbered at retire —
+// surfaces as the first record where the two streams disagree, annotated with
+// the pipeline occupancy at the moment of detection.
+package check
+
+import (
+	"fmt"
+
+	"phelps/internal/cpu"
+	"phelps/internal/emu"
+	"phelps/internal/isa"
+)
+
+// Divergence is the first point where the timing run's retired stream
+// disagreed with the reference emulator. It implements error.
+type Divergence struct {
+	Seq    uint64 // dynamic sequence number at which the streams diverged
+	Detail string // what disagreed (field, got vs. want)
+	Occ    cpu.Occupancy
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("divergence at seq %d: %s [%s]", d.Seq, d.Detail, d.Occ)
+}
+
+// Oracle replays a reference emulator in lockstep with a timing run. Create
+// one per run, Attach it to the main core before the first cycle, and call
+// Finish after the run; the first divergence is latched and every later
+// retirement is ignored.
+type Oracle struct {
+	ref    *emu.Emulator
+	refMem *emu.Memory
+	core   *cpu.Core
+	expect uint64 // next sequence number the reference will produce
+	div    *Divergence
+}
+
+// NewOracle builds an oracle for a run starting from reset: the reference
+// executes prog from its entry point on a private materialization of img
+// (snapshot the run's memory before constructing its emulator).
+func NewOracle(prog *isa.Program, img *emu.MemImage) *Oracle {
+	mem := img.Materialize()
+	return &Oracle{ref: emu.New(prog, mem), refMem: mem}
+}
+
+// NewOracleAt builds an oracle for a run resumed from a checkpoint (sampled
+// simulation): the reference resumes the same checkpoint on its own
+// materialization and expects the checkpointed sequence number first.
+func NewOracleAt(prog *isa.Program, ck *emu.Checkpoint) *Oracle {
+	ref, mem := ck.Resume(prog)
+	return &Oracle{ref: ref, refMem: mem, expect: ck.Seq}
+}
+
+// Attach hooks the oracle into the core's retirement stream and remembers the
+// core for architectural-register comparison and occupancy context.
+func (o *Oracle) Attach(c *cpu.Core) {
+	o.core = c
+	c.SetRetireObserver(o.observe)
+}
+
+// Divergence returns the latched first divergence, or nil. The machine's
+// cycle loop polls this to stop a diverged run promptly.
+func (o *Oracle) Divergence() *Divergence { return o.div }
+
+func (o *Oracle) fail(seq uint64, detail string) {
+	if o.div != nil {
+		return
+	}
+	o.div = &Divergence{Seq: seq, Detail: detail, Occ: o.core.Occupancy()}
+}
+
+func (o *Oracle) observe(d *emu.DynInst) {
+	if o.div != nil {
+		return
+	}
+	if d.Seq != o.expect {
+		o.fail(d.Seq, fmt.Sprintf("retired seq %d, expected %d (dropped or duplicated retirement)", d.Seq, o.expect))
+		return
+	}
+	r, ok := o.ref.Step()
+	if !ok {
+		o.fail(d.Seq, "reference emulator halted before this retirement")
+		return
+	}
+	// The reference retires stores immediately: its architectural view is the
+	// program-order view, uncontaminated by the timing model's staging.
+	if r.Inst.Op.IsStore() {
+		if err := o.refMem.RetireStore(r.Seq, r.Addr, r.MemSize, r.StoreVal); err != nil {
+			o.fail(d.Seq, fmt.Sprintf("reference store retirement: %v", err))
+			return
+		}
+	}
+	o.expect++
+	switch {
+	case d.PC != r.PC:
+		o.fail(d.Seq, fmt.Sprintf("PC %#x, reference %#x", d.PC, r.PC))
+	case d.Inst.Op != r.Inst.Op:
+		o.fail(d.Seq, fmt.Sprintf("op %v, reference %v", d.Inst.Op, r.Inst.Op))
+	case d.NextPC != r.NextPC:
+		o.fail(d.Seq, fmt.Sprintf("%v at %#x: next PC %#x, reference %#x", d.Inst.Op, d.PC, d.NextPC, r.NextPC))
+	case d.Taken != r.Taken:
+		o.fail(d.Seq, fmt.Sprintf("%v at %#x: taken %v, reference %v", d.Inst.Op, d.PC, d.Taken, r.Taken))
+	case d.RdVal != r.RdVal:
+		o.fail(d.Seq, fmt.Sprintf("%v at %#x: rd value %#x, reference %#x", d.Inst.Op, d.PC, d.RdVal, r.RdVal))
+	case d.Addr != r.Addr || d.MemSize != r.MemSize:
+		o.fail(d.Seq, fmt.Sprintf("%v at %#x: access %#x+%d, reference %#x+%d",
+			d.Inst.Op, d.PC, d.Addr, d.MemSize, r.Addr, r.MemSize))
+	case d.StoreVal != r.StoreVal:
+		o.fail(d.Seq, fmt.Sprintf("%v at %#x: store value %#x, reference %#x", d.Inst.Op, d.PC, d.StoreVal, r.StoreVal))
+	}
+	if o.div != nil {
+		return
+	}
+	// The record matched; now audit the retirement's effect on the register
+	// file (catches retire-time corruption that the stream itself cannot).
+	if op := r.Inst.Op; op.WritesRd() && r.Inst.Rd != isa.X0 {
+		if got, want := o.core.ArchReg(r.Inst.Rd), o.ref.Regs[r.Inst.Rd]; got != want {
+			o.fail(d.Seq, fmt.Sprintf("architectural %v = %#x after retirement, reference %#x", r.Inst.Rd, got, want))
+		}
+	}
+}
+
+// Finish completes the oracle: it returns the latched divergence if any, and
+// — when final is set, meaning the run was expected to retire the complete
+// program (it halted and was not instruction-bounded) — audits end-of-run
+// state: the reference must have halted too, and the two architectural
+// memories must be byte-identical.
+func (o *Oracle) Finish(mem *emu.Memory, final bool) error {
+	if o.div != nil {
+		return o.div
+	}
+	if !final {
+		return nil
+	}
+	if !o.ref.Halted {
+		return &Divergence{Seq: o.expect, Detail: "timing run halted but reference emulator has not", Occ: o.core.Occupancy()}
+	}
+	if n := mem.PendingBytes(); n != 0 {
+		return &Divergence{Seq: o.expect, Detail: fmt.Sprintf("%d store bytes still pending after halt", n), Occ: o.core.Occupancy()}
+	}
+	if diffs := mem.DiffArch(o.refMem, 8); len(diffs) > 0 {
+		detail := "architectural memory differs from reference:"
+		for _, df := range diffs {
+			detail += fmt.Sprintf(" [%#x]=%#x ref %#x", df.Addr, df.A, df.B)
+		}
+		return &Divergence{Seq: o.expect, Detail: detail, Occ: o.core.Occupancy()}
+	}
+	return nil
+}

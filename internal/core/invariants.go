@@ -1,0 +1,77 @@
+// Controller-level invariant checks (see DESIGN.md · Verification): while an
+// activation is live, the resource partition must match the Table I plan for
+// the row's shape, each engine must respect its quota, and the prediction
+// queues must obey their ring discipline. Run from the simulation loop when
+// Config.Checks is enabled.
+package core
+
+import (
+	"fmt"
+
+	"phelps/internal/cpu"
+	"phelps/internal/isa"
+)
+
+// CheckInvariants audits the active helper-thread partition. It returns nil
+// when no activation is live: between activations the controller restores the
+// full-machine limits itself and holds no engine or queue state to audit.
+func (c *Controller) CheckInvariants() error {
+	a := c.active
+	if a == nil {
+		return nil
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("core: invariant violated: %s", fmt.Sprintf(format, args...))
+	}
+	full := c.coreCfg.FullLimits()
+	plan := cpu.PlanFor(a.row.Nested)
+	if want := full.Scale(plan.MTNum, plan.MTDen); c.mt.Limits() != want {
+		return fail("active main-thread limits %+v, plan requires %+v", c.mt.Limits(), want)
+	}
+	if n := len(a.engines); n != len(a.row.Progs) || n < 1 || n > 2 {
+		return fail("%d engines for %d helper programs", n, len(a.row.Progs))
+	}
+	for i, e := range a.engines {
+		var want cpu.Limits
+		switch a.row.Progs[i].Kind {
+		case Outer:
+			want = full.Scale(plan.OTNum, plan.OTDen)
+		default: // InnerOnly, Inner
+			want = full.Scale(plan.ITNum, plan.ITDen)
+		}
+		if e.lim != want {
+			return fail("engine %d (%v) limits %+v, plan requires %+v", i, a.row.Progs[i].Kind, e.lim, want)
+		}
+		if err := e.checkInvariants(); err != nil {
+			return fail("engine %d (%v): %v", i, a.row.Progs[i].Kind, err)
+		}
+	}
+	for i, qs := range a.sets {
+		// Ring discipline: the deposit point may lag the free point (a slow
+		// helper thread), but may never overrun it past the reserved column.
+		if int64(qs.tail)-int64(qs.head) > int64(qs.depth)-1 {
+			return fail("queue set %d tail %d overruns head %d (depth %d)", i, qs.tail, qs.head, qs.depth)
+		}
+		if qs.specHead < qs.head {
+			return fail("queue set %d spec_head %d behind head %d", i, qs.specHead, qs.head)
+		}
+	}
+	return nil
+}
+
+// checkInvariants audits one engine's occupancy against its partition quota.
+func (e *Engine) checkInvariants() error {
+	if occ := len(e.window) - e.head; occ < 0 || occ > e.lim.ROB {
+		return fmt.Errorf("window occupancy %d outside quota [0,%d]", occ, e.lim.ROB)
+	}
+	if e.nLoads < 0 || e.nLoads > e.lim.LQ {
+		return fmt.Errorf("nLoads %d outside quota [0,%d]", e.nLoads, e.lim.LQ)
+	}
+	if e.nStores < 0 || e.nStores > e.lim.SQ {
+		return fmt.Errorf("nStores %d outside quota [0,%d]", e.nStores, e.lim.SQ)
+	}
+	if e.nDests < 0 || e.nDests > e.lim.PRF-isa.NumRegs {
+		return fmt.Errorf("nDests %d outside quota [0,%d] (PRF %d)", e.nDests, e.lim.PRF-isa.NumRegs, e.lim.PRF)
+	}
+	return nil
+}

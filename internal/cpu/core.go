@@ -149,6 +149,16 @@ type Core struct {
 
 	trace Tracer
 
+	// retireObs, if set, observes every retired instruction after its
+	// architectural effects have applied (the differential oracle hook; see
+	// internal/check). One nil check per retirement when unset.
+	retireObs func(d *emu.DynInst)
+
+	// faults, if set, injects timing-model bugs (see faults.go). Testing
+	// instrumentation for the oracle/invariant/watchdog paths; one nil check
+	// per retirement/issue when unset.
+	faults *FaultInjection
+
 	replayScratch []emu.DynInst // SquashAll's reusable assembly buffer
 
 	Stats Stats
@@ -177,6 +187,12 @@ func NewCore(cfg Config, mem *emu.Memory, hier *cache.Hierarchy, next func() (em
 
 // SetTracer attaches a pipeline trace sink (nil detaches).
 func (c *Core) SetTracer(t Tracer) { c.trace = t }
+
+// SetRetireObserver attaches a retirement observer (nil detaches). The
+// observer fires once per retired instruction, after the instruction's
+// architectural effects (register write, store fold) have applied — the
+// attachment point of the lockstep differential oracle.
+func (c *Core) SetRetireObserver(fn func(d *emu.DynInst)) { c.retireObs = fn }
 
 // RegisterObs registers the core's counters into an observability registry
 // under the given scope (e.g. "core.main"). The registry holds views: the
@@ -301,8 +317,15 @@ func (c *Core) retire(now uint64) {
 		d := &e.d
 		op := d.Inst.Op
 		misp, fromQ := e.misp, e.fromQ
+		if c.faults != nil && c.faults.SkipRetireSeq != 0 && d.Seq == c.faults.SkipRetireSeq {
+			c.skipRetire(e, ord, d)
+			continue
+		}
 		if op.WritesRd() && d.Inst.Rd != isa.X0 {
 			c.archRegs[d.Inst.Rd] = d.RdVal
+			if c.faults != nil && c.faults.CorruptRdSeq != 0 && d.Seq == c.faults.CorruptRdSeq {
+				c.archRegs[d.Inst.Rd] ^= faultCorruptMask
+			}
 		}
 		if op.IsStore() {
 			if err := c.mem.RetireStore(d.Seq, d.Addr, d.MemSize, d.StoreVal); err != nil {
@@ -315,8 +338,14 @@ func (c *Core) retire(now uint64) {
 		if op.IsLoad() {
 			c.nLoads--
 		}
-		if op.WritesRd() {
-			c.nDests--
+		// Only registers that consumed a physical destination at dispatch
+		// release one here; dispatch excludes x0 (JAL/JALR with rd=x0 write
+		// nothing), so the release must too or the free-list count leaks
+		// negative on every J/Ret.
+		if op.WritesRd() && d.Inst.Rd != isa.X0 {
+			if c.faults == nil || c.faults.LeakPRFSeq == 0 || d.Seq != c.faults.LeakPRFSeq {
+				c.nDests--
+			}
 		}
 		if op.IsCondBranch() {
 			c.Stats.CondBranches++
@@ -345,6 +374,31 @@ func (c *Core) retire(now uint64) {
 		if c.trace != nil {
 			c.trace.Retire(now, d, misp, fromQ)
 		}
+		if c.retireObs != nil {
+			c.retireObs(d)
+		}
+	}
+}
+
+// skipRetire pops a ROB entry with full resource bookkeeping but none of its
+// architectural effects, stats hooks, or observer call — the injected
+// "dropped retirement" timing bug (FaultInjection.SkipRetireSeq). Invalid for
+// stores (skipping RetireStore desynchronizes the pending-store ring) and
+// HALT; see faults.go.
+func (c *Core) skipRetire(e *robEntry, ord uint64, d *emu.DynInst) {
+	op := d.Inst.Op
+	if op.IsStore() {
+		panic("cpu: SkipRetireSeq injected on a store instruction")
+	}
+	if op.IsLoad() {
+		c.nLoads--
+	}
+	if op.WritesRd() && d.Inst.Rd != isa.X0 {
+		c.nDests--
+	}
+	c.Stats.Retired++
+	if op.WritesRd() && c.lastWriter[d.Inst.Rd] == ord {
+		c.lastWriter[d.Inst.Rd] = noOrd
 	}
 }
 
@@ -364,6 +418,9 @@ func (c *Core) issue(now uint64, lanes *LanePool) {
 			continue
 		}
 		scanned++
+		if c.faults != nil && c.faults.StickySeq != 0 && e.d.Seq == c.faults.StickySeq {
+			continue // injected bug: this entry never issues
+		}
 		if !c.entryReady(e, now) {
 			continue
 		}

@@ -29,6 +29,7 @@ package emu
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 const (
@@ -343,6 +344,58 @@ func (m *Memory) RetireStore(seq, addr uint64, size int, v uint64) error {
 
 // PendingBytes returns the number of staged, unretired store bytes.
 func (m *Memory) PendingBytes() int { return m.nPend }
+
+// PendingStores returns the number of staged, unretired store records. The
+// invariant checker matches this against the store instructions the timing
+// model holds in flight (see cpu.CheckInvariantsDeep).
+func (m *Memory) PendingStores() int { return int(m.tail - m.head) }
+
+// MemDiff is one byte address where two architectural views disagree.
+type MemDiff struct {
+	Addr uint64
+	A, B byte
+}
+
+// DiffArch compares this memory's architectural view against another's,
+// byte-by-byte over the union of touched pages (an untouched page reads as
+// zero), returning up to max differing addresses in ascending order; max <= 0
+// means unlimited. Pending-store overlays are ignored — callers comparing
+// end-of-run state should first check PendingBytes() == 0 on both sides.
+func (m *Memory) DiffArch(o *Memory, max int) []MemDiff {
+	pns := make([]uint64, 0, len(m.pages)+len(o.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	for pn := range o.pages {
+		if _, ok := m.pages[pn]; !ok {
+			pns = append(pns, pn)
+		}
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	var diffs []MemDiff
+	var zero page
+	for _, pn := range pns {
+		pa, pb := m.pages[pn], o.pages[pn]
+		if pa == pb {
+			continue // shared copy-on-write page: identical by construction
+		}
+		if pa == nil {
+			pa = &zero
+		}
+		if pb == nil {
+			pb = &zero
+		}
+		for i := 0; i < pageSize; i++ {
+			if pa[i] != pb[i] {
+				diffs = append(diffs, MemDiff{Addr: pn<<pageShift | uint64(i), A: pa[i], B: pb[i]})
+				if max > 0 && len(diffs) >= max {
+					return diffs
+				}
+			}
+		}
+	}
+	return diffs
+}
 
 // --- typed convenience accessors for workload setup and verification ---
 

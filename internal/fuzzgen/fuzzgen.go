@@ -1,0 +1,298 @@
+// Package fuzzgen generates seeded random workloads for differential
+// testing (DESIGN.md · Verification): small loop kernels built from the
+// paper's idioms — guarded/guarding branch pairs (b1/b2 of Fig. 1),
+// influential stores (s1), loop-carried store→load dependences, short inner
+// countdown loops — with random ALU filler between them.
+//
+// Every generated program terminates by construction, regardless of the
+// random data it reads:
+//
+//   - the outer loop is counted (at most maxOuterTrips trips),
+//   - the inner loop counts a value masked to [0, 15] down to zero,
+//   - every other branch is forward-only within one iteration,
+//   - all addressing is base + (index & mask)*8 over power-of-two arrays,
+//     so no access escapes its region.
+//
+// The expected architectural results come from a functional emulator run at
+// generation time; the Workload's Verify closure compares the final
+// checksum and both data arrays cell-by-cell, so a timing run of any
+// configuration (baseline, Phelps, runahead) is checked end-to-end against
+// the functional semantics. Workload() builds a fresh memory each call —
+// one generator can feed any number of differential runs.
+package fuzzgen
+
+import (
+	"fmt"
+
+	"phelps/internal/asm"
+	"phelps/internal/emu"
+	"phelps/internal/graph"
+	"phelps/internal/isa"
+	"phelps/internal/prog"
+)
+
+// Generation bounds. Small on purpose: differential fuzzing wants many
+// distinct programs per second, and the idioms show up at any scale.
+const (
+	maxOuterTrips = 64 // counted outer loop
+	innerMask     = 15 // inner countdown counts (v & innerMask) .. 0
+	cellsLog2     = 6  // data arrays have 64 8-byte cells
+	cells         = 1 << cellsLog2
+	addrMask      = cells - 1
+)
+
+// Params describes the shape drawn from a seed. The low seed bits map
+// directly onto features so the committed fuzz corpus can pin specific
+// idioms: bits 0-1 = guarded branch pairs, bits 2-3 = stores, bit 4 =
+// loop-carried store→load; everything else (trip count, filler ops, data)
+// derives from the whole seed through the PRNG.
+type Params struct {
+	Seed         uint64
+	GuardedPairs int  // b1/b2 pairs per iteration (0..3)
+	Stores       int  // guarded stores per iteration (0..3)
+	LoopCarried  bool // stores write the loaded-from array (waymap idiom)
+	InnerLoop    bool // bounded inner countdown loop
+	OuterTrips   int
+	Filler       int // random ALU instructions per iteration
+}
+
+// paramsFor expands a seed deterministically.
+func paramsFor(seed uint64) Params {
+	r := graph.NewRand(seed ^ 0x9e3779b97f4a7c15)
+	return Params{
+		Seed:         seed,
+		GuardedPairs: int(seed & 3),
+		Stores:       int(seed >> 2 & 3),
+		LoopCarried:  seed&16 != 0,
+		InnerLoop:    seed&32 != 0,
+		OuterTrips:   8 + r.Intn(maxOuterTrips-7),
+		Filler:       2 + r.Intn(6),
+	}
+}
+
+// Gen is one generated program plus its expected architectural results.
+type Gen struct {
+	P    Params
+	Prog *isa.Program
+
+	dataInit [cells]int64 // initial contents of the two arrays
+	auxInit  [cells]int64
+
+	wantChecksum int64
+	wantData     [cells]int64 // expected final contents
+	wantAux      [cells]int64
+	insts        uint64 // dynamic instructions of the functional run
+}
+
+// scratch registers drawn from for ALU filler; the structural registers
+// (S0-S3, A7, T5, T6) are reserved by the generator.
+var pool = []isa.Reg{
+	isa.T0, isa.T1, isa.T2, isa.T3, isa.T4,
+	isa.A0, isa.A1, isa.A2, isa.A3, isa.A4, isa.A5, isa.A6,
+}
+
+// New generates the program for a seed and computes its expected results
+// with a functional run. The error is a generator bug (a non-terminating or
+// unbuildable program), never a property of the seed.
+func New(seed uint64) (*Gen, error) {
+	g := &Gen{P: paramsFor(seed)}
+	r := graph.NewRand(seed)
+	for i := range g.dataInit {
+		g.dataInit[i] = int64(r.Next() % 7) // small values: branches stay biased-random
+		g.auxInit[i] = int64(r.Next() % 5)
+	}
+	g.Prog = g.build(r)
+
+	// Reference run: functional execution on a fresh memory is the ground
+	// truth every timing configuration must reproduce.
+	mem, dataA, auxA, out := g.memory()
+	bound := uint64(g.P.OuterTrips) * 200 * (innerMask + 2) // far above any generatable path
+	res := emu.Run(g.Prog, mem, bound)
+	if !res.Reached {
+		return nil, fmt.Errorf("fuzzgen: seed %#x: program did not halt in %d insts", seed, bound)
+	}
+	g.insts = res.Insts
+	g.wantChecksum = mem.I64(out)
+	for i := 0; i < cells; i++ {
+		g.wantData[i] = mem.I64(dataA + uint64(i)*8)
+		g.wantAux[i] = mem.I64(auxA + uint64(i)*8)
+	}
+	return g, nil
+}
+
+// Insts returns the dynamic instruction count of the reference run.
+func (g *Gen) Insts() uint64 { return g.insts }
+
+// memory builds a fresh initialized memory and returns the region bases.
+func (g *Gen) memory() (mem *emu.Memory, data, aux, out uint64) {
+	mem = emu.NewMemory()
+	al := prog.NewAlloc()
+	data = al.Array(cells, 8)
+	aux = al.Array(cells, 8)
+	out = al.Array(1, 8)
+	for i := 0; i < cells; i++ {
+		mem.SetI64(data+uint64(i)*8, g.dataInit[i])
+		mem.SetI64(aux+uint64(i)*8, g.auxInit[i])
+	}
+	return mem, data, aux, out
+}
+
+// Workload builds a runnable workload with fresh memory. Call it once per
+// run (sim.Run consumes workload memory).
+func (g *Gen) Workload() *prog.Workload {
+	mem, dataA, auxA, out := g.memory()
+	return &prog.Workload{
+		Name: fmt.Sprintf("fuzz-%016x", g.P.Seed),
+		Prog: g.Prog,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			if got := m.I64(out); got != g.wantChecksum {
+				return fmt.Errorf("checksum: got %d, want %d", got, g.wantChecksum)
+			}
+			for i := 0; i < cells; i++ {
+				if got := m.I64(dataA + uint64(i)*8); got != g.wantData[i] {
+					return fmt.Errorf("data[%d]: got %d, want %d", i, got, g.wantData[i])
+				}
+				if got := m.I64(auxA + uint64(i)*8); got != g.wantAux[i] {
+					return fmt.Errorf("aux[%d]: got %d, want %d", i, got, g.wantAux[i])
+				}
+			}
+			return nil
+		},
+		Labels: g.Prog.Labels,
+	}
+}
+
+// build emits the program. Register discipline: S0 = data base, S1 = outer
+// index, S2 = trip count, S3 = checksum, A7 = inner counter, S4 = aux base,
+// T5/T6 = address/value temps, pool = filler scratch.
+func (g *Gen) build(r *graph.Rand) *isa.Program {
+	// The code image needs the data addresses; rebuild the same allocation
+	// sequence memory() uses (Alloc is deterministic).
+	al := prog.NewAlloc()
+	dataA := al.Array(cells, 8)
+	auxA := al.Array(cells, 8)
+	out := al.Array(1, 8)
+
+	b := asm.New(prog.CodeBase)
+	b.Li(isa.S0, int64(dataA))
+	b.Li(isa.S4, int64(auxA))
+	b.Li(isa.S1, 0)
+	b.Li(isa.S2, int64(g.P.OuterTrips))
+	b.Li(isa.S3, 0)
+	for _, p := range pool {
+		b.Li(p, int64(r.Next()&0xffff))
+	}
+
+	label := 0
+	fresh := func(prefix string) string {
+		label++
+		return fmt.Sprintf("%s%d", prefix, label)
+	}
+	// loadCell emits rd = array[(idxReg + disp) & mask] through T5.
+	loadCell := func(rd isa.Reg, base isa.Reg, idx isa.Reg, disp int64) {
+		b.Addi(isa.T5, idx, disp)
+		b.Andi(isa.T5, isa.T5, addrMask)
+		b.Slli(isa.T5, isa.T5, 3)
+		b.Add(isa.T5, base, isa.T5)
+		b.Ld(rd, isa.T5, 0)
+	}
+	// storeCell emits array[(idxReg + disp) & mask] = rs through T5.
+	storeCell := func(rs isa.Reg, base isa.Reg, idx isa.Reg, disp int64) {
+		b.Addi(isa.T5, idx, disp)
+		b.Andi(isa.T5, isa.T5, addrMask)
+		b.Slli(isa.T5, isa.T5, 3)
+		b.Add(isa.T5, base, isa.T5)
+		b.Sd(rs, isa.T5, 0)
+	}
+	filler := func(n int) {
+		for k := 0; k < n; k++ {
+			rd := pool[r.Intn(len(pool))]
+			rs1 := pool[r.Intn(len(pool))]
+			rs2 := pool[r.Intn(len(pool))]
+			switch r.Intn(7) {
+			case 0:
+				b.Add(rd, rs1, rs2)
+			case 1:
+				b.Sub(rd, rs1, rs2)
+			case 2:
+				b.Xor(rd, rs1, rs2)
+			case 3:
+				b.Mul(rd, rs1, rs2)
+			case 4:
+				b.Addi(rd, rs1, int64(r.Intn(255))-127)
+			case 5:
+				b.Xori(rd, rs1, int64(r.Next()&0xfff))
+			default:
+				b.Slli(rd, rs1, int64(1+r.Intn(5)))
+			}
+			// Fold filler into the checksum so dead code cannot hide a
+			// wrong-path register leak.
+			if k == n-1 {
+				b.Add(isa.S3, isa.S3, rd)
+			}
+		}
+	}
+
+	b.Label("outer")
+	// v = data[i & mask]: the delinquent load all guards key off.
+	loadCell(isa.T6, isa.S0, isa.S1, 0)
+	filler(g.P.Filler)
+
+	// Guarded pairs: b1 (data-dependent on v) guarding b2 (dependent on a
+	// second load), guarding a checksum update and optionally a store.
+	stores := g.P.Stores
+	for pair := 0; pair < g.P.GuardedPairs; pair++ {
+		skip := fresh("skip")
+		// b1: v's low bit decides; distinct bit per pair keeps them
+		// independent and ~50/50 on the small random cell values.
+		b.Andi(isa.T0, isa.T6, 1<<uint(pair))
+		b.Label(fresh("b1_"))
+		b.Beq(isa.T0, isa.X0, skip)
+		loadCell(isa.T1, isa.S4, isa.S1, int64(pair+1)) // second load for b2
+		b.Label(fresh("b2_"))
+		b.Beq(isa.T1, isa.X0, skip) // b2: guarded by b1
+		b.Add(isa.S3, isa.S3, isa.T1)
+		if stores > 0 {
+			stores--
+			// s1: influential store, guarded by b1 && b2. Loop-carried mode
+			// writes the array b1's load reads (the waymap idiom: future b1
+			// outcomes depend on this store); otherwise it writes aux.
+			base := isa.S4
+			if g.P.LoopCarried {
+				base = isa.S0
+			}
+			b.Addi(isa.T2, isa.T1, 1)
+			b.Label(fresh("s1_"))
+			storeCell(isa.T2, base, isa.S1, int64(pair+3))
+		}
+		b.Label(skip)
+	}
+	// Any stores not attached to a guard pair are unconditional.
+	for ; stores > 0; stores-- {
+		b.Add(isa.T2, isa.T6, isa.S1)
+		storeCell(isa.T2, isa.S4, isa.S1, int64(stores)*5)
+	}
+
+	// Inner countdown loop: trip count is data-dependent but bounded by the
+	// mask, so it terminates on any input.
+	if g.P.InnerLoop {
+		b.Andi(isa.A7, isa.T6, innerMask)
+		b.Label("inner")
+		b.Beq(isa.A7, isa.X0, "innerdone")
+		b.Add(isa.S3, isa.S3, isa.A7)
+		b.Addi(isa.A7, isa.A7, -1)
+		b.J("inner")
+		b.Label("innerdone")
+	}
+
+	filler(g.P.Filler / 2)
+	b.Addi(isa.S1, isa.S1, 1)
+	b.Label("outerbr")
+	b.Blt(isa.S1, isa.S2, "outer")
+
+	b.Li(isa.T5, int64(out))
+	b.Sd(isa.S3, isa.T5, 0)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -3,11 +3,14 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 
+	"phelps/internal/check"
 	"phelps/internal/core"
 	"phelps/internal/graph"
 	"phelps/internal/prog"
@@ -177,15 +180,6 @@ func ConfigByName(name string, epoch uint64) (Config, error) {
 		name, strings.Join(ConfigNames(), ", "))
 }
 
-// mustConfig is ConfigByName for the registry's own constant names.
-func mustConfig(name string, epoch uint64) Config {
-	cfg, err := ConfigByName(name, epoch)
-	if err != nil {
-		panic(err)
-	}
-	return cfg
-}
-
 // runQuiet runs and keeps only the metrics: figure builders tolerate
 // timed-out or unverified cells (the numbers still render; RunMatrix is the
 // error-reporting path).
@@ -197,6 +191,66 @@ func runQuiet(w *prog.Workload, cfg Config) Result {
 // Matrix holds results per workload per configuration.
 type Matrix map[string]map[string]Result
 
+// MatrixOptions steers RunMatrixOpt's verification and fault containment.
+// The zero value reproduces plain RunMatrix behavior.
+type MatrixOptions struct {
+	// Checks/Lockstep/StallCycles apply the corresponding Config knobs to
+	// every cell (see Config).
+	Checks      bool
+	Lockstep    bool
+	StallCycles uint64
+
+	// CrashDir receives minimized crash reports for panicking cells. Empty
+	// means $PHELPS_CRASH_DIR, falling back to "crashes".
+	CrashDir string
+}
+
+func (o MatrixOptions) crashDir() string {
+	if o.CrashDir != "" {
+		return o.CrashDir
+	}
+	if d := os.Getenv("PHELPS_CRASH_DIR"); d != "" {
+		return d
+	}
+	return "crashes"
+}
+
+// runCell runs one (workload, configuration) cell with fault containment: a
+// panic anywhere inside the build or the simulator is recovered into an
+// ErrPanic-wrapped error carrying the panic value and goroutine stack, and a
+// minimized repro (workload, config, program listing) is dumped under the
+// crash directory. The rest of the matrix is unaffected.
+func runCell(s Spec, cfgName string, opt MatrixOptions) (res Result, err error) {
+	cfg, cerr := ConfigByName(cfgName, s.Epoch)
+	if cerr != nil {
+		return Result{}, cerr
+	}
+	cfg.Checks = opt.Checks
+	cfg.Lockstep = opt.Lockstep
+	if opt.StallCycles != 0 {
+		cfg.StallCycles = opt.StallCycles
+	}
+	var w *prog.Workload
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		rep := &check.Report{Name: s.Name, Config: cfgName, Err: fmt.Sprint(r), Stack: string(debug.Stack())}
+		if w != nil {
+			rep.Prog = w.Prog
+		}
+		detail := ""
+		if path, derr := check.Dump(opt.crashDir(), rep); derr == nil {
+			detail = " (repro dumped to " + path + ")"
+		}
+		res = Result{}
+		err = fmt.Errorf("%w: %v%s", ErrPanic, r, detail)
+	}()
+	w = s.Build()
+	return Run(w, cfg)
+}
+
 // RunMatrix runs each workload under each named configuration, spreading
 // workloads across a bounded worker pool (each Spec.Build produces an
 // independent Workload, and Run shares no mutable state between runs, so
@@ -204,12 +258,17 @@ type Matrix map[string]map[string]Result
 // workload run serially on its worker.
 //
 // Every run verifies the workload's architectural results. Per-cell
-// failures (livelock, verification) are joined into the returned error —
-// match with errors.Is(err, ErrLivelock / ErrVerify) — while the Matrix
-// still carries every cell's metrics, so figures can render a partially
-// failed sweep. An unknown configuration name fails the whole call before
-// any simulation starts.
+// failures (livelock, stall, panic, verification) are joined into the
+// returned error — match with errors.Is(err, ErrLivelock / ErrStall /
+// ErrPanic / ErrCheck / ErrVerify) — while the Matrix still carries every
+// cell's metrics, so figures can render a partially failed sweep. An unknown
+// configuration name fails the whole call before any simulation starts.
 func RunMatrix(specs []Spec, configs []string) (Matrix, error) {
+	return RunMatrixOpt(specs, configs, MatrixOptions{})
+}
+
+// RunMatrixOpt is RunMatrix with verification and containment options.
+func RunMatrixOpt(specs []Spec, configs []string, opt MatrixOptions) (Matrix, error) {
 	for _, c := range configs {
 		if _, err := ConfigByName(c, 0); err != nil {
 			return nil, err
@@ -235,7 +294,7 @@ func RunMatrix(specs []Spec, configs []string) (Matrix, error) {
 				rs := make(map[string]Result, len(configs))
 				var cellErrs []error
 				for _, c := range configs {
-					r, err := Run(s.Build(), mustConfig(c, s.Epoch))
+					r, err := runCell(s, c, opt)
 					rs[c] = r
 					if err != nil {
 						cellErrs = append(cellErrs, fmt.Errorf("%s under %s: %w", s.Name, c, err))
@@ -281,14 +340,32 @@ type Fig11Row struct {
 // Fig11 reproduces the astar comparison: BR-non-spec, BR-spec, full Phelps,
 // and the three ablations (b1->b2->s1 is full Phelps; b1->b2 drops stores;
 // b1 drops guarded branches and stores; b1->s1 keeps stores but not guarded
-// branches).
-func Fig11(quick bool) []Fig11Row {
+// branches). A config-registry lookup failure aborts before any simulation.
+func Fig11(quick bool) ([]Fig11Row, error) {
 	size := 96
 	if quick {
 		size = 56
 	}
 	mk := func() *prog.Workload { return prog.Astar(size, size, 35, 600, 7) }
 	epoch := uint64(30_000)
+
+	var cfgErr error
+	get := func(name string) Config {
+		cfg, err := ConfigByName(name, epoch)
+		if err != nil && cfgErr == nil {
+			cfgErr = err
+		}
+		return cfg
+	}
+	brNon := get(CfgBR)
+	brSpec := get(CfgBR)
+	full := get(CfgPhelps)
+	b1b2 := get(CfgPhelps)
+	b1 := get(CfgPhelps)
+	b1s1 := get(CfgPhelps)
+	if cfgErr != nil {
+		return nil, cfgErr
+	}
 
 	base := runQuiet(mk(), DefaultConfig())
 	rows := []Fig11Row{{"baseline (TAGE-SC-L)", 1.0, base.MPKI()}}
@@ -298,27 +375,23 @@ func Fig11(quick bool) []Fig11Row {
 		rows = append(rows, Fig11Row{name, float64(base.Cycles) / float64(r.Cycles), r.MPKI()})
 	}
 
-	brNon := mustConfig(CfgBR, epoch)
 	brNon.Runahead.Speculative = false
 	runAs("BR-non-spec", brNon)
-	runAs("BR-spec", mustConfig(CfgBR, epoch))
+	runAs("BR-spec", brSpec)
 
-	runAs("Phelps:b1->b2->s1 (full)", mustConfig(CfgPhelps, epoch))
+	runAs("Phelps:b1->b2->s1 (full)", full)
 
-	b1b2 := mustConfig(CfgPhelps, epoch)
 	b1b2.Phelps.Construction.IncludeStores = false
 	runAs("Phelps:b1->b2", b1b2)
 
-	b1 := mustConfig(CfgPhelps, epoch)
 	b1.Phelps.Construction.IncludeStores = false
 	b1.Phelps.Construction.IncludeGuardedBranches = false
 	runAs("Phelps:b1", b1)
 
-	b1s1 := mustConfig(CfgPhelps, epoch)
 	b1s1.Phelps.Construction.IncludeGuardedBranches = false
 	runAs("Phelps:b1->s1", b1s1)
 
-	return rows
+	return rows, nil
 }
 
 // FormatFig11 renders Fig. 11 as text.
@@ -450,8 +523,8 @@ type Fig15aRow struct {
 }
 
 // Fig15a sweeps window size and pipeline depth for the three headline
-// workloads.
-func Fig15a(quick bool) []Fig15aRow {
+// workloads. A config-registry lookup failure aborts before any simulation.
+func Fig15a(quick bool) ([]Fig15aRow, error) {
 	specs := []Spec{}
 	for _, s := range GapSpecs(quick) {
 		if s.Name == "astar" || s.Name == "bfs" || s.Name == "bc" {
@@ -462,28 +535,36 @@ func Fig15a(quick bool) []Fig15aRow {
 	depths := []int{11, 15, 19}
 	var rows []Fig15aRow
 	for _, s := range specs {
-		// ROB sweep at depth 11 (with commensurate PRF/LQ/SQ/IQ sizing).
-		for _, rob := range robs {
-			base := mustConfig(CfgBase, s.Epoch)
-			scaleWindow(&base, rob, 11)
-			ph := mustConfig(CfgPhelps, s.Epoch)
-			scaleWindow(&ph, rob, 11)
+		point := func(rob, depth int) error {
+			base, err := ConfigByName(CfgBase, s.Epoch)
+			if err != nil {
+				return err
+			}
+			scaleWindow(&base, rob, depth)
+			ph, err := ConfigByName(CfgPhelps, s.Epoch)
+			if err != nil {
+				return err
+			}
+			scaleWindow(&ph, rob, depth)
 			b := runQuiet(s.Build(), base)
 			p := runQuiet(s.Build(), ph)
-			rows = append(rows, Fig15aRow{s.Name, rob, 11, float64(b.Cycles) / float64(p.Cycles)})
+			rows = append(rows, Fig15aRow{s.Name, rob, depth, float64(b.Cycles) / float64(p.Cycles)})
+			return nil
+		}
+		// ROB sweep at depth 11 (with commensurate PRF/LQ/SQ/IQ sizing).
+		for _, rob := range robs {
+			if err := point(rob, 11); err != nil {
+				return nil, err
+			}
 		}
 		// Depth sweep at ROB 632.
 		for _, d := range depths[1:] {
-			base := mustConfig(CfgBase, s.Epoch)
-			scaleWindow(&base, 632, d)
-			ph := mustConfig(CfgPhelps, s.Epoch)
-			scaleWindow(&ph, 632, d)
-			b := runQuiet(s.Build(), base)
-			p := runQuiet(s.Build(), ph)
-			rows = append(rows, Fig15aRow{s.Name, 632, d, float64(b.Cycles) / float64(p.Cycles)})
+			if err := point(632, d); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 func scaleWindow(cfg *Config, rob, depth int) {

@@ -27,9 +27,11 @@ package sim
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"phelps/internal/bpred"
 	"phelps/internal/cache"
+	"phelps/internal/check"
 	"phelps/internal/emu"
 	"phelps/internal/simpoint"
 )
@@ -160,7 +162,19 @@ func (s *SampleReport) WeightedIPC() float64 {
 // race on one collector) and must be nil. cfg.MaxInsts bounds the profile
 // pass. Workloads too short to sample fall back to a full Run, reported via
 // Result.Sampled.FullRun.
-func SampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
+func SampledRun(spec Spec, cfg Config, sc SampleConfig) (res Result, err error) {
+	// Fault containment: a panic anywhere in the profile/checkpoint/measure
+	// pipeline becomes a wrapped ErrPanic instead of killing the caller (the
+	// matrix worker pool in particular).
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: %s: %w: %v\n%s", spec.Name, ErrPanic, r, debug.Stack())
+		}
+	}()
+	return sampledRun(spec, cfg, sc)
+}
+
+func sampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
 	if cfg.Obs != nil {
 		return Result{}, fmt.Errorf("sim: SampledRun does not support Config.Obs")
 	}
@@ -384,6 +398,27 @@ func SampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
 		mcfg := cfg
 		mcfg.Obs = nil
 		m := newMachine(mcfg, mem, em, p.pred, p.hier)
+		// Each measured point gets its own lockstep oracle, resumed from the
+		// same checkpoint on a third isolated materialization; it covers the
+		// warmup and measured phases alike.
+		var orc *check.Oracle
+		if cfg.Lockstep {
+			orc = check.NewOracleAt(w2.Prog, p.ck)
+		}
+		m.setupGuards(orc)
+		fail := func(phase string, outcome runOutcome) error {
+			switch outcome {
+			case runStalled:
+				return fmt.Errorf("sim: %s: SimPoint %d %s: %w: %v",
+					spec.Name, p.sp.Interval, phase, ErrStall, m.failure)
+			case runCheckFailed:
+				return fmt.Errorf("sim: %s: SimPoint %d %s: %w: %v",
+					spec.Name, p.sp.Interval, phase, ErrCheck, m.failure)
+			default:
+				return fmt.Errorf("sim: %s: SimPoint %d %s did not finish within %d cycles: %w",
+					spec.Name, p.sp.Interval, phase, cfg.MaxCycles, ErrLivelock)
+			}
+		}
 		warmed := uint64(0)
 		measLen := intervalLen
 		// The cold-start point (interval 0) skips warmup and measures the
@@ -392,16 +427,22 @@ func SampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
 		if p.sp.Interval == 0 {
 			measLen = uint64(coldIv) * intervalLen
 		} else if p.warm > 0 {
-			if m.run(p.warm, cfg.MaxCycles) {
-				return Result{}, fmt.Errorf("sim: %s: SimPoint %d warmup did not finish within %d cycles: %w",
-					spec.Name, p.sp.Interval, cfg.MaxCycles, ErrLivelock)
+			if out := m.run(p.warm, cfg.MaxCycles); out != runDone {
+				return Result{}, fail("warmup", out)
 			}
 			warmed = m.mt.Stats.Retired
 			m.resetStats()
 		}
-		if m.run(measLen, cfg.MaxCycles) {
-			return Result{}, fmt.Errorf("sim: %s: SimPoint %d did not finish within %d cycles: %w",
-				spec.Name, p.sp.Interval, cfg.MaxCycles, ErrLivelock)
+		if out := m.run(measLen, cfg.MaxCycles); out != runDone {
+			return Result{}, fail("measure", out)
+		}
+		if orc != nil {
+			// Sampled points are instruction-bounded, never final: this only
+			// reports a divergence latched after the last guard poll.
+			if cerr := orc.Finish(mem, false); cerr != nil {
+				return Result{}, fmt.Errorf("sim: %s: SimPoint %d: %w: %v",
+					spec.Name, p.sp.Interval, ErrCheck, cerr)
+			}
 		}
 		st := &m.mt.Stats
 		pr := PointResult{

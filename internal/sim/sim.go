@@ -16,6 +16,7 @@ import (
 
 	"phelps/internal/bpred"
 	"phelps/internal/cache"
+	"phelps/internal/check"
 	"phelps/internal/core"
 	"phelps/internal/cpu"
 	"phelps/internal/emu"
@@ -37,6 +38,33 @@ var (
 	// Run (build a fresh Workload per run, or use SampledRun, which takes a
 	// Spec builder and cannot alias consumed state).
 	ErrConsumed = errors.New("workload memory already consumed")
+	// ErrPanic: the simulator panicked mid-run. RunMatrix and SampledRun
+	// recover per-experiment panics into this sentinel (with the original
+	// panic value and stack in the wrap), so one crashing cell cannot take
+	// down a whole matrix; a minimized repro is dumped under the crash
+	// directory (see MatrixOptions.CrashDir and EXPERIMENTS.md).
+	ErrPanic = errors.New("simulator panicked")
+	// ErrStall: the forward-progress watchdog fired — no instruction retired
+	// for Config.StallCycles cycles. Distinct from ErrLivelock: a livelocked
+	// run retires forever without halting, a stalled run stops retiring
+	// entirely (a wedged pipeline). The wrap carries the pipeline occupancy
+	// diagnosis.
+	ErrStall = errors.New("pipeline stopped retiring")
+	// ErrCheck: a verification check failed — the lockstep oracle observed a
+	// divergence (Config.Lockstep) or a microarchitectural invariant was
+	// violated (Config.Checks). The wrap carries the first failure's detail.
+	ErrCheck = errors.New("verification check failed")
+)
+
+// Forward-progress watchdog controls (Config.StallCycles).
+const (
+	// DefaultStallCycles is the watchdog threshold when Config.StallCycles
+	// is zero: no real configuration keeps the ROB head unretired this long
+	// (the worst memory round-trip is a few hundred cycles), so a hit is a
+	// wedged pipeline, not a slow one.
+	DefaultStallCycles uint64 = 1_000_000
+	// NoStallWatchdog disables the watchdog entirely.
+	NoStallWatchdog uint64 = ^uint64(0)
 )
 
 // PredictorKind selects the core's branch predictor.
@@ -87,6 +115,28 @@ type Config struct {
 	// pipeline trace of the main thread. A Collector must not be shared
 	// between concurrent runs.
 	Obs *obs.Collector
+
+	// Checks enables the microarchitectural invariant audit: the cheap
+	// structural checks every cycle and the deep occupancy recount (plus the
+	// Phelps partition-quota audit) every 256 cycles. A violation stops the
+	// run with a wrapped ErrCheck. Zero overhead when false.
+	Checks bool
+
+	// Lockstep enables the differential retirement oracle: an independent
+	// reference emulator replays the program alongside the timing run and
+	// every retired instruction is compared record-by-record (see
+	// internal/check). A divergence stops the run with a wrapped ErrCheck.
+	Lockstep bool
+
+	// StallCycles is the forward-progress watchdog threshold: if no
+	// instruction retires for this many cycles the run stops with a wrapped
+	// ErrStall and a pipeline-occupancy diagnosis. Zero means
+	// DefaultStallCycles; NoStallWatchdog disables it.
+	StallCycles uint64
+
+	// Faults injects deliberate timing-model bugs into the main core (tests
+	// of the verification machinery only; see cpu.FaultInjection).
+	Faults *cpu.FaultInjection
 }
 
 // DefaultConfig returns the paper's baseline configuration with Phelps off.
@@ -164,6 +214,53 @@ func makePredictor(kind PredictorKind) bpred.Predictor {
 	}
 }
 
+// runOutcome tells a machine.run caller why the cycle loop stopped.
+type runOutcome int
+
+const (
+	runDone        runOutcome = iota // halted or instruction bound reached
+	runTimeout                       // maxCycles exhausted (ErrLivelock)
+	runStalled                       // forward-progress watchdog fired (ErrStall)
+	runCheckFailed                   // invariant violation or oracle divergence (ErrCheck)
+)
+
+// guard bundles the optional verification machinery of a run (invariant
+// checks and the lockstep oracle). It is nil when neither is enabled, so the
+// hot cycle loop pays one pointer test.
+type guard struct {
+	mt     *cpu.Core
+	ctrl   *core.Controller // Phelps partition audit (nil otherwise)
+	orc    *check.Oracle    // lockstep oracle (nil when Lockstep off)
+	checks bool
+}
+
+// tick runs the per-cycle verification work; a non-nil error is the first
+// failure and stops the run.
+func (g *guard) tick(now uint64) error {
+	if g.checks {
+		if err := g.mt.CheckInvariants(); err != nil {
+			return err
+		}
+		// The deep recount is O(in-flight window); amortize it.
+		if now&255 == 0 {
+			if err := g.mt.CheckInvariantsDeep(); err != nil {
+				return err
+			}
+			if g.ctrl != nil {
+				if err := g.ctrl.CheckInvariants(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if g.orc != nil {
+		if d := g.orc.Divergence(); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
 // machine is one assembled timing system: core, predictor, hierarchy, and
 // the mode's controller, plus the cycle loop's mutable state. Run drives a
 // machine from reset to halt; SampledRun drives one per SimPoint from a
@@ -177,6 +274,35 @@ type machine struct {
 	pred  bpred.Predictor
 	lanes cpu.LanePool
 	now   uint64
+
+	guard *guard // verification machinery; nil unless Checks/Lockstep set
+
+	// Forward-progress watchdog (polled every 1024 cycles; 0 = disabled).
+	stall        uint64
+	lastRetired  uint64
+	lastProgress uint64
+
+	failure error // first stall/check failure diagnosis (runStalled/runCheckFailed)
+}
+
+// setupGuards wires the watchdog and (if enabled) the invariant/oracle guard
+// into the machine. orc may be nil.
+func (m *machine) setupGuards(orc *check.Oracle) {
+	switch {
+	case m.cfg.StallCycles == NoStallWatchdog:
+		m.stall = 0
+	case m.cfg.StallCycles == 0:
+		m.stall = DefaultStallCycles
+	default:
+		m.stall = m.cfg.StallCycles
+	}
+	m.lastProgress = m.now
+	if orc != nil {
+		orc.Attach(m.mt)
+	}
+	if m.cfg.Checks || orc != nil {
+		m.guard = &guard{mt: m.mt, ctrl: m.ctrl, orc: orc, checks: m.cfg.Checks}
+	}
 }
 
 // newMachine assembles a machine over an emulator. pred and hier may be
@@ -227,6 +353,9 @@ func newMachine(cfg Config, mem *emu.Memory, e *emu.Emulator, pred bpred.Predict
 	if cfg.ForcePartition {
 		m.mt.SetLimits(cfg.Core.FullLimits().Scale(1, 2))
 	}
+	if cfg.Faults != nil {
+		m.mt.InjectFaults(cfg.Faults)
+	}
 	return m
 }
 
@@ -251,19 +380,20 @@ func (m *machine) registerObs(o *obs.Collector) {
 }
 
 // run advances the cycle loop until the core halts, maxInsts instructions
-// have retired (0 = unbounded), or now reaches maxCycles — in which case it
-// reports a timeout. The clock (m.now) persists across calls, so sampled
-// runs chain warmup and measurement phases on one machine.
-func (m *machine) run(maxInsts, maxCycles uint64) (timedOut bool) {
+// have retired (0 = unbounded), now reaches maxCycles, the forward-progress
+// watchdog fires, or a verification check fails (the latter two leave the
+// diagnosis in m.failure). The clock (m.now) persists across calls, so
+// sampled runs chain warmup and measurement phases on one machine.
+func (m *machine) run(maxInsts, maxCycles uint64) runOutcome {
 	for ; ; m.now++ {
 		if m.mt.Halted() {
-			return false
+			return runDone
 		}
 		if maxInsts > 0 && m.mt.Stats.Retired >= maxInsts {
-			return false
+			return runDone
 		}
 		if m.now >= maxCycles {
-			return true
+			return runTimeout
 		}
 		m.lanes.Reset(m.cfg.Core)
 		// The IQ and lanes are flexibly shared (Section IV-A). Helper
@@ -284,6 +414,22 @@ func (m *machine) run(maxInsts, maxCycles uint64) (timedOut bool) {
 		}
 		if m.cfg.Obs != nil {
 			m.cfg.Obs.MaybeSample(m.mt.Stats.Cycles)
+		}
+		if m.guard != nil {
+			if err := m.guard.tick(m.now); err != nil {
+				m.failure = err
+				return runCheckFailed
+			}
+		}
+		// Forward-progress watchdog: retirement must advance between polls.
+		if m.stall != 0 && m.now&1023 == 0 {
+			if r := m.mt.Stats.Retired; r != m.lastRetired {
+				m.lastRetired, m.lastProgress = r, m.now
+			} else if m.now-m.lastProgress >= m.stall {
+				m.failure = fmt.Errorf("no instruction retired in %d cycles (cycle %d, %d retired) [%s]",
+					m.now-m.lastProgress, m.now, r, m.mt.Occupancy())
+				return runStalled
+			}
 		}
 	}
 }
@@ -333,8 +479,10 @@ func (m *machine) result(timedOut bool) Result {
 // SampledRun, which rebuilds as needed).
 //
 // The error is nil for a clean, verified run. Otherwise it wraps ErrLivelock
-// (MaxCycles exhausted) or ErrVerify (wrong architectural results); the
-// Result is populated either way with the metrics collected so far.
+// (MaxCycles exhausted), ErrStall (the pipeline stopped retiring), ErrCheck
+// (an invariant or lockstep-oracle failure), or ErrVerify (wrong
+// architectural results); the Result is populated either way with the
+// metrics collected so far.
 func Run(w *prog.Workload, cfg Config) (Result, error) {
 	if w.Mem == nil {
 		return Result{}, fmt.Errorf("sim: %s: %w", w.Name, ErrConsumed)
@@ -344,24 +492,50 @@ func Run(w *prog.Workload, cfg Config) (Result, error) {
 	}
 	mem := w.Mem
 	w.Mem = nil // consumed: the run mutates mem in place
+
+	// The lockstep oracle snapshots the initial memory before the emulator
+	// stages any store, giving the reference an isolated copy-on-write view.
+	var orc *check.Oracle
+	if cfg.Lockstep {
+		img, err := mem.Snapshot()
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %s: lockstep snapshot: %w", w.Name, err)
+		}
+		orc = check.NewOracle(w.Prog, img)
+	}
+
 	hier := cache.New(cfg.Cache)
 	e := emu.New(w.Prog, mem)
 	pred := makePredictor(cfg.Predictor)
 
 	m := newMachine(cfg, mem, e, pred, hier)
+	m.setupGuards(orc)
 	if cfg.Obs != nil {
 		m.registerObs(cfg.Obs)
 	}
 
-	timedOut := m.run(cfg.MaxInsts, cfg.MaxCycles)
+	outcome := m.run(cfg.MaxInsts, cfg.MaxCycles)
 	if cfg.Obs != nil {
 		cfg.Obs.Finish(m.mt.Stats.Cycles)
 	}
 
-	res := m.result(timedOut)
-	if timedOut {
+	res := m.result(outcome == runTimeout)
+	switch outcome {
+	case runTimeout:
 		return res, fmt.Errorf("sim: %s did not finish within %d cycles (retired %d): %w",
 			w.Name, cfg.MaxCycles, res.Retired, ErrLivelock)
+	case runStalled:
+		return res, fmt.Errorf("sim: %s: %w: %v", w.Name, ErrStall, m.failure)
+	case runCheckFailed:
+		return res, fmt.Errorf("sim: %s: %w: %v", w.Name, ErrCheck, m.failure)
+	}
+	if orc != nil {
+		// End-of-run audit: reference halted too, memories byte-identical
+		// (full runs only — a MaxInsts-bounded run stops mid-stream).
+		final := res.Halted && cfg.MaxInsts == 0
+		if cerr := orc.Finish(mem, final); cerr != nil {
+			return res, fmt.Errorf("sim: %s: %w: %v", w.Name, ErrCheck, cerr)
+		}
 	}
 	if res.Halted && w.Verify != nil {
 		if verr := w.Verify(mem); verr != nil {

@@ -23,6 +23,16 @@ func mustRun(t *testing.T, w *prog.Workload, cfg Config) Result {
 	return r
 }
 
+// mustConfig resolves a named configuration, panicking on a bad name (tests
+// only pass the exported Cfg* constants).
+func mustConfig(name string, epoch uint64) Config {
+	cfg, err := ConfigByName(name, epoch)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
 func TestPhelpsOnDelinquentLoop(t *testing.T) {
 	base := mustRun(t, prog.DelinquentLoop(50000, 50, 1), DefaultConfig())
 	ph := mustRun(t, prog.DelinquentLoop(50000, 50, 1), PhelpsConfig(50_000))

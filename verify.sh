@@ -10,7 +10,13 @@ go vet ./...
 go test ./...
 go test -race -short ./internal/sim ./internal/obs
 go test -race -run TestCycleExactnessGolden ./internal/sim
+# Config.Checks race-clean: the lockstep oracle and invariant guards across
+# the parallel verified matrix (skipped under -short, so named explicitly).
+go test -race -run 'TestLockstepQuickMatrix|TestInjectedTimingBugsCaught' ./internal/sim
 # Sampled-vs-full smoke: one workload through the checkpointed SimPoint
 # pipeline must land within the accuracy gate against the full-run golden.
 go test -count=1 -run 'TestSampledAccuracyVsGolden/astar$' -v ./internal/sim
 go test -run '^$' -bench . -benchtime 1x ./...
+# Differential fuzz smoke: 30 s of random guarded-loop kernels, each run
+# under all three timing mechanisms with the lockstep oracle watching.
+go test -run '^$' -fuzz 'FuzzDifferential' -fuzztime 30s ./internal/sim
