@@ -119,6 +119,16 @@ func (b *Bimodal) ClonePredictor() Predictor {
 	return &cp
 }
 
+// Reset restores the freshly-constructed state (all counters weakly
+// not-taken, stats zeroed), letting a pooled predictor be reused without
+// reallocating its table.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 1
+	}
+	b.Stats = Stats{}
+}
+
 // --- Gshare ---
 
 // Gshare XORs global history into the table index.

@@ -54,51 +54,53 @@ type Stats struct {
 	MSHRStallCycles        uint64
 }
 
-type set struct {
-	tags []uint64 // line tags; index 0 = MRU
-	pref []bool   // line arrived via prefetch and is unused so far
-}
-
+// level is one set-associative tag array, stored flat: set s occupies
+// tags[s*ways : s*ways+cnt[s]], index 0 within the set = MRU. The flat layout
+// keeps a level at three heap allocations regardless of set count (an L3 has
+// 4096 sets; per-set slices cost ~8k allocations per hierarchy, which
+// dominated the per-cell setup of the experiment matrix).
 type level struct {
-	sets    []set
+	tags    []uint64 // nSets*ways line tags
+	pref    []bool   // line arrived via prefetch and is unused so far
+	cnt     []uint16 // resident lines per set
 	ways    int
 	setMask uint64
 }
 
 func (l *level) clone() *level {
-	cp := &level{sets: make([]set, len(l.sets)), ways: l.ways, setMask: l.setMask}
-	for i := range l.sets {
-		s, cs := &l.sets[i], &cp.sets[i]
-		cs.tags = make([]uint64, len(s.tags), cap(s.tags))
-		copy(cs.tags, s.tags)
-		cs.pref = make([]bool, len(s.pref), cap(s.pref))
-		copy(cs.pref, s.pref)
+	return &level{
+		tags:    append([]uint64(nil), l.tags...),
+		pref:    append([]bool(nil), l.pref...),
+		cnt:     append([]uint16(nil), l.cnt...),
+		ways:    l.ways,
+		setMask: l.setMask,
 	}
-	return cp
 }
 
 func newLevel(nSets, ways int) *level {
-	l := &level{sets: make([]set, nSets), ways: ways, setMask: uint64(nSets - 1)}
-	for i := range l.sets {
-		l.sets[i].tags = make([]uint64, 0, ways)
-		l.sets[i].pref = make([]bool, 0, ways)
+	return &level{
+		tags:    make([]uint64, nSets*ways),
+		pref:    make([]bool, nSets*ways),
+		cnt:     make([]uint16, nSets),
+		ways:    ways,
+		setMask: uint64(nSets - 1),
 	}
-	return l
 }
 
 // lookup probes for a line; on hit it moves the line to MRU and reports
 // whether the line was a so-far-unused prefetch.
 func (l *level) lookup(line uint64) (hit, wasPref bool) {
-	s := &l.sets[line&l.setMask]
-	for i, t := range s.tags {
-		if t == line {
-			wasPref = s.pref[i]
-			s.pref[i] = false
+	si := int(line & l.setMask)
+	base := si * l.ways
+	n := int(l.cnt[si])
+	for i := 0; i < n; i++ {
+		if l.tags[base+i] == line {
+			wasPref = l.pref[base+i]
 			// Move to MRU.
-			copy(s.tags[1:i+1], s.tags[:i])
-			copy(s.pref[1:i+1], s.pref[:i])
-			s.tags[0] = line
-			s.pref[0] = false
+			copy(l.tags[base+1:base+i+1], l.tags[base:base+i])
+			copy(l.pref[base+1:base+i+1], l.pref[base:base+i])
+			l.tags[base] = line
+			l.pref[base] = false
 			return true, wasPref
 		}
 	}
@@ -107,25 +109,27 @@ func (l *level) lookup(line uint64) (hit, wasPref bool) {
 
 // fill inserts a line at MRU, evicting LRU if needed.
 func (l *level) fill(line uint64, isPref bool) {
-	s := &l.sets[line&l.setMask]
-	for i, t := range s.tags {
-		if t == line {
+	si := int(line & l.setMask)
+	base := si * l.ways
+	n := int(l.cnt[si])
+	for i := 0; i < n; i++ {
+		if l.tags[base+i] == line {
 			// Already present (e.g. racing prefetch); refresh MRU.
-			copy(s.tags[1:i+1], s.tags[:i])
-			copy(s.pref[1:i+1], s.pref[:i])
-			s.tags[0] = line
-			s.pref[0] = isPref && s.pref[i]
+			copy(l.tags[base+1:base+i+1], l.tags[base:base+i])
+			copy(l.pref[base+1:base+i+1], l.pref[base:base+i])
+			l.tags[base] = line
+			l.pref[base] = isPref && l.pref[base+i]
 			return
 		}
 	}
-	if len(s.tags) < l.ways {
-		s.tags = append(s.tags, 0)
-		s.pref = append(s.pref, false)
+	if n < l.ways {
+		n++
+		l.cnt[si] = uint16(n)
 	}
-	copy(s.tags[1:], s.tags[:len(s.tags)-1])
-	copy(s.pref[1:], s.pref[:len(s.pref)-1])
-	s.tags[0] = line
-	s.pref[0] = isPref
+	copy(l.tags[base+1:base+n], l.tags[base:base+n-1])
+	copy(l.pref[base+1:base+n], l.pref[base:base+n-1])
+	l.tags[base] = line
+	l.pref[base] = isPref
 }
 
 // Hierarchy is one shared cache hierarchy (main thread and helper threads
@@ -217,6 +221,21 @@ func (h *Hierarchy) RegisterObs(r *obs.Registry, scope string) {
 // and outstanding misses are untouched (the point of a warmup phase is that
 // they stay warm).
 func (h *Hierarchy) ResetStats() { h.Stats = Stats{} }
+
+// NextMSHRCompletion returns the earliest outstanding-miss completion cycle
+// strictly after from, or ^uint64(0) when none is pending. An event source
+// for the event-driven clock: the hierarchy itself is demand-driven (state
+// changes only inside Load/Store/FetchInst calls), so completions are the
+// only cycles at which its bookkeeping becomes observable to a core.
+func (h *Hierarchy) NextMSHRCompletion(from uint64) uint64 {
+	best := ^uint64(0)
+	for _, c := range h.mshr {
+		if c > from && c < best {
+			best = c
+		}
+	}
+	return best
+}
 
 // Quiesce drops all outstanding-miss bookkeeping. Functional cache warming
 // advances a pseudo-clock unrelated to the timing model's cycle count;

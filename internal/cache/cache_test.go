@@ -71,7 +71,7 @@ func TestFillIdempotent(t *testing.T) {
 	l.fill(7, false)
 	l.fill(7, false)
 	l.fill(7, false)
-	n := len(l.sets[0].tags)
+	n := int(l.cnt[0])
 	if n != 1 {
 		t.Errorf("duplicate fills created %d entries", n)
 	}

@@ -22,10 +22,13 @@ type Visit struct {
 	LiveIns []uint64 // values for the inner thread's LiveInsOT registers
 }
 
-// VisitQueue is the 16-entry FIFO between the outer and inner threads.
+// VisitQueue is the 16-entry FIFO between the outer and inner threads. It is
+// a fixed ring whose slots keep their live-in backing arrays across reuse, so
+// steady-state push/pop traffic allocates nothing.
 type VisitQueue struct {
-	entries []Visit
-	cap     int
+	slots []Visit
+	head  uint64
+	tail  uint64
 
 	Pushed     uint64
 	Popped     uint64
@@ -34,36 +37,47 @@ type VisitQueue struct {
 
 // NewVisitQueue returns a queue with the paper's capacity by default (16).
 func NewVisitQueue(capacity int) *VisitQueue {
-	return &VisitQueue{cap: capacity}
+	return &VisitQueue{slots: make([]Visit, capacity)}
 }
 
 // Full reports whether the queue has no free entry.
-func (v *VisitQueue) Full() bool { return len(v.entries) >= v.cap }
+func (v *VisitQueue) Full() bool { return v.tail-v.head >= uint64(len(v.slots)) }
 
-// Push appends a visit; returns false (and counts a stall) when full.
+// Push copies a visit into the next slot; returns false (and counts a stall)
+// when full. The pushed LiveIns are copied, so callers may reuse their slice.
 func (v *VisitQueue) Push(visit Visit) bool {
 	if v.Full() {
 		v.FullStalls++
 		return false
 	}
-	v.entries = append(v.entries, visit)
+	s := &v.slots[v.tail%uint64(len(v.slots))]
+	s.LiveIns = append(s.LiveIns[:0], visit.LiveIns...)
+	v.tail++
 	v.Pushed++
 	return true
 }
 
-// Pop removes the oldest visit.
+// Pop removes the oldest visit. The returned LiveIns alias the slot's backing
+// array and are valid until the slot is reused by a later Push.
 func (v *VisitQueue) Pop() (Visit, bool) {
-	if len(v.entries) == 0 {
+	if v.head == v.tail {
 		return Visit{}, false
 	}
-	visit := v.entries[0]
-	v.entries = v.entries[1:]
+	s := v.slots[v.head%uint64(len(v.slots))]
+	v.head++
 	v.Popped++
-	return visit, true
+	return s, true
 }
 
 // Len returns the current occupancy.
-func (v *VisitQueue) Len() int { return len(v.entries) }
+func (v *VisitQueue) Len() int { return int(v.tail - v.head) }
+
+// Reset empties the queue and zeroes its counters for activation reuse,
+// keeping the slot backing arrays.
+func (v *VisitQueue) Reset() {
+	v.head, v.tail = 0, 0
+	v.Pushed, v.Popped, v.FullStalls = 0, 0, 0
+}
 
 // predVal is a 2-bit predicate register value (Section V-H): msb = enabled
 // (the producer was itself predicated-true), lsb = taken/not-taken outcome.
@@ -76,18 +90,27 @@ type predVal struct {
 // enabling_direction_of_consumer)).
 func (p predVal) enables(dir bool) bool { return p.enabled && p.outcome == dir }
 
+// noHTOrd marks an absent producer ordinal (see Engine.window).
+const noHTOrd = ^uint64(0)
+
+// htEntry is one in-flight helper-thread instruction. Entries live in the
+// engine's pooled window ring and are addressed by fetch ordinal — slot =
+// ordinal & mask, and an ordinal below Engine.head denotes a retired (or
+// squashed) producer. Producers are tracked by ordinal, never by pointer, so
+// recycling slots can never alias a stale reference; the ring is sized ≥
+// 2×ROB+2 so a retired producer's result/pred stay readable for as long as
+// any in-flight consumer can hold its ordinal.
 type htEntry struct {
 	hi      *HTInst
-	progIdx int // index in prog.Insts (for fetch rewind on violation)
-	srcs    [2]*htEntry
+	progIdx int       // index in prog.Insts (for fetch rewind on violation)
+	srcs    [2]uint64 // producer ordinals still in flight at dispatch; noHTOrd = none
 	srcVals [2]uint64 // captured at dispatch when no in-flight producer
 	nsrc    int
-	predSrc *htEntry // in-flight predicate producer, nil if resolved
-	predVal predVal  // captured when predSrc nil
+	predSrc uint64  // in-flight predicate producer ordinal, noHTOrd if resolved
+	predVal predVal // captured when predSrc is resolved
 
-	issued  bool
-	retired bool
-	doneAt  uint64
+	issued bool
+	doneAt uint64
 
 	result  uint64
 	pred    predVal // produced predicate (PPRODUCE)
@@ -137,12 +160,15 @@ type Engine struct {
 	regs  [isa.NumRegs]uint64
 	preds [isa.NumPredRegs]predVal
 
-	window                  []*htEntry
-	head                    int
-	issueHead               int // window index: everything below is issued (scan start)
+	// Pooled window ring: head..tail are the live fetch ordinals; entries are
+	// recycled in place across retire and squash.
+	window                  []htEntry
+	head                    uint64
+	tail                    uint64
+	issueOrd                uint64 // ordinal: everything below is issued (scan start)
 	fetchIdx                int
-	lastWriter              [isa.NumRegs]*htEntry
-	lastPredWriter          [isa.NumPredRegs]*htEntry
+	lastWriter              [isa.NumRegs]uint64     // producer ordinals; noHTOrd = none
+	lastPredWriter          [isa.NumPredRegs]uint64 // producer ordinals; noHTOrd = none
 	nDests, nLoads, nStores int
 
 	fetchBlockedUntil uint64
@@ -150,8 +176,21 @@ type Engine struct {
 	pendingVisit      bool // outer thread: visit allocated, values pending
 	done              bool
 	visitRegs         []isa.Reg // outer thread: registers snapshotted per visit
+	visitScratch      []uint64  // reusable visit live-in assembly buffer
 
 	Stats EngineStats
+}
+
+// windowRingSize returns the window ring size for a ROB quota: the next power
+// of two ≥ 2×rob+2 (the extra ROB of slack keeps retired producers' results
+// readable by ordinal until every possible consumer has issued).
+func windowRingSize(rob int) int {
+	need := 2*rob + 2
+	n := 1
+	for n < need {
+		n <<= 1
+	}
+	return n
 }
 
 // NewEngine builds an engine for a helper program. liveInsMT are the
@@ -160,22 +199,47 @@ type Engine struct {
 func NewEngine(prog *HelperProgram, qs DepositSink, spec *SpecCache, vq *VisitQueue,
 	mem *emu.Memory, hier *cache.Hierarchy, coreCfg cpu.Config, lim cpu.Limits,
 	liveInsMT []uint64, startAt uint64) *Engine {
-	e := &Engine{
-		prog: prog, qs: qs, spec: spec, vq: vq, mem: mem, hier: hier,
-		coreCfg: coreCfg, lim: lim,
-		fetchBlockedUntil: startAt,
+	e := &Engine{}
+	e.Reinit(prog, qs, spec, vq, mem, hier, coreCfg, lim, liveInsMT, startAt)
+	return e
+}
+
+// Reinit resets an engine to the state NewEngine would build, reusing the
+// window ring when it is large enough. Activation pooling: helper threads
+// trigger and terminate constantly under Phelps configurations, and the
+// window ring is by far the largest per-trigger allocation.
+func (e *Engine) Reinit(prog *HelperProgram, qs DepositSink, spec *SpecCache, vq *VisitQueue,
+	mem *emu.Memory, hier *cache.Hierarchy, coreCfg cpu.Config, lim cpu.Limits,
+	liveInsMT []uint64, startAt uint64) {
+	if need := windowRingSize(lim.ROB); len(e.window) < need {
+		e.window = make([]htEntry, need)
 	}
+	e.prog, e.qs, e.spec, e.vq, e.mem, e.hier = prog, qs, spec, vq, mem, hier
+	e.coreCfg, e.lim = coreCfg, lim
+	e.regs = [isa.NumRegs]uint64{}
 	for i, r := range prog.LiveInsMT {
 		e.regs[r] = liveInsMT[i]
 	}
+	e.preds = [isa.NumPredRegs]predVal{}
 	e.preds[isa.Pred0] = predVal{enabled: true, outcome: true}
-	if prog.Kind == Inner {
-		e.visitActive = false // waits for the first visit
-	} else {
-		e.visitActive = true
+	e.head, e.tail, e.issueOrd = 0, 0, 0
+	e.fetchIdx = 0
+	for i := range e.lastWriter {
+		e.lastWriter[i] = noHTOrd
 	}
-	return e
+	for i := range e.lastPredWriter {
+		e.lastPredWriter[i] = noHTOrd
+	}
+	e.nDests, e.nLoads, e.nStores = 0, 0, 0
+	e.fetchBlockedUntil = startAt
+	e.visitActive = prog.Kind != Inner // the inner thread waits for its first visit
+	e.pendingVisit = false
+	e.done = false
+	e.visitRegs = nil
+	e.Stats = EngineStats{}
 }
+
+func (e *Engine) entry(ord uint64) *htEntry { return &e.window[ord&uint64(len(e.window)-1)] }
 
 // Done reports whether the thread's loop branch resolved not-taken
 // (inner-thread-only and outer threads; the inner thread is never Done on
@@ -197,9 +261,10 @@ func (e *Engine) retire(now uint64) {
 	if width < 1 {
 		width = 1
 	}
-	for n := 0; n < width && e.head < len(e.window); n++ {
-		ent := e.window[e.head]
-		if !ent.issued || ent.doneAt > now || ent.retired {
+	for n := 0; n < width && e.head < e.tail; n++ {
+		ord := e.head
+		ent := e.entry(ord)
+		if !ent.issued || ent.doneAt > now {
 			break
 		}
 		hi := ent.hi
@@ -221,14 +286,16 @@ func (e *Engine) retire(now uint64) {
 			e.pendingVisit = true
 		}
 
-		ent.retired = true
+		// Advancing head is what marks the entry retired: consumers see any
+		// ordinal below head as ready, and the slot becomes recyclable once
+		// the ring wraps.
 		e.head++
 		e.Stats.Retired++
 
-		op := ent.hi.Inst.Op
+		op := hi.Inst.Op
 		switch {
 		case op == isa.PPRODUCE:
-			e.preds[ent.hi.Inst.PredDst] = ent.pred
+			e.preds[hi.Inst.PredDst] = ent.pred
 			if hi.QueueID >= 0 && e.qs != nil {
 				e.qs.Deposit(hi.QueueID, ent.outcome)
 				e.Stats.Deposits++
@@ -241,15 +308,15 @@ func (e *Engine) retire(now uint64) {
 		case op.IsLoad():
 			e.nLoads--
 		}
-		if op.WritesRd() && ent.hi.Inst.Rd != isa.X0 {
-			e.regs[ent.hi.Inst.Rd] = ent.result
+		if op.WritesRd() && hi.Inst.Rd != isa.X0 {
+			e.regs[hi.Inst.Rd] = ent.result
 			e.nDests--
-			if e.lastWriter[ent.hi.Inst.Rd] == ent {
-				e.lastWriter[ent.hi.Inst.Rd] = nil
+			if e.lastWriter[hi.Inst.Rd] == ord {
+				e.lastWriter[hi.Inst.Rd] = noHTOrd
 			}
 		}
-		if op == isa.PPRODUCE && e.lastPredWriter[ent.hi.Inst.PredDst] == ent {
-			e.lastPredWriter[ent.hi.Inst.PredDst] = nil
+		if op == isa.PPRODUCE && e.lastPredWriter[hi.Inst.PredDst] == ord {
+			e.lastPredWriter[hi.Inst.PredDst] = noHTOrd
 		}
 
 		if hi.IsLoopBranch {
@@ -257,10 +324,11 @@ func (e *Engine) retire(now uint64) {
 			// Publish the visit allocated by this iteration's header: all of
 			// its live-in producers have now retired.
 			if e.pendingVisit && e.vq != nil {
-				vals := make([]uint64, 0, 4)
+				vals := e.visitScratch[:0]
 				for _, r := range e.ownedVisitRegs() {
 					vals = append(vals, e.regs[r])
 				}
+				e.visitScratch = vals
 				e.vq.Push(Visit{LiveIns: vals})
 				e.pendingVisit = false
 			}
@@ -282,15 +350,6 @@ func (e *Engine) retire(now uint64) {
 					e.visitActive = false // fetch will pop the next visit
 				}
 			}
-		}
-		// Compact the window.
-		if e.head > 256 {
-			e.window = append(e.window[:0], e.window[e.head:]...)
-			e.issueHead -= e.head
-			if e.issueHead < 0 {
-				e.issueHead = 0
-			}
-			e.head = 0
 		}
 	}
 }
@@ -316,15 +375,15 @@ func (e *Engine) squashYounger(now uint64) {
 const htcRefill = 3
 
 func (e *Engine) issue(now uint64, lanes *cpu.LanePool) {
-	if e.issueHead < e.head {
-		e.issueHead = e.head
+	if e.issueOrd < e.head {
+		e.issueOrd = e.head
 	}
-	for e.issueHead < len(e.window) && e.window[e.issueHead].issued {
-		e.issueHead++
+	for e.issueOrd < e.tail && e.entry(e.issueOrd).issued {
+		e.issueOrd++
 	}
 	scanned := 0
-	for i := e.issueHead; i < len(e.window) && scanned < e.coreCfg.IQScanLimit; i++ {
-		ent := e.window[i]
+	for ord := e.issueOrd; ord < e.tail && scanned < e.coreCfg.IQScanLimit; ord++ {
+		ent := e.entry(ord)
 		if ent.issued {
 			continue
 		}
@@ -335,14 +394,14 @@ func (e *Engine) issue(now uint64, lanes *cpu.LanePool) {
 		op := ent.hi.Inst.Op
 		switch {
 		case op.IsLoad():
-			if !e.tryIssueLoad(i, ent, now, lanes) {
+			if !e.tryIssueLoad(ord, ent, now, lanes) {
 				continue
 			}
 		case op.IsStore():
 			if !lanes.TakeMem() {
 				continue
 			}
-			e.execStore(ent, now)
+			e.execStore(ord, ent, now)
 		case op.IsComplex():
 			if !lanes.TakeComplex() {
 				continue
@@ -366,15 +425,17 @@ func (e *Engine) issue(now uint64, lanes *cpu.LanePool) {
 
 func (e *Engine) entReady(ent *htEntry, now uint64) bool {
 	for i := 0; i < ent.nsrc; i++ {
-		p := ent.srcs[i]
-		if p == nil || p.retired {
-			continue
+		ord := ent.srcs[i]
+		if ord == noHTOrd || ord < e.head {
+			continue // resolved at dispatch, or a retired producer
 		}
+		p := e.entry(ord)
 		if !p.issued || p.doneAt > now {
 			return false
 		}
 	}
-	if p := ent.predSrc; p != nil && !p.retired {
+	if ord := ent.predSrc; ord != noHTOrd && ord >= e.head {
+		p := e.entry(ord)
 		if !p.issued || p.doneAt > now {
 			return false
 		}
@@ -383,15 +444,15 @@ func (e *Engine) entReady(ent *htEntry, now uint64) bool {
 }
 
 func (e *Engine) srcVal(ent *htEntry, i int) uint64 {
-	if p := ent.srcs[i]; p != nil {
-		return p.result
+	if ord := ent.srcs[i]; ord != noHTOrd {
+		return e.entry(ord).result
 	}
 	return ent.srcVals[i]
 }
 
 func (e *Engine) predSrcVal(ent *htEntry) predVal {
-	if p := ent.predSrc; p != nil {
-		return p.pred
+	if ord := ent.predSrc; ord != noHTOrd {
+		return e.entry(ord).pred
 	}
 	return ent.predVal
 }
@@ -428,7 +489,7 @@ func (e *Engine) execALU(ent *htEntry, now uint64) {
 	_ = now
 }
 
-func (e *Engine) execStore(ent *htEntry, now uint64) {
+func (e *Engine) execStore(ord uint64, ent *htEntry, now uint64) {
 	inst := &ent.hi.Inst
 	ent.addr = e.srcVal(ent, 0) + uint64(inst.Imm)
 	ent.memSize = inst.Op.MemBytes()
@@ -436,26 +497,15 @@ func (e *Engine) execStore(ent *htEntry, now uint64) {
 	ent.enabled = e.evalEnabled(ent)
 	ent.doneAt = now + 1
 	if ent.enabled {
-		e.checkLoadViolation(ent, now)
+		e.checkLoadViolation(ord, ent, now)
 	}
 }
 
 // checkLoadViolation squashes and replays any younger load that issued
 // before this store resolved and overlaps its address.
-func (e *Engine) checkLoadViolation(st *htEntry, now uint64) {
-	idx := -1
-	for j := e.head; j < len(e.window); j++ {
-		ent := e.window[j]
-		if ent == st {
-			idx = j
-			break
-		}
-	}
-	if idx < 0 {
-		return
-	}
-	for j := idx + 1; j < len(e.window); j++ {
-		ent := e.window[j]
+func (e *Engine) checkLoadViolation(stOrd uint64, st *htEntry, now uint64) {
+	for j := stOrd + 1; j < e.tail; j++ {
+		ent := e.entry(j)
 		if !ent.hi.Inst.Op.IsLoad() || !ent.issued {
 			continue
 		}
@@ -467,11 +517,11 @@ func (e *Engine) checkLoadViolation(st *htEntry, now uint64) {
 	}
 }
 
-// squashFrom drops window entries [idx:), rewinds fetch to progIdx, and
+// squashFrom drops window ordinals [ord:), rewinds fetch to progIdx, and
 // rebuilds the rename state from the surviving entries.
-func (e *Engine) squashFrom(idx, progIdx int, now uint64) {
-	for j := idx; j < len(e.window); j++ {
-		ent := e.window[j]
+func (e *Engine) squashFrom(ord uint64, progIdx int, now uint64) {
+	for j := ord; j < e.tail; j++ {
+		ent := e.entry(j)
 		op := ent.hi.Inst.Op
 		if op.IsLoad() {
 			e.nLoads--
@@ -483,24 +533,24 @@ func (e *Engine) squashFrom(idx, progIdx int, now uint64) {
 			e.nDests--
 		}
 	}
-	e.window = e.window[:idx]
+	e.tail = ord
 	for i := range e.lastWriter {
-		e.lastWriter[i] = nil
+		e.lastWriter[i] = noHTOrd
 	}
 	for i := range e.lastPredWriter {
-		e.lastPredWriter[i] = nil
+		e.lastPredWriter[i] = noHTOrd
 	}
-	for j := e.head; j < len(e.window); j++ {
-		ent := e.window[j]
+	for j := e.head; j < e.tail; j++ {
+		ent := e.entry(j)
 		if ent.hi.Inst.Op.WritesRd() && ent.hi.Inst.Rd != isa.X0 {
-			e.lastWriter[ent.hi.Inst.Rd] = ent
+			e.lastWriter[ent.hi.Inst.Rd] = j
 		}
 		if ent.hi.Inst.Op == isa.PPRODUCE {
-			e.lastPredWriter[ent.hi.Inst.PredDst] = ent
+			e.lastPredWriter[ent.hi.Inst.PredDst] = j
 		}
 	}
-	if e.issueHead > idx {
-		e.issueHead = idx
+	if e.issueOrd > ord {
+		e.issueOrd = ord
 	}
 	e.fetchIdx = progIdx
 	e.fetchBlockedUntil = now + e.coreCfg.FrontendLatency()
@@ -511,12 +561,12 @@ func (e *Engine) squashFrom(idx, progIdx int, now uint64) {
 // base register is ready, letting independent loads bypass it. A load waits
 // only for overlapping stores (until their data and predication resolve) or
 // stores whose address is still unknown.
-func (e *Engine) tryIssueLoad(idx int, ent *htEntry, now uint64, lanes *cpu.LanePool) bool {
+func (e *Engine) tryIssueLoad(ord uint64, ent *htEntry, now uint64, lanes *cpu.LanePool) bool {
 	addr := e.srcVal(ent, 0) + uint64(ent.hi.Inst.Imm)
 	size := ent.hi.Inst.Op.MemBytes()
 	var fwd *htEntry
-	for j := idx - 1; j >= e.head; j-- {
-		older := e.window[j]
+	for j := ord; j > e.head; j-- {
+		older := e.entry(j - 1)
 		if !older.hi.Inst.Op.IsStore() {
 			continue
 		}
@@ -579,10 +629,11 @@ func (e *Engine) tryIssueLoad(idx int, ent *htEntry, now uint64, lanes *cpu.Lane
 
 // storeAddrReady reports whether a store's address operand has resolved.
 func (e *Engine) storeAddrReady(st *htEntry, now uint64) bool {
-	p := st.srcs[0]
-	if p == nil || p.retired {
+	ord := st.srcs[0]
+	if ord == noHTOrd || ord < e.head {
 		return true
 	}
+	p := e.entry(ord)
 	return p.issued && p.doneAt <= now
 }
 
@@ -650,7 +701,7 @@ func (e *Engine) fetch(now uint64) {
 		width = 1
 	}
 	for n := 0; n < width; n++ {
-		if len(e.window)-e.head >= e.lim.ROB {
+		if e.tail-e.head >= uint64(e.lim.ROB) {
 			return
 		}
 		hi := &e.prog.Insts[e.fetchIdx]
@@ -664,35 +715,43 @@ func (e *Engine) fetch(now uint64) {
 		if op.WritesRd() && e.nDests >= e.lim.PRF-isa.NumRegs {
 			return
 		}
-		ent := &htEntry{hi: hi, progIdx: e.fetchIdx}
+		ord := e.tail
+		ent := e.entry(ord)
+		*ent = htEntry{
+			hi: hi, progIdx: e.fetchIdx,
+			srcs:    [2]uint64{noHTOrd, noHTOrd},
+			predSrc: noHTOrd,
+		}
 		srcs, ns := hi.Inst.SrcRegs()
 		for i := 0; i < ns; i++ {
 			r := srcs[i]
 			if r == isa.X0 {
+				ent.srcs[ent.nsrc] = noHTOrd
 				ent.srcVals[ent.nsrc] = 0
 				ent.nsrc++
 				continue
 			}
-			if w := e.lastWriter[r]; w != nil && !w.retired {
+			if w := e.lastWriter[r]; w != noHTOrd && w >= e.head {
 				ent.srcs[ent.nsrc] = w
 			} else {
+				ent.srcs[ent.nsrc] = noHTOrd
 				ent.srcVals[ent.nsrc] = e.regs[r]
 			}
 			ent.nsrc++
 		}
 		if hi.Inst.PredSrc != isa.Pred0 {
-			if w := e.lastPredWriter[hi.Inst.PredSrc]; w != nil && !w.retired {
+			if w := e.lastPredWriter[hi.Inst.PredSrc]; w != noHTOrd && w >= e.head {
 				ent.predSrc = w
 			} else {
 				ent.predVal = e.preds[hi.Inst.PredSrc]
 			}
 		}
 		if op.WritesRd() && hi.Inst.Rd != isa.X0 {
-			e.lastWriter[hi.Inst.Rd] = ent
+			e.lastWriter[hi.Inst.Rd] = ord
 			e.nDests++
 		}
 		if op == isa.PPRODUCE {
-			e.lastPredWriter[hi.Inst.PredDst] = ent
+			e.lastPredWriter[hi.Inst.PredDst] = ord
 		}
 		if op.IsLoad() {
 			e.nLoads++
@@ -700,7 +759,7 @@ func (e *Engine) fetch(now uint64) {
 		if op.IsStore() {
 			e.nStores++
 		}
-		e.window = append(e.window, ent)
+		e.tail = ord + 1
 		e.Stats.Fetched++
 		e.fetchIdx++
 		if hi.IsLoopBranch {
@@ -737,8 +796,8 @@ func (e *Engine) DebugState(now uint64) string {
 		state = "fetchblocked"
 	}
 	first := "empty"
-	if e.head < len(e.window) {
-		ent := e.window[e.head]
+	if e.head < e.tail {
+		ent := e.entry(e.head)
 		first = ent.hi.Inst.Op.String()
 		if !ent.issued {
 			first += ":unissued"
@@ -748,6 +807,6 @@ func (e *Engine) DebugState(now uint64) string {
 			first += ":ready"
 		}
 	}
-	return state + " window=" + strconv.Itoa(len(e.window)-e.head) + " head0=" + first +
+	return state + " window=" + strconv.Itoa(int(e.tail-e.head)) + " head0=" + first +
 		" fetchIdx=" + strconv.Itoa(e.fetchIdx)
 }

@@ -61,7 +61,10 @@ func (c *Controller) CheckInvariants() error {
 
 // checkInvariants audits one engine's occupancy against its partition quota.
 func (e *Engine) checkInvariants() error {
-	if occ := len(e.window) - e.head; occ < 0 || occ > e.lim.ROB {
+	if e.tail < e.head {
+		return fmt.Errorf("window tail %d behind head %d", e.tail, e.head)
+	}
+	if occ := int(e.tail - e.head); occ > e.lim.ROB {
 		return fmt.Errorf("window occupancy %d outside quota [0,%d]", occ, e.lim.ROB)
 	}
 	if e.nLoads < 0 || e.nLoads > e.lim.LQ {

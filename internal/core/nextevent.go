@@ -1,0 +1,214 @@
+package core
+
+import (
+	"phelps/internal/cpu"
+	"phelps/internal/isa"
+)
+
+// Event-driven clock support for helper-thread engines (DESIGN.md ·
+// Event-driven clock). The contract matches cpu.Core.NextEvent: return a
+// conservative lower bound on the earliest cycle >= from at which Cycle()
+// could change any state or counter beyond what SkipCycles accounts for.
+// Under-estimating costs a wasted host step; over-estimating is forbidden.
+//
+// The engine-specific blockers and who clears them:
+//
+//   - retire of a complete loop branch with a full prediction queue: cleared
+//     by the main thread retiring its loop branch (AdvanceHead) — a
+//     main-thread event, so no candidate is needed here. SkipCycles
+//     bulk-accounts the per-cycle QueueStalls the stepped loop would count.
+//   - retire of a complete header branch with a full visit queue: cleared by
+//     the inner thread popping a visit — an inner-engine fetch event.
+//   - inner-thread fetch waiting on an empty visit queue: cleared by the
+//     outer thread pushing a visit at its loop-branch retire — an
+//     outer-engine event. SkipCycles bulk-accounts VisitWaits.
+//   - window/LQ/SQ/PRF-full fetch: drains at this engine's own retire,
+//     bounded by the retire phase.
+func (e *Engine) NextEvent(from uint64) uint64 {
+	if e.done {
+		return cpu.InfCycle
+	}
+	best := uint64(cpu.InfCycle)
+
+	// Retire: head completion, minus the two retire-time stalls only another
+	// agent can clear.
+	if e.head < e.tail {
+		ent := e.entry(e.head)
+		if ent.issued {
+			if ent.doneAt > from {
+				if ent.doneAt < best {
+					best = ent.doneAt
+				}
+			} else {
+				hi := ent.hi
+				switch {
+				case hi.IsLoopBranch && e.qs != nil && e.qs.Full():
+					// Blocked on the main thread; SkipCycles accounts
+					// QueueStalls for the span.
+				case hi.IsHeader && ent.enabled && !ent.outcome && e.vq != nil && e.vq.Full():
+					// Blocked on the inner thread draining a visit.
+				default:
+					return from
+				}
+			}
+		}
+	}
+
+	// Issue: scan exactly the entries issue() would scan. As in the main
+	// core, the oldest unissued entry always has all in-flight producers
+	// issued, so unissued work in the window yields a finite bound.
+	start := e.issueOrd
+	if start < e.head {
+		start = e.head
+	}
+	scanned := 0
+	for ord := start; ord < e.tail && scanned < e.coreCfg.IQScanLimit; ord++ {
+		ent := e.entry(ord)
+		if ent.issued {
+			continue
+		}
+		scanned++
+		t, ok := e.readyBound(ent, from)
+		if !ok {
+			continue // waits on an unissued older producer: bounded by it
+		}
+		if t <= from {
+			return from
+		}
+		if t < best {
+			best = t
+		}
+	}
+
+	// Fetch.
+	if f := e.fetchEvent(from); f <= from {
+		return from
+	} else if f < best {
+		best = f
+	}
+	return best
+}
+
+// readyBound returns the earliest cycle all in-flight producers of ent are
+// complete, or ok=false if some producer has not issued yet (its own issue
+// event bounds ent).
+func (e *Engine) readyBound(ent *htEntry, from uint64) (uint64, bool) {
+	t := from
+	for i := 0; i < ent.nsrc; i++ {
+		ord := ent.srcs[i]
+		if ord == noHTOrd || ord < e.head {
+			continue // resolved at dispatch, or a retired producer
+		}
+		p := e.entry(ord)
+		if !p.issued {
+			return 0, false
+		}
+		if p.doneAt > t {
+			t = p.doneAt
+		}
+	}
+	if ord := ent.predSrc; ord != noHTOrd && ord >= e.head {
+		p := e.entry(ord)
+		if !p.issued {
+			return 0, false
+		}
+		if p.doneAt > t {
+			t = p.doneAt
+		}
+	}
+	return t, true
+}
+
+// fetchEvent returns fetch's next event bound, mirroring fetch()'s early
+// exits in order.
+func (e *Engine) fetchEvent(from uint64) uint64 {
+	if e.fetchBlockedUntil > from {
+		return e.fetchBlockedUntil
+	}
+	if e.prog.Kind == Inner && !e.visitActive {
+		if e.vq.Len() == 0 {
+			return cpu.InfCycle // waits on an outer-thread push (its event)
+		}
+		return from
+	}
+	if e.tail-e.head >= uint64(e.lim.ROB) {
+		return cpu.InfCycle // drains at this engine's retire (covered)
+	}
+	hi := &e.prog.Insts[e.fetchIdx]
+	op := hi.Inst.Op
+	if op.IsLoad() && e.nLoads >= e.lim.LQ {
+		return cpu.InfCycle
+	}
+	if op.IsStore() && e.nStores >= e.lim.SQ {
+		return cpu.InfCycle
+	}
+	if op.WritesRd() && e.nDests >= e.lim.PRF-isa.NumRegs {
+		return cpu.InfCycle
+	}
+	return from
+}
+
+// SkipCycles bulk-accounts n cycles starting at from that NextEvent proved
+// event-free for every agent. Both stall counters the stepped loop would
+// have incremented are span-stable: the prediction-queue and visit-queue
+// states only change at executed cycles of some core, and every such change
+// bounds the span.
+func (e *Engine) SkipCycles(from, n uint64) {
+	if e.done {
+		return
+	}
+	if e.head < e.tail {
+		ent := e.entry(e.head)
+		if ent.issued && ent.doneAt <= from && ent.hi.IsLoopBranch && e.qs != nil && e.qs.Full() {
+			e.Stats.QueueStalls += n
+		}
+	}
+	if e.prog.Kind == Inner && !e.visitActive && from >= e.fetchBlockedUntil && e.vq.Len() == 0 {
+		e.Stats.VisitWaits += n
+	}
+}
+
+// NextEvent returns the controller's conservative event bound: the min over
+// the active engines, plus the termination check CycleEngines runs when the
+// leading engine has finished its loop.
+func (c *Controller) NextEvent(from uint64) uint64 {
+	a := c.active
+	if a == nil {
+		return cpu.InfCycle // (re)trigger happens at a main-thread retire
+	}
+	if a.engines[0].Done() {
+		drained := true
+		for _, qs := range a.sets {
+			if qs.SpecHead() < qs.Tail() {
+				drained = false
+				break
+			}
+		}
+		if drained {
+			return from // termination fires on the next CycleEngines call
+		}
+		// Not drained: the main thread's fetch advances spec_head — a
+		// main-thread event bounds the span.
+	}
+	best := uint64(cpu.InfCycle)
+	for _, e := range a.engines {
+		if t := e.NextEvent(from); t < best {
+			best = t
+		}
+		if best <= from {
+			return from
+		}
+	}
+	return best
+}
+
+// SkipCycles forwards bulk accounting to the active engines.
+func (c *Controller) SkipCycles(from, n uint64) {
+	a := c.active
+	if a == nil {
+		return
+	}
+	for _, e := range a.engines {
+		e.SkipCycles(from, n)
+	}
+}

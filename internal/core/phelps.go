@@ -57,6 +57,11 @@ type HTCRow struct {
 	Nested    bool
 	Progs     []*HelperProgram // [ito] or [outer, inner]
 	Triggers  uint64
+
+	// pool is the row's recycled activation: the queue sets, routing maps,
+	// spec cache, visit queue and engines depend only on the row's shape, so
+	// one allocation serves every trigger/terminate cycle of the row.
+	pool *activation
 }
 
 // Category classifies residual (non-eliminated) mispredictions for Fig. 14.
@@ -168,6 +173,8 @@ type Controller struct {
 	suppressLoop  LoopBounds // re-trigger suppression until MT exits this loop
 	suppress      bool
 	cooldownUntil uint64 // no re-trigger before this cycle (start/stop amortization)
+
+	liveInScratch []uint64 // trigger-time live-in staging (values are copied into the engine)
 
 	now uint64
 
@@ -518,15 +525,32 @@ func (c *Controller) trigger(row *HTCRow) {
 	plan := cpu.PlanFor(row.Nested)
 	c.mt.SetLimits(full.Scale(plan.MTNum, plan.MTDen))
 
-	a := &activation{
-		row:         row,
-		spec:        NewSpecCache(c.cfg.SpecCacheSets, c.cfg.SpecCacheWays),
-		branchQS:    make(map[uint64]*QueueSet),
-		loopAdvance: make(map[uint64]*QueueSet),
-		loopRetire:  make(map[uint64]*QueueSet),
-	}
-	if row.Nested {
-		a.vq = NewVisitQueue(c.cfg.VisitQueueSize)
+	// Recycle the row's previous activation when one exists: all shape-
+	// dependent allocations (queue sets, routing maps, spec cache, visit
+	// queue, engine windows) survive intact; only per-trigger values (queue
+	// pointers, registers, live-ins, start cycles) are reset.
+	a := row.pool
+	fresh := a == nil
+	if fresh {
+		a = &activation{
+			row:         row,
+			spec:        NewSpecCache(c.cfg.SpecCacheSets, c.cfg.SpecCacheWays),
+			branchQS:    make(map[uint64]*QueueSet),
+			loopAdvance: make(map[uint64]*QueueSet),
+			loopRetire:  make(map[uint64]*QueueSet),
+		}
+		if row.Nested {
+			a.vq = NewVisitQueue(c.cfg.VisitQueueSize)
+		}
+		row.pool = a
+	} else {
+		a.spec.ResetAll()
+		if a.vq != nil {
+			a.vq.Reset()
+		}
+		for _, qs := range a.sets {
+			qs.Reset()
+		}
 	}
 
 	maxStart := uint64(0)
@@ -540,18 +564,24 @@ func (c *Controller) trigger(row *HTCRow) {
 		case Inner:
 			lim = full.Scale(plan.ITNum, plan.ITDen)
 		}
-		qs := NewQueueSet(prog.QueuePCs, c.cfg.PredQueueDepth)
-		a.sets = append(a.sets, qs)
-		for _, pc := range prog.QueuePCs {
-			a.branchQS[pc] = qs
+		var qs *QueueSet
+		if fresh {
+			qs = NewQueueSet(prog.QueuePCs, c.cfg.PredQueueDepth)
+			a.sets = append(a.sets, qs)
+			for _, pc := range prog.QueuePCs {
+				a.branchQS[pc] = qs
+			}
+			a.loopAdvance[prog.LoopBranch] = qs
+			a.loopRetire[prog.LoopBranch] = qs
+		} else {
+			qs = a.sets[i]
 		}
-		a.loopAdvance[prog.LoopBranch] = qs
-		a.loopRetire[prog.LoopBranch] = qs
 
-		liveIns := make([]uint64, len(prog.LiveInsMT))
-		for j, r := range prog.LiveInsMT {
-			liveIns[j] = c.mt.ArchReg(r)
+		liveIns := c.liveInScratch[:0]
+		for _, r := range prog.LiveInsMT {
+			liveIns = append(liveIns, c.mt.ArchReg(r))
 		}
+		c.liveInScratch = liveIns
 		fw := lim.FetchWidth
 		if fw < 1 {
 			fw = 1
@@ -563,9 +593,11 @@ func (c *Controller) trigger(row *HTCRow) {
 		if DebugTrigger != nil {
 			DebugTrigger(prog, liveIns)
 		}
-		eng := NewEngine(prog, qs, a.spec, a.vq, c.mem, c.hier, c.coreCfg, lim, liveIns, startAt)
-		a.engines = append(a.engines, eng)
-		_ = i
+		if fresh {
+			a.engines = append(a.engines, NewEngine(prog, qs, a.spec, a.vq, c.mem, c.hier, c.coreCfg, lim, liveIns, startAt))
+		} else {
+			a.engines[i].Reinit(prog, qs, a.spec, a.vq, c.mem, c.hier, c.coreCfg, lim, liveIns, startAt)
+		}
 	}
 	// Outer thread snapshots the inner thread's OT live-ins per visit.
 	if row.Nested && len(row.Progs) == 2 {

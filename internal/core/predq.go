@@ -155,6 +155,20 @@ func (q *QueueSet) AdvanceHead() {
 	}
 }
 
+// Reset returns the set to its freshly-constructed state, keeping the queue
+// backing arrays and PC routing (pooled reuse across activations of the same
+// HTC row: the queue geometry depends only on the helper program).
+func (q *QueueSet) Reset() {
+	q.head, q.specHead, q.tail = 0, 0, 0
+	q.Consumed, q.Untimely = 0, 0
+	for i := range q.valid {
+		vi := q.valid[i]
+		for j := range vi {
+			vi[j] = false
+		}
+	}
+}
+
 // DebugAdvanceHead, when set, observes head advances (test instrumentation).
 var DebugAdvanceHead func(head, col uint64)
 

@@ -113,3 +113,11 @@ func (sc *SpecCache) Reset() {
 		sc.data[s] = sc.data[s][:0]
 	}
 }
+
+// ResetAll empties the cache and zeroes its counters. Pooled reuse across
+// activations: termination folds the counters into the controller totals, so
+// a recycled cache must restart from zero or the fold double-counts.
+func (sc *SpecCache) ResetAll() {
+	sc.Reset()
+	sc.Writes, sc.Hits, sc.Evictions = 0, 0, 0
+}

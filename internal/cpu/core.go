@@ -107,12 +107,16 @@ type Core struct {
 	mem   *emu.Memory
 	hier  *cache.Hierarchy
 
-	next     func() (emu.DynInst, bool)
-	peeked   emu.DynInst // valid iff hasPeek (a value, not a pointer: keeps fetch allocation-free)
-	hasPeek  bool
-	fetchBuf emu.DynInst // fetch's persistent scratch; hooks get &fetchBuf, so nothing escapes per instruction
-	replay   []emu.DynInst
-	replayAt int
+	next    func() (emu.DynInst, bool)
+	peeked  emu.DynInst // valid iff hasPeek (a value, not a pointer: keeps fetch allocation-free)
+	hasPeek bool
+	// srcExhausted latches once next() returns false. The instruction source
+	// (the emulator) is permanently exhausted after its first refusal, so the
+	// flag lets NextEvent prove fetch can never act again without replay input.
+	srcExhausted bool
+	fetchBuf     emu.DynInst // fetch's persistent scratch; hooks get &fetchBuf, so nothing escapes per instruction
+	replay       []emu.DynInst
+	replayAt     int
 
 	// Frontend buffer: a power-of-two ring indexed by monotonic counters.
 	front     []frontEntry
@@ -282,6 +286,7 @@ func (c *Core) nextDynInto(dst *emu.DynInst) bool {
 	}
 	d, ok := c.next()
 	if !ok {
+		c.srcExhausted = true
 		return false
 	}
 	*dst = d

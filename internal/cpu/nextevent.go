@@ -1,0 +1,190 @@
+package cpu
+
+import "phelps/internal/isa"
+
+// Event-driven clock support (DESIGN.md · Event-driven clock).
+//
+// NextEvent returns a conservative lower bound on the earliest cycle >= from
+// at which Cycle(cycle, ...) could change any state or counter beyond what
+// SkipCycles accounts for. The contract is one-sided: the bound may
+// UNDER-estimate (the driver executes a cycle where nothing happens — wasted
+// host work, never wrong) but must never OVER-estimate (skipping a cycle
+// where something would have happened changes timing). InfCycle means the
+// core generates no events on its own; some other agent (another core, the
+// controller, program input) must act first, and every such unblocking agent
+// is itself an event source visible to the driver's min-reduction.
+//
+// The soundness argument, phase by phase (mirroring Cycle's order):
+//
+//   - retire: acts when the ROB head is issued and complete. Head issued →
+//     its doneAt is the bound. Head unissued → retire cannot act before the
+//     head issues, and the issue scan below bounds that.
+//   - issue: an entry can issue no earlier than the max doneAt of its
+//     in-flight issued producers. If a producer is still unissued, that
+//     producer is older and therefore scanned first, so its own bound covers
+//     the consumer. A ready-but-unissued entry (e.g. lost lane arbitration,
+//     a load blocked behind an older store, an injected sticky fault) forces
+//     `from` — per-cycle stepping — which is conservative by construction.
+//   - dispatch: only the frontend head matters (dispatch breaks at the
+//     head). Not yet decoded → readyAt. Ready but resource-blocked → the
+//     block clears only at a retire (ROB/LQ/SQ/PRF) or issue (IQ) event,
+//     both covered above.
+//   - fetch: a mispredict stall clears at stallClearAt once the branch has
+//     issued (bounded; before that, the branch's own issue event is the
+//     bound). Frontend backpressure clears at dispatch (covered). Otherwise
+//     fetch acts at max(from, fetchBlockedUntil) provided input exists.
+//
+// State only ever changes at executed cycles: loads/stores reach the cache
+// hierarchy at issue, hooks (Predict/OnFetch/OnRetire) fire at fetch/retire,
+// and the controller mutates queues from those hooks. So a span proven
+// event-free for every core is a span in which the whole machine is frozen
+// except for the pure per-cycle counters SkipCycles bulk-adds.
+const InfCycle = ^uint64(0)
+
+// NextEvent implements the bound above. It returns `from` as soon as any
+// phase could act at `from` (no skip), InfCycle when the core provably
+// generates no further events on its own, and the min candidate otherwise.
+func (c *Core) NextEvent(from uint64) uint64 {
+	if c.halted {
+		return InfCycle
+	}
+	best := InfCycle
+
+	// Retire: head completion.
+	if c.robHead < c.robTail {
+		e := c.entry(c.robHead)
+		if e.issued {
+			if e.doneAt <= from {
+				return from
+			}
+			if e.doneAt < best {
+				best = e.doneAt
+			}
+		}
+	}
+
+	// Dispatch: frontend head decode-ready time, unless resource-blocked
+	// (those blocks clear only at retire/issue events, covered elsewhere).
+	if c.frontTail > c.frontHead {
+		fe := &c.front[c.frontHead&uint64(len(c.front)-1)]
+		if fe.readyAt > from {
+			if fe.readyAt < best {
+				best = fe.readyAt
+			}
+		} else if !c.dispatchBlocked(fe) {
+			return from
+		}
+	}
+
+	// Issue: scan exactly the entries issue() would scan. The oldest
+	// unissued entry always has all in-flight producers issued (anything
+	// older is issued by definition), so whenever the ROB holds unissued
+	// work this phase yields a finite bound.
+	start := c.issueOrd
+	if start < c.robHead {
+		start = c.robHead
+	}
+	scanned := 0
+	for ord := start; ord < c.robTail && scanned < c.cfg.IQScanLimit; ord++ {
+		e := c.entry(ord)
+		if e.issued {
+			continue
+		}
+		scanned++
+		t, ok := c.readyBound(e, from)
+		if !ok {
+			continue // waits on an unissued older producer: bounded by it
+		}
+		if t <= from {
+			return from
+		}
+		if t < best {
+			best = t
+		}
+	}
+
+	// Fetch.
+	if f := c.fetchEvent(from); f <= from {
+		return from
+	} else if f < best {
+		best = f
+	}
+	return best
+}
+
+// readyBound returns the earliest cycle all in-flight producers of e are
+// complete, or ok=false if some producer has not issued yet (its own issue
+// event bounds e).
+func (c *Core) readyBound(e *robEntry, from uint64) (uint64, bool) {
+	t := from
+	for i := 0; i < e.nsrc; i++ {
+		ord := e.srcs[i]
+		if ord < c.robHead {
+			continue // retired producer: always ready
+		}
+		p := c.entry(ord)
+		if !p.issued {
+			return 0, false
+		}
+		if p.doneAt > t {
+			t = p.doneAt
+		}
+	}
+	return t, true
+}
+
+// dispatchBlocked mirrors dispatch()'s break conditions for the frontend
+// head entry.
+func (c *Core) dispatchBlocked(fe *frontEntry) bool {
+	op := fe.d.Inst.Op
+	if c.robTail-c.robHead >= uint64(c.lim.ROB) || c.nIQ >= c.lim.IQ {
+		return true
+	}
+	if op.IsLoad() && c.nLoads >= c.lim.LQ {
+		return true
+	}
+	if op.IsStore() && c.nStores >= c.lim.SQ {
+		return true
+	}
+	if op.WritesRd() && c.nDests >= c.lim.PRF-isa.NumRegs {
+		return true
+	}
+	return false
+}
+
+// fetchEvent returns fetch's next event bound, mirroring fetch()'s early
+// exits in order.
+func (c *Core) fetchEvent(from uint64) uint64 {
+	if c.stallActive {
+		if !c.stallClearSet {
+			// Clears when the mispredicted branch issues — an issue event.
+			return InfCycle
+		}
+		if c.stallClearAt <= from {
+			return from
+		}
+		return c.stallClearAt
+	}
+	if c.frontTail-c.frontHead >= uint64(c.lim.FetchWidth)*c.cfg.FrontendLatency() {
+		return InfCycle // backpressure: drains at dispatch (covered there)
+	}
+	if !c.hasPeek && c.replayAt >= len(c.replay) && c.srcExhausted {
+		return InfCycle // no input will ever arrive again
+	}
+	if c.fetchBlockedUntil > from {
+		return c.fetchBlockedUntil
+	}
+	return from
+}
+
+// SkipCycles bulk-accounts n cycles proven event-free by NextEvent. The only
+// per-cycle state a quiescent Cycle() call would touch is the cycle counter
+// and, while a mispredict fetch-stall is pending, FetchStallMisp (the stall
+// cannot clear inside a skipped span: stallClearAt is a NextEvent candidate,
+// so the span ends strictly before it).
+func (c *Core) SkipCycles(n uint64) {
+	c.Stats.Cycles += n
+	if c.stallActive {
+		c.Stats.FetchStallMisp += n
+	}
+}

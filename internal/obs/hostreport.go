@@ -7,7 +7,10 @@ import (
 
 // HostBenchSchema versions the BENCH_host.json layout; bump it when a field
 // changes meaning so trajectory-diffing tools can tell.
-const HostBenchSchema = 2
+//
+// Schema 3 added the event_skip.* entries (event-driven clock A/B: speedup
+// over forced per-cycle stepping, plus the skipped-cycle ratio).
+const HostBenchSchema = 3
 
 // HostBenchReport is the machine-readable artifact `phelpsreport -host`
 // writes: how fast the simulator itself runs on the host (as opposed to
@@ -24,13 +27,16 @@ type HostBenchReport struct {
 // HostBenchEntry is one measurement. Pipeline-level entries report
 // sim_inst_per_sec and allocs_per_sim_inst; memory-primitive entries report
 // ns_per_op and allocs_per_op; sampled-vs-full entries additionally report
-// speedup (full wall-clock / sampled wall-clock). Unused fields are omitted.
+// speedup (full wall-clock / sampled wall-clock); event_skip entries report
+// speedup (event-driven sim-inst/s over forced per-cycle stepping) and
+// skip_ratio (skipped cycles / total cycles). Unused fields are omitted.
 type HostBenchEntry struct {
 	Name             string  `json:"name"`
 	SimInstPerSec    float64 `json:"sim_inst_per_sec,omitempty"`
 	AllocsPerSimInst float64 `json:"allocs_per_sim_inst"`
 	NsPerOp          float64 `json:"ns_per_op,omitempty"`
 	Speedup          float64 `json:"speedup,omitempty"`
+	SkipRatio        float64 `json:"skip_ratio,omitempty"`
 }
 
 // NewHostBenchReport returns an empty report stamped with the Go version.

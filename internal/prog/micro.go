@@ -115,6 +115,233 @@ func DelinquentLoop(n int, takenPct int, seed uint64) *Workload {
 	}
 }
 
+// DelinquentChase builds the memory-delinquent variant of DelinquentLoop:
+// the loop walks a pointer chase through a node table laid out as a single
+// random cycle (Sattolo permutation), so every iteration's load depends on
+// the previous iteration's load and the access pattern defeats both spatial
+// locality and the stride prefetchers. With a table larger than the LLC the
+// loop spends most of its cycles waiting on DRAM — the paper's actual
+// delinquent-loop setting (the streaming DelinquentLoop is compute-bound:
+// its sequential array is fully covered by the prefetcher).
+//
+//	for it in 0..n:
+//	    w = node[cur].weight       // same line as the next pointer
+//	    cur = node[cur].next       // serial chase, delinquent load
+//	    if w != 0 { hits++ }       // delinquent branch b1 (load-dependent)
+//	    checksum work (not in the branch's slice)
+//
+// nodes is the table size (16 bytes per node); n is the iteration count and
+// may be smaller than nodes (partial walk of the cycle). takenPct biases the
+// branch as in DelinquentLoop.
+func DelinquentChase(nodes, n int, takenPct int, seed uint64) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	table := al.Array(nodes, 16)
+	out := al.Array(3, 8)
+
+	r := graph.NewRand(seed)
+	// Sattolo's algorithm: a uniform random permutation with a single cycle,
+	// so any walk of length <= nodes visits distinct nodes.
+	next := make([]int64, nodes)
+	for i := range next {
+		next[i] = int64(i)
+	}
+	for i := nodes - 1; i > 0; i-- {
+		j := r.Intn(i)
+		next[i], next[j] = next[j], next[i]
+	}
+	weight := make([]int64, nodes)
+	for i := 0; i < nodes; i++ {
+		if int(r.Next()%100) < takenPct {
+			weight[i] = 1
+		}
+		mem.SetI64(table+uint64(i)*16, next[i])
+		mem.SetI64(table+uint64(i)*16+8, weight[i])
+	}
+	// Native mirror.
+	hits := int64(0)
+	check := int64(0)
+	cur := int64(0)
+	for it := 0; it < n; it++ {
+		if weight[cur] != 0 {
+			hits++
+		}
+		cur = next[cur]
+		x := int64(it)*5 + 3
+		x ^= 0x33
+		check += x
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(table))
+	b.Li(isa.S1, int64(n))
+	b.Li(isa.S2, 0) // it
+	b.Li(isa.S3, 0) // hits
+	b.Li(isa.S4, 0) // checksum
+	b.Li(isa.S5, 0) // cur
+	b.Label("loop")
+	b.Slli(isa.T0, isa.S5, 4)
+	b.Add(isa.T0, isa.S0, isa.T0)
+	b.Ld(isa.T1, isa.T0, 8) // weight[cur] (same cache line as next)
+	b.Ld(isa.S5, isa.T0, 0) // cur = next[cur]: the serial delinquent load
+	b.Label("b1")
+	b.Beq(isa.T1, isa.X0, "skip") // delinquent: depends on the missing load
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Label("skip")
+	// Non-slice checksum work: x = it*5+3 ^ 0x33; check += x.
+	b.Li(isa.T2, 5)
+	b.Mul(isa.T3, isa.S2, isa.T2)
+	b.Addi(isa.T3, isa.T3, 3)
+	b.Xori(isa.T3, isa.T3, 0x33)
+	b.Add(isa.S4, isa.S4, isa.T3)
+	b.Addi(isa.S2, isa.S2, 1)
+	b.Label("loopbr")
+	b.Blt(isa.S2, isa.S1, "loop")
+	b.Li(isa.T2, int64(out))
+	b.Sd(isa.S3, isa.T2, 0)
+	b.Sd(isa.S4, isa.T2, 8)
+	b.Sd(isa.S5, isa.T2, 16)
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "micro-delinquent-chase",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			if err := checkEq("hits", m.I64(out), hits); err != nil {
+				return err
+			}
+			if err := checkEq("check", m.I64(out+8), check); err != nil {
+				return err
+			}
+			return checkEq("cur", m.I64(out+16), cur)
+		},
+		Labels: p.Labels,
+	}
+}
+
+// DelinquentChaseNested combines DelinquentChase's memory-delinquent outer
+// walk with NestedLoop's Fig. 2 inner-loop idiom — the graph-traversal shape
+// the paper targets: visit a node through a pointer chase (outer load misses
+// the LLC), then iterate over its short, unpredictable payload row (header
+// branch brA, delinquent body branch brB, backward branch brC).
+//
+//	for it in 0..n:
+//	    len = node[cur].len            // same line as the next pointer
+//	    row = &vals[cur*maxTrip]
+//	    cur = node[cur].next           // serial chase, delinquent load
+//	    if len == 0 continue           // brA
+//	    for j in 0..len:               // inner
+//	        if row[j] != 0 { sum++ }   // brB (misses: row is random)
+//	                                   // brC = inner backward branch
+//
+// Only the n nodes on the walk have their table/payload entries materialized,
+// so large node tables stay cheap to build.
+func DelinquentChaseNested(nodes, n, maxTrip int, seed uint64) *Workload {
+	mem := emu.NewMemory()
+	al := NewAlloc()
+	table := al.Array(nodes, 16)
+	vals := al.Array(nodes*maxTrip, 8)
+	out := al.Array(3, 8)
+
+	r := graph.NewRand(seed)
+	// Sattolo single-cycle permutation (see DelinquentChase).
+	next := make([]int64, nodes)
+	for i := range next {
+		next[i] = int64(i)
+	}
+	for i := nodes - 1; i > 0; i-- {
+		j := r.Intn(i)
+		next[i], next[j] = next[j], next[i]
+	}
+	// Native mirror, materializing only the visited nodes.
+	sum := int64(0)
+	check := int64(0)
+	cur := int64(0)
+	for it := 0; it < n; it++ {
+		l := int64(r.Intn(maxTrip + 1))
+		mem.SetI64(table+uint64(cur)*16, next[cur])
+		mem.SetI64(table+uint64(cur)*16+8, l)
+		for j := int64(0); j < l; j++ {
+			v := int64(r.Next() % 2)
+			mem.SetI64(vals+uint64(cur)*uint64(maxTrip)*8+uint64(j)*8, v)
+			sum += v
+			check += (int64(it)+j)*7 ^ 0x33
+		}
+		cur = next[cur]
+		check += int64(it)*11 + 13
+	}
+
+	b := asm.New(CodeBase)
+	b.Li(isa.S0, int64(table))
+	b.Li(isa.S1, int64(vals))
+	b.Li(isa.S2, int64(n))
+	b.Li(isa.S3, 0) // it
+	b.Li(isa.S4, 0) // sum
+	b.Li(isa.S5, int64(maxTrip))
+	b.Li(isa.A0, 0) // cur
+	b.Label("outer")
+	b.Slli(isa.T0, isa.A0, 4)
+	b.Add(isa.T0, isa.S0, isa.T0)
+	b.Ld(isa.S6, isa.T0, 8) // len = node[cur].len
+	b.Mul(isa.T1, isa.A0, isa.S5)
+	b.Slli(isa.T1, isa.T1, 3)
+	b.Add(isa.S7, isa.S1, isa.T1) // row = &vals[cur*maxTrip]
+	b.Ld(isa.A0, isa.T0, 0)       // cur = node[cur].next: the serial chase
+	b.Label("brA")
+	b.Beq(isa.S6, isa.X0, "skipinner") // brA: header branch
+	b.Li(isa.S8, 0)                    // j
+	b.Label("inner")
+	b.Slli(isa.T2, isa.S8, 3)
+	b.Add(isa.T2, isa.S7, isa.T2)
+	b.Ld(isa.T3, isa.T2, 0)
+	b.Label("brB")
+	b.Beq(isa.T3, isa.X0, "skipv") // brB: delinquent body branch
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Label("skipv")
+	// Non-slice inner work: check += (it+j)*7 ^ 0x33.
+	b.Add(isa.T4, isa.S3, isa.S8)
+	b.Li(isa.T5, 7)
+	b.Mul(isa.T4, isa.T4, isa.T5)
+	b.Xori(isa.T4, isa.T4, 0x33)
+	b.Add(isa.S9, isa.S9, isa.T4)
+	b.Addi(isa.S8, isa.S8, 1)
+	b.Label("brC")
+	b.Blt(isa.S8, isa.S6, "inner") // brC: short unpredictable trip count
+	b.Label("skipinner")
+	// Non-slice outer work: check += it*11 + 13.
+	b.Li(isa.T0, 11)
+	b.Mul(isa.T1, isa.S3, isa.T0)
+	b.Addi(isa.T1, isa.T1, 13)
+	b.Add(isa.S9, isa.S9, isa.T1)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Label("outerbr")
+	b.Blt(isa.S3, isa.S2, "outer")
+	b.Li(isa.T0, int64(out))
+	b.Sd(isa.S4, isa.T0, 0)
+	b.Sd(isa.S9, isa.T0, 8)
+	b.Sd(isa.A0, isa.T0, 16)
+	b.Halt()
+	p := b.MustBuild()
+
+	return &Workload{
+		Name: "micro-chase-nested",
+		Prog: p,
+		Mem:  mem,
+		Verify: func(m *emu.Memory) error {
+			if err := checkEq("sum", m.I64(out), sum); err != nil {
+				return err
+			}
+			if err := checkEq("check", m.I64(out+8), check); err != nil {
+				return err
+			}
+			return checkEq("cur", m.I64(out+16), cur)
+		},
+		Labels: p.Labels,
+	}
+}
+
 // GuardedPair builds the b1/b2/s1 idiom of Fig. 1: a delinquent branch b2
 // control-dependent on delinquent branch b1, plus a store s1 that both
 // influences b1's future instances and is control-dependent on b1 and b2.

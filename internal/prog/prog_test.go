@@ -13,6 +13,7 @@ func TestMicroWorkloadsVerify(t *testing.T) {
 	cases := []*Workload{
 		DelinquentLoop(2000, 50, 1),
 		DelinquentLoop(2000, 90, 2),
+		DelinquentChase(4096, 2000, 50, 1),
 		GuardedPair(2000, 256, 3),
 		NestedLoop(500, 6, 4),
 		PredictableLoop(3000),

@@ -40,6 +40,16 @@ type Controller struct {
 	mtIter   uint64
 	suppress bool
 
+	// Pooled across triggers: the chain program is installed once, so the
+	// engine window, spec cache, guard routing, and live-in staging are
+	// trigger-invariant allocations.
+	enginePool    *core.Engine
+	specPool      *core.SpecCache
+	queuesPool    *brQueues
+	guards        []int
+	dirs          []bool
+	liveInScratch []uint64
+
 	partitioned bool
 	epochInsts  uint64
 	now         uint64
@@ -247,6 +257,36 @@ func (c *Controller) install(con *core.Construction, p *core.HelperProgram) {
 	c.startPC = con.LT.Loop.Target
 	c.loopPC = p.LoopBranch
 	c.Stats.ChainsBuilt += uint64(len(p.QueuePCs))
+
+	// Guard relationships between chains and the PC->queue routing are
+	// properties of the installed program: compute them once here rather
+	// than on every trigger.
+	n := len(p.QueuePCs)
+	c.guards = make([]int, n)
+	c.dirs = make([]bool, n)
+	for i := range c.guards {
+		c.guards[i] = -1
+	}
+	qidByPred := make(map[isa.PredReg]int)
+	for i := range p.Insts {
+		hi := &p.Insts[i]
+		if hi.QueueID >= 0 && hi.Inst.Op == isa.PPRODUCE {
+			qidByPred[hi.Inst.PredDst] = hi.QueueID
+		}
+	}
+	for i := range p.Insts {
+		hi := &p.Insts[i]
+		if hi.QueueID >= 0 && hi.Inst.Op == isa.PPRODUCE && hi.Inst.PredSrc != isa.Pred0 {
+			if g, ok := qidByPred[hi.Inst.PredSrc]; ok {
+				c.guards[hi.QueueID] = g
+				c.dirs[hi.QueueID] = hi.Inst.PredDir
+			}
+		}
+	}
+	c.qidOf = make(map[uint64]int, n)
+	for i, pc := range p.QueuePCs {
+		c.qidOf[pc] = i
+	}
 	// Static partition: the main thread loses half its resources for the
 	// rest of the run (the paper's BR configuration).
 	if c.cfg.StaticPartition && !c.partitioned {
@@ -263,57 +303,35 @@ func (c *Controller) trigger() {
 	now := c.now
 	c.mt.SquashAll(now)
 
-	// Guard relationships between chains: derived from the predicate
-	// source operands the shared construction machinery learned.
-	n := len(c.prog.QueuePCs)
-	guards := make([]int, n)
-	dirs := make([]bool, n)
-	for i := range guards {
-		guards[i] = -1
+	if c.queuesPool == nil {
+		c.queuesPool = newBRQueues(&c.cfg, &c.Stats, len(c.prog.QueuePCs), c.guards, c.dirs, func() uint64 { return c.now })
+	} else {
+		c.queuesPool.reset()
 	}
-	qidByPred := make(map[isa.PredReg]int)
-	qid := 0
-	for i := range c.prog.Insts {
-		hi := &c.prog.Insts[i]
-		if hi.QueueID >= 0 {
-			if hi.Inst.Op == isa.PPRODUCE {
-				qidByPred[hi.Inst.PredDst] = hi.QueueID
-			}
-			qid++
-		}
-	}
-	for i := range c.prog.Insts {
-		hi := &c.prog.Insts[i]
-		if hi.QueueID >= 0 && hi.Inst.Op == isa.PPRODUCE && hi.Inst.PredSrc != isa.Pred0 {
-			if g, ok := qidByPred[hi.Inst.PredSrc]; ok {
-				guards[hi.QueueID] = g
-				dirs[hi.QueueID] = hi.Inst.PredDir
-			}
-		}
-	}
-
-	c.queues = newBRQueues(&c.cfg, &c.Stats, n, guards, dirs, func() uint64 { return c.now })
-	c.qidOf = make(map[uint64]int, n)
-	for i, pc := range c.prog.QueuePCs {
-		c.qidOf[pc] = i
-	}
+	c.queues = c.queuesPool
 	c.mtIter = 0
 
-	full := c.coreCfg.FullLimits()
-	chainLim := full.Scale(1, 2)
-	if !c.cfg.StaticPartition {
-		// BR-12w: extra resources for chains; the main thread is untouched.
-		chainLim = full.Scale(1, 2)
+	// Both BR configurations give the chain partition half the full machine.
+	chainLim := c.coreCfg.FullLimits().Scale(1, 2)
+	liveIns := c.liveInScratch[:0]
+	for _, r := range c.prog.LiveInsMT {
+		liveIns = append(liveIns, c.mt.ArchReg(r))
 	}
-	liveIns := make([]uint64, len(c.prog.LiveInsMT))
-	for j, r := range c.prog.LiveInsMT {
-		liveIns[j] = c.mt.ArchReg(r)
-	}
+	c.liveInScratch = liveIns
 	// Chains have no live-in move protocol like Phelps; they snoop values
 	// at trigger. Start promptly.
 	startAt := now + c.coreCfg.FrontendLatency()
-	spec := core.NewSpecCache(1, 1) // unused: chains have no stores
-	c.engine = core.NewEngine(c.prog, c.queues, spec, nil, c.mem, c.hier, c.coreCfg, chainLim, liveIns, startAt)
+	if c.specPool == nil {
+		c.specPool = core.NewSpecCache(1, 1) // unused: chains have no stores
+	} else {
+		c.specPool.ResetAll()
+	}
+	if c.enginePool == nil {
+		c.enginePool = core.NewEngine(c.prog, c.queues, c.specPool, nil, c.mem, c.hier, c.coreCfg, chainLim, liveIns, startAt)
+	} else {
+		c.enginePool.Reinit(c.prog, c.queues, c.specPool, nil, c.mem, c.hier, c.coreCfg, chainLim, liveIns, startAt)
+	}
+	c.engine = c.enginePool
 	c.queues.engine = c.engine
 }
 
@@ -331,4 +349,25 @@ func (c *Controller) terminate() {
 	if !c.cfg.StaticPartition {
 		c.mt.SetLimits(c.coreCfg.FullLimits())
 	}
+}
+
+// NextEvent returns the controller's conservative event bound (DESIGN.md ·
+// Event-driven clock): (re)triggering happens at main-thread retires, so an
+// idle controller generates no events of its own.
+func (c *Controller) NextEvent(from uint64) uint64 {
+	if c.engine == nil {
+		return cpu.InfCycle
+	}
+	if c.engine.Done() {
+		return from // CycleChains terminates on its next call
+	}
+	return c.engine.NextEvent(from)
+}
+
+// SkipCycles bulk-accounts an event-free span for the chain engine.
+func (c *Controller) SkipCycles(from, n uint64) {
+	if c.engine == nil || c.engine.Done() {
+		return
+	}
+	c.engine.SkipCycles(from, n)
 }

@@ -100,7 +100,7 @@ type brQueues struct {
 	guardDir []bool // enabling direction of the guard
 	bim      *bpred.Bimodal
 
-	entries  [][]brEntry // per queue
+	entries  []brFIFO // per queue
 	tailIter uint64
 
 	// per-iteration guard state (reset at AdvanceTail)
@@ -118,22 +118,65 @@ type brEntry struct {
 	availableAt uint64
 }
 
+// brFIFO is one per-branch prediction queue: a fixed ring of depth entries.
+// A popped slot's capacity is reused, so steady-state deposit/consume
+// traffic allocates nothing (the previous re-sliced FIFO lost its backing
+// capacity on every pop and reallocated on almost every deposit).
+type brFIFO struct {
+	buf  []brEntry
+	head int
+	n    int
+}
+
+func (f *brFIFO) len() int        { return f.n }
+func (f *brFIFO) front() *brEntry { return &f.buf[f.head] }
+
+func (f *brFIFO) pop() {
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+}
+
+func (f *brFIFO) push(e brEntry) {
+	f.buf[(f.head+f.n)%len(f.buf)] = e
+	f.n++
+}
+
+func (f *brFIFO) reset() { f.head, f.n = 0, 0 }
+
 func newBRQueues(cfg *Config, stats *Stats, n int, guards []int, guardDir []bool, now func() uint64) *brQueues {
-	return &brQueues{
+	b := &brQueues{
 		cfg: cfg, stats: stats, now: now,
 		nQueues: n, guards: guards, guardDir: guardDir,
 		bim:     bpred.NewBimodal(12),
-		entries: make([][]brEntry, n),
+		entries: make([]brFIFO, n),
 		actual:  make([]bool, n), hasActual: make([]bool, n),
 		spec:  make([]bool, n),
 		depth: cfg.QueueDepth,
 	}
+	for i := range b.entries {
+		b.entries[i].buf = make([]brEntry, cfg.QueueDepth)
+	}
+	return b
+}
+
+// reset returns pooled queues to their freshly-built state for a new
+// trigger, keeping every ring and table backing allocation.
+func (b *brQueues) reset() {
+	b.bim.Reset()
+	b.tailIter = 0
+	for i := range b.entries {
+		b.entries[i].reset()
+		b.actual[i] = false
+		b.hasActual[i] = false
+		b.spec[i] = false
+	}
+	b.engine = nil
 }
 
 // Full reports backpressure: any per-branch FIFO at capacity.
 func (b *brQueues) Full() bool {
-	for _, q := range b.entries {
-		if len(q) >= b.depth {
+	for i := range b.entries {
+		if b.entries[i].len() >= b.depth {
 			return true
 		}
 	}
@@ -192,8 +235,8 @@ func (b *brQueues) Deposit(qi int, outcome bool) {
 	b.actual[qi] = outcome
 	b.hasActual[qi] = true
 
-	if len(b.entries[qi]) < b.depth {
-		b.entries[qi] = append(b.entries[qi], brEntry{iter: b.tailIter, outcome: outcome, availableAt: avail})
+	if b.entries[qi].len() < b.depth {
+		b.entries[qi].push(brEntry{iter: b.tailIter, outcome: outcome, availableAt: avail})
 	}
 }
 
@@ -211,22 +254,21 @@ func (b *brQueues) AdvanceTail() {
 // consume pops the entry for the main thread's current iteration of branch
 // queue qi; stale entries are discarded.
 func (b *brQueues) consume(qi int, mtIter uint64, now uint64) (bool, bool) {
-	q := b.entries[qi]
-	for len(q) > 0 && q[0].iter < mtIter {
-		q = q[1:]
+	q := &b.entries[qi]
+	for q.len() > 0 && q.front().iter < mtIter {
+		q.pop()
 		b.stats.QueueStale++
 	}
-	b.entries[qi] = q
-	if len(q) == 0 || q[0].iter != mtIter {
+	if q.len() == 0 || q.front().iter != mtIter {
 		b.stats.QueueUnavailable++
 		return false, false
 	}
-	if q[0].availableAt > now {
+	if q.front().availableAt > now {
 		b.stats.QueueUnavailable++
 		return false, false
 	}
-	out := q[0].outcome
-	b.entries[qi] = q[1:]
+	out := q.front().outcome
+	q.pop()
 	b.stats.QueueConsumed++
 	return out, true
 }

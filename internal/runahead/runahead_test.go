@@ -63,14 +63,14 @@ func TestBRQueuesGuardedSpeculativeTriggering(t *testing.T) {
 	}
 	// Now the parent goes not-taken: the bimodal still says taken ->
 	// wrong speculative trigger -> rollback, no enqueue for the child.
-	childLen := len(q.entries[1])
+	childLen := q.entries[1].len()
 	q.Deposit(0, false)
 	q.Deposit(1, true)
 	q.AdvanceTail()
 	if st.Rollbacks != 1 {
 		t.Errorf("rollbacks = %d, want 1", st.Rollbacks)
 	}
-	if len(q.entries[1]) != childLen {
+	if q.entries[1].len() != childLen {
 		t.Error("wrongly-triggered child outcome was enqueued")
 	}
 }

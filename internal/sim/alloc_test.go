@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"testing"
+
+	"phelps/internal/prog"
+)
+
+// Alloc gates for the simulation hot path. Each run includes one-time machine
+// construction (a few hundred allocations), so the budgets are expressed per
+// simulated instruction and sized an order of magnitude above the measured
+// steady state but far below the regressions they guard against:
+//
+//   - phelps mode sat at 0.197 allocs/sim-inst before helper-thread
+//     activations (engines, queue sets, spec caches, visit queues) were
+//     pooled per HTC row;
+//   - runahead mode paid per-trigger brQueues/Bimodal construction plus a
+//     re-slicing FIFO that lost its backing capacity on every pop.
+//
+// A budget of 0.005 allocs/sim-inst keeps all of those dead while tolerating
+// setup noise on the short workloads used here.
+func TestSimAllocGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate needs a full workload run")
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"base", DefaultConfig()},
+		{"phelps", PhelpsConfig(50_000)},
+		{"runahead", func() Config {
+			c := DefaultConfig()
+			c.Mode = ModeRunahead
+			return c
+		}()},
+	}
+	const budget = 0.005 // allocs per simulated instruction
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var retired uint64
+			allocs := testing.AllocsPerRun(1, func() {
+				res, err := Run(prog.DelinquentLoop(50_000, 50, 1), c.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				retired = res.Retired
+			})
+			perInst := allocs / float64(retired)
+			t.Logf("%s: %.0f allocs/run, %d retired, %.6f allocs/sim-inst", c.name, allocs, retired, perInst)
+			if perInst > budget {
+				t.Errorf("%s: %.6f allocs/sim-inst exceeds budget %.3f (%.0f allocs for %d insts)",
+					c.name, perInst, budget, allocs, retired)
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+
+	"phelps/internal/fuzzgen"
+)
+
+// TestEventSkipConservatism is the A/B proof for the event-driven clock
+// (DESIGN.md · Event-driven clock): for every fuzzgen corpus seed and every
+// mechanism, a run with cycle skipping must produce bit-identical results to
+// a fully stepped run — total cycles, retired instructions, misprediction
+// and queue counters. NextEvent is allowed to under-estimate (wasted host
+// work) but never to over-estimate; any over-estimate shifts a timing event
+// and shows up here as a cycle-count divergence.
+func TestEventSkipConservatism(t *testing.T) {
+	seeds := []uint64{0, 3, 12, 23, 35, 55, 63, 0xdeadbeef}
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"base", DefaultConfig()},
+		{"phelps", PhelpsConfig(2_000)},
+		{"runahead", func() Config {
+			c := DefaultConfig()
+			c.Mode = ModeRunahead
+			c.Runahead.EpochLen = 2_000
+			return c
+		}()},
+	}
+	totalCycles, totalSkipped := uint64(0), uint64(0)
+	for _, seed := range seeds {
+		for _, c := range configs {
+			run := func(forceStep bool) Result {
+				g, err := fuzzgen.New(seed)
+				if err != nil {
+					t.Fatalf("generator: %v", err)
+				}
+				cfg := c.cfg
+				cfg.ForceStep = forceStep
+				cfg.MaxCycles = 20_000_000
+				res, err := Run(g.Workload(), cfg)
+				if err != nil {
+					t.Fatalf("seed %#x under %s (forceStep=%v): %v", seed, c.name, forceStep, err)
+				}
+				return res
+			}
+			stepped := run(true)
+			skipped := run(false)
+			if stepped.SkippedCycles != 0 {
+				t.Fatalf("seed %#x under %s: ForceStep run skipped %d cycles", seed, c.name, stepped.SkippedCycles)
+			}
+			if stepped.Cycles != skipped.Cycles ||
+				stepped.Retired != skipped.Retired ||
+				stepped.CondBranches != skipped.CondBranches ||
+				stepped.Mispredicts != skipped.Mispredicts ||
+				stepped.QueuePreds != skipped.QueuePreds ||
+				stepped.QueueMisps != skipped.QueueMisps {
+				t.Errorf("seed %#x under %s: event-driven run diverged from stepped run:\n"+
+					"  stepped: cycles=%d retired=%d condbr=%d misp=%d qpred=%d qmisp=%d\n"+
+					"  skipped: cycles=%d retired=%d condbr=%d misp=%d qpred=%d qmisp=%d (skipped %d)",
+					seed, c.name,
+					stepped.Cycles, stepped.Retired, stepped.CondBranches, stepped.Mispredicts,
+					stepped.QueuePreds, stepped.QueueMisps,
+					skipped.Cycles, skipped.Retired, skipped.CondBranches, skipped.Mispredicts,
+					skipped.QueuePreds, skipped.QueueMisps, skipped.SkippedCycles)
+			}
+			if stepped.Phelps.Triggers != skipped.Phelps.Triggers ||
+				stepped.Phelps.HTRetired != skipped.Phelps.HTRetired ||
+				stepped.Phelps.QueueConsumed != skipped.Phelps.QueueConsumed {
+				t.Errorf("seed %#x under %s: helper-thread stats diverged: stepped %+v, skipped %+v",
+					seed, c.name, stepped.Phelps, skipped.Phelps)
+			}
+			totalCycles += skipped.Cycles
+			totalSkipped += skipped.SkippedCycles
+		}
+	}
+	if totalSkipped == 0 {
+		t.Error("no cycles were skipped across the whole corpus: the event-driven clock is inert")
+	}
+	t.Logf("event skip over corpus: %d/%d cycles skipped (%.1f%%)",
+		totalSkipped, totalCycles, 100*float64(totalSkipped)/float64(totalCycles))
+}

@@ -119,8 +119,16 @@ type Config struct {
 	// Checks enables the microarchitectural invariant audit: the cheap
 	// structural checks every cycle and the deep occupancy recount (plus the
 	// Phelps partition-quota audit) every 256 cycles. A violation stops the
-	// run with a wrapped ErrCheck. Zero overhead when false.
+	// run with a wrapped ErrCheck. Zero overhead when false. Checks forces
+	// per-cycle stepping (the audit wants to see every cycle), so it also
+	// implies ForceStep.
 	Checks bool
+
+	// ForceStep disables event-driven cycle skipping (DESIGN.md ·
+	// Event-driven clock), executing every cycle even when the machine can
+	// prove a span is event-free. Results are identical either way; this
+	// exists for A/B validation and host-performance comparison.
+	ForceStep bool
 
 	// Lockstep enables the differential retirement oracle: an independent
 	// reference emulator replays the program alongside the timing run and
@@ -174,6 +182,10 @@ type Result struct {
 	// TimedOut reports that the run hit Config.MaxCycles before halting
 	// (the returned error wraps ErrLivelock with the detail).
 	TimedOut bool
+	// SkippedCycles counts cycles the event-driven clock proved event-free
+	// and bulk-accounted instead of executing (0 under ForceStep/Checks).
+	// They are included in Cycles; the ratio is the host-time win.
+	SkippedCycles uint64
 
 	Phelps   core.Stats
 	Runahead runahead.Stats
@@ -282,6 +294,9 @@ type machine struct {
 	lastRetired  uint64
 	lastProgress uint64
 
+	// Event-driven clock state (DESIGN.md · Event-driven clock).
+	skipped uint64 // cycles bulk-accounted instead of executed
+
 	failure error // first stall/check failure diagnosis (runStalled/runCheckFailed)
 }
 
@@ -377,6 +392,57 @@ func (m *machine) registerObs(o *obs.Collector) {
 	if o.Trace != nil {
 		m.mt.SetTracer(o.Trace)
 	}
+	s := o.Registry.Scope("sim")
+	s.Counter("skipped_cycles", func() uint64 { return m.skipped })
+	s.Gauge("skip_ratio", func() float64 {
+		if c := m.mt.Stats.Cycles; c > 0 {
+			return float64(m.skipped) / float64(c)
+		}
+		return 0
+	})
+}
+
+// nextEvent returns the earliest cycle >= from at which any component of the
+// machine can act: the min over the main core's bound and the active
+// controller's engines. Each source may under-estimate but never
+// over-estimates, so the span [from, nextEvent) is provably event-free for
+// the whole machine.
+//
+// MSHR completions are deliberately NOT a candidate: the cache hierarchy has
+// no per-cycle state machine — fills, prefetches, and MSHR occupancy are all
+// computed lazily when an access arrives, and accesses only happen at
+// executed cycles (load/store issue), which the core and engine bounds
+// already cover. An access blocked on a full MSHR file surfaces as a
+// ready-but-unissued entry, which forces per-cycle stepping on its own.
+// Capping spans at completions would only fragment long DRAM-miss spans
+// (the conservatism A/B in eventskip_test.go pins the equivalence).
+func (m *machine) nextEvent(from uint64) uint64 {
+	best := m.mt.NextEvent(from)
+	if best <= from {
+		return from
+	}
+	if m.ctrl != nil {
+		if t := m.ctrl.NextEvent(from); t < best {
+			best = t
+		}
+	} else if m.bra != nil {
+		if t := m.bra.NextEvent(from); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// skipCycles bulk-accounts n event-free cycles starting at from on every
+// per-cycle counter a stepped loop would have touched.
+func (m *machine) skipCycles(from, n uint64) {
+	m.mt.SkipCycles(n)
+	if m.ctrl != nil {
+		m.ctrl.SkipCycles(from, n)
+	} else if m.bra != nil {
+		m.bra.SkipCycles(from, n)
+	}
+	m.skipped += n
 }
 
 // run advances the cycle loop until the core halts, maxInsts instructions
@@ -385,6 +451,17 @@ func (m *machine) registerObs(o *obs.Collector) {
 // diagnosis in m.failure). The clock (m.now) persists across calls, so
 // sampled runs chain warmup and measurement phases on one machine.
 func (m *machine) run(maxInsts, maxCycles uint64) runOutcome {
+	skip := !m.cfg.ForceStep && !m.cfg.Checks
+	// Skip attempts are gated so NextEvent's cost is only paid when a skip is
+	// plausible: never on a cycle that retired something (the machine is
+	// visibly busy), and after a failed attempt not again until an
+	// exponentially backed-off cooldown passes (dense drain phases probe at
+	// most every 64 cycles). Under-attempting only steps cycles a skip could
+	// have jumped — always sound.
+	var (
+		skipTryAt   uint64
+		skipPenalty uint64 = 1
+	)
 	for ; ; m.now++ {
 		if m.mt.Halted() {
 			return runDone
@@ -395,6 +472,7 @@ func (m *machine) run(maxInsts, maxCycles uint64) runOutcome {
 		if m.now >= maxCycles {
 			return runTimeout
 		}
+		retiredBefore := m.mt.Stats.Retired
 		m.lanes.Reset(m.cfg.Core)
 		// The IQ and lanes are flexibly shared (Section IV-A). Helper
 		// threads issue first: they are latency-critical (their lead is what
@@ -431,6 +509,70 @@ func (m *machine) run(maxInsts, maxCycles uint64) runOutcome {
 				return runStalled
 			}
 		}
+		// Event-driven clock: if every component proves the next cycles are
+		// event-free, bulk-account the span instead of stepping through it
+		// (DESIGN.md · Event-driven clock). Disabled by ForceStep and by
+		// Checks (the invariant audit wants to see every cycle).
+		if skip && !m.mt.Halted() && (maxInsts == 0 || m.mt.Stats.Retired < maxInsts) {
+			if m.mt.Stats.Retired != retiredBefore || m.now < skipTryAt {
+				continue
+			}
+			from := m.now + 1
+			if from >= maxCycles {
+				continue
+			}
+			ne := m.nextEvent(from)
+			if ne > maxCycles {
+				ne = maxCycles // the loop head handles the timeout itself
+			}
+			if ne <= from {
+				skipTryAt = m.now + 1 + skipPenalty
+				if skipPenalty < 64 {
+					skipPenalty *= 2
+				}
+				continue
+			}
+			skipPenalty = 1
+			// Never jump over an observability sample boundary: stop one
+			// cycle short so the stepped boundary cycle samples exactly as a
+			// fully stepped run would.
+			if o := m.cfg.Obs; o != nil {
+				if at := o.NextSampleAt(); at != 0 {
+					if maxSkip := at - 1 - m.mt.Stats.Cycles; ne-from > maxSkip {
+						ne = from + maxSkip
+					}
+				}
+			}
+			if ne <= from {
+				continue
+			}
+			// Watchdog emulation in closed form: no instruction retires
+			// inside an event-free span, so the only possible progress update
+			// is at the span's first poll, and the only possible firing is at
+			// the first poll past lastProgress+stall. If that lands inside
+			// the span, stop exactly where stepping would have.
+			if m.stall != 0 {
+				if p0 := (from + 1023) &^ 1023; p0 < ne {
+					r := m.mt.Stats.Retired
+					if r != m.lastRetired {
+						m.lastRetired, m.lastProgress = r, p0
+					}
+					fire := (m.lastProgress + m.stall + 1023) &^ 1023
+					if fire < p0 {
+						fire = p0
+					}
+					if fire < ne {
+						m.skipCycles(from, fire-from+1)
+						m.now = fire
+						m.failure = fmt.Errorf("no instruction retired in %d cycles (cycle %d, %d retired) [%s]",
+							m.now-m.lastProgress, m.now, r, m.mt.Occupancy())
+						return runStalled
+					}
+				}
+			}
+			m.skipCycles(from, ne-from)
+			m.now = ne - 1 // the loop increment lands on the event cycle
+		}
 	}
 }
 
@@ -446,20 +588,22 @@ func (m *machine) resetStats() {
 	if m.bra != nil {
 		m.bra.ResetStats()
 	}
+	m.skipped = 0
 }
 
 // result assembles a Result from the machine's current counters.
 func (m *machine) result(timedOut bool) Result {
 	res := Result{
-		Cycles:       m.mt.Stats.Cycles,
-		Retired:      m.mt.Stats.Retired,
-		CondBranches: m.mt.Stats.CondBranches,
-		Mispredicts:  m.mt.Stats.Mispredicts,
-		QueuePreds:   m.mt.Stats.QueuePreds,
-		QueueMisps:   m.mt.Stats.QueueMisps,
-		Halted:       m.mt.Halted(),
-		TimedOut:     timedOut,
-		Cache:        m.hier.Stats,
+		Cycles:        m.mt.Stats.Cycles,
+		Retired:       m.mt.Stats.Retired,
+		CondBranches:  m.mt.Stats.CondBranches,
+		Mispredicts:   m.mt.Stats.Mispredicts,
+		QueuePreds:    m.mt.Stats.QueuePreds,
+		QueueMisps:    m.mt.Stats.QueueMisps,
+		Halted:        m.mt.Halted(),
+		TimedOut:      timedOut,
+		SkippedCycles: m.skipped,
+		Cache:         m.hier.Stats,
 	}
 	if m.ctrl != nil {
 		m.ctrl.FinalizeAttribution()

@@ -10,6 +10,10 @@ go vet ./...
 go test ./...
 go test -race -short ./internal/sim ./internal/obs
 go test -race -run TestCycleExactnessGolden ./internal/sim
+# Event-skip smoke: cycle skipping is default-on, so the golden line above
+# already exercises the event-driven clock; this pins the A/B equivalence
+# (forced per-cycle stepping vs skipping must be bit-identical) race-clean.
+go test -race -run TestEventSkipConservatism ./internal/sim
 # Config.Checks race-clean: the lockstep oracle and invariant guards across
 # the parallel verified matrix (skipped under -short, so named explicitly).
 go test -race -run 'TestLockstepQuickMatrix|TestInjectedTimingBugsCaught' ./internal/sim
