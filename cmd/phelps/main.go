@@ -24,7 +24,6 @@ import (
 
 	"phelps/internal/core"
 	"phelps/internal/obs"
-	"phelps/internal/prog"
 	"phelps/internal/sim"
 )
 
@@ -50,8 +49,30 @@ func main() {
 		spIvl    = flag.Uint64("sp-interval", 0, "sampled: interval length in instructions (0 = auto)")
 		spK      = flag.Int("sp-k", 0, "sampled: number of SimPoints (0 = default)")
 		spWarm   = flag.Uint64("sp-warmup", 0, "sampled: cycle-accurate warmup instructions per point (0 = default)")
+
+		submit    = flag.Bool("submit", false, "submit a job to a phelpsd daemon instead of simulating locally")
+		server    = flag.String("server", "http://127.0.0.1:8077", "submit: phelpsd base URL")
+		workloads = flag.String("workloads", "", "submit: comma-separated workload names (default: -workload)")
+		configs   = flag.String("configs", "", "submit: comma-separated configuration names (default: -config or base)")
+		seed      = flag.Uint64("seed", 0, "submit: sampled-pipeline clustering seed")
 	)
 	flag.Parse()
+
+	if *submit {
+		os.Exit(runSubmit(submitOptions{
+			server:    *server,
+			workloads: *workloads,
+			configs:   *configs,
+			fallbackW: *workload,
+			fallbackC: *cfgName,
+			quick:     *quick,
+			sampled:   *sampled,
+			seed:      *seed,
+			checks:    *checks,
+			lockstep:  *lockstep,
+			jsonOut:   *jsonOut,
+		}))
+	}
 
 	if *listCfgs {
 		for _, n := range sim.ConfigNames() {
@@ -61,18 +82,9 @@ func main() {
 	}
 
 	specs := map[string]sim.Spec{}
-	for _, s := range append(sim.GapSpecs(*quick), sim.SpecCPUSpecs(*quick)...) {
+	for _, s := range sim.AllSpecs(*quick) {
 		specs[s.Name] = s
 	}
-	specs["guarded"] = sim.Spec{Name: "guarded", Build: func() *prog.Workload {
-		return prog.GuardedPair(60000, 24, 3)
-	}, Epoch: 50_000}
-	specs["nested"] = sim.Spec{Name: "nested", Build: func() *prog.Workload {
-		return prog.NestedLoop(30000, 6, 4)
-	}, Epoch: 60_000}
-	specs["delinquent"] = sim.Spec{Name: "delinquent", Build: func() *prog.Workload {
-		return prog.DelinquentLoop(50000, 50, 1)
-	}, Epoch: 50_000}
 
 	if *list {
 		var names []string

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"phelps/internal/serve"
+)
+
+// submitOptions collects the -submit flags.
+type submitOptions struct {
+	server    string
+	workloads string // comma-separated; falls back to -workload
+	configs   string // comma-separated; falls back to -config, then "base"
+	fallbackW string
+	fallbackC string
+	quick     bool
+	sampled   bool
+	seed      uint64
+	checks    bool
+	lockstep  bool
+	jsonOut   bool
+}
+
+// runSubmit posts a job to a phelpsd daemon, polls it to completion, prints a
+// per-cell table (or the raw JobResult with -json), and returns the process
+// exit code: 0 when every cell completed, 1 otherwise.
+func runSubmit(o submitOptions) int {
+	req := serve.JobRequest{
+		Workloads: splitList(o.workloads, o.fallbackW),
+		Configs:   splitList(o.configs, firstNonEmpty(o.fallbackC, "base")),
+		Quick:     o.quick,
+		Sampled:   o.sampled,
+		Seed:      o.seed,
+		Checks:    o.checks,
+		Lockstep:  o.lockstep,
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := strings.TrimRight(o.server, "/")
+
+	st, err := postJob(client, base, req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s: %d cells\n", st.ID, st.Total)
+
+	// Poll until the job leaves the running state. 200ms keeps the client
+	// responsive without hammering the daemon.
+	for st.State == serve.JobRunning {
+		time.Sleep(200 * time.Millisecond)
+		st, err = getStatus(client, base, st.ID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "submit: poll: %v\n", err)
+			return 1
+		}
+	}
+
+	res, err := getResult(client, base, st.ID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "submit: result: %v\n", err)
+		return 1
+	}
+	if o.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+			return 1
+		}
+	} else {
+		printCellTable(res)
+	}
+	if st.State != serve.JobDone {
+		return 1
+	}
+	return 0
+}
+
+func splitList(s, fallback string) []string {
+	if s == "" {
+		s = fallback
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func firstNonEmpty(vals ...string) string {
+	for _, v := range vals {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
+}
+
+// decodeOrError decodes a 2xx body into v, or turns an error status into a
+// readable error (including the daemon's Retry-After hint on 429).
+func decodeOrError(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er serve.ErrorReply
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			if er.RetryAfterSec > 0 {
+				return fmt.Errorf("%s: %s (retry after %ds)", resp.Status, er.Error, er.RetryAfterSec)
+			}
+			return fmt.Errorf("%s: %s", resp.Status, er.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, v)
+}
+
+func postJob(client *http.Client, base string, req serve.JobRequest) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	body, err := json.Marshal(req)
+	if err != nil {
+		return st, err
+	}
+	resp, err := client.Post(base+serve.API+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	return st, decodeOrError(resp, &st)
+}
+
+func getStatus(client *http.Client, base, id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	resp, err := client.Get(base + serve.API + "/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	return st, decodeOrError(resp, &st)
+}
+
+func getResult(client *http.Client, base, id string) (serve.JobResult, error) {
+	var jr serve.JobResult
+	resp, err := client.Get(base + serve.API + "/jobs/" + id + "/result")
+	if err != nil {
+		return jr, err
+	}
+	return jr, decodeOrError(resp, &jr)
+}
+
+func printCellTable(res serve.JobResult) {
+	fmt.Printf("job %s: %s\n", res.ID, res.State)
+	fmt.Printf("%-14s %-16s %-9s %6s %12s %12s %8s %8s\n",
+		"workload", "config", "state", "cached", "cycles", "retired", "IPC", "MPKI")
+	for _, c := range res.Cells {
+		cached := ""
+		if c.Cached {
+			cached = "yes"
+		}
+		cyc, ret, ipc, mpki := "-", "-", "-", "-"
+		if r := c.Result; r != nil {
+			cyc = strconv.FormatUint(r.Cycles, 10)
+			ret = strconv.FormatUint(r.Retired, 10)
+			ipc = strconv.FormatFloat(r.IPC(), 'f', 3, 64)
+			mpki = strconv.FormatFloat(r.MPKI(), 'f', 2, 64)
+		}
+		fmt.Printf("%-14s %-16s %-9s %6s %12s %12s %8s %8s\n",
+			c.Workload, c.Config, c.State, cached, cyc, ret, ipc, mpki)
+		if c.Error != "" {
+			fmt.Printf("    error: %s\n", c.Error)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command phelpsd is the experiment daemon: a long-running HTTP/JSON service
+// that runs simulation jobs submitted over the API in internal/serve.
+//
+//	phelpsd -addr 127.0.0.1:8077 -cache /var/tmp/phelpsd.cache
+//	phelps -submit -workloads astar,bfs -configs base,phelps -quick
+//
+// SIGTERM (or SIGINT) drains gracefully: new submissions get 503, running
+// cells finish (up to -drain-timeout, then their contexts are canceled), and
+// the results cache is persisted for the next boot.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"phelps/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8077", "listen address (port 0 picks an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "write the actual listen address to this file (for scripts using port 0)")
+		workers  = flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 1024, "admission queue capacity in cells")
+		cache    = flag.String("cache", "", "results cache file (loaded at boot, persisted at drain)")
+		crashDir = flag.String("crash-dir", "", "crash dump directory for panicking cells (default $PHELPS_CRASH_DIR or crashes)")
+		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline after SIGTERM")
+	)
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Config{
+		Workers:   *workers,
+		QueueCap:  *queue,
+		CachePath: *cache,
+		CrashDir:  *crashDir,
+	})
+	if err := srv.CacheLoadErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "phelpsd: cache load: %v (starting cold)\n", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phelpsd: listen: %v\n", err)
+		os.Exit(1)
+	}
+	actual := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(actual+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "phelpsd: addr-file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("phelpsd listening on %s\n", actual)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case got := <-sig:
+		fmt.Printf("phelpsd: %v: draining (timeout %v)\n", got, *drainT)
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "phelpsd: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Stop accepting HTTP first so in-flight requests finish, then drain the
+	// simulation workers and persist the cache.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "phelpsd: shutdown: %v\n", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "phelpsd: drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("phelpsd: drained")
+}

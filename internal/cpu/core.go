@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"phelps/internal/cache"
 	"phelps/internal/emu"
 	"phelps/internal/isa"
@@ -322,6 +324,9 @@ func (c *Core) retire(now uint64) {
 		d := &e.d
 		op := d.Inst.Op
 		misp, fromQ := e.misp, e.fromQ
+		if c.faults != nil && c.faults.PanicAtSeq != 0 && d.Seq == c.faults.PanicAtSeq {
+			panic(fmt.Sprintf("cpu: injected panic at retirement of seq %d (FaultInjection.PanicAtSeq)", d.Seq))
+		}
 		if c.faults != nil && c.faults.SkipRetireSeq != 0 && d.Seq == c.faults.SkipRetireSeq {
 			c.skipRetire(e, ord, d)
 			continue

@@ -36,6 +36,12 @@ type FaultInjection struct {
 	// blocks behind it and retirement stops — the forward-progress watchdog's
 	// territory.
 	StickySeq uint64
+
+	// PanicAtSeq panics deliberately when the instruction retires — a
+	// simulated simulator crash. The per-cell recover in RunCellCtx,
+	// SampledRunCtx, and the phelpsd scheduler workers must turn it into a
+	// contained ErrPanic without taking down the matrix or the daemon.
+	PanicAtSeq uint64
 }
 
 // InjectFaults attaches (or, with nil, removes) a fault-injection plan. One

@@ -350,6 +350,35 @@ func (m *Memory) PendingBytes() int { return m.nPend }
 // model holds in flight (see cpu.CheckInvariantsDeep).
 func (m *Memory) PendingStores() int { return int(m.tail - m.head) }
 
+// HashArch returns a 64-bit FNV-1a hash of the architectural memory image:
+// every touched page's number and contents, in ascending page order. Zero
+// pages that were never touched do not contribute, so two logically
+// identical images hash equal regardless of construction order. Pending
+// (staged, unretired) stores are ignored — hash freshly built workloads,
+// before any run stages stores. phelpsd keys its result cache on this
+// (DESIGN.md · phelpsd service).
+func (m *Memory) HashArch() uint64 {
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, pn := range pns {
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (pn >> s & 0xff)) * prime64
+		}
+		for _, b := range m.pages[pn] {
+			h = (h ^ uint64(b)) * prime64
+		}
+	}
+	return h
+}
+
 // MemDiff is one byte address where two architectural views disagree.
 type MemDiff struct {
 	Addr uint64

@@ -20,7 +20,14 @@ import (
 // Registry is a flat map of hierarchical dot-separated names to read-only
 // views. Counters are monotonic uint64 event counts; gauges are
 // instantaneous float64 levels (active helper threads, current epoch).
-// A Registry belongs to a single run and is not safe for concurrent use.
+//
+// Registration is not safe for concurrent use. Once registration has
+// finished, concurrent Snapshot/CounterValue calls are safe provided the
+// registered closures are themselves safe (e.g. they read atomics or take
+// the owning component's lock) — the daemon in internal/serve relies on
+// this: it registers everything in NewServer and snapshots live under
+// concurrent request traffic. Single-run simulator registries keep the
+// simpler regime: one goroutine, plain fields.
 type Registry struct {
 	counters map[string]func() uint64
 	gauges   map[string]func() float64

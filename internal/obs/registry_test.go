@@ -1,7 +1,11 @@
 package obs
 
 import (
+	"encoding/json"
+	"fmt"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -45,6 +49,82 @@ func TestRegistryScopes(t *testing.T) {
 	}
 	if v, _ := r.CounterValue("phelps.engine1.queue_deposits"); v != 3 {
 		t.Errorf("engine1 deposits = %d, want 3", v)
+	}
+}
+
+// TestSnapshotJSONRoundTripConcurrent is the daemon's serving contract:
+// after registration finishes, concurrent Snapshot + JSON export must be
+// safe while atomic-backed views are being bumped, and every snapshot must
+// round-trip through JSON exactly. Run with -race.
+func TestSnapshotJSONRoundTripConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const counters = 8
+	vals := make([]atomic.Uint64, counters)
+	level := atomic.Int64{}
+	scope := r.Scope("serve")
+	for i := range vals {
+		scope.Counter(fmt.Sprintf("c%d", i), vals[i].Load)
+	}
+	scope.Gauge("depth", func() float64 { return float64(level.Load()) })
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for i := range vals {
+		writers.Add(1)
+		go func(v *atomic.Uint64) {
+			defer writers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					v.Add(1)
+					level.Add(1)
+				}
+			}
+		}(&vals[i])
+	}
+
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				snap := r.Snapshot()
+				if len(snap.Counters) != counters || len(snap.Gauges) != 1 {
+					t.Errorf("snapshot lost entries: %d counters, %d gauges", len(snap.Counters), len(snap.Gauges))
+					return
+				}
+				data, err := json.Marshal(snap)
+				if err != nil {
+					t.Errorf("marshal: %v", err)
+					return
+				}
+				var back Snapshot
+				if err := json.Unmarshal(data, &back); err != nil {
+					t.Errorf("unmarshal: %v", err)
+					return
+				}
+				if !reflect.DeepEqual(snap, back) {
+					t.Errorf("snapshot did not round-trip:\n got %+v\nback %+v", snap, back)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+
+	// Counters are monotonic: a final snapshot sees at least what any
+	// earlier one saw (trivially true here, but pins the view semantics).
+	final := r.Snapshot()
+	for i := range vals {
+		name := fmt.Sprintf("serve.c%d", i)
+		if final.Counters[name] != vals[i].Load() {
+			t.Errorf("%s = %d, want live value %d", name, final.Counters[name], vals[i].Load())
+		}
 	}
 }
 

@@ -1,0 +1,156 @@
+// Package serve is the phelpsd experiment daemon: a long-running HTTP/JSON
+// service that accepts experiment jobs (workload × configuration × sample-
+// mode matrices), validates them against the sim config and workload
+// registries, and schedules their cells across a work-stealing worker pool.
+//
+// The daemon turns the library pieces — parallel RunMatrixCtx with per-cell
+// ErrPanic/ErrStall containment, ConfigByName/SpecByName, SampledRunCtx, and
+// the obs registry's JSON exporters — into a multi-tenant service:
+//
+//   - a bounded admission-control queue rejects overload with 429 and a
+//     Retry-After estimate instead of queueing unboundedly;
+//   - identical in-flight cells are batched onto one execution (every
+//     submitter subscribes to the same flight), and completed cells land in
+//     a results cache keyed by (workload hash, config name, seed,
+//     sample-mode), so repeated sweeps are mostly warm;
+//   - one crashing or wedged cell fails only itself (the per-cell recover
+//     and watchdog turn it into ErrPanic/ErrStall), never the daemon;
+//   - SIGTERM drains running cells and persists the cache.
+//
+// See DESIGN.md · phelpsd service for the full semantics, cmd/phelpsd for
+// the binary, and cmd/phelps -submit for the client.
+package serve
+
+import (
+	"time"
+
+	"phelps/internal/obs"
+	"phelps/internal/sim"
+)
+
+// API is the URL prefix of the current API generation.
+const API = "/v1"
+
+// JobRequest is the POST /v1/jobs body: the cross product of Workloads and
+// Configs becomes the job's cells.
+type JobRequest struct {
+	// Workloads are registered workload names (GET /v1/workloads lists them).
+	Workloads []string `json:"workloads"`
+	// Configs are registered configuration names (GET /v1/configs).
+	Configs []string `json:"configs"`
+	// Quick selects the reduced workload sizes (the unit-test profile).
+	Quick bool `json:"quick,omitempty"`
+	// Sampled runs every cell through the SimPoint-sampled pipeline instead
+	// of the full cycle-accurate run.
+	Sampled bool `json:"sampled,omitempty"`
+	// Seed drives the sampled pipeline's clustering (0 = the sim default).
+	// Part of the result-cache key.
+	Seed uint64 `json:"seed,omitempty"`
+	// Checks/Lockstep enable the invariant audit and the lockstep retirement
+	// oracle on every cell (see sim.Config).
+	Checks   bool `json:"checks,omitempty"`
+	Lockstep bool `json:"lockstep,omitempty"`
+	// Faults injects deliberate bugs into matching cells (containment tests
+	// only). Faulted cells are never deduplicated or cached.
+	Faults []CellFault `json:"faults,omitempty"`
+}
+
+// CellFault targets one (workload, config) cell with an injected fault.
+type CellFault struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	// Kind is one of "panic", "corrupt-rd", "skip-retire", "leak-prf",
+	// "sticky-issue" (see cpu.FaultInjection).
+	Kind string `json:"kind"`
+	// Seq is the dynamic sequence number to strike (0 = 1000).
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// Cell states reported by the API.
+const (
+	CellPending  = "pending"
+	CellRunning  = "running"
+	CellDone     = "done"
+	CellFailed   = "failed"
+	CellCanceled = "canceled"
+)
+
+// Job states reported by the API.
+const (
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed" // finished, at least one cell failed
+	JobCanceled = "canceled"
+)
+
+// JobStatus is the GET /v1/jobs/{id} reply (and the POST /v1/jobs reply).
+type JobStatus struct {
+	ID      string       `json:"id"`
+	State   string       `json:"state"`
+	Created time.Time    `json:"created"`
+	Quick   bool         `json:"quick,omitempty"`
+	Sampled bool         `json:"sampled,omitempty"`
+	Total   int          `json:"total_cells"`
+	Done    int          `json:"done_cells"`
+	Cached  int          `json:"cached_cells"`
+	Failed  int          `json:"failed_cells"`
+	Cells   []CellStatus `json:"cells"`
+}
+
+// CellStatus is one cell's live view inside a JobStatus.
+type CellStatus struct {
+	Workload string  `json:"workload"`
+	Config   string  `json:"config"`
+	State    string  `json:"state"`
+	Cached   bool    `json:"cached,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	Cycles   uint64  `json:"cycles,omitempty"`
+	Retired  uint64  `json:"retired,omitempty"`
+	IPC      float64 `json:"ipc,omitempty"`
+	MPKI     float64 `json:"mpki,omitempty"`
+}
+
+// JobResult is the GET /v1/jobs/{id}/result reply: the full sim.Result per
+// completed cell (the summary numbers in JobStatus are derived from these).
+type JobResult struct {
+	ID    string       `json:"id"`
+	State string       `json:"state"`
+	Cells []CellResult `json:"cells"`
+}
+
+// CellResult carries one cell's full simulation result.
+type CellResult struct {
+	Workload string      `json:"workload"`
+	Config   string      `json:"config"`
+	State    string      `json:"state"`
+	Cached   bool        `json:"cached,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Result   *sim.Result `json:"result,omitempty"`
+}
+
+// ErrorReply is the JSON body of every non-2xx response.
+type ErrorReply struct {
+	Error string `json:"error"`
+	// RetryAfterSec accompanies 429: the admission queue's estimate of when
+	// capacity frees up (also sent as the Retry-After header).
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}
+
+// NameList is the GET /v1/workloads and /v1/configs reply.
+type NameList struct {
+	Names []string `json:"names"`
+}
+
+// Healthz is the GET /v1/healthz reply.
+type Healthz struct {
+	OK       bool   `json:"ok"`
+	State    string `json:"state"` // "serving" or "draining"
+	Workers  int    `json:"workers"`
+	Jobs     int    `json:"jobs"`
+	QueueCap int    `json:"queue_capacity"`
+	Queued   int    `json:"queued_cells"`
+}
+
+// ReportReply is the GET /v1/report reply: BENCH_report-schema figures over
+// every completed cell the daemon has served (see obs.BenchReport).
+type ReportReply = obs.BenchReport

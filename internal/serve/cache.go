@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"phelps/internal/sim"
+)
+
+// CellKey identifies one cacheable cell execution: the workload's content
+// hash (not its name — renaming or redefining a workload changes the key),
+// the registered configuration name, the sampling seed, and the sample mode.
+// Verification knobs ride in Flags: they don't change the metrics, but
+// keeping them in the key keeps a checked run from masquerading as an
+// unchecked one (and vice versa).
+type CellKey struct {
+	WorkloadHash uint64 `json:"workload_hash"`
+	Config       string `json:"config"`
+	Seed         uint64 `json:"seed,omitempty"`
+	Sampled      bool   `json:"sampled,omitempty"`
+	Flags        string `json:"flags,omitempty"`
+}
+
+// cacheSchema versions the persisted cache file; a mismatch discards the
+// file (results are always recomputable).
+const cacheSchema = 1
+
+// ResultCache is the daemon's completed-cell store: key -> verified
+// sim.Result. Entries are treated as immutable once inserted — readers share
+// the stored pointer. Safe for concurrent use.
+type ResultCache struct {
+	mu      sync.Mutex
+	entries map[CellKey]*sim.Result
+
+	hits, misses, puts atomic.Uint64
+}
+
+// NewResultCache returns an empty cache.
+func NewResultCache() *ResultCache {
+	return &ResultCache{entries: make(map[CellKey]*sim.Result)}
+}
+
+// Get returns the cached result for key, counting the hit or miss. The
+// returned result is shared and must not be mutated.
+func (c *ResultCache) Get(key CellKey) (*sim.Result, bool) {
+	c.mu.Lock()
+	r, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return r, ok
+}
+
+// Peek is Get without touching the hit/miss counters (admission control
+// peeks to size a job's cold footprint without skewing the stats).
+func (c *ResultCache) Peek(key CellKey) bool {
+	c.mu.Lock()
+	_, ok := c.entries[key]
+	c.mu.Unlock()
+	return ok
+}
+
+// Put stores a completed cell. The caller hands over ownership of res.
+func (c *ResultCache) Put(key CellKey, res *sim.Result) {
+	c.mu.Lock()
+	c.entries[key] = res
+	c.mu.Unlock()
+	c.puts.Add(1)
+}
+
+// Len returns the number of cached cells.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Hits and Misses expose the counters for the obs registry.
+func (c *ResultCache) Hits() uint64   { return c.hits.Load() }
+func (c *ResultCache) Misses() uint64 { return c.misses.Load() }
+
+// cacheFile is the persisted JSON layout.
+type cacheFile struct {
+	Schema  int          `json:"schema"`
+	Entries []cacheEntry `json:"entries"`
+}
+
+type cacheEntry struct {
+	Key    CellKey     `json:"key"`
+	Result *sim.Result `json:"result"`
+}
+
+// SaveFile persists the cache as JSON (atomically: temp file + rename), so a
+// drained daemon's successor starts warm.
+func (c *ResultCache) SaveFile(path string) error {
+	c.mu.Lock()
+	f := cacheFile{Schema: cacheSchema, Entries: make([]cacheEntry, 0, len(c.entries))}
+	for k, r := range c.entries {
+		f.Entries = append(f.Entries, cacheEntry{Key: k, Result: r})
+	}
+	c.mu.Unlock()
+	data, err := json.Marshal(&f)
+	if err != nil {
+		return fmt.Errorf("serve: encode cache: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile merges a persisted cache into this one. A missing file is not an
+// error (first boot); a corrupt or schema-mismatched file is ignored with an
+// error return, leaving the cache usable.
+func (c *ResultCache) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var f cacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("serve: decode cache %s: %w", path, err)
+	}
+	if f.Schema != cacheSchema {
+		return fmt.Errorf("serve: cache %s has schema %d, want %d (discarded)", path, f.Schema, cacheSchema)
+	}
+	c.mu.Lock()
+	for _, e := range f.Entries {
+		if e.Result != nil {
+			c.entries[e.Key] = e.Result
+		}
+	}
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"phelps/internal/sim"
+)
+
+// Handler returns the daemon's HTTP handler (routes under /v1).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// maxBodyBytes bounds a job request body; real requests are a few hundred
+// bytes of names, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/obs", s.handleObs)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/configs", s.handleConfigs)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client hung up; nothing useful to do
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorReply{Error: msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	job, aerr := s.Submit(req)
+	if aerr != nil {
+		if aerr.code == http.StatusTooManyRequests {
+			sec := int(aerr.retryAfter.Seconds())
+			if sec < 1 {
+				sec = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(sec))
+			writeJSON(w, aerr.code, ErrorReply{Error: aerr.msg, RetryAfterSec: sec})
+			return
+		}
+		writeError(w, aerr.code, aerr.msg)
+		return
+	}
+	w.Header().Set("Location", API+"/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Result())
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	s.Cancel(j) // idempotent: a second DELETE just re-reports the state
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Report())
+}
+
+func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	quick := r.URL.Query().Get("quick") == "true"
+	specs := sim.AllSpecs(quick)
+	names := make([]string, len(specs))
+	for i, sp := range specs {
+		names[i] = sp.Name
+	}
+	writeJSON(w, http.StatusOK, NameList{Names: names})
+}
+
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, NameList{Names: sim.ConfigNames()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Healthz())
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission is the daemon's bounded admission-control queue, counted in
+// cells. A job is admitted all-or-nothing: either every cold cell (cells not
+// already satisfiable from the results cache) gets a slot, or the whole job
+// is rejected with 429 and a Retry-After estimate — heavy traffic sheds load
+// at the front door instead of queueing unboundedly. Slots are released as
+// cells resolve (complete, fail, or are canceled).
+type Admission struct {
+	capacity int
+	workers  int
+
+	mu      sync.Mutex
+	pending int
+
+	rejected atomic.Uint64
+
+	// avgCellNs is an EWMA of observed cell durations, feeding the
+	// Retry-After estimate. Zero until the first completion; the estimate
+	// then assumes one second per cell.
+	avgCellNs atomic.Int64
+}
+
+// NewAdmission returns a queue admitting at most capacity in-flight cells,
+// drained by workers workers (the Retry-After estimate divides by it).
+func NewAdmission(capacity, workers int) *Admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Admission{capacity: capacity, workers: workers}
+}
+
+// TryAdmit acquires n slots atomically, reporting success. n greater than
+// the total capacity can never succeed (the job is too big for this daemon;
+// the caller distinguishes that from transient overload via Capacity).
+func (a *Admission) TryAdmit(n int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.pending+n > a.capacity {
+		a.rejected.Add(1)
+		return false
+	}
+	a.pending += n
+	return true
+}
+
+// Release returns n slots.
+func (a *Admission) Release(n int) {
+	a.mu.Lock()
+	a.pending -= n
+	if a.pending < 0 {
+		// A release bug would otherwise silently inflate capacity forever.
+		panic("serve: admission queue released more cells than admitted")
+	}
+	a.mu.Unlock()
+}
+
+// Observe feeds one completed cell's duration into the Retry-After EWMA.
+func (a *Admission) Observe(d time.Duration) {
+	const w = 8 // EWMA weight 1/8: smooth but responsive to workload shifts
+	old := a.avgCellNs.Load()
+	if old == 0 {
+		a.avgCellNs.Store(int64(d))
+		return
+	}
+	a.avgCellNs.Store(old + (int64(d)-old)/w)
+}
+
+// RetryAfter estimates how long until n slots free up: the cells that must
+// drain first, at the observed per-cell rate, across the worker pool.
+// Clamped to [1s, 5m] — a floor so clients always back off, a ceiling so a
+// long queue doesn't tell them to go away for hours.
+func (a *Admission) RetryAfter(n int) time.Duration {
+	a.mu.Lock()
+	mustDrain := a.pending + n - a.capacity
+	a.mu.Unlock()
+	if mustDrain < 1 {
+		mustDrain = 1
+	}
+	avg := time.Duration(a.avgCellNs.Load())
+	if avg == 0 {
+		avg = time.Second
+	}
+	est := avg * time.Duration(mustDrain) / time.Duration(a.workers)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 5*time.Minute {
+		est = 5 * time.Minute
+	}
+	return est
+}
+
+// Depth returns the number of admitted, unresolved cells.
+func (a *Admission) Depth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pending
+}
+
+// Capacity returns the queue bound.
+func (a *Admission) Capacity() int { return a.capacity }
+
+// Rejected returns the number of rejected admission attempts.
+func (a *Admission) Rejected() uint64 { return a.rejected.Load() }

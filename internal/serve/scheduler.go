@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSchedulerClosed is returned by Submit after Close has begun.
+var ErrSchedulerClosed = errors.New("serve: scheduler closed")
+
+// Scheduler is the daemon's work-stealing worker pool: one goroutine per
+// worker, each with its own deque. A job's cells are spread round-robin
+// across the deques at submit time; a worker drains its own deque in FIFO
+// order (oldest job first) and, when empty, steals the newest task from the
+// back of a sibling's deque — per-job cells are stealable across workers, so
+// one wide job saturates every core while later jobs still interleave.
+//
+// Tasks are plain closures: cancellation, containment, and result delivery
+// are the closure's business (the server wires them through flights), which
+// keeps the scheduler small enough to reason about under -race.
+type Scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	deques [][]func()
+	next   int // round-robin submit cursor
+	queued int // tasks in deques (not yet picked up)
+	closed bool
+
+	wg sync.WaitGroup
+
+	executed atomic.Uint64
+	steals   atomic.Uint64
+}
+
+// NewScheduler starts a pool of workers goroutines (minimum 1).
+func NewScheduler(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Scheduler{deques: make([][]func(), workers)}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker(i)
+	}
+	return s
+}
+
+// Workers returns the pool size.
+func (s *Scheduler) Workers() int { return len(s.deques) }
+
+// Queued returns the number of submitted tasks not yet picked up.
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// Executed and Steals expose the counters for the obs registry.
+func (s *Scheduler) Executed() uint64 { return s.executed.Load() }
+func (s *Scheduler) Steals() uint64   { return s.steals.Load() }
+
+// Submit spreads a batch of tasks round-robin across the worker deques.
+// Tasks from one Submit land on distinct workers first, so a job's cells
+// start in parallel immediately.
+func (s *Scheduler) Submit(tasks ...func()) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSchedulerClosed
+	}
+	for _, t := range tasks {
+		w := s.next % len(s.deques)
+		s.next++
+		s.deques[w] = append(s.deques[w], t)
+	}
+	s.queued += len(tasks)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return nil
+}
+
+// take pops the next task for worker i: own deque front first, else steal
+// from the back of the first non-empty sibling deque (scanning forward from
+// i+1 keeps thieves spread out). Called with s.mu held.
+func (s *Scheduler) take(i int) (func(), bool) {
+	if q := s.deques[i]; len(q) > 0 {
+		t := q[0]
+		q[0] = nil
+		s.deques[i] = q[1:]
+		s.queued--
+		return t, false
+	}
+	n := len(s.deques)
+	for d := 1; d < n; d++ {
+		v := (i + d) % n
+		if q := s.deques[v]; len(q) > 0 {
+			t := q[len(q)-1]
+			q[len(q)-1] = nil
+			s.deques[v] = q[:len(q)-1]
+			s.queued--
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (s *Scheduler) worker(i int) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		t, stolen := s.take(i)
+		for t == nil {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+			t, stolen = s.take(i)
+		}
+		s.mu.Unlock()
+		if stolen {
+			s.steals.Add(1)
+		}
+		t()
+		s.executed.Add(1)
+	}
+}
+
+// Close drains the pool: every already-submitted task still runs (the
+// server's shutdown path cancels their contexts first if a deadline is
+// pressing, making them return quickly), new Submits fail, and Close returns
+// once all workers have exited.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}

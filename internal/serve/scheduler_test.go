@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSchedulerRunsEverything pushes many tasks through a small pool and
+// requires every one to execute exactly once, including tasks submitted
+// while the pool is busy; Close must drain the backlog before returning.
+func TestSchedulerRunsEverything(t *testing.T) {
+	t.Parallel()
+	s := NewScheduler(4)
+	const n = 500
+	var ran atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		if err := s.Submit(func() { ran.Add(1); wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	s.Close()
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d tasks, want %d", got, n)
+	}
+	if got := s.Executed(); got != n {
+		t.Fatalf("Executed() = %d, want %d", got, n)
+	}
+	if s.Submit(func() {}) == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+}
+
+// TestSchedulerSteals proves cells are stealable across workers: one batch
+// lands round-robin on two deques, the worker owning deque 0 is parked in
+// its first task, and the other worker must steal deque 0's remaining tasks
+// for the batch to finish.
+func TestSchedulerSteals(t *testing.T) {
+	t.Parallel()
+	s := NewScheduler(2)
+	defer s.Close()
+
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	tasks := []func(){
+		func() { defer wg.Done(); <-gate }, // deque 0: parks worker 0
+		func() { defer wg.Done() },         // deque 1
+		func() { defer wg.Done() },         // deque 0: must be stolen
+		func() { defer wg.Done() },         // deque 1
+	}
+	if err := s.Submit(tasks...); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// The batch can only finish if worker 1 stole task 2 while worker 0 is
+	// still parked; release the gate once that has provably happened.
+	for s.Executed() < 3 {
+		select {
+		case <-time.After(10 * time.Second):
+			t.Fatalf("no steal after 10s (executed %d, steals %d)", s.Executed(), s.Steals())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(gate)
+	<-done
+	if s.Steals() == 0 {
+		t.Error("Steals() = 0, want > 0")
+	}
+}
+
+// TestSchedulerCloseDrains submits a backlog bigger than the pool and closes
+// immediately: Close must not return until the backlog has run.
+func TestSchedulerCloseDrains(t *testing.T) {
+	t.Parallel()
+	s := NewScheduler(2)
+	const n = 64
+	var ran atomic.Uint64
+	for i := 0; i < n; i++ {
+		if err := s.Submit(func() { time.Sleep(100 * time.Microsecond); ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	if got := ran.Load(); got != n {
+		t.Fatalf("Close returned with %d/%d tasks run", got, n)
+	}
+}

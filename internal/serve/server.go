@@ -1,0 +1,603 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phelps/internal/cpu"
+	"phelps/internal/obs"
+	"phelps/internal/sim"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the scheduler pool size (0 = GOMAXPROCS at NewServer time,
+	// capped by the runtime; one goroutine per core).
+	Workers int
+	// QueueCap bounds the admission queue in cells (0 = 1024). A job with
+	// more cold cells than this can never be admitted and is rejected with
+	// 400 rather than 429.
+	QueueCap int
+	// CachePath, when set, is loaded at NewServer and persisted by
+	// Drain/Close, so a restarted daemon starts warm.
+	CachePath string
+	// CrashDir receives minimized crash dumps for panicking cells (empty
+	// means $PHELPS_CRASH_DIR, falling back to "crashes"; see
+	// sim.MatrixOptions).
+	CrashDir string
+	// MaxCellsPerJob bounds one job's size (0 = QueueCap).
+	MaxCellsPerJob int
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = defaultWorkers()
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.MaxCellsPerJob <= 0 || c.MaxCellsPerJob > c.QueueCap {
+		c.MaxCellsPerJob = c.QueueCap
+	}
+	return c
+}
+
+// flight is one deduplicated cell execution: every job cell with the same
+// CellKey subscribes to the same flight, and the flight runs once. Flights
+// are refcounted by interested cells; when every subscriber's job cancels,
+// the flight's context is canceled too (nobody wants the answer anymore).
+type flight struct {
+	key     CellKey
+	ctx     context.Context
+	cancel  context.CancelCauseFunc
+	cells   []*Cell
+	refs    int
+	started bool
+	done    bool
+}
+
+// Server is the experiment daemon: registry-validated job admission, a
+// work-stealing scheduler over the sim library, an in-flight dedup layer,
+// and the results cache. Create with NewServer, serve s.Handler(), stop with
+// Drain (or Close).
+type Server struct {
+	cfg   Config
+	sched *Scheduler
+	adm   *Admission
+	cache *ResultCache
+	store *Store
+	res   *resolver
+	reg   *obs.Registry
+	mux   *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+	draining   atomic.Bool
+
+	flightMu sync.Mutex
+	flights  map[CellKey]*flight
+
+	jobsSubmitted, jobsRejected, jobsCanceled      atomic.Uint64
+	cellsSubmitted, cellsDone, cellsFailed         atomic.Uint64
+	cellsCanceled, cellsFromCache, cellsDeduped    atomic.Uint64
+	cacheLoadErr                                   error
+}
+
+// NewServer assembles a daemon. The cache file (if configured) is loaded
+// best-effort: a corrupt file leaves the cache empty and the error readable
+// via CacheLoadErr.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		sched:   NewScheduler(cfg.Workers),
+		adm:     NewAdmission(cfg.QueueCap, cfg.Workers),
+		cache:   NewResultCache(),
+		store:   NewStore(),
+		res:     newResolver(),
+		reg:     obs.NewRegistry(),
+		flights: make(map[CellKey]*flight),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
+	if cfg.CachePath != "" {
+		s.cacheLoadErr = s.cache.LoadFile(cfg.CachePath)
+	}
+	s.registerObs()
+	s.routes()
+	return s
+}
+
+// CacheLoadErr reports the startup cache-load failure, if any.
+func (s *Server) CacheLoadErr() error { return s.cacheLoadErr }
+
+// Registry exposes the daemon's obs registry (counters registered at
+// construction; Snapshot is safe under concurrent serving).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// registerObs wires the daemon's components into the obs registry. All
+// registration happens before serving starts, and every closure reads an
+// atomic or takes the owning component's lock, so concurrent Snapshot calls
+// are race-free.
+func (s *Server) registerObs() {
+	jobs := s.reg.Scope("serve.jobs")
+	jobs.Counter("submitted", s.jobsSubmitted.Load)
+	jobs.Counter("rejected", s.jobsRejected.Load)
+	jobs.Counter("canceled", s.jobsCanceled.Load)
+	jobs.Gauge("stored", func() float64 { return float64(s.store.Len()) })
+
+	cells := s.reg.Scope("serve.cells")
+	cells.Counter("submitted", s.cellsSubmitted.Load)
+	cells.Counter("done", s.cellsDone.Load)
+	cells.Counter("failed", s.cellsFailed.Load)
+	cells.Counter("canceled", s.cellsCanceled.Load)
+	cells.Counter("from_cache", s.cellsFromCache.Load)
+	cells.Counter("deduped", s.cellsDeduped.Load)
+
+	cache := s.reg.Scope("serve.cache")
+	cache.Counter("hits", s.cache.Hits)
+	cache.Counter("misses", s.cache.Misses)
+	cache.Gauge("entries", func() float64 { return float64(s.cache.Len()) })
+
+	queue := s.reg.Scope("serve.queue")
+	queue.Counter("rejected", s.adm.Rejected)
+	queue.Gauge("depth", func() float64 { return float64(s.adm.Depth()) })
+	queue.Gauge("capacity", func() float64 { return float64(s.adm.Capacity()) })
+
+	sched := s.reg.Scope("serve.sched")
+	sched.Counter("executed", s.sched.Executed)
+	sched.Counter("steals", s.sched.Steals)
+	sched.Gauge("workers", func() float64 { return float64(s.sched.Workers()) })
+	sched.Gauge("queued", func() float64 { return float64(s.sched.Queued()) })
+}
+
+// apiError is a submission failure with its HTTP shape.
+type apiError struct {
+	code       int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// parseFault translates a CellFault into a cpu.FaultInjection.
+func parseFault(f CellFault) (*cpu.FaultInjection, error) {
+	seq := f.Seq
+	if seq == 0 {
+		seq = 1000
+	}
+	fi := &cpu.FaultInjection{}
+	switch f.Kind {
+	case "panic":
+		fi.PanicAtSeq = seq
+	case "corrupt-rd":
+		fi.CorruptRdSeq = seq
+	case "skip-retire":
+		fi.SkipRetireSeq = seq
+	case "leak-prf":
+		fi.LeakPRFSeq = seq
+	case "sticky-issue":
+		fi.StickySeq = seq
+	default:
+		return nil, fmt.Errorf("unknown fault kind %q (have panic, corrupt-rd, skip-retire, leak-prf, sticky-issue)", f.Kind)
+	}
+	return fi, nil
+}
+
+// Submit validates a request against the workload and config registries,
+// admits it against the queue, and schedules its cells. It returns the
+// created job, or an apiError carrying the HTTP status (400 invalid, 429
+// over capacity, 503 draining).
+func (s *Server) Submit(req JobRequest) (*Job, *apiError) {
+	if s.draining.Load() {
+		return nil, &apiError{code: http.StatusServiceUnavailable, msg: "daemon is draining"}
+	}
+	if len(req.Workloads) == 0 || len(req.Configs) == 0 {
+		return nil, &apiError{code: http.StatusBadRequest, msg: "workloads and configs must both be non-empty"}
+	}
+	total := len(req.Workloads) * len(req.Configs)
+	if total > s.cfg.MaxCellsPerJob {
+		return nil, &apiError{code: http.StatusBadRequest,
+			msg: fmt.Sprintf("job has %d cells, limit is %d", total, s.cfg.MaxCellsPerJob)}
+	}
+
+	// Validate every name before any side effect, so a bad request is a
+	// clean 400 with the registry's own message.
+	specs := make(map[string]sim.Spec, len(req.Workloads))
+	hashes := make(map[string]uint64, len(req.Workloads))
+	for _, w := range req.Workloads {
+		spec, err := sim.SpecByName(w, req.Quick)
+		if err != nil {
+			return nil, &apiError{code: http.StatusBadRequest, msg: err.Error()}
+		}
+		h, err := s.res.hash(w, req.Quick)
+		if err != nil {
+			return nil, &apiError{code: http.StatusBadRequest, msg: err.Error()}
+		}
+		specs[w], hashes[w] = spec, h
+	}
+	for _, c := range req.Configs {
+		if _, err := sim.ConfigByName(c, 0); err != nil {
+			return nil, &apiError{code: http.StatusBadRequest, msg: err.Error()}
+		}
+	}
+	faults := make(map[[2]string]*cpu.FaultInjection, len(req.Faults))
+	for _, f := range req.Faults {
+		fi, err := parseFault(f)
+		if err != nil {
+			return nil, &apiError{code: http.StatusBadRequest, msg: err.Error()}
+		}
+		faults[[2]string{f.Workload, f.Config}] = fi
+	}
+
+	flags := ""
+	if req.Checks {
+		flags += "checks,"
+	}
+	if req.Lockstep {
+		flags += "lockstep,"
+	}
+	seed := uint64(0)
+	if req.Sampled {
+		seed = req.Seed
+	}
+
+	// Build the cell matrix and count its cold footprint: cells the results
+	// cache cannot already answer. Admission is all-or-nothing on the cold
+	// count, so a warm resubmission of a huge sweep sails through while a
+	// cold one waits its turn.
+	cells := make([]*Cell, 0, total)
+	cold := 0
+	for _, w := range req.Workloads {
+		for _, c := range req.Configs {
+			cell := &Cell{
+				Workload: w,
+				Config:   c,
+				Key:      CellKey{WorkloadHash: hashes[w], Config: c, Seed: seed, Sampled: req.Sampled, Flags: flags},
+				fault:    faults[[2]string{w, c}],
+			}
+			if cell.fault != nil || !s.cache.Peek(cell.Key) {
+				cold++
+				cell.slot = true
+			}
+			cells = append(cells, cell)
+		}
+	}
+	if !s.adm.TryAdmit(cold) {
+		s.jobsRejected.Add(1)
+		return nil, &apiError{
+			code:       http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("admission queue full (%d/%d cells in flight, job needs %d)", s.adm.Depth(), s.adm.Capacity(), cold),
+			retryAfter: s.adm.RetryAfter(cold),
+		}
+	}
+
+	job := s.store.NewJob(s.baseCtx, req, cells)
+	s.jobsSubmitted.Add(1)
+	s.cellsSubmitted.Add(uint64(total))
+
+	var tasks []func()
+	for _, c := range cells {
+		switch {
+		case c.fault != nil:
+			// Faulted cells are private to their job: no dedup, no cache.
+			tasks = append(tasks, s.faultTask(job, c, specs[c.Workload]))
+		default:
+			if r, ok := s.cache.Get(c.Key); ok {
+				s.cellsFromCache.Add(1)
+				s.finishCell(c, r, nil, true)
+				continue
+			}
+			if task := s.joinFlight(c, specs[c.Workload], req); task != nil {
+				tasks = append(tasks, task)
+			} else {
+				s.cellsDeduped.Add(1)
+			}
+		}
+	}
+	if err := s.sched.Submit(tasks...); err != nil {
+		// Shutdown raced the submission: resolve what was scheduled-to-be as
+		// canceled so the job still terminates.
+		for _, c := range cells {
+			s.finishCell(c, nil, fmt.Errorf("%w: %v", sim.ErrCanceled, err), false)
+		}
+	}
+	return job, nil
+}
+
+// joinFlight attaches a cell to the in-flight execution of its key, creating
+// the flight if none exists. The non-nil return is the execution task for a
+// newly created flight (the caller schedules it); nil means the cell was
+// batched onto an existing flight.
+func (s *Server) joinFlight(c *Cell, spec sim.Spec, req JobRequest) func() {
+	s.flightMu.Lock()
+	fl, ok := s.flights[c.Key]
+	isNew := !ok
+	if isNew {
+		fctx, fcancel := context.WithCancelCause(s.baseCtx)
+		fl = &flight{key: c.Key, ctx: fctx, cancel: fcancel}
+		s.flights[c.Key] = fl
+	}
+	fl.refs++
+	fl.cells = append(fl.cells, c)
+	started := fl.started
+	s.flightMu.Unlock()
+	c.fl = fl
+	if started {
+		c.setRunning()
+	}
+	if !isNew {
+		return nil
+	}
+	return func() {
+		s.flightMu.Lock()
+		fl.started = true
+		running := append([]*Cell(nil), fl.cells...)
+		s.flightMu.Unlock()
+		for _, rc := range running {
+			rc.setRunning()
+		}
+		start := time.Now()
+		res, err := s.execCell(fl.ctx, spec, fl.key.Config, req, nil)
+		s.adm.Observe(time.Since(start))
+		if err == nil {
+			s.cache.Put(fl.key, &res)
+		}
+		s.completeFlight(fl, &res, err)
+	}
+}
+
+// completeFlight resolves every subscribed cell and retires the flight.
+func (s *Server) completeFlight(fl *flight, res *sim.Result, err error) {
+	s.flightMu.Lock()
+	fl.done = true
+	if s.flights[fl.key] == fl {
+		delete(s.flights, fl.key)
+	}
+	cells := fl.cells
+	fl.cells = nil
+	s.flightMu.Unlock()
+	for _, c := range cells {
+		s.finishCell(c, res, err, false)
+	}
+}
+
+// unrefFlight drops one cell's interest; the last cancellation aborts the
+// execution (nobody wants the answer anymore).
+func (s *Server) unrefFlight(fl *flight) {
+	s.flightMu.Lock()
+	fl.refs--
+	abort := fl.refs == 0 && !fl.done
+	if abort && s.flights[fl.key] == fl {
+		delete(s.flights, fl.key)
+	}
+	s.flightMu.Unlock()
+	if abort {
+		fl.cancel(errors.New("serve: every interested job canceled"))
+	}
+}
+
+// faultTask runs a fault-injected cell privately under its job's context.
+func (s *Server) faultTask(j *Job, c *Cell, spec sim.Spec) func() {
+	return func() {
+		c.setRunning()
+		start := time.Now()
+		res, err := s.execCell(j.ctx, spec, c.Config, j.Req, c.fault)
+		s.adm.Observe(time.Since(start))
+		s.finishCell(c, &res, err, false)
+	}
+}
+
+// execCell is the one place a daemon cell meets the sim library: the full
+// cycle-accurate per-cell runner (bit-identical to a RunMatrixOpt cell) or
+// the SimPoint-sampled pipeline, both under the flight/job context and with
+// per-cell panic/stall containment.
+func (s *Server) execCell(ctx context.Context, spec sim.Spec, cfgName string, req JobRequest, fault *cpu.FaultInjection) (sim.Result, error) {
+	opt := sim.MatrixOptions{Checks: req.Checks, Lockstep: req.Lockstep, CrashDir: s.cfg.CrashDir, Faults: fault}
+	if !req.Sampled {
+		return sim.RunCellCtx(ctx, spec, cfgName, opt)
+	}
+	cfg, err := sim.ConfigByName(cfgName, spec.Epoch)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	cfg.Checks, cfg.Lockstep, cfg.Faults = req.Checks, req.Lockstep, fault
+	return sim.SampledRunCtx(ctx, spec, cfg, sim.SampleConfig{Seed: req.Seed})
+}
+
+// finishCell resolves a cell exactly once, releasing its admission slot and
+// advancing its job's completion count.
+func (s *Server) finishCell(c *Cell, res *sim.Result, err error, cached bool) {
+	state := CellDone
+	if err != nil {
+		if errors.Is(err, sim.ErrCanceled) {
+			state = CellCanceled
+		} else {
+			state = CellFailed
+		}
+	}
+	first, hadSlot := c.resolve(state, res, err, cached)
+	if !first {
+		return
+	}
+	if hadSlot {
+		s.adm.Release(1)
+	}
+	switch state {
+	case CellDone:
+		s.cellsDone.Add(1)
+	case CellFailed:
+		s.cellsFailed.Add(1)
+	case CellCanceled:
+		s.cellsCanceled.Add(1)
+	}
+	c.job.cellResolved()
+}
+
+// Cancel cancels a job: unresolved cells resolve as canceled immediately,
+// the job context is canceled (stopping fault cells), and each affected
+// flight loses one subscriber — a flight whose every subscriber canceled is
+// aborted mid-run. Returns false if the job had already been canceled.
+func (s *Server) Cancel(j *Job) bool {
+	if !j.markCanceled() {
+		return false
+	}
+	s.jobsCanceled.Add(1)
+	j.cancel(errors.New("serve: job canceled"))
+	for _, c := range j.Cells {
+		fl := c.fl
+		first, hadSlot := c.resolve(CellCanceled, nil, nil, false)
+		if !first {
+			continue
+		}
+		if hadSlot {
+			s.adm.Release(1)
+		}
+		s.cellsCanceled.Add(1)
+		c.job.cellResolved()
+		if fl != nil {
+			s.unrefFlight(fl)
+		}
+	}
+	return true
+}
+
+// Report builds the BENCH_report-schema view of every completed cell the
+// daemon has served: one "serve.cells" figure with a row per distinct
+// (profile, sampled, workload, config), newest result winning, plus geomean
+// speedups per configuration against the base cells of the same profile.
+func (s *Server) Report() *obs.BenchReport {
+	type rk struct {
+		quick, sampled bool
+		w, c           string
+	}
+	results := make(map[rk]*sim.Result)
+	for _, j := range s.store.Jobs() {
+		for _, c := range j.Cells {
+			cr := c.result()
+			if cr.State == CellDone && cr.Result != nil {
+				results[rk{j.Req.Quick, j.Req.Sampled, c.Workload, c.Config}] = cr.Result
+			}
+		}
+	}
+	keys := make([]rk, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.quick != b.quick {
+			return !a.quick
+		}
+		if a.sampled != b.sampled {
+			return !a.sampled
+		}
+		if a.w != b.w {
+			return a.w < b.w
+		}
+		return a.c < b.c
+	})
+
+	rep := obs.NewBenchReport(false)
+	rows := make([]map[string]any, 0, len(keys))
+	profile := func(k rk) string {
+		p := "full"
+		if k.quick {
+			p = "quick"
+		}
+		if k.sampled {
+			p += ".sampled"
+		}
+		return p
+	}
+	for _, k := range keys {
+		r := results[k]
+		rows = append(rows, map[string]any{
+			"profile":  profile(k),
+			"workload": k.w,
+			"config":   k.c,
+			"cycles":   r.Cycles,
+			"retired":  r.Retired,
+			"ipc":      r.IPC(),
+			"mpki":     r.MPKI(),
+		})
+	}
+	rep.AddFigure("serve.cells", rows)
+
+	// Geomean speedups vs the same profile's base cells.
+	type gk struct {
+		profile, config string
+	}
+	logsum := make(map[gk]float64)
+	n := make(map[gk]int)
+	for _, k := range keys {
+		if k.c == sim.CfgBase {
+			continue
+		}
+		base, ok := results[rk{k.quick, k.sampled, k.w, sim.CfgBase}]
+		if !ok || base.Cycles == 0 || results[k].Cycles == 0 {
+			continue
+		}
+		g := gk{profile(k), k.c}
+		logsum[g] += math.Log(float64(base.Cycles) / float64(results[k].Cycles))
+		n[g]++
+	}
+	for g, sum := range logsum {
+		rep.AddGeomean(g.profile+"."+g.config, math.Exp(sum/float64(n[g])))
+	}
+	return rep
+}
+
+// Healthz snapshots the daemon's liveness view.
+func (s *Server) Healthz() Healthz {
+	state := "serving"
+	if s.draining.Load() {
+		state = "draining"
+	}
+	return Healthz{
+		OK:       true,
+		State:    state,
+		Workers:  s.sched.Workers(),
+		Jobs:     s.store.Len(),
+		QueueCap: s.adm.Capacity(),
+		Queued:   s.adm.Depth(),
+	}
+}
+
+// Drain shuts the daemon down gracefully: new submissions get 503, every
+// already-admitted cell runs to completion (draining the scheduler), and the
+// results cache is persisted. If ctx expires first, the remaining cells'
+// contexts are canceled — they resolve as canceled within milliseconds — and
+// the drain completes anyway. Safe to call once; Close is Drain without a
+// deadline.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.sched.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.baseCancel(fmt.Errorf("serve: drain deadline: %w", context.Cause(ctx)))
+		<-done
+	}
+	s.baseCancel(errors.New("serve: daemon stopped"))
+	if s.cfg.CachePath != "" {
+		return s.cache.SaveFile(s.cfg.CachePath)
+	}
+	return nil
+}
+
+// Close drains with no deadline.
+func (s *Server) Close() error { return s.Drain(context.Background()) }

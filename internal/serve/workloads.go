@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"sync"
+
+	"phelps/internal/prog"
+	"phelps/internal/sim"
+)
+
+// resolver resolves workload names against the sim spec registry and
+// memoizes per-(name, quick) workload hashes. Hashing requires building the
+// workload once (program image plus initial memory), which for the quick
+// profile costs milliseconds; the memo makes every later job submission a
+// map lookup. Safe for concurrent use.
+type resolver struct {
+	mu     sync.Mutex
+	hashes map[string]uint64 // "q/" or "f/" + name -> workload hash
+}
+
+func newResolver() *resolver {
+	return &resolver{hashes: make(map[string]uint64)}
+}
+
+func hashKey(name string, quick bool) string {
+	if quick {
+		return "q/" + name
+	}
+	return "f/" + name
+}
+
+// hash returns the workload hash for a registered name, building the
+// workload on first use. The hash covers the program image and the
+// architectural initial memory, so it changes whenever a workload's
+// definition (sizes, seeds, code) changes — a daemon restarted onto a newer
+// binary can safely reuse a persisted cache: stale entries simply stop
+// matching.
+func (r *resolver) hash(name string, quick bool) (uint64, error) {
+	k := hashKey(name, quick)
+	r.mu.Lock()
+	h, ok := r.hashes[k]
+	r.mu.Unlock()
+	if ok {
+		return h, nil
+	}
+	s, err := sim.SpecByName(name, quick)
+	if err != nil {
+		return 0, err
+	}
+	h = hashWorkload(s.Build())
+	r.mu.Lock()
+	r.hashes[k] = h
+	r.mu.Unlock()
+	return h, nil
+}
+
+// fnv1a primes (the workload hash joins program and memory hashes under one
+// running FNV-1a state).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ (v >> s & 0xff)) * fnvPrime
+	}
+	return h
+}
+
+// hashWorkload hashes a built workload's identity: program base/entry, every
+// instruction's fields, the run bound, and the architectural memory image.
+// Labels and the Verify closure are deliberately excluded — they don't
+// change what a run computes.
+func hashWorkload(w *prog.Workload) uint64 {
+	h := uint64(fnvOffset)
+	p := w.Prog
+	h = fnvMix(h, p.Base)
+	h = fnvMix(h, p.Entry)
+	h = fnvMix(h, uint64(len(p.Code)))
+	for i := range p.Code {
+		in := &p.Code[i]
+		h = fnvMix(h, uint64(in.Op))
+		h = fnvMix(h, uint64(in.Rd)<<32|uint64(in.Rs1)<<16|uint64(in.Rs2))
+		h = fnvMix(h, uint64(in.Imm))
+		h = fnvMix(h, uint64(in.CmpOp))
+		dir := uint64(0)
+		if in.PredDir {
+			dir = 1
+		}
+		h = fnvMix(h, uint64(in.PredDst)<<32|uint64(in.PredSrc)<<1|dir)
+	}
+	h = fnvMix(h, w.MaxInsts)
+	h = fnvMix(h, w.Mem.HashArch())
+	return h
+}

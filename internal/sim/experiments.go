@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -12,6 +13,7 @@ import (
 
 	"phelps/internal/check"
 	"phelps/internal/core"
+	"phelps/internal/cpu"
 	"phelps/internal/graph"
 	"phelps/internal/prog"
 )
@@ -86,6 +88,44 @@ func SpecCPUSpecs(quick bool) []Spec {
 		{"exchange2", func() *prog.Workload { return prog.Exchange2Like(120000 / f) }, 30_000},
 		{"xz", func() *prog.Workload { return prog.XzLike(40000/f, 6) }, 30_000},
 	}
+}
+
+// MicroSpecs returns the hand-written micro-kernels the CLI and the phelpsd
+// workload registry expose by name alongside the two suites: the guarded
+// pair, the nested dual-helper-thread loop, and the delinquent family.
+// Sizes are fixed (quick is accepted for signature symmetry with the suites
+// but these kernels are already unit-test sized).
+func MicroSpecs(bool) []Spec {
+	return []Spec{
+		{"guarded", func() *prog.Workload { return prog.GuardedPair(60000, 24, 3) }, 50_000},
+		{"nested", func() *prog.Workload { return prog.NestedLoop(30000, 6, 4) }, 60_000},
+		{"delinquent", func() *prog.Workload { return prog.DelinquentLoop(50000, 50, 1) }, 50_000},
+		{"chase", func() *prog.Workload { return prog.DelinquentChase(1<<20, 150_000, 50, 1) }, 50_000},
+		{"chase_nested", func() *prog.Workload { return prog.DelinquentChaseNested(1<<20, 50_000, 6, 1) }, 50_000},
+	}
+}
+
+// AllSpecs returns every named workload: the GAP suite, the SPEC-like suite,
+// and the micro-kernels, in that order.
+func AllSpecs(quick bool) []Spec {
+	specs := append(GapSpecs(quick), SpecCPUSpecs(quick)...)
+	return append(specs, MicroSpecs(quick)...)
+}
+
+// SpecByName resolves a workload name against AllSpecs. Unknown names are an
+// error listing what exists (mirroring ConfigByName).
+func SpecByName(name string, quick bool) (Spec, error) {
+	all := AllSpecs(quick)
+	for _, s := range all {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	return Spec{}, fmt.Errorf("sim: unknown workload %q (have %s)", name, strings.Join(names, ", "))
 }
 
 // Configuration names for the run matrix.
@@ -203,6 +243,10 @@ type MatrixOptions struct {
 	// CrashDir receives minimized crash reports for panicking cells. Empty
 	// means $PHELPS_CRASH_DIR, falling back to "crashes".
 	CrashDir string
+
+	// Faults injects deliberate timing-model bugs into every cell's main
+	// core (containment tests only; see cpu.FaultInjection).
+	Faults *cpu.FaultInjection
 }
 
 func (o MatrixOptions) crashDir() string {
@@ -215,12 +259,14 @@ func (o MatrixOptions) crashDir() string {
 	return "crashes"
 }
 
-// runCell runs one (workload, configuration) cell with fault containment: a
-// panic anywhere inside the build or the simulator is recovered into an
+// RunCellCtx runs one (workload, configuration) cell with fault containment:
+// a panic anywhere inside the build or the simulator is recovered into an
 // ErrPanic-wrapped error carrying the panic value and goroutine stack, and a
 // minimized repro (workload, config, program listing) is dumped under the
-// crash directory. The rest of the matrix is unaffected.
-func runCell(s Spec, cfgName string, opt MatrixOptions) (res Result, err error) {
+// crash directory. The caller — a matrix worker or a phelpsd scheduler
+// worker — is unaffected. opt.Faults, when set, is injected into the cell's
+// core (tests of the containment machinery).
+func RunCellCtx(ctx context.Context, s Spec, cfgName string, opt MatrixOptions) (res Result, err error) {
 	cfg, cerr := ConfigByName(cfgName, s.Epoch)
 	if cerr != nil {
 		return Result{}, cerr
@@ -230,6 +276,7 @@ func runCell(s Spec, cfgName string, opt MatrixOptions) (res Result, err error) 
 	if opt.StallCycles != 0 {
 		cfg.StallCycles = opt.StallCycles
 	}
+	cfg.Faults = opt.Faults
 	var w *prog.Workload
 	defer func() {
 		r := recover()
@@ -248,7 +295,7 @@ func runCell(s Spec, cfgName string, opt MatrixOptions) (res Result, err error) 
 		err = fmt.Errorf("%w: %v%s", ErrPanic, r, detail)
 	}()
 	w = s.Build()
-	return Run(w, cfg)
+	return RunCtx(ctx, w, cfg)
 }
 
 // RunMatrix runs each workload under each named configuration, spreading
@@ -269,6 +316,14 @@ func RunMatrix(specs []Spec, configs []string) (Matrix, error) {
 
 // RunMatrixOpt is RunMatrix with verification and containment options.
 func RunMatrixOpt(specs []Spec, configs []string, opt MatrixOptions) (Matrix, error) {
+	return RunMatrixCtx(context.Background(), specs, configs, opt)
+}
+
+// RunMatrixCtx is RunMatrixOpt under a context: cells already running stop
+// with a wrapped ErrCanceled and cells not yet started are skipped (their
+// error entries also wrap ErrCanceled), so a canceled sweep still returns
+// the cells it finished.
+func RunMatrixCtx(ctx context.Context, specs []Spec, configs []string, opt MatrixOptions) (Matrix, error) {
 	for _, c := range configs {
 		if _, err := ConfigByName(c, 0); err != nil {
 			return nil, err
@@ -294,7 +349,11 @@ func RunMatrixOpt(specs []Spec, configs []string, opt MatrixOptions) (Matrix, er
 				rs := make(map[string]Result, len(configs))
 				var cellErrs []error
 				for _, c := range configs {
-					r, err := runCell(s, c, opt)
+					if cerr := ctx.Err(); cerr != nil {
+						cellErrs = append(cellErrs, fmt.Errorf("%s under %s: %w: %v", s.Name, c, ErrCanceled, cerr))
+						continue
+					}
+					r, err := RunCellCtx(ctx, s, c, opt)
 					rs[c] = r
 					if err != nil {
 						cellErrs = append(cellErrs, fmt.Errorf("%s under %s: %w", s.Name, c, err))

@@ -61,6 +61,37 @@ func TestConfigByNameUnknown(t *testing.T) {
 	} else if !strings.Contains(err.Error(), CfgBase) {
 		t.Errorf("error should list valid names, got: %v", err)
 	}
+	// The offending name must appear too, so a typo in a daemon request is
+	// diagnosable straight from the 400 body.
+	if _, err := ConfigByName("phlps", 0); err == nil || !strings.Contains(err.Error(), "phlps") {
+		t.Errorf("error should quote the unknown name, got: %v", err)
+	}
+	// An empty name is not a default, it is an error.
+	if _, err := ConfigByName("", 0); err == nil {
+		t.Error("ConfigByName accepted an empty name")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	// Every registered spec must be findable by its own name, in both
+	// profiles, and build a workload under that name.
+	for _, quick := range []bool{false, true} {
+		for _, want := range AllSpecs(quick) {
+			got, err := SpecByName(want.Name, quick)
+			if err != nil {
+				t.Fatalf("SpecByName(%q, %v): %v", want.Name, quick, err)
+			}
+			if got.Name != want.Name || got.Epoch != want.Epoch {
+				t.Errorf("SpecByName(%q, %v) = %q epoch %d, want %q epoch %d",
+					want.Name, quick, got.Name, got.Epoch, want.Name, want.Epoch)
+			}
+		}
+	}
+	if _, err := SpecByName("no-such-workload", true); err == nil {
+		t.Fatal("SpecByName accepted an unknown name")
+	} else if !strings.Contains(err.Error(), "no-such-workload") || !strings.Contains(err.Error(), "astar") {
+		t.Errorf("error should quote the unknown name and list valid ones, got: %v", err)
+	}
 }
 
 func TestMatrixAndFormatters(t *testing.T) {

@@ -26,6 +26,7 @@ package sim
 //                 scaled to the profiled instruction total.
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 
@@ -162,7 +163,15 @@ func (s *SampleReport) WeightedIPC() float64 {
 // race on one collector) and must be nil. cfg.MaxInsts bounds the profile
 // pass. Workloads too short to sample fall back to a full Run, reported via
 // Result.Sampled.FullRun.
-func SampledRun(spec Spec, cfg Config, sc SampleConfig) (res Result, err error) {
+func SampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
+	return SampledRunCtx(context.Background(), spec, cfg, sc)
+}
+
+// SampledRunCtx is SampledRun under a context: cancellation is polled in the
+// functional passes (between fast-forward chunks) and in every timing phase's
+// cycle loop, returning a wrapped ErrCanceled. context.Background()
+// reproduces SampledRun exactly.
+func SampledRunCtx(ctx context.Context, spec Spec, cfg Config, sc SampleConfig) (res Result, err error) {
 	// Fault containment: a panic anywhere in the profile/checkpoint/measure
 	// pipeline becomes a wrapped ErrPanic instead of killing the caller (the
 	// matrix worker pool in particular).
@@ -171,10 +180,42 @@ func SampledRun(spec Spec, cfg Config, sc SampleConfig) (res Result, err error) 
 			err = fmt.Errorf("sim: %s: %w: %v\n%s", spec.Name, ErrPanic, r, debug.Stack())
 		}
 	}()
-	return sampledRun(spec, cfg, sc)
+	return sampledRun(ctx, spec, cfg, sc)
 }
 
-func sampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
+// ffChunk bounds one uninterruptible functional fast-forward slice; the
+// cancellation poll runs between slices (a few milliseconds of host time
+// each).
+const ffChunk = 4_000_000
+
+// fastForwardCtx drives e.FastForward in ffChunk slices, polling ctx between
+// slices. It returns the instructions executed and a wrapped ErrCanceled if
+// the context fired first.
+func fastForwardCtx(ctx context.Context, name string, e *emu.Emulator, n uint64, obs *emu.FFObserver) (uint64, error) {
+	done := ctx.Done()
+	var total uint64
+	for total < n && !e.Halted {
+		if done != nil {
+			select {
+			case <-done:
+				return total, fmt.Errorf("sim: %s (fast-forward): %w: %v", name, ErrCanceled, context.Cause(ctx))
+			default:
+			}
+		}
+		chunk := n - total
+		if chunk > ffChunk {
+			chunk = ffChunk
+		}
+		ran := e.FastForward(chunk, obs)
+		total += ran
+		if ran == 0 {
+			break
+		}
+	}
+	return total, nil
+}
+
+func sampledRun(ctx context.Context, spec Spec, cfg Config, sc SampleConfig) (Result, error) {
 	if cfg.Obs != nil {
 		return Result{}, fmt.Errorf("sim: SampledRun does not support Config.Obs")
 	}
@@ -201,7 +242,10 @@ func sampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
 	}
 	coll := simpoint.NewBBVCollector(grain)
 	e := emu.New(w.Prog, w.Mem)
-	total := e.FastForward(profileCap, &emu.FFObserver{Block: coll.ObserveBlock})
+	total, ferr := fastForwardCtx(ctx, spec.Name, e, profileCap, &emu.FFObserver{Block: coll.ObserveBlock})
+	if ferr != nil {
+		return Result{}, ferr
+	}
 	if total == 0 {
 		return Result{}, fmt.Errorf("sim: %s: empty profile", spec.Name)
 	}
@@ -229,7 +273,7 @@ func sampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
 	}
 	if len(intervals) < sc.MinIntervals {
 		// Too short to sample: a full run is cheaper than the machinery.
-		res, err := Run(spec.Build(), cfg)
+		res, err := RunCtx(ctx, spec.Build(), cfg)
 		res.Sampled = &SampleReport{FullRun: true, TotalInsts: total, IntervalLen: intervalLen, Intervals: len(intervals)}
 		return res, err
 	}
@@ -339,11 +383,15 @@ func sampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
 		var p prepared
 		if continuous {
 			if ckAt > pos+predWindow {
-				e2.FastForward(ckAt-predWindow-pos, cacheObs)
+				if _, err := fastForwardCtx(ctx, spec.Name, e2, ckAt-predWindow-pos, cacheObs); err != nil {
+					return Result{}, err
+				}
 				pos = ckAt - predWindow
 			}
 			if ckAt > pos {
-				e2.FastForward(ckAt-pos, warmObs)
+				if _, err := fastForwardCtx(ctx, spec.Name, e2, ckAt-pos, warmObs); err != nil {
+					return Result{}, err
+				}
 				pos = ckAt
 			}
 			p = prepared{sp: sp, pred: clonePred(warmPred), hier: warmHier.Clone()}
@@ -358,19 +406,23 @@ func sampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
 				warmFrom = pos
 			}
 			if warmFrom > pos {
-				e2.FastForward(warmFrom-pos, nil)
+				if _, err := fastForwardCtx(ctx, spec.Name, e2, warmFrom-pos, nil); err != nil {
+					return Result{}, err
+				}
 				pos = warmFrom
 			}
 			p = prepared{sp: sp, pred: makePredictor(cfg.Predictor), hier: cache.New(cfg.Cache)}
 			if ckAt > pos {
 				var t uint64
 				pred, hier := p.pred, p.hier
-				e2.FastForward(ckAt-pos, &emu.FFObserver{
+				if _, err := fastForwardCtx(ctx, spec.Name, e2, ckAt-pos, &emu.FFObserver{
 					Branch: func(pc uint64, taken bool) { pred.PredictAndTrain(pc, taken) },
 					Load:   func(pc, addr uint64, size int) { hier.Load(pc, addr, t); t += 4 },
 					Store:  func(addr uint64, size int) { hier.Store(addr, t); t += 4 },
 					Block:  func(head, n uint64) { hier.FetchInst(head, t); t += n },
-				})
+				}); err != nil {
+					return Result{}, err
+				}
 				pos = ckAt
 			}
 		}
@@ -398,6 +450,7 @@ func sampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
 		mcfg := cfg
 		mcfg.Obs = nil
 		m := newMachine(mcfg, mem, em, p.pred, p.hier)
+		m.done = ctx.Done()
 		// Each measured point gets its own lockstep oracle, resumed from the
 		// same checkpoint on a third isolated materialization; it covers the
 		// warmup and measured phases alike.
@@ -414,6 +467,9 @@ func sampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
 			case runCheckFailed:
 				return fmt.Errorf("sim: %s: SimPoint %d %s: %w: %v",
 					spec.Name, p.sp.Interval, phase, ErrCheck, m.failure)
+			case runCanceled:
+				return fmt.Errorf("sim: %s: SimPoint %d %s: %w: %v",
+					spec.Name, p.sp.Interval, phase, ErrCanceled, context.Cause(ctx))
 			default:
 				return fmt.Errorf("sim: %s: SimPoint %d %s did not finish within %d cycles: %w",
 					spec.Name, p.sp.Interval, phase, cfg.MaxCycles, ErrLivelock)

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -54,6 +55,10 @@ var (
 	// divergence (Config.Lockstep) or a microarchitectural invariant was
 	// violated (Config.Checks). The wrap carries the first failure's detail.
 	ErrCheck = errors.New("verification check failed")
+	// ErrCanceled: the run's context was canceled (RunCtx, SampledRunCtx,
+	// RunMatrixCtx). The Result carries whatever was measured before the
+	// cancellation point; the wrap carries the context's cause.
+	ErrCanceled = errors.New("run canceled")
 )
 
 // Forward-progress watchdog controls (Config.StallCycles).
@@ -234,6 +239,7 @@ const (
 	runTimeout                       // maxCycles exhausted (ErrLivelock)
 	runStalled                       // forward-progress watchdog fired (ErrStall)
 	runCheckFailed                   // invariant violation or oracle divergence (ErrCheck)
+	runCanceled                      // the run context was canceled (ErrCanceled)
 )
 
 // guard bundles the optional verification machinery of a run (invariant
@@ -296,6 +302,12 @@ type machine struct {
 
 	// Event-driven clock state (DESIGN.md · Event-driven clock).
 	skipped uint64 // cycles bulk-accounted instead of executed
+
+	// done, when non-nil, is the run context's Done channel; the cycle loop
+	// polls it alongside the watchdog so a canceled run stops within ~1k
+	// stepped cycles (runCanceled). nil — context.Background — costs one nil
+	// test per poll.
+	done <-chan struct{}
 
 	failure error // first stall/check failure diagnosis (runStalled/runCheckFailed)
 }
@@ -461,8 +473,21 @@ func (m *machine) run(maxInsts, maxCycles uint64) runOutcome {
 	var (
 		skipTryAt   uint64
 		skipPenalty uint64 = 1
+		iters       uint64 // loop iterations, for the cancellation poll
 	)
 	for ; ; m.now++ {
+		// Cancellation poll, counted in loop iterations rather than cycles so
+		// the latency stays wall-clock-bounded even when the event-driven
+		// clock is jumping thousands of cycles per iteration.
+		if m.done != nil {
+			if iters++; iters&1023 == 0 {
+				select {
+				case <-m.done:
+					return runCanceled
+				default:
+				}
+			}
+		}
 		if m.mt.Halted() {
 			return runDone
 		}
@@ -628,8 +653,19 @@ func (m *machine) result(timedOut bool) Result {
 // architectural results); the Result is populated either way with the
 // metrics collected so far.
 func Run(w *prog.Workload, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), w, cfg)
+}
+
+// RunCtx is Run under a context: when ctx is canceled the cycle loop stops
+// within about a thousand iterations and RunCtx returns the metrics collected
+// so far with a wrapped ErrCanceled. The daemon's job-cancel path rides on
+// this; context.Background() reproduces Run exactly.
+func RunCtx(ctx context.Context, w *prog.Workload, cfg Config) (Result, error) {
 	if w.Mem == nil {
 		return Result{}, fmt.Errorf("sim: %s: %w", w.Name, ErrConsumed)
+	}
+	if ctx.Err() != nil {
+		return Result{}, fmt.Errorf("sim: %s: %w: %v", w.Name, ErrCanceled, context.Cause(ctx))
 	}
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 2_000_000_000
@@ -653,6 +689,7 @@ func Run(w *prog.Workload, cfg Config) (Result, error) {
 	pred := makePredictor(cfg.Predictor)
 
 	m := newMachine(cfg, mem, e, pred, hier)
+	m.done = ctx.Done()
 	m.setupGuards(orc)
 	if cfg.Obs != nil {
 		m.registerObs(cfg.Obs)
@@ -672,6 +709,8 @@ func Run(w *prog.Workload, cfg Config) (Result, error) {
 		return res, fmt.Errorf("sim: %s: %w: %v", w.Name, ErrStall, m.failure)
 	case runCheckFailed:
 		return res, fmt.Errorf("sim: %s: %w: %v", w.Name, ErrCheck, m.failure)
+	case runCanceled:
+		return res, fmt.Errorf("sim: %s: %w: %v", w.Name, ErrCanceled, context.Cause(ctx))
 	}
 	if orc != nil {
 		// End-of-run audit: reference halted too, memories byte-identical

@@ -20,6 +20,31 @@ go test -race -run 'TestLockstepQuickMatrix|TestInjectedTimingBugsCaught' ./inte
 # Sampled-vs-full smoke: one workload through the checkpointed SimPoint
 # pipeline must land within the accuracy gate against the full-run golden.
 go test -count=1 -run 'TestSampledAccuracyVsGolden/astar$' -v ./internal/sim
+# The daemon's concurrency (work-stealing scheduler, flights, admission,
+# cache, live registry snapshots) race-clean; the 116-cell HTTP acceptance
+# sweep is skipped under -short and pinned without -race below.
+go test -race -short ./internal/serve
+go test -count=1 -run TestFullQuickMatrixOverHTTP ./internal/serve
+# phelpsd smoke: boot the daemon on an ephemeral port, submit a quick job
+# with the CLI client, then resubmit and require the second pass to be
+# answered from the results cache; SIGTERM must drain cleanly.
+smoke_dir=$(mktemp -d)
+go build -o "$smoke_dir/phelpsd" ./cmd/phelpsd
+go build -o "$smoke_dir/phelps" ./cmd/phelps
+"$smoke_dir/phelpsd" -addr 127.0.0.1:0 -addr-file "$smoke_dir/addr" \
+    -cache "$smoke_dir/results.cache" >"$smoke_dir/phelpsd.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do [ -s "$smoke_dir/addr" ] && break; sleep 0.1; done
+daemon_url="http://$(cat "$smoke_dir/addr")"
+"$smoke_dir/phelps" -submit -server "$daemon_url" \
+    -workloads guarded,delinquent -configs base,phelps -quick
+"$smoke_dir/phelps" -submit -server "$daemon_url" \
+    -workloads guarded,delinquent -configs base,phelps -quick -json \
+    | grep -q '"cached": true'
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+grep -q drained "$smoke_dir/phelpsd.log"
+rm -rf "$smoke_dir"
 go test -run '^$' -bench . -benchtime 1x ./...
 # Differential fuzz smoke: 30 s of random guarded-loop kernels, each run
 # under all three timing mechanisms with the lockstep oracle watching.
