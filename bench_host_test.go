@@ -299,3 +299,33 @@ func BenchmarkHostSampledXz(b *testing.B) {
 		}
 	}
 }
+
+// --- parallel points + persistent checkpoint cache ---
+//
+// The warm benches resume from a prepopulated checkpoint-cache artifact, so
+// they measure only point measurement (the quantity phelpsreport -host
+// records as ckpt_cache.xz warm_speedup against the cold BenchmarkHostSampledXz
+// above, and as sampled_parallel.xz for 8 workers vs warm serial).
+
+// warmSampledXz benches a sampled xz run against a warmed checkpoint cache at
+// the given point-measurement worker count.
+func warmSampledXz(b *testing.B, workers int) {
+	spec := xzSpec(b)
+	cfg, err := sim.ConfigByName(sim.CfgBase, spec.Epoch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ckpts := sim.NewCkptCache(b.TempDir())
+	if _, err := sim.SampledRun(spec, cfg, sim.SampleConfig{Ckpts: ckpts}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.SampledRun(spec, cfg, sim.SampleConfig{Ckpts: ckpts, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHostSampledXzWarmSerial(b *testing.B)   { warmSampledXz(b, 1) }
+func BenchmarkHostSampledXzWarm8Workers(b *testing.B) { warmSampledXz(b, 8) }

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"phelps/internal/core"
@@ -49,12 +50,14 @@ func main() {
 		spIvl    = flag.Uint64("sp-interval", 0, "sampled: interval length in instructions (0 = auto)")
 		spK      = flag.Int("sp-k", 0, "sampled: number of SimPoints (0 = default)")
 		spWarm   = flag.Uint64("sp-warmup", 0, "sampled: cycle-accurate warmup instructions per point (0 = default)")
+		spWork   = flag.Int("sp-workers", 0, "sampled: concurrent SimPoint measurements (0 = one per core, 1 = serial; results are bit-identical)")
+		ckptDir  = flag.String("ckpt-dir", os.Getenv("PHELPS_CKPT_DIR"), "sampled: persistent checkpoint-cache directory (default $PHELPS_CKPT_DIR; empty = no cache)")
 
 		submit    = flag.Bool("submit", false, "submit a job to a phelpsd daemon instead of simulating locally")
 		server    = flag.String("server", "http://127.0.0.1:8077", "submit: phelpsd base URL")
 		workloads = flag.String("workloads", "", "submit: comma-separated workload names (default: -workload)")
 		configs   = flag.String("configs", "", "submit: comma-separated configuration names (default: -config or base)")
-		seed      = flag.Uint64("seed", 0, "submit: sampled-pipeline clustering seed")
+		seed      = flag.Uint64("seed", 0, "sampled-pipeline clustering seed (local and submit)")
 	)
 	flag.Parse()
 
@@ -199,9 +202,18 @@ func main() {
 	if *sampled {
 		runSpec := spec
 		runSpec.Epoch = ep
-		res, runErr = sim.SampledRun(runSpec, cfg, sim.SampleConfig{
+		workers := *spWork
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		sc := sim.SampleConfig{
 			IntervalLen: *spIvl, K: *spK, WarmupInsts: *spWarm,
-		})
+			Workers: workers, Seed: *seed,
+		}
+		if *ckptDir != "" {
+			sc.Ckpts = sim.NewCkptCache(*ckptDir)
+		}
+		res, runErr = sim.SampledRun(runSpec, cfg, sc)
 	} else {
 		res, runErr = sim.Run(spec.Build(), cfg)
 	}

@@ -31,6 +31,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 1024, "admission queue capacity in cells")
 		cache    = flag.String("cache", "", "results cache file (loaded at boot, persisted at drain)")
+		ckptDir  = flag.String("ckpt-dir", os.Getenv("PHELPS_CKPT_DIR"), "persistent checkpoint-cache directory for sampled cells (default $PHELPS_CKPT_DIR; empty = no cache)")
 		crashDir = flag.String("crash-dir", "", "crash dump directory for panicking cells (default $PHELPS_CRASH_DIR or crashes)")
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline after SIGTERM")
 	)
@@ -40,6 +41,7 @@ func main() {
 		Workers:   *workers,
 		QueueCap:  *queue,
 		CachePath: *cache,
+		CkptDir:   *ckptDir,
 		CrashDir:  *crashDir,
 	})
 	if err := srv.CacheLoadErr(); err != nil {

@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"math"
+	"os"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -203,6 +205,93 @@ func runHostBench(jsonPath string) error {
 			return err
 		}
 	}
+
+	// --- parallel points + checkpoint cache: warm/parallel vs cold/serial ---
+	// The cold run pays the functional profile and checkpoint passes and
+	// stores the artifact; warm runs (serial and at 8 point-measurement
+	// workers) resume straight from it. ckpt_cache.* is cold wall-clock over
+	// warm serial (cache effect alone); sampled_parallel.* is warm serial
+	// over warm 8-worker (pool effect alone; bounded by host core count).
+	// Warm runs are best of three; every Result must be bit-identical.
+	parSpeedups := []float64{}
+	warmSpeedups := []float64{}
+	ckptEntry := func(spec sim.Spec) error {
+		cfg, err := sim.ConfigByName(sim.CfgBase, spec.Epoch)
+		if err != nil {
+			return err
+		}
+		dir, err := os.MkdirTemp("", "phelps-ckpt-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		timed := func(sc sim.SampleConfig, best int) (sim.Result, time.Duration, error) {
+			var r sim.Result
+			var elapsed time.Duration
+			for i := 0; i < best; i++ {
+				start := time.Now()
+				got, err := sim.SampledRun(spec, cfg, sc)
+				if d := time.Since(start); i == 0 || d < elapsed {
+					elapsed = d
+				}
+				if err != nil {
+					return r, 0, err
+				}
+				r = got
+			}
+			return r, elapsed, nil
+		}
+		cold, coldElapsed, err := timed(sim.SampleConfig{Ckpts: sim.NewCkptCache(dir)}, 1)
+		if err != nil {
+			return fmt.Errorf("%s cold: %w", spec.Name, err)
+		}
+		warmCache := sim.NewCkptCache(dir)
+		warm, warmElapsed, err := timed(sim.SampleConfig{Ckpts: warmCache}, 3)
+		if err != nil {
+			return fmt.Errorf("%s warm: %w", spec.Name, err)
+		}
+		par, parElapsed, err := timed(sim.SampleConfig{Ckpts: warmCache, Workers: 8}, 3)
+		if err != nil {
+			return fmt.Errorf("%s warm parallel: %w", spec.Name, err)
+		}
+		if !reflect.DeepEqual(cold, warm) || !reflect.DeepEqual(cold, par) {
+			return fmt.Errorf("%s: warm/parallel sampled runs diverged from cold serial", spec.Name)
+		}
+		parSpeedup := warmElapsed.Seconds() / parElapsed.Seconds()
+		warmSpeedup := coldElapsed.Seconds() / warmElapsed.Seconds()
+		parSpeedups = append(parSpeedups, parSpeedup)
+		warmSpeedups = append(warmSpeedups, warmSpeedup)
+		report.Add(obs.HostBenchEntry{
+			Name:          "sampled_parallel." + spec.Name,
+			SimInstPerSec: float64(cold.Retired) / parElapsed.Seconds(),
+			Speedup:       parSpeedup,
+		})
+		fmt.Printf("  %-28s %12.0f sim-inst/s  %8.2fx 8-worker vs warm serial\n",
+			"sampled_parallel."+spec.Name, float64(cold.Retired)/parElapsed.Seconds(), parSpeedup)
+		report.Add(obs.HostBenchEntry{
+			Name:        "ckpt_cache." + spec.Name,
+			WarmSpeedup: warmSpeedup,
+		})
+		fmt.Printf("  %-28s %25s %8.2fx warm vs cold\n", "ckpt_cache."+spec.Name, "", warmSpeedup)
+		return nil
+	}
+	for _, spec := range longestSpecs() {
+		if err := ckptEntry(spec); err != nil {
+			return err
+		}
+	}
+	geomean := func(xs []float64) float64 {
+		logSum := 0.0
+		for _, x := range xs {
+			logSum += math.Log(x)
+		}
+		return math.Exp(logSum / float64(len(xs)))
+	}
+	report.Add(obs.HostBenchEntry{Name: "sampled_parallel.geomean", Speedup: geomean(parSpeedups)})
+	report.Add(obs.HostBenchEntry{Name: "ckpt_cache.geomean", WarmSpeedup: geomean(warmSpeedups)})
+	fmt.Printf("  %-28s %25s %8.2fx (geomean, %d host cores)\n",
+		"sampled_parallel.geomean", "", geomean(parSpeedups), runtime.NumCPU())
+	fmt.Printf("  %-28s %25s %8.2fx (geomean)\n", "ckpt_cache.geomean", "", geomean(warmSpeedups))
 
 	// --- emu.Memory primitives: ns/op and allocs/op ---
 	memEntry := func(name string, iters int, setup func() *emu.Memory, op func(m *emu.Memory, i int)) {

@@ -1,0 +1,109 @@
+package bpred
+
+import (
+	"bytes"
+	"testing"
+
+	"phelps/internal/codec"
+)
+
+// lcg is a tiny deterministic branch-stream generator: a pc out of a small
+// working set (so tables see real contention) and a history-correlated
+// outcome.
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s
+}
+
+func (l *lcg) branch() (pc uint64, taken bool) {
+	v := l.next()
+	return 0x1000 + (v>>8&0x3f)*4, v>>32&7 < 5
+}
+
+func builders() map[string]func() Predictor {
+	return map[string]func() Predictor{
+		"bimodal": func() Predictor { return NewBimodal(14) },
+		"gshare":  func() Predictor { return NewGshare(15, 13) },
+		"tage":    func() Predictor { return NewTAGE(DefaultTAGEConfig()) },
+		"perfect": func() Predictor { return Perfect{} },
+	}
+}
+
+// TestStateRoundTrip trains each predictor, round-trips its state through
+// bytes into a fresh instance, and requires the original and the loaded copy
+// to agree prediction-for-prediction on a further stream — the property the
+// checkpoint cache's bit-identicality rests on.
+func TestStateRoundTrip(t *testing.T) {
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			orig := build()
+			g := lcg{s: 12345}
+			for i := 0; i < 20000; i++ {
+				pc, taken := g.branch()
+				orig.PredictAndTrain(pc, taken)
+			}
+			blob := orig.(StateCodec).AppendState(nil)
+
+			loaded := build()
+			r := codec.NewReader(blob)
+			if err := loaded.(StateCodec).LoadState(r); err != nil {
+				t.Fatalf("LoadState: %v", err)
+			}
+			if err := r.Expect(0); err != nil {
+				t.Fatalf("trailing bytes after LoadState: %d", r.Len())
+			}
+			// Re-serializing the loaded copy must reproduce the blob exactly.
+			if !bytes.Equal(blob, loaded.(StateCodec).AppendState(nil)) {
+				t.Fatalf("re-serialized state differs from original blob")
+			}
+			for i := 0; i < 20000; i++ {
+				pc, taken := g.branch()
+				if a, b := orig.PredictAndTrain(pc, taken), loaded.PredictAndTrain(pc, taken); a != b {
+					t.Fatalf("prediction %d diverged after round-trip: orig=%v loaded=%v", i, a, b)
+				}
+			}
+			if !bytes.Equal(orig.(StateCodec).AppendState(nil), loaded.(StateCodec).AppendState(nil)) {
+				t.Fatalf("state diverged after post-load stream")
+			}
+		})
+	}
+}
+
+// TestStateErrors: truncation and kind mismatches decode to errors, not
+// panics or silent corruption.
+func TestStateErrors(t *testing.T) {
+	for name, build := range builders() {
+		if name == "perfect" {
+			continue // one tag byte; truncation below covers it via others
+		}
+		t.Run(name+"/truncated", func(t *testing.T) {
+			p := build()
+			g := lcg{s: 7}
+			for i := 0; i < 1000; i++ {
+				pc, taken := g.branch()
+				p.PredictAndTrain(pc, taken)
+			}
+			blob := p.(StateCodec).AppendState(nil)
+			for _, cut := range []int{0, 1, len(blob) / 2, len(blob) - 1} {
+				fresh := build()
+				if err := fresh.(StateCodec).LoadState(codec.NewReader(blob[:cut])); err == nil {
+					t.Fatalf("LoadState accepted truncation to %d bytes", cut)
+				}
+			}
+		})
+	}
+	t.Run("kind-mismatch", func(t *testing.T) {
+		blob := NewBimodal(14).AppendState(nil)
+		if err := NewGshare(15, 13).LoadState(codec.NewReader(blob)); err == nil {
+			t.Fatalf("gshare accepted bimodal state")
+		}
+	})
+	t.Run("size-mismatch", func(t *testing.T) {
+		blob := NewBimodal(10).AppendState(nil)
+		if err := NewBimodal(14).LoadState(codec.NewReader(blob)); err == nil {
+			t.Fatalf("bimodal(14) accepted bimodal(10) state")
+		}
+	})
+}

@@ -1,0 +1,187 @@
+// Binary serialization of warmed hierarchy state, for the persistent
+// checkpoint cache (sim.CkptCache). Tag arrays, replacement order,
+// prefetcher tables, outstanding-miss bookkeeping, and stats all round-trip
+// exactly: a loaded hierarchy returns the same latencies and counts, access
+// for access, as the one it was saved from. Configuration (set/way geometry,
+// latencies) is not serialized — LoadState runs on a freshly built hierarchy
+// of the same Config and validates every array length against it.
+package cache
+
+import (
+	"fmt"
+
+	"phelps/internal/codec"
+)
+
+const stateHierarchy = 'H'
+
+func (l *level) appendState(b []byte) []byte {
+	b = codec.U32(b, uint32(len(l.tags)))
+	for _, t := range l.tags {
+		b = codec.U64(b, t)
+	}
+	for _, p := range l.pref {
+		b = codec.Bool(b, p)
+	}
+	b = codec.U32(b, uint32(len(l.cnt)))
+	for _, c := range l.cnt {
+		b = codec.U16(b, c)
+	}
+	return b
+}
+
+func (l *level) loadState(r *codec.Reader, what string) error {
+	n := int(r.U32())
+	if r.Err() == nil && n != len(l.tags) {
+		return fmt.Errorf("cache: %s has %d lines, state has %d", what, len(l.tags), n)
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		l.tags[i] = r.U64()
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		l.pref[i] = r.Bool()
+	}
+	ns := int(r.U32())
+	if r.Err() == nil && ns != len(l.cnt) {
+		return fmt.Errorf("cache: %s has %d sets, state has %d", what, len(l.cnt), ns)
+	}
+	for i := 0; i < ns && r.Err() == nil; i++ {
+		l.cnt[i] = r.U16()
+		if r.Err() == nil && int(l.cnt[i]) > l.ways {
+			return fmt.Errorf("cache: %s set %d holds %d lines, ways=%d", what, i, l.cnt[i], l.ways)
+		}
+	}
+	return r.Err()
+}
+
+// AppendState appends the hierarchy's dynamic state to b.
+func (h *Hierarchy) AppendState(b []byte) []byte {
+	b = codec.U8(b, stateHierarchy)
+	s := &h.Stats
+	for _, v := range []uint64{
+		s.L1IAccesses, s.L1IMisses, s.L1DAccesses, s.L1DMisses,
+		s.L2Accesses, s.L2Misses, s.L3Accesses, s.L3Misses,
+		s.PrefIssued, s.PrefUseful, s.MSHRStallCycles,
+	} {
+		b = codec.U64(b, v)
+	}
+	b = h.l1i.appendState(b)
+	b = h.l1d.appendState(b)
+	b = h.l2.appendState(b)
+	b = h.l3.appendState(b)
+	b = codec.U32(b, uint32(len(h.mshr)))
+	for _, c := range h.mshr {
+		b = codec.U64(b, c)
+	}
+	b = codec.Bool(b, h.ipcp != nil)
+	if h.ipcp != nil {
+		for i := range h.ipcp.entries {
+			e := &h.ipcp.entries[i]
+			b = codec.U64(b, e.pc)
+			b = codec.U64(b, e.lastLine)
+			b = codec.I64(b, e.stride)
+			b = codec.U8(b, e.conf)
+		}
+	}
+	b = codec.Bool(b, h.vldp != nil)
+	if h.vldp != nil {
+		for i := range h.vldp.entries {
+			e := &h.vldp.entries[i]
+			b = codec.U64(b, e.page)
+			b = codec.U64(b, e.lastLine)
+			b = codec.I64(b, e.delta[0])
+			b = codec.I64(b, e.delta[1])
+			b = codec.U8(b, e.valid)
+		}
+		// The delta-pattern table is serialized raw (all slots, used or not)
+		// so the open-addressing probe layout — and therefore every future
+		// insert and the deterministic at-capacity reset — is preserved
+		// exactly.
+		for i := range h.vldp.dpt {
+			sl := &h.vldp.dpt[i]
+			b = codec.I64(b, sl.d1)
+			b = codec.I64(b, sl.d2)
+			b = codec.I64(b, sl.next)
+			b = codec.Bool(b, sl.used)
+		}
+		b = codec.U32(b, uint32(h.vldp.nDPT))
+	}
+	return b
+}
+
+// LoadState replaces the hierarchy's dynamic state from the reader,
+// consuming exactly what AppendState wrote. The hierarchy must have been
+// built with the same Config as the saved one.
+func (h *Hierarchy) LoadState(r *codec.Reader) error {
+	if got := r.U8(); got != stateHierarchy {
+		if err := r.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("cache: state kind %q, want %q", got, stateHierarchy)
+	}
+	s := &h.Stats
+	for _, p := range []*uint64{
+		&s.L1IAccesses, &s.L1IMisses, &s.L1DAccesses, &s.L1DMisses,
+		&s.L2Accesses, &s.L2Misses, &s.L3Accesses, &s.L3Misses,
+		&s.PrefIssued, &s.PrefUseful, &s.MSHRStallCycles,
+	} {
+		*p = r.U64()
+	}
+	for _, lv := range []struct {
+		l    *level
+		what string
+	}{{h.l1i, "l1i"}, {h.l1d, "l1d"}, {h.l2, "l2"}, {h.l3, "l3"}} {
+		if err := lv.l.loadState(r, lv.what); err != nil {
+			return err
+		}
+	}
+	nm := int(r.U32())
+	if r.Err() == nil && nm > cap(h.mshr) {
+		return fmt.Errorf("cache: state has %d outstanding misses, MSHRs=%d", nm, cap(h.mshr))
+	}
+	if r.Err() == nil {
+		h.mshr = h.mshr[:0]
+		for i := 0; i < nm && r.Err() == nil; i++ {
+			h.mshr = append(h.mshr, r.U64())
+		}
+	}
+	hasIPCP := r.Bool()
+	if r.Err() == nil && hasIPCP != (h.ipcp != nil) {
+		return fmt.Errorf("cache: L1-prefetcher presence mismatch (state %v, config %v)", hasIPCP, h.ipcp != nil)
+	}
+	if hasIPCP && h.ipcp != nil {
+		for i := range h.ipcp.entries {
+			e := &h.ipcp.entries[i]
+			e.pc = r.U64()
+			e.lastLine = r.U64()
+			e.stride = r.I64()
+			e.conf = r.U8()
+		}
+	}
+	hasVLDP := r.Bool()
+	if r.Err() == nil && hasVLDP != (h.vldp != nil) {
+		return fmt.Errorf("cache: L2-prefetcher presence mismatch (state %v, config %v)", hasVLDP, h.vldp != nil)
+	}
+	if hasVLDP && h.vldp != nil {
+		for i := range h.vldp.entries {
+			e := &h.vldp.entries[i]
+			e.page = r.U64()
+			e.lastLine = r.U64()
+			e.delta[0] = r.I64()
+			e.delta[1] = r.I64()
+			e.valid = r.U8()
+		}
+		for i := range h.vldp.dpt {
+			sl := &h.vldp.dpt[i]
+			sl.d1 = r.I64()
+			sl.d2 = r.I64()
+			sl.next = r.I64()
+			sl.used = r.Bool()
+		}
+		h.vldp.nDPT = int(r.U32())
+		if r.Err() == nil && (h.vldp.nDPT < 0 || h.vldp.nDPT > dptMaxKeys) {
+			return fmt.Errorf("cache: state nDPT %d out of range", h.vldp.nDPT)
+		}
+	}
+	return r.Err()
+}

@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+
+	"phelps/internal/codec"
+)
+
+type accgen struct{ s uint64 }
+
+func (g *accgen) next() uint64 {
+	g.s = g.s*6364136223846793005 + 1442695040888963407
+	return g.s
+}
+
+// drive issues a deterministic mixed access stream and returns the latency
+// sum (a cheap behavioral fingerprint on top of Stats equality).
+func drive(h *Hierarchy, seed uint64, n int) uint64 {
+	g := accgen{s: seed}
+	var now, sum uint64
+	for i := 0; i < n; i++ {
+		v := g.next()
+		pc := 0x4000 + (v>>4&0xff)*4
+		// A few strided streams plus a random tail: exercises both
+		// prefetchers, MSHR pressure, and replacement.
+		addr := (v>>16&0x3)*0x100000 + uint64(i%4096)*64 + v>>40&0x38
+		switch v % 4 {
+		case 0:
+			sum += h.Load(pc, addr, now)
+		case 1:
+			sum += h.Store(addr, now)
+		case 2:
+			sum += h.FetchInst(pc, now)
+		default:
+			sum += h.Load(pc, addr^0xfff0, now)
+		}
+		now += 3
+	}
+	return sum
+}
+
+// TestHierarchyStateRoundTrip warms a hierarchy, round-trips its state into a
+// fresh one, and requires identical behavior (latency fingerprint and stats)
+// on a further access stream.
+func TestHierarchyStateRoundTrip(t *testing.T) {
+	cfgs := map[string]Config{
+		"default": DefaultConfig(),
+		"no-pref": func() Config {
+			c := DefaultConfig()
+			c.L1Prefetch, c.L2Prefetch = false, false
+			return c
+		}(),
+		"no-mshr": func() Config {
+			c := DefaultConfig()
+			c.MSHRs = 0
+			return c
+		}(),
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			orig := New(cfg)
+			drive(orig, 99, 50000)
+			blob := orig.AppendState(nil)
+
+			loaded := New(cfg)
+			r := codec.NewReader(blob)
+			if err := loaded.LoadState(r); err != nil {
+				t.Fatalf("LoadState: %v", err)
+			}
+			if err := r.Expect(0); err != nil {
+				t.Fatalf("trailing bytes after LoadState: %d", r.Len())
+			}
+			if !bytes.Equal(blob, loaded.AppendState(nil)) {
+				t.Fatalf("re-serialized state differs from original blob")
+			}
+			if a, b := drive(orig, 7, 50000), drive(loaded, 7, 50000); a != b {
+				t.Fatalf("latency fingerprint diverged after round-trip: orig=%d loaded=%d", a, b)
+			}
+			if orig.Stats != loaded.Stats {
+				t.Fatalf("stats diverged after round-trip:\norig   %+v\nloaded %+v", orig.Stats, loaded.Stats)
+			}
+			if !bytes.Equal(orig.AppendState(nil), loaded.AppendState(nil)) {
+				t.Fatalf("state diverged after post-load stream")
+			}
+		})
+	}
+}
+
+// TestHierarchyStateErrors: truncation and config mismatches are errors.
+func TestHierarchyStateErrors(t *testing.T) {
+	h := New(DefaultConfig())
+	drive(h, 3, 5000)
+	blob := h.AppendState(nil)
+	for _, cut := range []int{0, 1, len(blob) / 3, len(blob) - 1} {
+		if err := New(DefaultConfig()).LoadState(codec.NewReader(blob[:cut])); err == nil {
+			t.Fatalf("LoadState accepted truncation to %d bytes", cut)
+		}
+	}
+	small := DefaultConfig()
+	small.L3Sets = 1024
+	if err := New(small).LoadState(codec.NewReader(blob)); err == nil {
+		t.Fatalf("smaller hierarchy accepted larger state")
+	}
+	noPref := DefaultConfig()
+	noPref.L1Prefetch = false
+	if err := New(noPref).LoadState(codec.NewReader(blob)); err == nil {
+		t.Fatalf("prefetcher-less hierarchy accepted prefetcher state")
+	}
+}

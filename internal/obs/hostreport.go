@@ -10,7 +10,12 @@ import (
 //
 // Schema 3 added the event_skip.* entries (event-driven clock A/B: speedup
 // over forced per-cycle stepping, plus the skipped-cycle ratio).
-const HostBenchSchema = 3
+//
+// Schema 4 added the sampled_parallel.* entries (warm sampled wall-clock at 8
+// point-measurement workers over warm serial, as speedup) and the
+// ckpt_cache.* entries (cold first-run wall-clock over warm cached re-run, as
+// warm_speedup), each with a geomean summary row.
+const HostBenchSchema = 4
 
 // HostBenchReport is the machine-readable artifact `phelpsreport -host`
 // writes: how fast the simulator itself runs on the host (as opposed to
@@ -29,7 +34,11 @@ type HostBenchReport struct {
 // ns_per_op and allocs_per_op; sampled-vs-full entries additionally report
 // speedup (full wall-clock / sampled wall-clock); event_skip entries report
 // speedup (event-driven sim-inst/s over forced per-cycle stepping) and
-// skip_ratio (skipped cycles / total cycles). Unused fields are omitted.
+// skip_ratio (skipped cycles / total cycles); sampled_parallel entries report
+// speedup (warm serial wall-clock / warm 8-worker wall-clock); ckpt_cache
+// entries report warm_speedup (cold first-run wall-clock, which pays the
+// profile + checkpoint passes, over the warm cached re-run). Unused fields
+// are omitted.
 type HostBenchEntry struct {
 	Name             string  `json:"name"`
 	SimInstPerSec    float64 `json:"sim_inst_per_sec,omitempty"`
@@ -37,6 +46,7 @@ type HostBenchEntry struct {
 	NsPerOp          float64 `json:"ns_per_op,omitempty"`
 	Speedup          float64 `json:"speedup,omitempty"`
 	SkipRatio        float64 `json:"skip_ratio,omitempty"`
+	WarmSpeedup      float64 `json:"warm_speedup,omitempty"`
 }
 
 // NewHostBenchReport returns an empty report stamped with the Go version.

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"phelps/internal/sim"
+)
+
+// submitSampledAndWait submits a sampled job and returns its cell results
+// keyed by workload/config.
+func submitSampledAndWait(t *testing.T, ts *httptest.Server, req JobRequest) map[string]*sim.Result {
+	t.Helper()
+	st, resp := postJob(t, ts, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	fin := waitJob(t, ts, st.ID)
+	if fin.State != JobDone {
+		t.Fatalf("job state = %s, want done: %+v", fin.State, fin)
+	}
+	out := make(map[string]*sim.Result)
+	for _, c := range jobResult(t, ts, st.ID).Cells {
+		if c.Result == nil {
+			t.Fatalf("%s/%s: no result (error %q)", c.Workload, c.Config, c.Error)
+		}
+		out[c.Workload+"/"+c.Config] = c.Result
+	}
+	return out
+}
+
+// TestCkptReuseAcrossRestart: a daemon with a checkpoint-cache directory
+// profiles a sampled workload once; a second cell sharing the workload (the
+// cache key excludes Mode) and a restarted daemon on the same directory —
+// with a cold results cache — both reuse the persisted artifact, and every
+// Result is bit-identical.
+func TestCkptReuseAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	// Workers: 1 serializes the two cells, making the counter sequence
+	// deterministic: cell one cold-misses and stores, cell two hits.
+	req := JobRequest{Workloads: []string{"delinquent"}, Configs: []string{sim.CfgBase, sim.CfgPhelps}, Quick: true, Sampled: true}
+
+	s1, ts1 := newTestServer(t, Config{Workers: 1, CkptDir: dir})
+	first := submitSampledAndWait(t, ts1, req)
+	snap := s1.Registry().Snapshot()
+	if h, m, st := snap.Counters["serve.ckpt.hits"], snap.Counters["serve.ckpt.misses"], snap.Counters["serve.ckpt.stores"]; h != 1 || m != 1 || st != 1 {
+		t.Fatalf("first boot ckpt counters: hits=%d misses=%d stores=%d, want 1/1/1", h, m, st)
+	}
+	if e := snap.Counters["serve.ckpt.errors"]; e != 0 {
+		t.Fatalf("first boot ckpt errors: %d", e)
+	}
+
+	// Second boot: same checkpoint directory, no results cache — every cell
+	// re-executes, but the profile/checkpoint passes never re-run.
+	s2, ts2 := newTestServer(t, Config{Workers: 1, CkptDir: dir})
+	second := submitSampledAndWait(t, ts2, req)
+	snap = s2.Registry().Snapshot()
+	if h, st := snap.Counters["serve.ckpt.hits"], snap.Counters["serve.ckpt.stores"]; h != 2 || st != 0 {
+		t.Fatalf("restart ckpt counters: hits=%d stores=%d, want 2/0", h, st)
+	}
+
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("results diverged across restart:\nfirst  %+v\nsecond %+v", first, second)
+	}
+	// Sanity: the sampled pipeline actually sampled (not a full-run
+	// fallback), otherwise the reuse above proved nothing.
+	for k, r := range first {
+		if r.Sampled == nil {
+			t.Fatalf("%s: not a sampled result", k)
+		}
+		if r.Sampled.FullRun {
+			t.Fatalf("%s: fell back to a full run; pick a longer workload", k)
+		}
+	}
+}

@@ -33,6 +33,10 @@ type Config struct {
 	// means $PHELPS_CRASH_DIR, falling back to "crashes"; see
 	// sim.MatrixOptions).
 	CrashDir string
+	// CkptDir, when set, roots a persistent sim.CkptCache for sampled cells:
+	// the SimPoint profile/checkpoint passes run once per workload ever, and
+	// their product is reused across cells, jobs, and daemon restarts.
+	CkptDir string
 	// MaxCellsPerJob bounds one job's size (0 = QueueCap).
 	MaxCellsPerJob int
 }
@@ -75,6 +79,7 @@ type Server struct {
 	sched *Scheduler
 	adm   *Admission
 	cache *ResultCache
+	ckpts *sim.CkptCache // nil unless Config.CkptDir is set
 	store *Store
 	res   *resolver
 	reg   *obs.Registry
@@ -87,10 +92,10 @@ type Server struct {
 	flightMu sync.Mutex
 	flights  map[CellKey]*flight
 
-	jobsSubmitted, jobsRejected, jobsCanceled      atomic.Uint64
-	cellsSubmitted, cellsDone, cellsFailed         atomic.Uint64
-	cellsCanceled, cellsFromCache, cellsDeduped    atomic.Uint64
-	cacheLoadErr                                   error
+	jobsSubmitted, jobsRejected, jobsCanceled   atomic.Uint64
+	cellsSubmitted, cellsDone, cellsFailed      atomic.Uint64
+	cellsCanceled, cellsFromCache, cellsDeduped atomic.Uint64
+	cacheLoadErr                                error
 }
 
 // NewServer assembles a daemon. The cache file (if configured) is loaded
@@ -111,6 +116,9 @@ func NewServer(cfg Config) *Server {
 	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
 	if cfg.CachePath != "" {
 		s.cacheLoadErr = s.cache.LoadFile(cfg.CachePath)
+	}
+	if cfg.CkptDir != "" {
+		s.ckpts = sim.NewCkptCache(cfg.CkptDir)
 	}
 	s.registerObs()
 	s.routes()
@@ -147,6 +155,14 @@ func (s *Server) registerObs() {
 	cache.Counter("hits", s.cache.Hits)
 	cache.Counter("misses", s.cache.Misses)
 	cache.Gauge("entries", func() float64 { return float64(s.cache.Len()) })
+
+	if s.ckpts != nil {
+		ckpt := s.reg.Scope("serve.ckpt")
+		ckpt.Counter("hits", s.ckpts.Hits)
+		ckpt.Counter("misses", s.ckpts.Misses)
+		ckpt.Counter("stores", s.ckpts.Stores)
+		ckpt.Counter("errors", s.ckpts.Errors)
+	}
 
 	queue := s.reg.Scope("serve.queue")
 	queue.Counter("rejected", s.adm.Rejected)
@@ -403,15 +419,14 @@ func (s *Server) faultTask(j *Job, c *Cell, spec sim.Spec) func() {
 // per-cell panic/stall containment.
 func (s *Server) execCell(ctx context.Context, spec sim.Spec, cfgName string, req JobRequest, fault *cpu.FaultInjection) (sim.Result, error) {
 	opt := sim.MatrixOptions{Checks: req.Checks, Lockstep: req.Lockstep, CrashDir: s.cfg.CrashDir, Faults: fault}
-	if !req.Sampled {
-		return sim.RunCellCtx(ctx, spec, cfgName, opt)
+	if req.Sampled {
+		// Point measurement stays serial per cell — the scheduler already
+		// keeps every core busy across cells — but the checkpoint cache is
+		// shared daemon-wide, so one workload's profile pass feeds every
+		// configuration, job, and (with CkptDir persisted) daemon restart.
+		opt.Sample = &sim.SampleConfig{Seed: req.Seed, Ckpts: s.ckpts}
 	}
-	cfg, err := sim.ConfigByName(cfgName, spec.Epoch)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	cfg.Checks, cfg.Lockstep, cfg.Faults = req.Checks, req.Lockstep, fault
-	return sim.SampledRunCtx(ctx, spec, cfg, sim.SampleConfig{Seed: req.Seed})
+	return sim.RunCellCtx(ctx, spec, cfgName, opt)
 }
 
 // finishCell resolves a cell exactly once, releasing its admission slot and

@@ -3,7 +3,6 @@ package serve
 import (
 	"sync"
 
-	"phelps/internal/prog"
 	"phelps/internal/sim"
 )
 
@@ -46,50 +45,9 @@ func (r *resolver) hash(name string, quick bool) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	h = hashWorkload(s.Build())
+	h = sim.HashWorkload(s.Build())
 	r.mu.Lock()
 	r.hashes[k] = h
 	r.mu.Unlock()
 	return h, nil
-}
-
-// fnv1a primes (the workload hash joins program and memory hashes under one
-// running FNV-1a state).
-const (
-	fnvOffset = 14695981039346656037
-	fnvPrime  = 1099511628211
-)
-
-func fnvMix(h, v uint64) uint64 {
-	for s := 0; s < 64; s += 8 {
-		h = (h ^ (v >> s & 0xff)) * fnvPrime
-	}
-	return h
-}
-
-// hashWorkload hashes a built workload's identity: program base/entry, every
-// instruction's fields, the run bound, and the architectural memory image.
-// Labels and the Verify closure are deliberately excluded — they don't
-// change what a run computes.
-func hashWorkload(w *prog.Workload) uint64 {
-	h := uint64(fnvOffset)
-	p := w.Prog
-	h = fnvMix(h, p.Base)
-	h = fnvMix(h, p.Entry)
-	h = fnvMix(h, uint64(len(p.Code)))
-	for i := range p.Code {
-		in := &p.Code[i]
-		h = fnvMix(h, uint64(in.Op))
-		h = fnvMix(h, uint64(in.Rd)<<32|uint64(in.Rs1)<<16|uint64(in.Rs2))
-		h = fnvMix(h, uint64(in.Imm))
-		h = fnvMix(h, uint64(in.CmpOp))
-		dir := uint64(0)
-		if in.PredDir {
-			dir = 1
-		}
-		h = fnvMix(h, uint64(in.PredDst)<<32|uint64(in.PredSrc)<<1|dir)
-	}
-	h = fnvMix(h, w.MaxInsts)
-	h = fnvMix(h, w.Mem.HashArch())
-	return h
 }

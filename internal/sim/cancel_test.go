@@ -64,12 +64,15 @@ func TestRunCtxCancelMidRun(t *testing.T) {
 }
 
 // The sampled pipeline spends most of its time in functional fast-forward;
-// cancellation must interrupt that phase too.
+// cancellation must interrupt that phase too. The workload is sized so the
+// profile pass alone takes far longer than the cancel delay — real suite
+// workloads finish in milliseconds on a fast host, turning the race into a
+// flake.
 func TestSampledRunCtxCanceled(t *testing.T) {
 	t.Parallel()
-	spec, err := SpecByName("astar", false)
-	if err != nil {
-		t.Fatal(err)
+	spec := Spec{
+		Name:  "long",
+		Build: func() *prog.Workload { return prog.PredictableLoop(20_000_000) },
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)

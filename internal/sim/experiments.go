@@ -247,6 +247,12 @@ type MatrixOptions struct {
 	// Faults injects deliberate timing-model bugs into every cell's main
 	// core (containment tests only; see cpu.FaultInjection).
 	Faults *cpu.FaultInjection
+
+	// Sample, when non-nil, runs every cell sampled (SampledRunCtx) instead
+	// of cycle-accurately end to end. Sample.Ckpts is shared across cells:
+	// all configurations of one workload reuse a single cached checkpoint
+	// artifact (the cache key excludes Mode).
+	Sample *SampleConfig
 }
 
 func (o MatrixOptions) crashDir() string {
@@ -294,6 +300,13 @@ func RunCellCtx(ctx context.Context, s Spec, cfgName string, opt MatrixOptions) 
 		res = Result{}
 		err = fmt.Errorf("%w: %v%s", ErrPanic, r, detail)
 	}()
+	if opt.Sample != nil {
+		scfg := *opt.Sample
+		if scfg.CrashDir == "" {
+			scfg.CrashDir = opt.crashDir()
+		}
+		return SampledRunCtx(ctx, s, cfg, scfg)
+	}
 	w = s.Build()
 	return RunCtx(ctx, w, cfg)
 }

@@ -24,16 +24,33 @@ package sim
 //                 interval.
 //  5. weigh:      Result rates are the weight-averaged per-point rates
 //                 scaled to the profiled instruction total.
+//
+// Two orthogonal accelerations sit on top (see DESIGN.md · Parallel sampled
+// execution + checkpoint cache). Measurement (phase 4) can run the points on
+// a bounded worker pool (SampleConfig.Workers): each point already owns an
+// isolated machine — a copy-on-write materialization of its checkpoint plus
+// its own predictor/hierarchy state — and the weighted reconstruction
+// (phase 5) is aggregated serially in interval order afterwards, so the
+// Result is bit-identical to a serial run. And the functional passes
+// (phases 1–3) can be skipped entirely when SampleConfig.Ckpts holds a
+// cached artifact for the (workload, config) key: the artifact carries the
+// SimPoint list, the checkpoints, and the warmed predictor/hierarchy state
+// blobs. A cold run with the cache enabled measures from the decoded form of
+// the artifact it just encoded, so warm runs — decoding the same bytes —
+// cannot differ.
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync"
 
 	"phelps/internal/bpred"
 	"phelps/internal/cache"
 	"phelps/internal/check"
 	"phelps/internal/emu"
+	"phelps/internal/isa"
 	"phelps/internal/simpoint"
 )
 
@@ -71,6 +88,20 @@ type SampleConfig struct {
 	Seed uint64
 	// MaxProfileInsts bounds the functional profile pass. 0 means 1e9.
 	MaxProfileInsts uint64
+	// Workers bounds how many SimPoints are measured concurrently. <= 1
+	// measures serially (the default; callers that already parallelize
+	// across runs, like the matrix pool and the phelpsd scheduler, should
+	// keep it). The Result is bit-identical for any worker count.
+	Workers int
+	// CrashDir receives crash reports when a point's measurement panics
+	// (contained into an ErrPanic error either way). Empty means
+	// $PHELPS_CRASH_DIR, falling back to "crashes".
+	CrashDir string
+	// Ckpts, when non-nil, caches the product of the functional passes — the
+	// SimPoint list, checkpoints, and warmed predictor/hierarchy state —
+	// keyed by workload content and sample/predictor/cache configuration, so
+	// repeat runs skip profiling entirely. See CkptCache.
+	Ckpts *CkptCache
 }
 
 func (sc SampleConfig) withDefaults() SampleConfig {
@@ -107,6 +138,22 @@ func autoInterval(total uint64) uint64 {
 		l = 2 * chunkLen
 	}
 	return l
+}
+
+// coldIntervals is how many leading intervals the mandatory cold-start point
+// measures contiguously: the cold transient usually spans a few intervals,
+// but measuring many cold intervals cycle-accurately eats into the speedup.
+// Derived from the interval count alone so the cached-artifact path
+// reproduces it without the profile.
+func coldIntervals(nIv int) int {
+	c := nIv / 16
+	if c < 1 {
+		c = 1
+	}
+	if c > 3 {
+		c = 3
+	}
+	return c
 }
 
 // SampleReport describes how a sampled Result was reconstructed.
@@ -168,13 +215,16 @@ func SampledRun(spec Spec, cfg Config, sc SampleConfig) (Result, error) {
 }
 
 // SampledRunCtx is SampledRun under a context: cancellation is polled in the
-// functional passes (between fast-forward chunks) and in every timing phase's
-// cycle loop, returning a wrapped ErrCanceled. context.Background()
-// reproduces SampledRun exactly.
+// functional passes (between fast-forward chunks), in checkpoint-cache I/O,
+// between parallel point dispatches, and in every timing phase's cycle loop,
+// returning a wrapped ErrCanceled. context.Background() reproduces
+// SampledRun exactly.
 func SampledRunCtx(ctx context.Context, spec Spec, cfg Config, sc SampleConfig) (res Result, err error) {
 	// Fault containment: a panic anywhere in the profile/checkpoint/measure
 	// pipeline becomes a wrapped ErrPanic instead of killing the caller (the
-	// matrix worker pool in particular).
+	// matrix worker pool in particular). Point-measurement workers carry
+	// their own recover (measurePointSafe) — a panic on a pool goroutine
+	// would otherwise kill the process, not reach this handler.
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("sim: %s: %w: %v\n%s", spec.Name, ErrPanic, r, debug.Stack())
@@ -215,6 +265,311 @@ func fastForwardCtx(ctx context.Context, name string, e *emu.Emulator, n uint64,
 	return total, nil
 }
 
+// measSetup is the run-wide context shared by every point measurement.
+type measSetup struct {
+	name        string
+	prog        *isa.Program
+	cfg         Config // Obs already nil, MaxCycles already defaulted
+	intervalLen uint64
+	coldIv      int
+	workers     int
+	crashDir    string
+}
+
+// measPoint is one SimPoint's measurement input: its checkpoint plus the
+// functionally warmed microarchitectural state — either live structures
+// (cache-off path: clones made during the checkpoint pass) or an artifact
+// point (cached path: each worker clones the lazily decoded prototypes).
+type measPoint struct {
+	interval int
+	weight   float64
+	warm     uint64 // cycle-accurate warmup insts between checkpoint and interval
+	ck       *emu.Checkpoint
+	pred     bpred.Predictor  // live, or nil to clone from src
+	hier     *cache.Hierarchy // live, or nil to clone from src
+	src      *ckptPoint
+}
+
+// pointMeas is one point's measurement output: the reported PointResult plus
+// the raw counters the weighted reconstruction needs. Aggregation stays a
+// separate serial pass in interval order so the floating-point reduction is
+// identical for every worker count.
+type pointMeas struct {
+	pr           PointResult
+	cond, qp, qm uint64 // conditional branches, queue preds/misps in the window
+	cache        cache.Stats
+}
+
+// measurePoint resumes one SimPoint's checkpoint into a timing machine,
+// runs the cycle-accurate warmup, and measures the interval.
+func measurePoint(ctx context.Context, s *measSetup, mp *measPoint) (pointMeas, error) {
+	cfg := s.cfg
+	pred, hier := mp.pred, mp.hier
+	if pred == nil || hier == nil {
+		pp, ph, err := mp.src.protos(cfg)
+		if err != nil {
+			return pointMeas{}, fmt.Errorf("sim: %s: SimPoint %d %v", s.name, mp.interval, err)
+		}
+		pred, hier = pp.ClonePredictor(), ph.Clone()
+	}
+	em, mem := mp.ck.Resume(s.prog)
+	m := newMachine(cfg, mem, em, pred, hier)
+	m.done = ctx.Done()
+	// Each measured point gets its own lockstep oracle, resumed from the
+	// same checkpoint on a third isolated materialization; it covers the
+	// warmup and measured phases alike.
+	var orc *check.Oracle
+	if cfg.Lockstep {
+		orc = check.NewOracleAt(s.prog, mp.ck)
+	}
+	m.setupGuards(orc)
+	fail := func(phase string, outcome runOutcome) error {
+		switch outcome {
+		case runStalled:
+			return fmt.Errorf("sim: %s: SimPoint %d %s: %w: %v",
+				s.name, mp.interval, phase, ErrStall, m.failure)
+		case runCheckFailed:
+			return fmt.Errorf("sim: %s: SimPoint %d %s: %w: %v",
+				s.name, mp.interval, phase, ErrCheck, m.failure)
+		case runCanceled:
+			return fmt.Errorf("sim: %s: SimPoint %d %s: %w: %v",
+				s.name, mp.interval, phase, ErrCanceled, context.Cause(ctx))
+		default:
+			return fmt.Errorf("sim: %s: SimPoint %d %s did not finish within %d cycles: %w",
+				s.name, mp.interval, phase, cfg.MaxCycles, ErrLivelock)
+		}
+	}
+	warmed := uint64(0)
+	measLen := s.intervalLen
+	// The cold-start point (interval 0) skips warmup and measures the
+	// whole cold prefix: cold behavior is exactly what it is there to
+	// measure.
+	if mp.interval == 0 {
+		measLen = uint64(s.coldIv) * s.intervalLen
+	} else if mp.warm > 0 {
+		if out := m.run(mp.warm, cfg.MaxCycles); out != runDone {
+			return pointMeas{}, fail("warmup", out)
+		}
+		warmed = m.mt.Stats.Retired
+		m.resetStats()
+	}
+	if out := m.run(measLen, cfg.MaxCycles); out != runDone {
+		return pointMeas{}, fail("measure", out)
+	}
+	if orc != nil {
+		// Sampled points are instruction-bounded, never final: this only
+		// reports a divergence latched after the last guard poll.
+		if cerr := orc.Finish(mem, false); cerr != nil {
+			return pointMeas{}, fmt.Errorf("sim: %s: SimPoint %d: %w: %v",
+				s.name, mp.interval, ErrCheck, cerr)
+		}
+	}
+	st := &m.mt.Stats
+	pr := PointResult{
+		Interval:  mp.interval,
+		Weight:    mp.weight,
+		StartInst: uint64(mp.interval) * s.intervalLen,
+		Warmed:    warmed,
+		Measured:  st.Retired,
+		Cycles:    st.Cycles,
+	}
+	if st.Cycles > 0 && st.Retired > 0 {
+		pr.IPC = float64(st.Retired) / float64(st.Cycles)
+		pr.MPKI = float64(st.Mispredicts) * 1000 / float64(st.Retired)
+	}
+	return pointMeas{pr: pr, cond: st.CondBranches, qp: st.QueuePreds, qm: st.QueueMisps, cache: m.hier.Stats}, nil
+}
+
+// measurePointSafe is measurePoint with per-point fault containment: a panic
+// inside this point's machine is recovered into an ErrPanic error naming the
+// interval, with a crash report dumped, and sibling workers are unaffected.
+// Mandatory on pool goroutines — an uncontained panic there kills the
+// process, bypassing SampledRunCtx's recover.
+func measurePointSafe(ctx context.Context, s *measSetup, mp *measPoint) (pm pointMeas, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		rep := &check.Report{
+			Name:   s.name,
+			Config: fmt.Sprintf("SimPoint interval %d (sampled measure)", mp.interval),
+			Err:    fmt.Sprint(r),
+			Stack:  string(debug.Stack()),
+			Prog:   s.prog,
+		}
+		detail := ""
+		if path, derr := check.Dump(s.crashDir, rep); derr == nil {
+			detail = " (repro dumped to " + path + ")"
+		}
+		pm = pointMeas{}
+		err = fmt.Errorf("sim: %s: SimPoint interval %d: %w: %v%s", s.name, mp.interval, ErrPanic, r, detail)
+	}()
+	return measurePoint(ctx, s, mp)
+}
+
+// measureAll measures every point, serially or on a bounded worker pool
+// (s.workers), honoring ctx between dispatches. Results come back indexed by
+// point so the caller's aggregation order never depends on scheduling. On
+// failure the first real error in interval order wins; cancellation errors
+// only surface when nothing else failed.
+func measureAll(ctx context.Context, s *measSetup, pts []measPoint) ([]pointMeas, error) {
+	meas := make([]pointMeas, len(pts))
+	errs := make([]error, len(pts))
+	workers := s.workers
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	if workers <= 1 {
+		for i := range pts {
+			if cerr := ctx.Err(); cerr != nil {
+				errs[i] = fmt.Errorf("sim: %s: SimPoint %d dispatch: %w: %v",
+					s.name, pts[i].interval, ErrCanceled, context.Cause(ctx))
+				break
+			}
+			if meas[i], errs[i] = measurePointSafe(ctx, s, &pts[i]); errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		// One failure cancels the siblings (they stop at their next guard
+		// poll) and stops dispatching; wg.Wait drains every started worker,
+		// so no goroutine outlives this call.
+		mctx, mcancel := context.WithCancelCause(ctx)
+		defer mcancel(nil)
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+	dispatch:
+		for i := range pts {
+			select {
+			case sem <- struct{}{}:
+			case <-mctx.Done():
+				for j := i; j < len(pts); j++ {
+					errs[j] = fmt.Errorf("sim: %s: SimPoint %d dispatch: %w: %v",
+						s.name, pts[j].interval, ErrCanceled, context.Cause(mctx))
+				}
+				break dispatch
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				pm, perr := measurePointSafe(mctx, s, &pts[i])
+				meas[i], errs[i] = pm, perr
+				if perr != nil {
+					mcancel(perr)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	var firstErr error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = e
+		}
+		if !errors.Is(e, ErrCanceled) {
+			return nil, e
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return meas, nil
+}
+
+// measureAndWeigh runs phases 4 and 5: measure every point (serially or in
+// parallel) and reconstruct the whole-run Result. The weighted reduction is
+// a serial pass in interval order over the per-point outputs, keeping the
+// floating-point result bit-identical for every worker count.
+func measureAndWeigh(ctx context.Context, s *measSetup, pts []measPoint, total uint64, intervals int, halted bool) (Result, error) {
+	meas, err := measureAll(ctx, s, pts)
+	if err != nil {
+		return Result{}, err
+	}
+	report := &SampleReport{TotalInsts: total, IntervalLen: s.intervalLen, Intervals: intervals}
+	var (
+		wSum               float64
+		invW, mpkiW, condW float64
+		qpW, qmW           float64
+		sumCache           cache.Stats
+	)
+	for i := range meas {
+		pm := &meas[i]
+		pr := pm.pr
+		if pr.Cycles > 0 && pr.Measured > 0 {
+			w := pr.Weight
+			wSum += w
+			// Cycles add, IPC doesn't: each point stands for w*total
+			// instructions costing w*total/IPC cycles, so the whole-run IPC
+			// is the weighted harmonic mean of the per-point IPCs.
+			invW += w / pr.IPC
+			mpkiW += w * pr.MPKI
+			condW += w * float64(pm.cond) / float64(pr.Measured)
+			qpW += w * float64(pm.qp) / float64(pr.Measured)
+			qmW += w * float64(pm.qm) / float64(pr.Measured)
+		}
+		addCacheStats(&sumCache, &pm.cache)
+		report.Points = append(report.Points, pr)
+	}
+	if wSum == 0 {
+		return Result{}, fmt.Errorf("sim: %s: no SimPoint produced measurable cycles", s.name)
+	}
+	ipc := wSum / invW
+	return Result{
+		Retired:      total,
+		Cycles:       uint64(float64(total)/ipc + 0.5),
+		CondBranches: uint64(condW/wSum*float64(total) + 0.5),
+		Mispredicts:  uint64(mpkiW / wSum * float64(total) / 1000.0),
+		QueuePreds:   uint64(qpW/wSum*float64(total) + 0.5),
+		QueueMisps:   uint64(qmW/wSum*float64(total) + 0.5),
+		Halted:       halted,
+		Cache:        sumCache,
+		Sampled:      report,
+	}, nil
+}
+
+// newMeasSetup assembles the shared measurement context.
+func newMeasSetup(spec Spec, p *isa.Program, cfg Config, sc SampleConfig, intervalLen uint64, nIv int) *measSetup {
+	cfg.Obs = nil
+	dir := sc.CrashDir
+	if dir == "" {
+		dir = MatrixOptions{}.crashDir()
+	}
+	return &measSetup{
+		name:        spec.Name,
+		prog:        p,
+		cfg:         cfg,
+		intervalLen: intervalLen,
+		coldIv:      coldIntervals(nIv),
+		workers:     sc.Workers,
+		crashDir:    dir,
+	}
+}
+
+// measureArtifact is the cached path: phases 4–5 driven from a decoded
+// artifact. Each point clones the artifact's lazily decoded state prototypes
+// and resumes its checkpoint copy-on-write, so the (immutable) artifact is
+// safely shared by concurrent workers and concurrent runs.
+func measureArtifact(ctx context.Context, spec Spec, p *isa.Program, cfg Config, sc SampleConfig, art *ckptArtifact) (Result, error) {
+	s := newMeasSetup(spec, p, cfg, sc, art.intervalLen, art.intervals)
+	pts := make([]measPoint, len(art.points))
+	for i := range art.points {
+		ap := &art.points[i]
+		pts[i] = measPoint{
+			interval: ap.interval,
+			weight:   ap.weight,
+			warm:     ap.warm,
+			ck:       art.cks[i],
+			src:      ap,
+		}
+	}
+	return measureAndWeigh(ctx, s, pts, art.totalInsts, art.intervals, art.halted)
+}
+
 func sampledRun(ctx context.Context, spec Spec, cfg Config, sc SampleConfig) (Result, error) {
 	if cfg.Obs != nil {
 		return Result{}, fmt.Errorf("sim: SampledRun does not support Config.Obs")
@@ -228,11 +583,39 @@ func sampledRun(ctx context.Context, spec Spec, cfg Config, sc SampleConfig) (Re
 		profileCap = cfg.MaxInsts
 	}
 
-	// --- 1. profile: functional pass recording the basic-block stream ---
 	w := spec.Build()
 	if w.Mem == nil {
 		return Result{}, fmt.Errorf("sim: %s: built workload has nil memory", spec.Name)
 	}
+
+	// --- 0. checkpoint cache probe ---
+	// The key covers everything the functional passes depend on: workload
+	// content, sampling knobs, and the predictor/cache configuration whose
+	// warmed state the artifact carries. Mode and the check knobs only
+	// affect measurement, so base/phelps cells of one workload share one
+	// artifact. The hash must see the freshly built workload (pristine
+	// memory image), hence hashing before the profile pass consumes w.
+	var key CkptKey
+	if sc.Ckpts != nil {
+		key = ckptKeyFor(HashWorkload(w), cfg, sc, profileCap)
+		art, lerr := sc.Ckpts.Load(ctx, key)
+		if lerr != nil {
+			return Result{}, fmt.Errorf("sim: %s (checkpoint load): %w: %v", spec.Name, ErrCanceled, lerr)
+		}
+		if art != nil {
+			if art.fullRun {
+				// The workload was below MinIntervals when profiled: the
+				// artifact is just a marker that a full run is the answer
+				// (skipping the re-profile), and w is still pristine.
+				res, err := RunCtx(ctx, w, cfg)
+				res.Sampled = &SampleReport{FullRun: true, TotalInsts: art.totalInsts, IntervalLen: art.intervalLen, Intervals: art.intervals}
+				return res, err
+			}
+			return measureArtifact(ctx, spec, w.Prog, cfg, sc, art)
+		}
+	}
+
+	// --- 1. profile: functional pass recording the basic-block stream ---
 	// BBVs are collected live at chunkLen grain (or directly at the caller's
 	// interval) rather than via an intermediate block stream; auto-sized
 	// intervals are merged from whole chunks after the total is known.
@@ -273,6 +656,13 @@ func sampledRun(ctx context.Context, spec Spec, cfg Config, sc SampleConfig) (Re
 	}
 	if len(intervals) < sc.MinIntervals {
 		// Too short to sample: a full run is cheaper than the machinery.
+		// Cache that verdict so warm runs skip straight to the full run.
+		if sc.Ckpts != nil {
+			art := &ckptArtifact{fullRun: true, totalInsts: total, intervalLen: intervalLen, intervals: len(intervals), halted: e.Halted}
+			if serr := sc.Ckpts.Store(ctx, key, art, appendArtifact(nil, key, art)); serr != nil {
+				return Result{}, fmt.Errorf("sim: %s (checkpoint store): %w: %v", spec.Name, ErrCanceled, serr)
+			}
+		}
 		res, err := RunCtx(ctx, spec.Build(), cfg)
 		res.Sampled = &SampleReport{FullRun: true, TotalInsts: total, IntervalLen: intervalLen, Intervals: len(intervals)}
 		return res, err
@@ -288,15 +678,7 @@ func sampledRun(ctx context.Context, spec Spec, cfg Config, sc SampleConfig) (Re
 	// the whole run (or a warm one hide the cold phase). Only the remainder
 	// is clustered and sampled.
 	nIv := len(intervals)
-	coldIv := nIv / 16
-	if coldIv < 1 {
-		coldIv = 1
-	}
-	if coldIv > 3 {
-		// The transient is over after a few intervals; measuring more cold
-		// intervals cycle-accurately only eats into the speedup.
-		coldIv = 3
-	}
+	coldIv := coldIntervals(nIv)
 	points := simpoint.Pick(intervals[coldIv:], sc.K, sc.Seed)
 	scale := float64(nIv-coldIv) / float64(nIv)
 	byStart := make([]simpoint.SimPoint, 0, len(points)+1)
@@ -437,113 +819,52 @@ func sampledRun(ctx context.Context, spec Spec, cfg Config, sc SampleConfig) (Re
 		preps = append(preps, p)
 	}
 
-	// --- 4. measure each point cycle-accurately ---
-	report := &SampleReport{TotalInsts: total, IntervalLen: intervalLen, Intervals: len(intervals)}
-	var (
-		wSum               float64
-		invW, mpkiW, condW float64
-		qpW, qmW           float64
-		sumCache           cache.Stats
-	)
-	for _, p := range preps {
-		em, mem := p.ck.Resume(w2.Prog)
-		mcfg := cfg
-		mcfg.Obs = nil
-		m := newMachine(mcfg, mem, em, p.pred, p.hier)
-		m.done = ctx.Done()
-		// Each measured point gets its own lockstep oracle, resumed from the
-		// same checkpoint on a third isolated materialization; it covers the
-		// warmup and measured phases alike.
-		var orc *check.Oracle
-		if cfg.Lockstep {
-			orc = check.NewOracleAt(w2.Prog, p.ck)
-		}
-		m.setupGuards(orc)
-		fail := func(phase string, outcome runOutcome) error {
-			switch outcome {
-			case runStalled:
-				return fmt.Errorf("sim: %s: SimPoint %d %s: %w: %v",
-					spec.Name, p.sp.Interval, phase, ErrStall, m.failure)
-			case runCheckFailed:
-				return fmt.Errorf("sim: %s: SimPoint %d %s: %w: %v",
-					spec.Name, p.sp.Interval, phase, ErrCheck, m.failure)
-			case runCanceled:
-				return fmt.Errorf("sim: %s: SimPoint %d %s: %w: %v",
-					spec.Name, p.sp.Interval, phase, ErrCanceled, context.Cause(ctx))
-			default:
-				return fmt.Errorf("sim: %s: SimPoint %d %s did not finish within %d cycles: %w",
-					spec.Name, p.sp.Interval, phase, cfg.MaxCycles, ErrLivelock)
+	// --- 4+5. measure and weigh ---
+	if sc.Ckpts != nil {
+		// Cold run with the cache enabled: serialize the artifact, store it,
+		// and measure from the DECODED form. Warm runs decode the same bytes,
+		// so cold and warm results are bit-identical by construction (the
+		// leaf codecs' round-trip exactness makes cache-off identical too).
+		art := &ckptArtifact{totalInsts: total, intervalLen: intervalLen, intervals: nIv, halted: e.Halted}
+		for i := range preps {
+			p := &preps[i]
+			pc, ok := p.pred.(bpred.StateCodec)
+			if !ok {
+				return Result{}, fmt.Errorf("sim: %s: predictor kind %d is not serializable for the checkpoint cache", spec.Name, cfg.Predictor)
 			}
+			art.points = append(art.points, ckptPoint{
+				interval: p.sp.Interval,
+				weight:   p.sp.Weight,
+				warm:     p.warm,
+				pred:     pc.AppendState(nil),
+				hier:     p.hier.AppendState(nil),
+			})
+			art.cks = append(art.cks, p.ck)
 		}
-		warmed := uint64(0)
-		measLen := intervalLen
-		// The cold-start point (interval 0) skips warmup and measures the
-		// whole cold prefix: cold behavior is exactly what it is there to
-		// measure.
-		if p.sp.Interval == 0 {
-			measLen = uint64(coldIv) * intervalLen
-		} else if p.warm > 0 {
-			if out := m.run(p.warm, cfg.MaxCycles); out != runDone {
-				return Result{}, fail("warmup", out)
-			}
-			warmed = m.mt.Stats.Retired
-			m.resetStats()
+		blob := appendArtifact(nil, key, art)
+		decoded, derr := decodeArtifact(blob, key)
+		if derr != nil {
+			return Result{}, fmt.Errorf("sim: %s: checkpoint artifact round-trip: %v", spec.Name, derr)
 		}
-		if out := m.run(measLen, cfg.MaxCycles); out != runDone {
-			return Result{}, fail("measure", out)
+		if serr := sc.Ckpts.Store(ctx, key, decoded, blob); serr != nil {
+			return Result{}, fmt.Errorf("sim: %s (checkpoint store): %w: %v", spec.Name, ErrCanceled, serr)
 		}
-		if orc != nil {
-			// Sampled points are instruction-bounded, never final: this only
-			// reports a divergence latched after the last guard poll.
-			if cerr := orc.Finish(mem, false); cerr != nil {
-				return Result{}, fmt.Errorf("sim: %s: SimPoint %d: %w: %v",
-					spec.Name, p.sp.Interval, ErrCheck, cerr)
-			}
-		}
-		st := &m.mt.Stats
-		pr := PointResult{
-			Interval:  p.sp.Interval,
-			Weight:    p.sp.Weight,
-			StartInst: uint64(p.sp.Interval) * intervalLen,
-			Warmed:    warmed,
-			Measured:  st.Retired,
-			Cycles:    st.Cycles,
-		}
-		if st.Cycles > 0 && st.Retired > 0 {
-			pr.IPC = float64(st.Retired) / float64(st.Cycles)
-			pr.MPKI = float64(st.Mispredicts) * 1000 / float64(st.Retired)
-			w := p.sp.Weight
-			wSum += w
-			// Cycles add, IPC doesn't: each point stands for w*total
-			// instructions costing w*total/IPC cycles, so the whole-run IPC
-			// is the weighted harmonic mean of the per-point IPCs.
-			invW += w / pr.IPC
-			mpkiW += w * pr.MPKI
-			condW += w * float64(st.CondBranches) / float64(st.Retired)
-			qpW += w * float64(st.QueuePreds) / float64(st.Retired)
-			qmW += w * float64(st.QueueMisps) / float64(st.Retired)
-		}
-		addCacheStats(&sumCache, &m.hier.Stats)
-		report.Points = append(report.Points, pr)
+		return measureArtifact(ctx, spec, w2.Prog, cfg, sc, decoded)
 	}
-	if wSum == 0 {
-		return Result{}, fmt.Errorf("sim: %s: no SimPoint produced measurable cycles", spec.Name)
+	s := newMeasSetup(spec, w2.Prog, cfg, sc, intervalLen, nIv)
+	pts := make([]measPoint, len(preps))
+	for i := range preps {
+		p := &preps[i]
+		pts[i] = measPoint{
+			interval: p.sp.Interval,
+			weight:   p.sp.Weight,
+			warm:     p.warm,
+			ck:       p.ck,
+			pred:     p.pred,
+			hier:     p.hier,
+		}
 	}
-
-	// --- 5. weigh: reconstruct whole-run metrics from per-point rates ---
-	ipc := wSum / invW
-	res := Result{
-		Retired:      total,
-		Cycles:       uint64(float64(total)/ipc + 0.5),
-		CondBranches: uint64(condW/wSum*float64(total) + 0.5),
-		Mispredicts:  uint64(mpkiW / wSum * float64(total) / 1000.0),
-		QueuePreds:   uint64(qpW/wSum*float64(total) + 0.5),
-		QueueMisps:   uint64(qmW/wSum*float64(total) + 0.5),
-		Halted:       e.Halted,
-		Cache:        sumCache,
-		Sampled:      report,
-	}
-	return res, nil
+	return measureAndWeigh(ctx, s, pts, total, nIv, e.Halted)
 }
 
 // addCacheStats accumulates b into a field-by-field.

@@ -149,15 +149,17 @@ func Pick(intervals []map[uint64]float64, k int, seed uint64) []SimPoint {
 	if k > n {
 		k = n
 	}
-	norm := make([]map[uint64]float64, n)
+	norm := make([]bbvec, n)
 	for i, v := range intervals {
-		norm[i] = normalize(v)
+		norm[i] = toVec(v).normalize()
 	}
 	r := graph.NewRand(seed)
 
 	// k-means++ style init: first centroid random, the rest far away.
-	centroids := make([]map[uint64]float64, 0, k)
-	centroids = append(centroids, clone(norm[r.Intn(n)]))
+	// Centroid entries are only ever replaced wholesale, so sharing a
+	// member's backing slices is safe.
+	centroids := make([]bbvec, 0, k)
+	centroids = append(centroids, norm[r.Intn(n)])
 	for len(centroids) < k {
 		best, bestD := 0, -1.0
 		for i := 0; i < n; i++ {
@@ -169,16 +171,16 @@ func Pick(intervals []map[uint64]float64, k int, seed uint64) []SimPoint {
 		if bestD <= 0 {
 			break // all remaining points coincide with centroids
 		}
-		centroids = append(centroids, clone(norm[best]))
+		centroids = append(centroids, norm[best])
 	}
 
 	assign := make([]int, n)
 	for iter := 0; iter < 10; iter++ {
 		changed := false
 		for i := 0; i < n; i++ {
-			bi, bd := 0, dist(norm[i], centroids[0])
+			bi, bd := 0, vdist(norm[i], centroids[0])
 			for j := 1; j < len(centroids); j++ {
-				if d := dist(norm[i], centroids[j]); d < bd {
+				if d := vdist(norm[i], centroids[j]); d < bd {
 					bi, bd = j, d
 				}
 			}
@@ -190,7 +192,9 @@ func Pick(intervals []map[uint64]float64, k int, seed uint64) []SimPoint {
 		if !changed && iter > 0 {
 			break
 		}
-		// Recompute centroids.
+		// Recompute centroids. Per-key sums accumulate in ascending member
+		// order (the map only stores; no cross-key reduction), so the result
+		// is deterministic; the extraction sort fixes the key order.
 		for j := range centroids {
 			sum := make(map[uint64]float64)
 			cnt := 0
@@ -199,17 +203,19 @@ func Pick(intervals []map[uint64]float64, k int, seed uint64) []SimPoint {
 					continue
 				}
 				cnt++
-				for b, w := range norm[i] {
-					sum[b] += w
+				v := &norm[i]
+				for t, b := range v.keys {
+					sum[b] += v.ws[t]
 				}
 			}
 			if cnt == 0 {
 				continue
 			}
-			for b := range sum {
-				sum[b] /= float64(cnt)
+			c := toVec(sum)
+			for t := range c.ws {
+				c.ws[t] /= float64(cnt)
 			}
-			centroids[j] = sum
+			centroids[j] = c
 		}
 	}
 
@@ -229,7 +235,7 @@ func Pick(intervals []map[uint64]float64, k int, seed uint64) []SimPoint {
 	for i := 0; i < n; i++ {
 		j := assign[i]
 		cl[j].members = append(cl[j].members, i)
-		cl[j].dists = append(cl[j].dists, dist(norm[i], centroids[j]))
+		cl[j].dists = append(cl[j].dists, vdist(norm[i], centroids[j]))
 	}
 	var out []SimPoint
 	for _, c := range cl {
@@ -279,52 +285,89 @@ func Pick(intervals []map[uint64]float64, k int, seed uint64) []SimPoint {
 	return out
 }
 
-func normalize(v map[uint64]float64) map[uint64]float64 {
+// bbvec is a sparse BBV with keys in ascending order. Every float reduction
+// over one (normalization sums, distances, centroid averages) walks the keys
+// in this single fixed order. Reducing over map iteration order instead would
+// make the non-associative float sums — and through them k-means tie-breaks,
+// the picked points, and the whole sampled Result — vary from process to
+// process.
+type bbvec struct {
+	keys []uint64
+	ws   []float64
+}
+
+// toVec sorts a sparse map into a bbvec.
+func toVec(v map[uint64]float64) bbvec {
+	keys := make([]uint64, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	ws := make([]float64, len(keys))
+	for i, k := range keys {
+		ws[i] = v[k]
+	}
+	return bbvec{keys: keys, ws: ws}
+}
+
+// normalize scales the vector to sum 1 (key order, so the sum is exact).
+func (v bbvec) normalize() bbvec {
 	var sum float64
-	for _, w := range v {
+	for _, w := range v.ws {
 		sum += w
 	}
-	out := make(map[uint64]float64, len(v))
+	out := bbvec{keys: v.keys, ws: make([]float64, len(v.ws))}
 	if sum == 0 {
 		return out
 	}
-	for b, w := range v {
-		out[b] = w / sum
+	for i, w := range v.ws {
+		out.ws[i] = w / sum
 	}
 	return out
 }
 
-func clone(v map[uint64]float64) map[uint64]float64 {
-	out := make(map[uint64]float64, len(v))
-	for b, w := range v {
-		out[b] = w
-	}
-	return out
-}
-
-// dist is the Manhattan distance between sparse vectors.
-func dist(a, b map[uint64]float64) float64 {
+// vdist is the Manhattan distance between sorted sparse vectors: a linear
+// merge walk, accumulating in ascending key order.
+func vdist(a, b bbvec) float64 {
 	var d float64
-	for k, av := range a {
-		bv := b[k]
-		if av > bv {
-			d += av - bv
-		} else {
-			d += bv - av
+	i, j := 0, 0
+	for i < len(a.keys) && j < len(b.keys) {
+		switch {
+		case a.keys[i] < b.keys[j]:
+			d += a.ws[i]
+			i++
+		case a.keys[i] > b.keys[j]:
+			d += b.ws[j]
+			j++
+		default:
+			if a.ws[i] > b.ws[j] {
+				d += a.ws[i] - b.ws[j]
+			} else {
+				d += b.ws[j] - a.ws[i]
+			}
+			i++
+			j++
 		}
 	}
-	for k, bv := range b {
-		if _, ok := a[k]; !ok {
-			d += bv
-		}
+	for ; i < len(a.keys); i++ {
+		d += a.ws[i]
+	}
+	for ; j < len(b.keys); j++ {
+		d += b.ws[j]
 	}
 	return d
 }
 
-func minDist(v map[uint64]float64, cs []map[uint64]float64) float64 {
+// dist is the Manhattan distance between sparse map vectors (deterministic:
+// both sides are key-sorted before accumulating).
+func dist(a, b map[uint64]float64) float64 {
+	return vdist(toVec(a), toVec(b))
+}
+
+func minDist(v bbvec, cs []bbvec) float64 {
 	best := -1.0
 	for _, c := range cs {
-		d := dist(v, c)
+		d := vdist(v, c)
 		if best < 0 || d < best {
 			best = d
 		}

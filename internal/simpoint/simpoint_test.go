@@ -245,3 +245,32 @@ func approx(a, b float64) bool {
 	}
 	return d < 1e-9
 }
+
+func TestPickDeterministicUnderTies(t *testing.T) {
+	// Pick must be a pure function of (intervals, k, seed): every float
+	// reduction walks keys in sorted order, so repeated calls — including
+	// across processes — agree bit for bit. Map-iteration-order sums here
+	// used to flip k-means tie-breaks on real workloads (two clusterings of
+	// leela's BBVs tied, and the sampled Result flipped with them). Many
+	// near-identical dense vectors maximize tie pressure.
+	intervals := make([]map[uint64]float64, 64)
+	for i := range intervals {
+		v := make(map[uint64]float64, 16)
+		for b := 0; b < 16; b++ {
+			v[uint64(0x1000+b*4)] = float64(100 + (i*b)%3)
+		}
+		intervals[i] = v
+	}
+	want := Pick(intervals, 6, 42)
+	for trial := 0; trial < 50; trial++ {
+		got := Pick(intervals, 6, 42)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d points, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d point %d: %+v != %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -20,6 +20,13 @@ go test -race -run 'TestLockstepQuickMatrix|TestInjectedTimingBugsCaught' ./inte
 # Sampled-vs-full smoke: one workload through the checkpointed SimPoint
 # pipeline must land within the accuracy gate against the full-run golden.
 go test -count=1 -run 'TestSampledAccuracyVsGolden/astar$' -v ./internal/sim
+# Parallel sampled + checkpoint-cache smoke under -race: the point-measurement
+# worker pool must stay bit-identical to serial (skipped under -short, so the
+# -race -short line above does not cover it), and the cold->warm disk
+# round-trip must store once then hit (asserted via the cache's obs counters).
+go test -race -count=1 \
+    -run 'TestSampledParallelBitIdentical/(astar|xz)$|TestCkptCacheColdWarm' \
+    ./internal/sim
 # The daemon's concurrency (work-stealing scheduler, flights, admission,
 # cache, live registry snapshots) race-clean; the 116-cell HTTP acceptance
 # sweep is skipped under -short and pinned without -race below.
@@ -27,12 +34,14 @@ go test -race -short ./internal/serve
 go test -count=1 -run TestFullQuickMatrixOverHTTP ./internal/serve
 # phelpsd smoke: boot the daemon on an ephemeral port, submit a quick job
 # with the CLI client, then resubmit and require the second pass to be
-# answered from the results cache; SIGTERM must drain cleanly.
+# answered from the results cache; a sampled job populates the persistent
+# checkpoint cache; SIGTERM must drain cleanly.
 smoke_dir=$(mktemp -d)
 go build -o "$smoke_dir/phelpsd" ./cmd/phelpsd
 go build -o "$smoke_dir/phelps" ./cmd/phelps
 "$smoke_dir/phelpsd" -addr 127.0.0.1:0 -addr-file "$smoke_dir/addr" \
-    -cache "$smoke_dir/results.cache" >"$smoke_dir/phelpsd.log" 2>&1 &
+    -cache "$smoke_dir/results.cache" -ckpt-dir "$smoke_dir/ckpts" \
+    >"$smoke_dir/phelpsd.log" 2>&1 &
 daemon_pid=$!
 for _ in $(seq 1 50); do [ -s "$smoke_dir/addr" ] && break; sleep 0.1; done
 daemon_url="http://$(cat "$smoke_dir/addr")"
@@ -41,9 +50,29 @@ daemon_url="http://$(cat "$smoke_dir/addr")"
 "$smoke_dir/phelps" -submit -server "$daemon_url" \
     -workloads guarded,delinquent -configs base,phelps -quick -json \
     | grep -q '"cached": true'
+"$smoke_dir/phelps" -submit -server "$daemon_url" \
+    -workloads delinquent -configs base -quick -sampled
+curl -fsS "$daemon_url/v1/obs" | grep -q '"serve.ckpt.stores": 1'
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 grep -q drained "$smoke_dir/phelpsd.log"
+# Restart on the same checkpoint directory with a cold results cache: the
+# sampled cell re-executes but must reuse the persisted checkpoint artifact
+# (one hit, zero stores) instead of re-running the profile pass.
+"$smoke_dir/phelpsd" -addr 127.0.0.1:0 -addr-file "$smoke_dir/addr2" \
+    -cache "$smoke_dir/results2.cache" -ckpt-dir "$smoke_dir/ckpts" \
+    >"$smoke_dir/phelpsd2.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do [ -s "$smoke_dir/addr2" ] && break; sleep 0.1; done
+daemon_url="http://$(cat "$smoke_dir/addr2")"
+"$smoke_dir/phelps" -submit -server "$daemon_url" \
+    -workloads delinquent -configs base -quick -sampled
+obs=$(curl -fsS "$daemon_url/v1/obs")
+echo "$obs" | grep -q '"serve.ckpt.hits": 1'
+echo "$obs" | grep -q '"serve.ckpt.stores": 0'
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+grep -q drained "$smoke_dir/phelpsd2.log"
 rm -rf "$smoke_dir"
 go test -run '^$' -bench . -benchtime 1x ./...
 # Differential fuzz smoke: 30 s of random guarded-loop kernels, each run
