@@ -173,19 +173,20 @@ func BenchmarkHostCoreLoopPhelps(b *testing.B) {
 	runSimBench(b, func() *prog.Workload { return prog.DelinquentLoop(50_000, 50, 1) }, sim.PhelpsConfig(50_000))
 }
 
-// --- event-driven clock A/B ---
+// --- calendar event queue A/B ---
 //
-// The event-skip benches run the core loop on a memory-bound pointer chase
+// The event-queue benches run the core loop on a memory-bound pointer chase
 // (1M nodes, a 16 MB table ≈ 5× L3, serially dependent loads) under a
 // harder memory system (DRAM 300 cycles, 4 MSHRs) — the delinquent-load
 // regime the event-driven clock targets. Each bench has a Stepped partner
-// that forces per-cycle execution (Config.ForceStep); the ratio of the two
-// sim-inst/s figures is the speedup `phelpsreport -host` records as
-// event_skip.core_loop.{delinquent,phelps}. The compute-bound core-loop
-// benches above retire nearly every cycle, so they have no skippable spans
-// and would A/B only the NextEvent overhead.
+// that forces per-cycle execution (Config.ForceStep, no scheduler attached);
+// the ratio of the two sim-inst/s figures is the speedup `phelpsreport
+// -host` records as event_queue.core_loop.{delinquent,phelps}. The
+// compute-bound core-loop benches above retire nearly every cycle, so they
+// have no skippable spans and would A/B only the queue's bookkeeping
+// overhead.
 
-func eventSkipChase() *prog.Workload { return prog.DelinquentChase(1<<20, 150_000, 50, 1) }
+func eventQueueChase() *prog.Workload { return prog.DelinquentChase(1<<20, 150_000, 50, 1) }
 
 func memBoundCfg(cfg sim.Config) sim.Config {
 	cfg.Cache.DRAMLatency = 300
@@ -193,24 +194,24 @@ func memBoundCfg(cfg sim.Config) sim.Config {
 	return cfg
 }
 
-func BenchmarkHostEventSkipDelinquent(b *testing.B) {
-	runSimBench(b, eventSkipChase, memBoundCfg(sim.DefaultConfig()))
+func BenchmarkHostEventQueueDelinquent(b *testing.B) {
+	runSimBench(b, eventQueueChase, memBoundCfg(sim.DefaultConfig()))
 }
 
-func BenchmarkHostEventSkipDelinquentStepped(b *testing.B) {
+func BenchmarkHostEventQueueDelinquentStepped(b *testing.B) {
 	cfg := memBoundCfg(sim.DefaultConfig())
 	cfg.ForceStep = true
-	runSimBench(b, eventSkipChase, cfg)
+	runSimBench(b, eventQueueChase, cfg)
 }
 
-func BenchmarkHostEventSkipPhelps(b *testing.B) {
-	runSimBench(b, eventSkipChase, memBoundCfg(sim.PhelpsConfig(50_000)))
+func BenchmarkHostEventQueuePhelps(b *testing.B) {
+	runSimBench(b, eventQueueChase, memBoundCfg(sim.PhelpsConfig(50_000)))
 }
 
-func BenchmarkHostEventSkipPhelpsStepped(b *testing.B) {
+func BenchmarkHostEventQueuePhelpsStepped(b *testing.B) {
 	cfg := memBoundCfg(sim.PhelpsConfig(50_000))
 	cfg.ForceStep = true
-	runSimBench(b, eventSkipChase, cfg)
+	runSimBench(b, eventQueueChase, cfg)
 }
 
 func BenchmarkHostCoreLoopVerified(b *testing.B) {

@@ -5,7 +5,10 @@
 // (values) live in emu.Memory.
 package cache
 
-import "phelps/internal/obs"
+import (
+	"phelps/internal/clock"
+	"phelps/internal/obs"
+)
 
 // LineBytes is the cache line size at every level.
 const LineBytes = 64
@@ -146,8 +149,20 @@ type Hierarchy struct {
 	ipcp *ipcpPrefetcher
 	vldp *vldpPrefetcher
 
+	// sched, when attached, receives a clock.CacheFill wakeup for every
+	// demand access's ready cycle, making the hierarchy a first-class event
+	// source for the event-driven clock (see internal/clock). nil during
+	// functional warming, in oracle mode, and on prototype hierarchies —
+	// Clone deliberately does not carry it.
+	sched *clock.Scheduler
+
 	Stats Stats
 }
+
+// AttachClock wires the hierarchy into a machine's event scheduler. The
+// timing driver attaches per machine; warming and prototype hierarchies
+// stay detached so pseudo-clock accesses never post events.
+func (h *Hierarchy) AttachClock(s *clock.Scheduler) { h.sched = s }
 
 // New returns a hierarchy with the given configuration.
 func New(cfg Config) *Hierarchy {
@@ -221,21 +236,6 @@ func (h *Hierarchy) RegisterObs(r *obs.Registry, scope string) {
 // and outstanding misses are untouched (the point of a warmup phase is that
 // they stay warm).
 func (h *Hierarchy) ResetStats() { h.Stats = Stats{} }
-
-// NextMSHRCompletion returns the earliest outstanding-miss completion cycle
-// strictly after from, or ^uint64(0) when none is pending. An event source
-// for the event-driven clock: the hierarchy itself is demand-driven (state
-// changes only inside Load/Store/FetchInst calls), so completions are the
-// only cycles at which its bookkeeping becomes observable to a core.
-func (h *Hierarchy) NextMSHRCompletion(from uint64) uint64 {
-	best := ^uint64(0)
-	for _, c := range h.mshr {
-		if c > from && c < best {
-			best = c
-		}
-	}
-	return best
-}
 
 // Quiesce drops all outstanding-miss bookkeeping. Functional cache warming
 // advances a pseudo-clock unrelated to the timing model's cycle count;
@@ -333,13 +333,21 @@ func (h *Hierarchy) Load(pc, addr, now uint64) uint64 {
 		if wasPref {
 			h.Stats.PrefUseful++
 		}
-		return now + h.cfg.L1Latency
+		ready := now + h.cfg.L1Latency
+		if h.sched != nil {
+			h.sched.Post(clock.CacheFill, ready)
+		}
+		return ready
 	}
 	h.Stats.L1DMisses++
 	extra := h.beyondL1(line)
 	h.l1d.fill(line, false)
 	start := h.allocMSHR(now, now+h.cfg.L1Latency+extra)
-	return start + h.cfg.L1Latency + extra
+	ready := start + h.cfg.L1Latency + extra
+	if h.sched != nil {
+		h.sched.Post(clock.CacheFill, ready)
+	}
+	return ready
 }
 
 // Store models a committed store's cache access (write-allocate). Stores are
@@ -377,7 +385,11 @@ func (h *Hierarchy) FetchInst(pc, now uint64) uint64 {
 	h.Stats.L1IMisses++
 	extra := h.beyondL1(line)
 	h.l1i.fill(line, false)
-	return now + extra
+	ready := now + extra
+	if h.sched != nil && ready > now {
+		h.sched.Post(clock.CacheFill, ready)
+	}
+	return ready
 }
 
 func (h *Hierarchy) prefetchIntoL1(line uint64) {

@@ -1,0 +1,354 @@
+// Package clock is the simulation's event-driven clocking authority: a
+// calendar queue keyed by cycle through which timing components *post*
+// future wakeups instead of being polled for "when could you next act?"
+// bounds. The sim driver pops the earliest pending event and jumps the
+// clock straight to it, bulk-accounting the provably event-free span in
+// between (DESIGN.md · Event-driven clock).
+//
+// # The one-sided conservatism contract
+//
+// Every posted wakeup may UNDER-estimate when its component next acts, but
+// must never OVER-estimate, and any state change that can enable activity
+// on the very next cycle must mark the scheduler busy (MarkBusy, or a Post
+// whose cycle is already due). Firing early is merely a wasted stepped
+// cycle — the component's Cycle() runs, finds nothing to do, and the driver
+// asks the queue again. Firing late would silently skip cycles in which
+// state changes, breaking bit-identity with a fully stepped run.
+//
+// Concretely, a cycle may be skipped only when every component proves it is
+// idle through that cycle:
+//
+//   - no in-flight instruction completes (Complete/Engine events carry each
+//     issued instruction's completion cycle; CacheFill carries the
+//     hierarchy's fill-ready cycle for every demand access);
+//   - no frontend entry becomes dispatch-ready (Decode), no fetch stall
+//     clears (StallClear), and no fetch block expires (FetchResume, Spawn);
+//   - no observability sample boundary passes (ObsSample);
+//   - nothing acted this cycle that could enable same-machine activity next
+//     cycle (retire/issue/dispatch/fetch all mark busy).
+//
+// Skipping is invisible to simulated state because state only changes at
+// executed cycles; the skipped span is bulk-accounted onto the per-cycle
+// counters a stepped loop would have touched (SkipCycles on each
+// component). The stepped-vs-queued A/B in internal/sim/eventskip_test.go
+// and the 116-cell cycle-exactness golden pin the equivalence
+// bit-identically; ForceStep/Checks/Lockstep run the per-cycle oracle mode
+// with no scheduler attached at all.
+//
+// Stale events are fine: a squash or early completion can leave a posted
+// wakeup pointing at a cycle where nothing happens anymore. The driver
+// steps that cycle, finds the machine quiescent, and pops the next event —
+// a spurious early fire, which the contract explicitly allows.
+package clock
+
+import "math/bits"
+
+// InfCycle is the "no event pending" sentinel, shared by every timing
+// component (it predates the queue: the old polled NextEvent scanners
+// returned it for "nothing scheduled"; SkipCycles bulk-accounting and a few
+// "never" timestamps still use it).
+const InfCycle = ^uint64(0)
+
+// Kind identifies what a scheduled event is waking the machine up for.
+// Kinds exist for observability and per-(kind,cycle) dedup; the driver
+// jumps to the popped cycle regardless of kind.
+type Kind uint8
+
+// Event kinds, one per scheduling point.
+const (
+	// Complete: a main-core instruction's completion cycle (doneAt), posted
+	// at issue for ALU/MUL/DIV, stores, and store-forwarded loads.
+	Complete Kind = iota
+	// Decode: the frontend head's dispatch-ready cycle (readyAt), posted
+	// when dispatch finds the head still in the decode pipeline.
+	Decode
+	// CacheFill: the hierarchy's ready cycle for a demand access — D-side
+	// load fills (hit latency or MSHR-merged miss fill) and I-side fetch
+	// fills. Posted by cache.Hierarchy itself, making the cache a real
+	// event source rather than an unbounded component.
+	CacheFill
+	// StallClear: the cycle a mispredict fetch stall clears, posted when
+	// the mispredicted branch issues.
+	StallClear
+	// FetchResume: a fetchBlockedUntil expiry — post-squash refill,
+	// helper-engine visit-injection delay, or a runahead rollback stall.
+	FetchResume
+	// Spawn: a helper-thread activation point — the main thread's
+	// live-in-move fetch block and each engine's first-fetch cycle.
+	Spawn
+	// Engine: a helper-engine instruction's completion cycle (doneAt).
+	Engine
+	// ObsSample: the next interval-sample boundary of the run's
+	// observability collector.
+	ObsSample
+
+	numKinds
+)
+
+// Calendar-queue geometry. Events within ringSize cycles of the window base
+// land in a direct-mapped bucket ring (O(1) post, bitmap-scan pop); farther
+// events overflow into a min-heap and migrate into the ring as the window
+// advances. bucketCap is sized for the per-(kind,cycle) dedup world: a
+// cycle rarely hosts more than a few distinct kinds, and overflow is
+// handled (it parks in the heap), not dropped.
+const (
+	ringSize  = 256
+	ringMask  = ringSize - 1
+	occWords  = ringSize / 64
+	bucketCap = 6
+	kindBits  = 4
+	kindMask  = (1 << kindBits) - 1
+)
+
+// Scheduler is the calendar queue plus the current cycle's busy latch.
+// Components hold a *Scheduler (nil in oracle mode — every posting site is
+// nil-guarded so the stepped hot path is untouched) and call Post/MarkBusy;
+// the sim driver calls NewCycle each executed cycle and NextAfter when the
+// machine is quiescent. Not safe for concurrent use; each machine owns one.
+type Scheduler struct {
+	now  uint64 // current executed cycle (set by NewCycle)
+	base uint64 // ring window start: buckets cover [base, base+ringSize)
+	busy bool   // something acted this cycle; the next cycle must step
+
+	occ  [occWords]uint64 // occupancy bitmap over ring buckets
+	cnt  [ringSize]uint8
+	ring [ringSize][bucketCap]uint64 // packed events: cycle<<kindBits | kind
+	far  []uint64                    // min-heap of packed events beyond (or overflowed out of) the ring
+
+	// last[k] is the most recent cycle posted for kind k, used as a dedup
+	// fast path: a repeat Post of the same (kind, cycle) is dropped because
+	// the first is still queued — it can only have been consumed by a pop,
+	// and a pop advances the clock to that cycle, after which a re-post of
+	// it takes the busy path instead.
+	last [numKinds]uint64
+
+	// Counters exported through the obs registry (sim.registerObs).
+	Attempts uint64 // NextAfter calls (quiescent-cycle consults)
+	Fired    uint64 // NextAfter calls that popped an event
+	Posted   uint64 // events enqueued (busy-path and deduped posts excluded)
+	Stale    uint64 // queued events discarded because their cycle had passed
+}
+
+// New returns an empty scheduler at cycle 0.
+func New() *Scheduler {
+	return &Scheduler{}
+}
+
+// NewCycle starts executed cycle now: the busy latch clears and posts due
+// at or before now+1 will latch it again.
+func (s *Scheduler) NewCycle(now uint64) {
+	s.now = now
+	s.busy = false
+}
+
+// MarkBusy records that a component acted this cycle, so the next cycle
+// may not be skipped. It is the posting API for "I changed state that
+// could enable activity next cycle" when no specific future cycle exists.
+func (s *Scheduler) MarkBusy() { s.busy = true }
+
+// Busy reports whether the current cycle latched busy.
+func (s *Scheduler) Busy() bool { return s.busy }
+
+// Post schedules a wakeup of the given kind at cycle at. A wakeup already
+// due (at <= now+1, including InfCycle arithmetic never producing such a
+// value — callers pass concrete cycles) latches busy instead of enqueueing;
+// a duplicate of the still-queued (kind, at) is dropped.
+func (s *Scheduler) Post(k Kind, at uint64) {
+	if at <= s.now+1 {
+		s.busy = true
+		return
+	}
+	if s.last[k] == at {
+		return
+	}
+	s.last[k] = at
+	s.Posted++
+	if at < s.base {
+		// Unreachable in steady state (the window base never outruns now+1
+		// between posts); firing at the window base instead is an early
+		// fire, which the contract allows.
+		at = s.base
+	}
+	ev := at<<kindBits | uint64(k)
+	if at < s.base+ringSize {
+		if !s.insertRing(ev, at) {
+			s.pushFar(ev) // bucket full: park in the heap, migrate later
+		}
+		return
+	}
+	s.pushFar(ev)
+}
+
+// NextAfter pops the earliest pending event at cycle >= from and returns
+// its cycle. All events at that cycle are consumed. ok is false when the
+// queue is empty (the machine has nothing scheduled at all — the driver
+// idles to its horizon).
+func (s *Scheduler) NextAfter(from uint64) (cycle uint64, ok bool) {
+	s.Attempts++
+	s.pruneTo(from)
+	s.migrate(from)
+	idx, found := s.firstOcc()
+	if !found {
+		if len(s.far) == 0 {
+			return 0, false
+		}
+		// Ring empty, heap not: jump the window to the heap's minimum and
+		// pull everything in reach into buckets.
+		s.base = s.far[0] >> kindBits
+		s.migrate(from)
+		idx, found = s.firstOcc()
+		if !found {
+			return 0, false // unreachable: migrate just filled a bucket
+		}
+	}
+	d := (uint64(idx) - s.base) & ringMask
+	cycle = s.base + d
+	s.cnt[idx] = 0
+	s.occ[idx>>6] &^= 1 << uint(idx&63)
+	s.Fired++
+	return cycle, true
+}
+
+// pruneTo advances the ring window base to from, discarding queued events
+// at already-executed cycles (< from). Spurious leftovers from squashes and
+// early completions die here.
+func (s *Scheduler) pruneTo(from uint64) {
+	if from <= s.base {
+		return
+	}
+	if from-s.base >= ringSize {
+		for w := range s.occ {
+			for m := s.occ[w]; m != 0; m &= m - 1 {
+				idx := w<<6 + bits.TrailingZeros64(m)
+				s.Stale += uint64(s.cnt[idx])
+				s.cnt[idx] = 0
+			}
+			s.occ[w] = 0
+		}
+		s.base = from
+		return
+	}
+	for c := s.base; c < from; c++ {
+		idx := int(c & ringMask)
+		if s.cnt[idx] != 0 {
+			s.Stale += uint64(s.cnt[idx])
+			s.cnt[idx] = 0
+			s.occ[idx>>6] &^= 1 << uint(idx&63)
+		}
+	}
+	s.base = from
+}
+
+// migrate moves heap events that now fall inside the ring window into
+// their buckets, discarding stale ones (cycle < from). It stops early when
+// a target bucket is full: the event stays in the heap, and since its
+// cycle already has an occupied bucket, the ring's candidate is at least
+// as early — correctness is unaffected.
+func (s *Scheduler) migrate(from uint64) {
+	for len(s.far) > 0 {
+		ev := s.far[0]
+		at := ev >> kindBits
+		if at >= s.base+ringSize {
+			return
+		}
+		if at < from {
+			s.popFar()
+			s.Stale++
+			continue
+		}
+		if !s.insertRing(ev, at) {
+			return
+		}
+		s.popFar()
+	}
+}
+
+// insertRing files a packed event into its bucket. Returns false only when
+// the bucket is full (caller keeps the event in the heap); duplicates are
+// absorbed and report true.
+func (s *Scheduler) insertRing(ev, at uint64) bool {
+	idx := int(at & ringMask)
+	n := int(s.cnt[idx])
+	for i := 0; i < n; i++ {
+		if s.ring[idx][i] == ev {
+			return true
+		}
+	}
+	if n == bucketCap {
+		return false
+	}
+	s.ring[idx][n] = ev
+	s.cnt[idx] = uint8(n + 1)
+	s.occ[idx>>6] |= 1 << uint(idx&63)
+	return true
+}
+
+// firstOcc returns the occupied bucket holding the smallest cycle in the
+// window, scanning the occupancy bitmap circularly from base.
+func (s *Scheduler) firstOcc() (int, bool) {
+	b0 := int(s.base & ringMask)
+	w0, off := b0>>6, uint(b0&63)
+	if m := s.occ[w0] &^ (1<<off - 1); m != 0 {
+		return w0<<6 + bits.TrailingZeros64(m), true
+	}
+	for i := 1; i < occWords; i++ {
+		w := (w0 + i) & (occWords - 1)
+		if m := s.occ[w]; m != 0 {
+			return w<<6 + bits.TrailingZeros64(m), true
+		}
+	}
+	if m := s.occ[w0] & (1<<off - 1); m != 0 {
+		return w0<<6 + bits.TrailingZeros64(m), true
+	}
+	return 0, false
+}
+
+// Min-heap of packed events; packing puts cycle in the high bits, so plain
+// uint64 ordering is (cycle, kind) ordering.
+
+func (s *Scheduler) pushFar(ev uint64) {
+	s.far = append(s.far, ev)
+	i := len(s.far) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.far[p] <= s.far[i] {
+			break
+		}
+		s.far[p], s.far[i] = s.far[i], s.far[p]
+		i = p
+	}
+}
+
+func (s *Scheduler) popFar() uint64 {
+	ev := s.far[0]
+	last := len(s.far) - 1
+	s.far[0] = s.far[last]
+	s.far = s.far[:last]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(s.far) && s.far[l] < s.far[m] {
+			m = l
+		}
+		if r < len(s.far) && s.far[r] < s.far[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s.far[i], s.far[m] = s.far[m], s.far[i]
+		i = m
+	}
+	return ev
+}
+
+// Pending returns the number of queued events (ring + heap); test hook.
+func (s *Scheduler) Pending() int {
+	n := len(s.far)
+	for w := range s.occ {
+		for m := s.occ[w]; m != 0; m &= m - 1 {
+			n += int(s.cnt[w<<6+bits.TrailingZeros64(m)])
+		}
+	}
+	return n
+}

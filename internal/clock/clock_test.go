@@ -1,0 +1,204 @@
+package clock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Posting within the ring window and popping must return cycles in order,
+// consuming every event at the popped cycle.
+func TestOrderingNear(t *testing.T) {
+	s := New()
+	s.NewCycle(10)
+	s.Post(Complete, 50)
+	s.Post(CacheFill, 20)
+	s.Post(Decode, 20) // same cycle, different kind
+	s.Post(Engine, 200)
+
+	c, ok := s.NextAfter(11)
+	if !ok || c != 20 {
+		t.Fatalf("NextAfter(11) = %d,%v; want 20,true", c, ok)
+	}
+	c, ok = s.NextAfter(21)
+	if !ok || c != 50 {
+		t.Fatalf("NextAfter(21) = %d,%v; want 50,true", c, ok)
+	}
+	c, ok = s.NextAfter(51)
+	if !ok || c != 200 {
+		t.Fatalf("NextAfter(51) = %d,%v; want 200,true", c, ok)
+	}
+	if _, ok = s.NextAfter(201); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// Events beyond the 256-cycle ring window park in the heap and must still
+// pop in order as the window advances.
+func TestFarMigration(t *testing.T) {
+	s := New()
+	s.NewCycle(0)
+	s.Post(CacheFill, 100_000)
+	s.Post(Complete, 5)
+	s.Post(StallClear, 99_000)
+
+	c, ok := s.NextAfter(1)
+	if !ok || c != 5 {
+		t.Fatalf("got %d,%v; want 5,true", c, ok)
+	}
+	c, ok = s.NextAfter(6)
+	if !ok || c != 99_000 {
+		t.Fatalf("got %d,%v; want 99000,true", c, ok)
+	}
+	c, ok = s.NextAfter(99_001)
+	if !ok || c != 100_000 {
+		t.Fatalf("got %d,%v; want 100000,true", c, ok)
+	}
+}
+
+// A wakeup already due (at <= now+1) latches busy instead of enqueueing.
+func TestDueNowLatchesBusy(t *testing.T) {
+	s := New()
+	s.NewCycle(40)
+	if s.Busy() {
+		t.Fatal("fresh cycle should not be busy")
+	}
+	s.Post(Complete, 41)
+	if !s.Busy() {
+		t.Fatal("Post at now+1 must latch busy")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("due post must not enqueue; pending = %d", s.Pending())
+	}
+	s.NewCycle(41)
+	if s.Busy() {
+		t.Fatal("NewCycle must clear the busy latch")
+	}
+}
+
+// Duplicate (kind, cycle) posts collapse to one queued event; the same
+// cycle under a different kind is a distinct event but pops together.
+func TestDedup(t *testing.T) {
+	s := New()
+	s.NewCycle(0)
+	for i := 0; i < 100; i++ {
+		s.Post(ObsSample, 5_000)
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("pending = %d; want 1 (dedup)", got)
+	}
+	if s.Posted != 1 {
+		t.Fatalf("Posted = %d; want 1", s.Posted)
+	}
+	s.Post(Complete, 5_000)
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("pending = %d; want 2 (kinds are distinct)", got)
+	}
+	c, ok := s.NextAfter(1)
+	if !ok || c != 5_000 {
+		t.Fatalf("got %d,%v; want 5000,true", c, ok)
+	}
+	if s.Pending() != 0 {
+		t.Fatal("a pop must consume every event at its cycle")
+	}
+}
+
+// Stale events (cycle already passed when the queue is next consulted) are
+// pruned, counted, and never returned.
+func TestStalePruning(t *testing.T) {
+	s := New()
+	s.NewCycle(0)
+	s.Post(Complete, 10)
+	s.Post(Decode, 12)
+	s.Post(CacheFill, 500) // beyond the ring too
+	s.Post(Engine, 90_000)
+
+	s.NewCycle(600)
+	c, ok := s.NextAfter(601)
+	if !ok || c != 90_000 {
+		t.Fatalf("got %d,%v; want 90000,true", c, ok)
+	}
+	if s.Stale != 3 {
+		t.Fatalf("Stale = %d; want 3", s.Stale)
+	}
+}
+
+// Overflowing a bucket (more distinct events at one cycle than its inline
+// capacity) must not lose events.
+func TestBucketOverflow(t *testing.T) {
+	s := New()
+	s.NewCycle(0)
+	// numKinds > bucketCap distinct kinds at the same cycle.
+	for k := Kind(0); k < numKinds; k++ {
+		s.Post(k, 30)
+	}
+	if got := s.Pending(); got != int(numKinds) {
+		t.Fatalf("pending = %d; want %d", got, numKinds)
+	}
+	c, ok := s.NextAfter(1)
+	if !ok || c != 30 {
+		t.Fatalf("got %d,%v; want 30,true", c, ok)
+	}
+	// The overflowed residue in the heap is at the popped cycle; it must be
+	// pruned as stale on the next consult, not returned.
+	if c, ok = s.NextAfter(31); ok {
+		t.Fatalf("got %d,true; want empty", c)
+	}
+}
+
+// Randomized model check: pops must match a sorted reference of the unique
+// (kind, cycle) posts, under interleaved posting and popping.
+func TestRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := New()
+	now := uint64(0)
+	s.NewCycle(now)
+	pending := map[uint64]bool{} // packed event -> queued
+
+	for iter := 0; iter < 20_000; iter++ {
+		if rng.Intn(3) > 0 { // post
+			k := Kind(rng.Intn(int(numKinds)))
+			at := now + 2 + uint64(rng.Intn(1_000))
+			if rng.Intn(10) == 0 {
+				at = now + 2 + uint64(rng.Intn(1_000_000)) // far
+			}
+			s.Post(k, at)
+			pending[at<<kindBits|uint64(k)] = true
+			continue
+		}
+		// pop and advance
+		var want uint64
+		found := false
+		for ev := range pending {
+			if !found || ev>>kindBits < want {
+				want, found = ev>>kindBits, true
+			}
+		}
+		got, ok := s.NextAfter(now + 1)
+		if ok != found {
+			t.Fatalf("iter %d: ok=%v model=%v", iter, ok, found)
+		}
+		if !ok {
+			continue
+		}
+		if got != want {
+			keys := make([]uint64, 0, len(pending))
+			for ev := range pending {
+				keys = append(keys, ev>>kindBits)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			n := len(keys)
+			if n > 5 {
+				n = 5
+			}
+			t.Fatalf("iter %d: popped %d, model wants %d (model cycles %v...)", iter, got, want, keys[:n])
+		}
+		for ev := range pending {
+			if ev>>kindBits == got {
+				delete(pending, ev)
+			}
+		}
+		now = got
+		s.NewCycle(now)
+	}
+}

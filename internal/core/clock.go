@@ -1,0 +1,48 @@
+// Event-driven clock integration for helper-thread engines and the Phelps
+// controller. Engines post their completion and fetch-resume cycles to the
+// machine's scheduler (see internal/clock for the conservatism contract);
+// the controller attaches the scheduler to each engine it activates and
+// posts the activation itself as a clock.Spawn event.
+package core
+
+import "phelps/internal/clock"
+
+// AttachClock wires an engine into a machine's event scheduler (nil keeps
+// it silent; every posting site is nil-guarded).
+func (e *Engine) AttachClock(s *clock.Scheduler) { e.sched = s }
+
+// AttachClock stores a machine's event scheduler on the controller; each
+// triggered engine inherits it, and activations post clock.Spawn wakeups
+// for their start cycles.
+func (c *Controller) AttachClock(s *clock.Scheduler) { c.sched = s }
+
+// SkipCycles bulk-accounts n cycles starting at from that the scheduler
+// proved event-free for every agent. Both stall counters the stepped loop
+// would have incremented are span-stable: the prediction-queue and
+// visit-queue states only change at executed cycles of some core, and every
+// such change marks the span's end busy.
+func (e *Engine) SkipCycles(from, n uint64) {
+	if e.done {
+		return
+	}
+	if e.head < e.tail {
+		ent := e.entry(e.head)
+		if ent.issued && ent.doneAt <= from && ent.hi.IsLoopBranch && e.qs != nil && e.qs.Full() {
+			e.Stats.QueueStalls += n
+		}
+	}
+	if e.prog.Kind == Inner && !e.visitActive && from >= e.fetchBlockedUntil && e.vq.Len() == 0 {
+		e.Stats.VisitWaits += n
+	}
+}
+
+// SkipCycles forwards bulk accounting to the active engines.
+func (c *Controller) SkipCycles(from, n uint64) {
+	a := c.active
+	if a == nil {
+		return
+	}
+	for _, e := range a.engines {
+		e.SkipCycles(from, n)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"phelps/internal/cache"
+	"phelps/internal/clock"
 	"phelps/internal/cpu"
 	"phelps/internal/emu"
 	"phelps/internal/isa"
@@ -178,6 +179,11 @@ type Engine struct {
 	visitRegs         []isa.Reg // outer thread: registers snapshotted per visit
 	visitScratch      []uint64  // reusable visit live-in assembly buffer
 
+	// sched, when attached, is the machine's event scheduler (see clock.go
+	// and internal/clock); the controller attaches it at trigger. nil in
+	// oracle mode.
+	sched *clock.Scheduler
+
 	Stats EngineStats
 }
 
@@ -291,6 +297,11 @@ func (e *Engine) retire(now uint64) {
 		// the ring wraps.
 		e.head++
 		e.Stats.Retired++
+		if e.sched != nil {
+			// A retirement frees window/queue resources, publishes visits,
+			// and deposits predictions; anything may act next cycle.
+			e.sched.MarkBusy()
+		}
 
 		op := hi.Inst.Op
 		switch {
@@ -368,6 +379,9 @@ func (e *Engine) squashYounger(now uint64) {
 	// Loop-exit and visit-boundary squashes refill from the short dedicated
 	// HTC fetch path (Section V-E), not the main frontend.
 	e.fetchBlockedUntil = now + htcRefill
+	if e.sched != nil {
+		e.sched.Post(clock.FetchResume, e.fetchBlockedUntil)
+	}
 }
 
 // htcRefill is the helper thread's fetch refill latency: HTC fetch is purely
@@ -399,11 +413,13 @@ func (e *Engine) issue(now uint64, lanes *cpu.LanePool) {
 			}
 		case op.IsStore():
 			if !lanes.TakeMem() {
+				e.laneBlocked()
 				continue
 			}
 			e.execStore(ord, ent, now)
 		case op.IsComplex():
 			if !lanes.TakeComplex() {
+				e.laneBlocked()
 				continue
 			}
 			e.execALU(ent, now)
@@ -414,12 +430,27 @@ func (e *Engine) issue(now uint64, lanes *cpu.LanePool) {
 			}
 		default:
 			if !lanes.TakeSimple() {
+				e.laneBlocked()
 				continue
 			}
 			e.execALU(ent, now)
 			ent.doneAt = now + 1
 		}
 		ent.issued = true
+		if e.sched != nil {
+			// The issue extends the scan reach next cycle; the completion
+			// is the instruction's own event.
+			e.sched.MarkBusy()
+			e.sched.Post(clock.Engine, ent.doneAt)
+		}
+	}
+}
+
+// laneBlocked records a ready entry that lost lane arbitration this cycle:
+// it retries next cycle, so the next cycle may not be skipped.
+func (e *Engine) laneBlocked() {
+	if e.sched != nil {
+		e.sched.MarkBusy()
 	}
 }
 
@@ -554,6 +585,10 @@ func (e *Engine) squashFrom(ord uint64, progIdx int, now uint64) {
 	}
 	e.fetchIdx = progIdx
 	e.fetchBlockedUntil = now + e.coreCfg.FrontendLatency()
+	if e.sched != nil {
+		e.sched.MarkBusy()
+		e.sched.Post(clock.FetchResume, e.fetchBlockedUntil)
+	}
 }
 
 // tryIssueLoad resolves helper-thread memory dependences with early store
@@ -597,6 +632,7 @@ func (e *Engine) tryIssueLoad(ord uint64, ent *htEntry, now uint64, lanes *cpu.L
 		break
 	}
 	if !lanes.TakeMem() {
+		e.laneBlocked()
 		return false
 	}
 	ent.addr = addr
@@ -694,6 +730,10 @@ func (e *Engine) fetch(now uint64) {
 		// Move-injection cost for the visit's live-ins (values are read
 		// directly from the Visit Queue entry, Section V-F).
 		e.fetchBlockedUntil = now + 1 + uint64(len(e.prog.LiveInsOT)/maxInt(e.lim.FetchWidth, 1))
+		if e.sched != nil {
+			e.sched.MarkBusy()
+			e.sched.Post(clock.FetchResume, e.fetchBlockedUntil)
+		}
 		return
 	}
 	width := e.lim.FetchWidth
@@ -762,6 +802,10 @@ func (e *Engine) fetch(now uint64) {
 		e.tail = ord + 1
 		e.Stats.Fetched++
 		e.fetchIdx++
+		if e.sched != nil {
+			// The fetched entry may be scan-ready next cycle.
+			e.sched.MarkBusy()
+		}
 		if hi.IsLoopBranch {
 			// Wrap: assume taken, next iteration streams immediately
 			// (sequential HTC fetch, Section V-E).
@@ -786,6 +830,9 @@ func maxInt(a, b int) int {
 func (e *Engine) Stall(now, cycles uint64) {
 	if until := now + cycles; until > e.fetchBlockedUntil {
 		e.fetchBlockedUntil = until
+	}
+	if e.sched != nil {
+		e.sched.Post(clock.FetchResume, e.fetchBlockedUntil)
 	}
 }
 

@@ -1,0 +1,33 @@
+// Event-driven clock integration for the main core. The core is a *source*
+// of scheduled events: every site that learns a future cycle at which state
+// can change posts it to the machine's clock.Scheduler (completion times at
+// issue, decode-ready times at dispatch, stall-clear points, fetch blocks),
+// and every site that acts in a way that could enable activity on the very
+// next cycle marks the scheduler busy. The one-sided conservatism contract
+// these posts must satisfy lives in internal/clock's package doc.
+package cpu
+
+import "phelps/internal/clock"
+
+// InfCycle re-exports the shared "no event pending" sentinel for the few
+// in-package timestamps that mean "never" (see clock.InfCycle, the single
+// source of truth for the sentinel and the conservatism contract).
+const InfCycle = clock.InfCycle
+
+// AttachClock wires the core into a machine's event scheduler. nil (the
+// default) keeps the core fully polled-mode silent: every posting site is
+// nil-guarded, so oracle-mode runs (ForceStep/Checks) pay only dead
+// branches.
+func (c *Core) AttachClock(s *clock.Scheduler) { c.sched = s }
+
+// SkipCycles bulk-accounts n cycles proven event-free by the scheduler onto
+// every per-cycle counter a stepped loop would have touched. A span is only
+// skipped when the whole machine is quiescent, so the sole per-cycle
+// counter that can tick is the mispredict fetch-stall attribution (fetch
+// runs every stepped cycle and attributes the stall before anything else).
+func (c *Core) SkipCycles(n uint64) {
+	c.Stats.Cycles += n
+	if c.stallActive {
+		c.Stats.FetchStallMisp += n
+	}
+}

@@ -15,7 +15,12 @@ import (
 // point-measurement workers over warm serial, as speedup) and the
 // ckpt_cache.* entries (cold first-run wall-clock over warm cached re-run, as
 // warm_speedup), each with a geomean summary row.
-const HostBenchSchema = 4
+//
+// Schema 5 renamed event_skip.* to event_queue.* when the clock moved from
+// polled NextEvent bounds to the calendar event queue (internal/clock), and
+// added event_queue.quick_matrix: the full quick Fig. 12a matrix end to end,
+// event-driven over forced per-cycle stepping, as speedup.
+const HostBenchSchema = 5
 
 // HostBenchReport is the machine-readable artifact `phelpsreport -host`
 // writes: how fast the simulator itself runs on the host (as opposed to
@@ -32,7 +37,7 @@ type HostBenchReport struct {
 // HostBenchEntry is one measurement. Pipeline-level entries report
 // sim_inst_per_sec and allocs_per_sim_inst; memory-primitive entries report
 // ns_per_op and allocs_per_op; sampled-vs-full entries additionally report
-// speedup (full wall-clock / sampled wall-clock); event_skip entries report
+// speedup (full wall-clock / sampled wall-clock); event_queue entries report
 // speedup (event-driven sim-inst/s over forced per-cycle stepping) and
 // skip_ratio (skipped cycles / total cycles); sampled_parallel entries report
 // speedup (warm serial wall-clock / warm 8-worker wall-clock); ckpt_cache

@@ -2,6 +2,7 @@ package runahead
 
 import (
 	"phelps/internal/cache"
+	"phelps/internal/clock"
 	"phelps/internal/core"
 	"phelps/internal/cpu"
 	"phelps/internal/emu"
@@ -54,8 +55,17 @@ type Controller struct {
 	epochInsts  uint64
 	now         uint64
 
+	// sched, when attached, is the machine's event scheduler: the chain
+	// engine inherits it at trigger and activations post clock.Spawn
+	// wakeups (see internal/clock). nil in oracle mode.
+	sched *clock.Scheduler
+
 	Stats Stats
 }
+
+// AttachClock stores a machine's event scheduler on the controller (nil
+// keeps the polled-mode silence; every posting site is nil-guarded).
+func (c *Controller) AttachClock(s *clock.Scheduler) { c.sched = s }
 
 // NewController builds a Branch Runahead controller.
 func NewController(cfg Config, coreCfg cpu.Config, mem *emu.Memory, hier *cache.Hierarchy) *Controller {
@@ -333,6 +343,10 @@ func (c *Controller) trigger() {
 	}
 	c.engine = c.enginePool
 	c.queues.engine = c.engine
+	if c.sched != nil {
+		c.engine.AttachClock(c.sched)
+		c.sched.Post(clock.Spawn, startAt)
+	}
 }
 
 func (c *Controller) terminate() {
@@ -349,19 +363,6 @@ func (c *Controller) terminate() {
 	if !c.cfg.StaticPartition {
 		c.mt.SetLimits(c.coreCfg.FullLimits())
 	}
-}
-
-// NextEvent returns the controller's conservative event bound (DESIGN.md ·
-// Event-driven clock): (re)triggering happens at main-thread retires, so an
-// idle controller generates no events of its own.
-func (c *Controller) NextEvent(from uint64) uint64 {
-	if c.engine == nil {
-		return cpu.InfCycle
-	}
-	if c.engine.Done() {
-		return from // CycleChains terminates on its next call
-	}
-	return c.engine.NextEvent(from)
 }
 
 // SkipCycles bulk-accounts an event-free span for the chain engine.

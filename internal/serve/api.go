@@ -31,6 +31,43 @@ import (
 // API is the URL prefix of the current API generation.
 const API = "/v1"
 
+// Version is the daemon build version reported by GET /v1/version.
+const Version = "0.8.0"
+
+// Every /v1 endpoint replies with a documented status code, and every
+// non-2xx body is an ErrorReply JSON envelope:
+//
+//	POST   /v1/jobs             202 Accepted (Location: /v1/jobs/{id})
+//	                            400 bad_request  (malformed body, unknown
+//	                                workload/config/fault name, oversized job)
+//	                            429 overloaded   (admission queue full;
+//	                                Retry-After header + retry_after_sec)
+//	                            503 unavailable  (daemon draining)
+//	GET    /v1/jobs/{id}        200 · 404 not_found
+//	GET    /v1/jobs/{id}/result 200 · 404 not_found
+//	DELETE /v1/jobs/{id}        200 (idempotent) · 404 not_found
+//	GET    /v1/report           200
+//	GET    /v1/obs              200
+//	GET    /v1/workloads        200
+//	GET    /v1/configs          200
+//	GET    /v1/healthz          200
+//	GET    /v1/version          200
+//
+// Requests that never reach a handler — unknown paths and wrong methods,
+// answered by the mux itself — are rewritten by the Handler wrapper into the
+// same envelope (404 not_found, 405 bad_request).
+
+// Error kinds carried in ErrorReply.Kind: a stable, machine-matchable
+// classification of the failure, coarser than the message and finer than the
+// status code.
+const (
+	KindBadRequest  = "bad_request" // malformed or unsatisfiable request
+	KindNotFound    = "not_found"   // no such job or route
+	KindOverloaded  = "overloaded"  // admission queue full; retry later
+	KindUnavailable = "unavailable" // daemon draining for shutdown
+	KindInternal    = "internal"    // unexpected server-side failure
+)
+
 // JobRequest is the POST /v1/jobs body: the cross product of Workloads and
 // Configs becomes the job's cells.
 type JobRequest struct {
@@ -131,9 +168,24 @@ type CellResult struct {
 // ErrorReply is the JSON body of every non-2xx response.
 type ErrorReply struct {
 	Error string `json:"error"`
+	// Kind is the stable failure classification (the Kind* constants).
+	Kind string `json:"kind"`
 	// RetryAfterSec accompanies 429: the admission queue's estimate of when
 	// capacity frees up (also sent as the Retry-After header).
 	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}
+
+// VersionReply is the GET /v1/version reply: build and schema identifiers a
+// client can check for compatibility before submitting work.
+type VersionReply struct {
+	Version   string `json:"version"` // daemon build version
+	API       string `json:"api"`     // URL prefix generation ("/v1")
+	GoVersion string `json:"go"`      // Go runtime the daemon was built with
+	// ReportSchema versions the GET /v1/report layout (obs.BenchReportSchema);
+	// HostBenchSchema versions the BENCH_host.json artifact the same build's
+	// phelpsreport writes (obs.HostBenchSchema).
+	ReportSchema    int `json:"report_schema"`
+	HostBenchSchema int `json:"host_bench_schema"`
 }
 
 // NameList is the GET /v1/workloads and /v1/configs reply.

@@ -4,13 +4,62 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
+	"strings"
 
+	"phelps/internal/obs"
 	"phelps/internal/sim"
 )
 
-// Handler returns the daemon's HTTP handler (routes under /v1).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler (routes under /v1). Responses the
+// mux produces itself — 404 for unknown paths, 405 for wrong methods — are
+// plain text; the wrapper rewrites them into the JSON ErrorReply envelope so
+// every non-2xx body a client sees is machine-readable.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mux.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
+// envelopeWriter intercepts non-JSON error responses at WriteHeader time
+// (http.Error sets Content-Type before writing the status, so the check is
+// reliable) and substitutes an ErrorReply body, dropping the plain-text one.
+type envelopeWriter struct {
+	http.ResponseWriter
+	rewriting bool
+}
+
+func (w *envelopeWriter) WriteHeader(code int) {
+	if code >= 400 && !strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.rewriting = true
+		w.Header().Set("Content-Type", "application/json")
+		w.ResponseWriter.WriteHeader(code)
+		kind := KindInternal
+		switch code {
+		case http.StatusNotFound:
+			kind = KindNotFound
+		case http.StatusBadRequest, http.StatusMethodNotAllowed:
+			kind = KindBadRequest
+		case http.StatusTooManyRequests:
+			kind = KindOverloaded
+		case http.StatusServiceUnavailable:
+			kind = KindUnavailable
+		}
+		enc := json.NewEncoder(w.ResponseWriter)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ErrorReply{Error: strings.ToLower(http.StatusText(code)), Kind: kind})
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *envelopeWriter) Write(p []byte) (int, error) {
+	if w.rewriting {
+		return len(p), nil // the envelope already went out; eat the text body
+	}
+	return w.ResponseWriter.Write(p)
+}
 
 // maxBodyBytes bounds a job request body; real requests are a few hundred
 // bytes of names, so 1 MiB is generous.
@@ -27,6 +76,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/configs", s.handleConfigs)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -37,8 +87,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v) // the client hung up; nothing useful to do
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, ErrorReply{Error: msg})
+func writeError(w http.ResponseWriter, code int, kind, msg string) {
+	writeJSON(w, code, ErrorReply{Error: msg, Kind: kind})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -46,7 +96,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		writeError(w, http.StatusBadRequest, KindBadRequest, fmt.Sprintf("decode request: %v", err))
 		return
 	}
 	job, aerr := s.Submit(req)
@@ -57,10 +107,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				sec = 1
 			}
 			w.Header().Set("Retry-After", strconv.Itoa(sec))
-			writeJSON(w, aerr.code, ErrorReply{Error: aerr.msg, RetryAfterSec: sec})
+			writeJSON(w, aerr.code, ErrorReply{Error: aerr.msg, Kind: aerr.kind, RetryAfterSec: sec})
 			return
 		}
-		writeError(w, aerr.code, aerr.msg)
+		writeError(w, aerr.code, aerr.kind, aerr.msg)
 		return
 	}
 	w.Header().Set("Location", API+"/jobs/"+job.ID)
@@ -71,7 +121,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	id := r.PathValue("id")
 	j, ok := s.store.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+		writeError(w, http.StatusNotFound, KindNotFound, fmt.Sprintf("no job %q", id))
 		return nil, false
 	}
 	return j, true
@@ -122,4 +172,14 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Healthz())
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, VersionReply{
+		Version:         Version,
+		API:             API,
+		GoVersion:       runtime.Version(),
+		ReportSchema:    obs.BenchReportSchema,
+		HostBenchSchema: obs.HostBenchSchema,
+	})
 }

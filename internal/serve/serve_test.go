@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"phelps/internal/obs"
 	"phelps/internal/sim"
 )
 
@@ -498,6 +499,83 @@ func TestEndpoints(t *testing.T) {
 	}
 	if g, ok := rep.Geomeans["quick."+sim.CfgPhelps]; !ok || g <= 1.0 {
 		t.Errorf("report geomean quick.%s = %v, %v (phelps should beat base on guarded)", sim.CfgPhelps, g, ok)
+	}
+}
+
+// TestVersionEndpoint checks GET /v1/version reports the build and schema
+// identifiers a client needs for a compatibility check.
+func TestVersionEndpoint(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var v VersionReply
+	if resp := getJSON(t, ts.URL+API+"/version", &v); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET version: %s", resp.Status)
+	}
+	if v.Version != Version || v.API != API {
+		t.Errorf("version reply = %+v, want version %q api %q", v, Version, API)
+	}
+	if !strings.HasPrefix(v.GoVersion, "go") {
+		t.Errorf("go version = %q", v.GoVersion)
+	}
+	if v.ReportSchema != obs.BenchReportSchema || v.HostBenchSchema != obs.HostBenchSchema {
+		t.Errorf("schemas = %d/%d, want %d/%d", v.ReportSchema, v.HostBenchSchema,
+			obs.BenchReportSchema, obs.HostBenchSchema)
+	}
+}
+
+// TestErrorEnvelope requires every non-2xx response — handler-produced errors
+// and the mux's own 404/405 alike — to carry the JSON ErrorReply envelope
+// with a stable kind.
+func TestErrorEnvelope(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Config{Workers: 1})
+	decode := func(resp *http.Response) ErrorReply {
+		t.Helper()
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s: Content-Type = %q, want application/json", resp.Request.URL, ct)
+		}
+		var er ErrorReply
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("%s: decode error envelope: %v", resp.Request.URL, err)
+		}
+		return er
+	}
+
+	// Handler-produced errors.
+	resp, err := http.Post(ts.URL+API+"/jobs", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er := decode(resp); resp.StatusCode != http.StatusBadRequest || er.Kind != KindBadRequest || er.Error == "" {
+		t.Errorf("empty submit: %s kind=%q error=%q", resp.Status, er.Kind, er.Error)
+	}
+	resp, err = http.Get(ts.URL + API + "/jobs/j-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er := decode(resp); resp.StatusCode != http.StatusNotFound || er.Kind != KindNotFound {
+		t.Errorf("unknown job: %s kind=%q", resp.Status, er.Kind)
+	}
+
+	// Mux-produced errors, rewritten by the Handler wrapper.
+	resp, err = http.Get(ts.URL + API + "/no-such-route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er := decode(resp); resp.StatusCode != http.StatusNotFound || er.Kind != KindNotFound {
+		t.Errorf("unknown route: %s kind=%q", resp.Status, er.Kind)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+API+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er := decode(resp); resp.StatusCode != http.StatusMethodNotAllowed || er.Kind != KindBadRequest {
+		t.Errorf("wrong method: %s kind=%q", resp.Status, er.Kind)
 	}
 }
 

@@ -176,9 +176,11 @@ func (s *Server) registerObs() {
 	sched.Gauge("queued", func() float64 { return float64(s.sched.Queued()) })
 }
 
-// apiError is a submission failure with its HTTP shape.
+// apiError is a submission failure with its HTTP shape: status code, the
+// ErrorReply.Kind classification, and the human-readable message.
 type apiError struct {
 	code       int
+	kind       string
 	msg        string
 	retryAfter time.Duration
 }
@@ -215,14 +217,14 @@ func parseFault(f CellFault) (*cpu.FaultInjection, error) {
 // over capacity, 503 draining).
 func (s *Server) Submit(req JobRequest) (*Job, *apiError) {
 	if s.draining.Load() {
-		return nil, &apiError{code: http.StatusServiceUnavailable, msg: "daemon is draining"}
+		return nil, &apiError{code: http.StatusServiceUnavailable, kind: KindUnavailable, msg: "daemon is draining"}
 	}
 	if len(req.Workloads) == 0 || len(req.Configs) == 0 {
-		return nil, &apiError{code: http.StatusBadRequest, msg: "workloads and configs must both be non-empty"}
+		return nil, &apiError{code: http.StatusBadRequest, kind: KindBadRequest, msg: "workloads and configs must both be non-empty"}
 	}
 	total := len(req.Workloads) * len(req.Configs)
 	if total > s.cfg.MaxCellsPerJob {
-		return nil, &apiError{code: http.StatusBadRequest,
+		return nil, &apiError{code: http.StatusBadRequest, kind: KindBadRequest,
 			msg: fmt.Sprintf("job has %d cells, limit is %d", total, s.cfg.MaxCellsPerJob)}
 	}
 
@@ -233,24 +235,24 @@ func (s *Server) Submit(req JobRequest) (*Job, *apiError) {
 	for _, w := range req.Workloads {
 		spec, err := sim.SpecByName(w, req.Quick)
 		if err != nil {
-			return nil, &apiError{code: http.StatusBadRequest, msg: err.Error()}
+			return nil, &apiError{code: http.StatusBadRequest, kind: KindBadRequest, msg: err.Error()}
 		}
 		h, err := s.res.hash(w, req.Quick)
 		if err != nil {
-			return nil, &apiError{code: http.StatusBadRequest, msg: err.Error()}
+			return nil, &apiError{code: http.StatusBadRequest, kind: KindBadRequest, msg: err.Error()}
 		}
 		specs[w], hashes[w] = spec, h
 	}
 	for _, c := range req.Configs {
 		if _, err := sim.ConfigByName(c, 0); err != nil {
-			return nil, &apiError{code: http.StatusBadRequest, msg: err.Error()}
+			return nil, &apiError{code: http.StatusBadRequest, kind: KindBadRequest, msg: err.Error()}
 		}
 	}
 	faults := make(map[[2]string]*cpu.FaultInjection, len(req.Faults))
 	for _, f := range req.Faults {
 		fi, err := parseFault(f)
 		if err != nil {
-			return nil, &apiError{code: http.StatusBadRequest, msg: err.Error()}
+			return nil, &apiError{code: http.StatusBadRequest, kind: KindBadRequest, msg: err.Error()}
 		}
 		faults[[2]string{f.Workload, f.Config}] = fi
 	}
@@ -292,6 +294,7 @@ func (s *Server) Submit(req JobRequest) (*Job, *apiError) {
 		s.jobsRejected.Add(1)
 		return nil, &apiError{
 			code:       http.StatusTooManyRequests,
+			kind:       KindOverloaded,
 			msg:        fmt.Sprintf("admission queue full (%d/%d cells in flight, job needs %d)", s.adm.Depth(), s.adm.Capacity(), cold),
 			retryAfter: s.adm.RetryAfter(cold),
 		}

@@ -1,19 +1,23 @@
 package sim
 
 import (
+	"math"
 	"testing"
 
 	"phelps/internal/fuzzgen"
+	"phelps/internal/obs"
+	"phelps/internal/prog"
 )
 
-// TestEventSkipConservatism is the A/B proof for the event-driven clock
+// TestEventQueueConservatism is the A/B proof for the event-driven clock
 // (DESIGN.md · Event-driven clock): for every fuzzgen corpus seed and every
-// mechanism, a run with cycle skipping must produce bit-identical results to
-// a fully stepped run — total cycles, retired instructions, misprediction
-// and queue counters. NextEvent is allowed to under-estimate (wasted host
-// work) but never to over-estimate; any over-estimate shifts a timing event
-// and shows up here as a cycle-count divergence.
-func TestEventSkipConservatism(t *testing.T) {
+// mechanism, a run driven by the calendar event queue must produce
+// bit-identical results to a fully stepped (ForceStep) run — total cycles,
+// retired instructions, misprediction and queue counters. Posted wakeups are
+// allowed to under-estimate (a spurious early fire wastes a host step) but
+// never to over-estimate; any over-estimate shifts a timing event and shows
+// up here as a cycle-count divergence.
+func TestEventQueueConservatism(t *testing.T) {
 	seeds := []uint64{0, 3, 12, 23, 35, 55, 63, 0xdeadbeef}
 	configs := []struct {
 		name string
@@ -78,6 +82,87 @@ func TestEventSkipConservatism(t *testing.T) {
 	if totalSkipped == 0 {
 		t.Error("no cycles were skipped across the whole corpus: the event-driven clock is inert")
 	}
-	t.Logf("event skip over corpus: %d/%d cycles skipped (%.1f%%)",
+	t.Logf("event queue over corpus: %d/%d cycles skipped (%.1f%%)",
 		totalSkipped, totalCycles, 100*float64(totalSkipped)/float64(totalCycles))
+}
+
+// TestEventQueueNeverBusyPolls pins the structural win of the calendar queue
+// over the old polled NextEvent design: the driver pops at most one empty
+// queue per run (the jump-to-timeout on a quiescent machine), so
+// clock.attempts can exceed clock.fired by at most 1. The old design probed
+// a quiescent machine repeatedly under exponential backoff; a regression to
+// any polling scheme breaks this bound immediately.
+func TestEventQueueNeverBusyPolls(t *testing.T) {
+	runs := []struct {
+		name string
+		w    func() *prog.Workload
+		cfg  Config
+	}{
+		{"delinquent_base", func() *prog.Workload { return prog.DelinquentLoop(20_000, 50, 1) }, DefaultConfig()},
+		{"delinquent_phelps", func() *prog.Workload { return prog.DelinquentLoop(20_000, 50, 1) }, PhelpsConfig(20_000)},
+		{"chase_base", func() *prog.Workload { return prog.DelinquentChase(1<<16, 30_000, 50, 1) }, DefaultConfig()},
+	}
+	for _, rc := range runs {
+		cfg := rc.cfg
+		col := obs.NewCollector(0) // sampling disabled; we only want the registry
+		cfg.Obs = col
+		if _, err := Run(rc.w(), cfg); err != nil {
+			t.Fatalf("%s: %v", rc.name, err)
+		}
+		attempts, _ := col.Registry.CounterValue("clock.attempts")
+		fired, _ := col.Registry.CounterValue("clock.fired")
+		skipped, _ := col.Registry.CounterValue("clock.skipped")
+		if attempts == 0 {
+			t.Errorf("%s: scheduler never consulted (attempts=0); event queue is inert", rc.name)
+		}
+		if attempts > fired+1 {
+			t.Errorf("%s: driver busy-polled a quiescent machine: %d attempts but only %d fired (allowed slack: 1 empty pop per run)",
+				rc.name, attempts, fired)
+		}
+		if skipped == 0 {
+			t.Errorf("%s: no cycles skipped on a memory-bound workload", rc.name)
+		}
+		t.Logf("%s: attempts=%d fired=%d skipped=%d", rc.name, attempts, fired, skipped)
+	}
+}
+
+// TestEventQueueChaseSkipRatio is the acceptance floor for the cache
+// hierarchy contributing real event bounds: on the memory-bound pointer
+// chase under the hardened memory system (the BENCH_host event_queue.* A/B
+// configuration), the geomean skip ratio must stay strictly above the polled
+// design's recorded geomean (0.860721 from BENCH_host.json schema 4). Fills
+// posted as first-class CacheFill events let the driver jump straight to
+// fill completion instead of conservatively probing, so losing cache event
+// bounds would show up here as a ratio collapse.
+func TestEventQueueChaseSkipRatio(t *testing.T) {
+	const polledGeomean = 0.860721332796935
+	memBound := func(cfg Config) Config {
+		cfg.Cache.DRAMLatency = 300
+		cfg.Cache.MSHRs = 4
+		return cfg
+	}
+	build := func() *prog.Workload { return prog.DelinquentChase(1<<20, 150_000, 50, 1) }
+	logSum := 0.0
+	for _, c := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"delinquent", memBound(DefaultConfig())},
+		{"phelps", memBound(PhelpsConfig(50_000))},
+	} {
+		r, err := Run(build(), c.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		ratio := float64(r.SkippedCycles) / float64(r.Cycles)
+		t.Logf("%s: %d/%d cycles skipped (%.4f)", c.name, r.SkippedCycles, r.Cycles, ratio)
+		logSum += math.Log(ratio)
+	}
+	gm := math.Exp(logSum / 2)
+	if gm <= polledGeomean {
+		t.Errorf("chase A/B skip-ratio geomean %.6f did not beat the polled design's %.6f",
+			gm, polledGeomean)
+	} else {
+		t.Logf("chase A/B skip-ratio geomean %.6f (polled design: %.6f)", gm, polledGeomean)
+	}
 }

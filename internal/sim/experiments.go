@@ -234,10 +234,13 @@ type Matrix map[string]map[string]Result
 // MatrixOptions steers RunMatrixOpt's verification and fault containment.
 // The zero value reproduces plain RunMatrix behavior.
 type MatrixOptions struct {
-	// Checks/Lockstep/StallCycles apply the corresponding Config knobs to
-	// every cell (see Config).
+	// Checks/Lockstep/ForceStep/StallCycles apply the corresponding Config
+	// knobs to every cell (see Config). ForceStep pins the per-cycle oracle
+	// mode — no event scheduler is attached — which host benchmarks use as
+	// the stepped baseline for the event-queue speedup.
 	Checks      bool
 	Lockstep    bool
+	ForceStep   bool
 	StallCycles uint64
 
 	// CrashDir receives minimized crash reports for panicking cells. Empty
@@ -279,6 +282,7 @@ func RunCellCtx(ctx context.Context, s Spec, cfgName string, opt MatrixOptions) 
 	}
 	cfg.Checks = opt.Checks
 	cfg.Lockstep = opt.Lockstep
+	cfg.ForceStep = cfg.ForceStep || opt.ForceStep
 	if opt.StallCycles != 0 {
 		cfg.StallCycles = opt.StallCycles
 	}

@@ -18,6 +18,7 @@ import (
 	"phelps/internal/bpred"
 	"phelps/internal/cache"
 	"phelps/internal/check"
+	"phelps/internal/clock"
 	"phelps/internal/core"
 	"phelps/internal/cpu"
 	"phelps/internal/emu"
@@ -300,7 +301,10 @@ type machine struct {
 	lastRetired  uint64
 	lastProgress uint64
 
-	// Event-driven clock state (DESIGN.md · Event-driven clock).
+	// Event-driven clock state (DESIGN.md · Event-driven clock). sched is
+	// the machine's calendar event queue; nil in oracle mode
+	// (ForceStep/Checks), where every cycle steps.
+	sched   *clock.Scheduler
 	skipped uint64 // cycles bulk-accounted instead of executed
 
 	// done, when non-nil, is the run context's Done channel; the cycle loop
@@ -383,6 +387,21 @@ func newMachine(cfg Config, mem *emu.Memory, e *emu.Emulator, pred bpred.Predict
 	if cfg.Faults != nil {
 		m.mt.InjectFaults(cfg.Faults)
 	}
+	// Event-driven clock: attach one scheduler to every timing component
+	// unless the run wants the per-cycle oracle mode (Checks implies
+	// ForceStep: the invariant audit sees every cycle). Components post
+	// wakeups through it; the driver loop pops and jumps.
+	if !cfg.ForceStep && !cfg.Checks {
+		m.sched = clock.New()
+		m.mt.AttachClock(m.sched)
+		hier.AttachClock(m.sched)
+		if m.ctrl != nil {
+			m.ctrl.AttachClock(m.sched)
+		}
+		if m.bra != nil {
+			m.bra.AttachClock(m.sched)
+		}
+	}
 	return m
 }
 
@@ -412,37 +431,36 @@ func (m *machine) registerObs(o *obs.Collector) {
 		}
 		return 0
 	})
-}
-
-// nextEvent returns the earliest cycle >= from at which any component of the
-// machine can act: the min over the main core's bound and the active
-// controller's engines. Each source may under-estimate but never
-// over-estimates, so the span [from, nextEvent) is provably event-free for
-// the whole machine.
-//
-// MSHR completions are deliberately NOT a candidate: the cache hierarchy has
-// no per-cycle state machine — fills, prefetches, and MSHR occupancy are all
-// computed lazily when an access arrives, and accesses only happen at
-// executed cycles (load/store issue), which the core and engine bounds
-// already cover. An access blocked on a full MSHR file surfaces as a
-// ready-but-unissued entry, which forces per-cycle stepping on its own.
-// Capping spans at completions would only fragment long DRAM-miss spans
-// (the conservatism A/B in eventskip_test.go pins the equivalence).
-func (m *machine) nextEvent(from uint64) uint64 {
-	best := m.mt.NextEvent(from)
-	if best <= from {
-		return from
-	}
-	if m.ctrl != nil {
-		if t := m.ctrl.NextEvent(from); t < best {
-			best = t
+	// Event-queue counters: attempts (quiescent-cycle pops), fired
+	// (successful pops), posted/stale (queue churn), and skipped (cycles
+	// jumped). All zero in oracle mode (no scheduler attached).
+	cs := o.Registry.Scope("clock")
+	sched := func() *clock.Scheduler { return m.sched }
+	cs.Counter("attempts", func() uint64 {
+		if s := sched(); s != nil {
+			return s.Attempts
 		}
-	} else if m.bra != nil {
-		if t := m.bra.NextEvent(from); t < best {
-			best = t
+		return 0
+	})
+	cs.Counter("fired", func() uint64 {
+		if s := sched(); s != nil {
+			return s.Fired
 		}
-	}
-	return best
+		return 0
+	})
+	cs.Counter("posted", func() uint64 {
+		if s := sched(); s != nil {
+			return s.Posted
+		}
+		return 0
+	})
+	cs.Counter("stale", func() uint64 {
+		if s := sched(); s != nil {
+			return s.Stale
+		}
+		return 0
+	})
+	cs.Counter("skipped", func() uint64 { return m.skipped })
 }
 
 // skipCycles bulk-accounts n event-free cycles starting at from on every
@@ -463,18 +481,12 @@ func (m *machine) skipCycles(from, n uint64) {
 // diagnosis in m.failure). The clock (m.now) persists across calls, so
 // sampled runs chain warmup and measurement phases on one machine.
 func (m *machine) run(maxInsts, maxCycles uint64) runOutcome {
-	skip := !m.cfg.ForceStep && !m.cfg.Checks
-	// Skip attempts are gated so NextEvent's cost is only paid when a skip is
-	// plausible: never on a cycle that retired something (the machine is
-	// visibly busy), and after a failed attempt not again until an
-	// exponentially backed-off cooldown passes (dense drain phases probe at
-	// most every 64 cycles). Under-attempting only steps cycles a skip could
-	// have jumped — always sound.
-	var (
-		skipTryAt   uint64
-		skipPenalty uint64 = 1
-		iters       uint64 // loop iterations, for the cancellation poll
-	)
+	// queued is true when the machine carries an event scheduler (newMachine
+	// attaches one unless ForceStep or Checks pin the per-cycle oracle mode).
+	// Components post their wakeups as first-class events during Cycle; the
+	// tail of each iteration pops the next event and jumps straight to it.
+	queued := m.sched != nil
+	var iters uint64 // loop iterations, for the cancellation poll
 	for ; ; m.now++ {
 		// Cancellation poll, counted in loop iterations rather than cycles so
 		// the latency stays wall-clock-bounded even when the event-driven
@@ -497,7 +509,9 @@ func (m *machine) run(maxInsts, maxCycles uint64) runOutcome {
 		if m.now >= maxCycles {
 			return runTimeout
 		}
-		retiredBefore := m.mt.Stats.Retired
+		if queued {
+			m.sched.NewCycle(m.now)
+		}
 		m.lanes.Reset(m.cfg.Core)
 		// The IQ and lanes are flexibly shared (Section IV-A). Helper
 		// threads issue first: they are latency-critical (their lead is what
@@ -517,6 +531,18 @@ func (m *machine) run(maxInsts, maxCycles uint64) runOutcome {
 		}
 		if m.cfg.Obs != nil {
 			m.cfg.Obs.MaybeSample(m.mt.Stats.Cycles)
+			// Schedule the next sample boundary as an event so a jump never
+			// crosses it: Stats.Cycles advances 1:1 with executed+skipped
+			// cycles, so the boundary in sample units maps directly onto the
+			// machine clock. The boundary cycle is then executed, and
+			// MaybeSample fires there exactly as in a stepped run.
+			if queued {
+				if at := m.cfg.Obs.NextSampleAt(); at != 0 {
+					if c := m.mt.Stats.Cycles; at > c {
+						m.sched.Post(clock.ObsSample, m.now+(at-c))
+					}
+				}
+			}
 		}
 		if m.guard != nil {
 			if err := m.guard.tick(m.now); err != nil {
@@ -534,39 +560,26 @@ func (m *machine) run(maxInsts, maxCycles uint64) runOutcome {
 				return runStalled
 			}
 		}
-		// Event-driven clock: if every component proves the next cycles are
-		// event-free, bulk-account the span instead of stepping through it
-		// (DESIGN.md · Event-driven clock). Disabled by ForceStep and by
-		// Checks (the invariant audit wants to see every cycle).
-		if skip && !m.mt.Halted() && (maxInsts == 0 || m.mt.Stats.Retired < maxInsts) {
-			if m.mt.Stats.Retired != retiredBefore || m.now < skipTryAt {
+		// Event-driven clock: when no component marked the coming cycle busy,
+		// pop the next scheduled event and jump straight to it, bulk-accounting
+		// the provably event-free span (DESIGN.md · Event-driven clock).
+		// Disabled by ForceStep and by Checks (the invariant audit wants to
+		// see every cycle) — those modes run with no scheduler attached.
+		if queued && !m.mt.Halted() && (maxInsts == 0 || m.mt.Stats.Retired < maxInsts) {
+			if m.sched.Busy() {
 				continue
 			}
 			from := m.now + 1
 			if from >= maxCycles {
 				continue
 			}
-			ne := m.nextEvent(from)
-			if ne > maxCycles {
-				ne = maxCycles // the loop head handles the timeout itself
-			}
-			if ne <= from {
-				skipTryAt = m.now + 1 + skipPenalty
-				if skipPenalty < 64 {
-					skipPenalty *= 2
-				}
-				continue
-			}
-			skipPenalty = 1
-			// Never jump over an observability sample boundary: stop one
-			// cycle short so the stepped boundary cycle samples exactly as a
-			// fully stepped run would.
-			if o := m.cfg.Obs; o != nil {
-				if at := o.NextSampleAt(); at != 0 {
-					if maxSkip := at - 1 - m.mt.Stats.Cycles; ne-from > maxSkip {
-						ne = from + maxSkip
-					}
-				}
+			ne, ok := m.sched.NextAfter(from)
+			if !ok || ne > maxCycles {
+				// An idle machine with an empty queue can never act again
+				// (every enabling state change posts an event or marks busy),
+				// so jumping to the cycle limit is exact; the loop head
+				// handles the timeout itself.
+				ne = maxCycles
 			}
 			if ne <= from {
 				continue

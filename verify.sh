@@ -10,10 +10,13 @@ go vet ./...
 go test ./...
 go test -race -short ./internal/sim ./internal/obs
 go test -race -run TestCycleExactnessGolden ./internal/sim
-# Event-skip smoke: cycle skipping is default-on, so the golden line above
-# already exercises the event-driven clock; this pins the A/B equivalence
-# (forced per-cycle stepping vs skipping must be bit-identical) race-clean.
-go test -race -run TestEventSkipConservatism ./internal/sim
+# Event-queue smoke: the calendar-queue clock is default-on, so the golden
+# line above already exercises it; this pins the stepped-vs-queued A/B on
+# the fuzz corpus (forced per-cycle stepping vs event-driven must be
+# bit-identical) race-clean, plus the never-busy-polls counter bound and
+# the internal/clock unit suite.
+go test -race -run 'TestEventQueueConservatism|TestEventQueueNeverBusyPolls' ./internal/sim
+go test -race ./internal/clock
 # Config.Checks race-clean: the lockstep oracle and invariant guards across
 # the parallel verified matrix (skipped under -short, so named explicitly).
 go test -race -run 'TestLockstepQuickMatrix|TestInjectedTimingBugsCaught' ./internal/sim
