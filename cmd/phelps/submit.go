@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"strconv"
@@ -45,25 +48,28 @@ func runSubmit(o submitOptions) int {
 	client := &http.Client{Timeout: 30 * time.Second}
 	base := strings.TrimRight(o.server, "/")
 
-	st, err := postJob(client, base, req)
+	st, err := postJobRetry(client, base, req)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "submit: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "submitted %s: %d cells\n", st.ID, st.Total)
+	id := st.ID
+	fmt.Fprintf(os.Stderr, "submitted %s: %d cells\n", id, st.Total)
 
 	// Poll until the job leaves the running state. 200ms keeps the client
-	// responsive without hammering the daemon.
+	// responsive without hammering the daemon. Polls are idempotent GETs, so
+	// transient transport errors (a daemon mid-restart) are retried rather
+	// than abandoning a job the daemon already acknowledged.
 	for st.State == serve.JobRunning {
 		time.Sleep(200 * time.Millisecond)
-		st, err = getStatus(client, base, st.ID)
+		st, err = getRetry(func() (serve.JobStatus, error) { return getStatus(client, base, id) })
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "submit: poll: %v\n", err)
 			return 1
 		}
 	}
 
-	res, err := getResult(client, base, st.ID)
+	res, err := getRetry(func() (serve.JobResult, error) { return getResult(client, base, id) })
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "submit: result: %v\n", err)
 		return 1
@@ -106,8 +112,18 @@ func firstNonEmpty(vals ...string) string {
 	return ""
 }
 
+// errOverloaded is a 429 with the daemon's Retry-After hint; postJobRetry
+// matches it to back off instead of failing.
+type errOverloaded struct {
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *errOverloaded) Error() string { return e.msg }
+
 // decodeOrError decodes a 2xx body into v, or turns an error status into a
-// readable error (including the daemon's Retry-After hint on 429).
+// readable error (a 429 becomes an errOverloaded carrying the daemon's
+// Retry-After hint).
 func decodeOrError(resp *http.Response, v any) error {
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
@@ -117,14 +133,61 @@ func decodeOrError(resp *http.Response, v any) error {
 	if resp.StatusCode/100 != 2 {
 		var er serve.ErrorReply
 		if json.Unmarshal(body, &er) == nil && er.Error != "" {
-			if er.RetryAfterSec > 0 {
-				return fmt.Errorf("%s: %s (retry after %ds)", resp.Status, er.Error, er.RetryAfterSec)
+			if resp.StatusCode == http.StatusTooManyRequests {
+				return &errOverloaded{
+					msg:        fmt.Sprintf("%s: %s (retry after %ds)", resp.Status, er.Error, er.RetryAfterSec),
+					retryAfter: time.Duration(er.RetryAfterSec) * time.Second,
+				}
 			}
 			return fmt.Errorf("%s: %s", resp.Status, er.Error)
 		}
 		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
 	}
 	return json.Unmarshal(body, v)
+}
+
+// postJobRetry submits the job, honoring 429 Retry-After hints with jittered
+// backoff for a bounded number of attempts. Only 429s are retried: a POST is
+// not idempotent, so transport errors mid-submission are surfaced rather than
+// risking a double submit.
+func postJobRetry(client *http.Client, base string, req serve.JobRequest) (serve.JobStatus, error) {
+	const maxAttempts = 5
+	for attempt := 1; ; attempt++ {
+		st, err := postJob(client, base, req)
+		var ov *errOverloaded
+		if err == nil || attempt == maxAttempts || !errors.As(err, &ov) {
+			return st, err
+		}
+		wait := ov.retryAfter
+		if wait <= 0 {
+			wait = time.Second
+		}
+		if wait > 30*time.Second {
+			wait = 30 * time.Second
+		}
+		// ±25% jitter so a herd of clients handed the same Retry-After
+		// doesn't stampede back in lockstep.
+		wait += time.Duration(rand.Int63n(int64(wait)/2+1)) - wait/4
+		fmt.Fprintf(os.Stderr, "submit: daemon overloaded, retrying in %v (attempt %d/%d)\n",
+			wait.Round(time.Millisecond), attempt, maxAttempts)
+		time.Sleep(wait)
+	}
+}
+
+// getRetry wraps an idempotent GET with bounded retries on transient
+// transport errors (connection refused or reset while the daemon restarts).
+// HTTP-level errors (404, 400, ...) are never retried.
+func getRetry[T any](fetch func() (T, error)) (T, error) {
+	const maxAttempts = 4
+	for attempt := 1; ; attempt++ {
+		v, err := fetch()
+		var ne net.Error
+		transient := err != nil && (errors.As(err, &ne) || errors.Is(err, io.ErrUnexpectedEOF))
+		if err == nil || attempt == maxAttempts || !transient {
+			return v, err
+		}
+		time.Sleep(time.Duration(attempt) * 250 * time.Millisecond)
+	}
 }
 
 func postJob(client *http.Client, base string, req serve.JobRequest) (serve.JobStatus, error) {

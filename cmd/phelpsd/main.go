@@ -34,15 +34,20 @@ func main() {
 		ckptDir  = flag.String("ckpt-dir", os.Getenv("PHELPS_CKPT_DIR"), "persistent checkpoint-cache directory for sampled cells (default $PHELPS_CKPT_DIR; empty = no cache)")
 		crashDir = flag.String("crash-dir", "", "crash dump directory for panicking cells (default $PHELPS_CRASH_DIR or crashes)")
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline after SIGTERM")
+		journal  = flag.String("journal-dir", os.Getenv("PHELPS_JOURNAL_DIR"), "write-ahead job journal directory; a restarted daemon resumes incomplete jobs from it (default $PHELPS_JOURNAL_DIR; empty = no journal)")
+		retries  = flag.Int("retries", 0, "per-cell retries for transient failures (0 = default 2, negative = none)")
+		cellDL   = flag.Duration("cell-deadline", 0, "per-attempt wall-clock deadline per cell (0 = unbounded)")
 	)
 	flag.Parse()
 
 	srv := serve.NewServer(serve.Config{
-		Workers:   *workers,
-		QueueCap:  *queue,
-		CachePath: *cache,
-		CkptDir:   *ckptDir,
-		CrashDir:  *crashDir,
+		Workers:    *workers,
+		QueueCap:   *queue,
+		CachePath:  *cache,
+		CkptDir:    *ckptDir,
+		CrashDir:   *crashDir,
+		JournalDir: *journal,
+		Retry:      serve.RetryPolicy{MaxRetries: *retries, CellDeadline: *cellDL},
 	})
 	if err := srv.CacheLoadErr(); err != nil {
 		fmt.Fprintf(os.Stderr, "phelpsd: cache load: %v (starting cold)\n", err)

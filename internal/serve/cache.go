@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
+	"phelps/internal/fsio"
 	"phelps/internal/sim"
 )
 
@@ -32,15 +34,26 @@ const cacheSchema = 1
 // sim.Result. Entries are treated as immutable once inserted — readers share
 // the stored pointer. Safe for concurrent use.
 type ResultCache struct {
+	fs      fsio.FS
 	mu      sync.Mutex
 	entries map[CellKey]*sim.Result
 
-	hits, misses, puts atomic.Uint64
+	hits, misses, puts        atomic.Uint64
+	loadErrs, saves, saveErrs atomic.Uint64
 }
 
-// NewResultCache returns an empty cache.
+// NewResultCache returns an empty cache backed by the real filesystem.
 func NewResultCache() *ResultCache {
-	return &ResultCache{entries: make(map[CellKey]*sim.Result)}
+	return NewResultCacheFS(fsio.OS)
+}
+
+// NewResultCacheFS returns an empty cache persisting through fs — the disk-
+// fault injection seam shared with the journal and the checkpoint cache.
+func NewResultCacheFS(fs fsio.FS) *ResultCache {
+	if fs == nil {
+		fs = fsio.OS
+	}
+	return &ResultCache{fs: fs, entries: make(map[CellKey]*sim.Result)}
 }
 
 // Get returns the cached result for key, counting the hit or miss. The
@@ -85,6 +98,13 @@ func (c *ResultCache) Len() int {
 func (c *ResultCache) Hits() uint64   { return c.hits.Load() }
 func (c *ResultCache) Misses() uint64 { return c.misses.Load() }
 
+// LoadErrors counts corrupt, schema-skewed, or unreadable persisted cache
+// files that degraded to an empty load; Saves and SaveErrors count persist
+// attempts and their failures.
+func (c *ResultCache) LoadErrors() uint64 { return c.loadErrs.Load() }
+func (c *ResultCache) Saves() uint64      { return c.saves.Load() }
+func (c *ResultCache) SaveErrors() uint64 { return c.saveErrs.Load() }
+
 // cacheFile is the persisted JSON layout.
 type cacheFile struct {
 	Schema  int          `json:"schema"`
@@ -96,9 +116,12 @@ type cacheEntry struct {
 	Result *sim.Result `json:"result"`
 }
 
-// SaveFile persists the cache as JSON (atomically: temp file + rename), so a
-// drained daemon's successor starts warm.
+// SaveFile persists the cache as JSON (atomically: unique temp file + rename,
+// so concurrent savers and a crash mid-write can never leave a half-written
+// cache under the live name), so a drained daemon's successor starts warm.
+// Failures are counted (SaveErrors) as well as returned.
 func (c *ResultCache) SaveFile(path string) error {
+	c.saves.Add(1)
 	c.mu.Lock()
 	f := cacheFile{Schema: cacheSchema, Entries: make([]cacheEntry, 0, len(c.entries))}
 	for k, r := range c.entries {
@@ -107,31 +130,59 @@ func (c *ResultCache) SaveFile(path string) error {
 	c.mu.Unlock()
 	data, err := json.Marshal(&f)
 	if err != nil {
+		c.saveErrs.Add(1)
 		return fmt.Errorf("serve: encode cache: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
+	err = func() error {
+		tmp, err := c.fs.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+		if err != nil {
+			return err
+		}
+		_, werr := tmp.Write(data)
+		serr := tmp.Sync()
+		cerr := tmp.Close()
+		if werr != nil || serr != nil || cerr != nil {
+			c.fs.Remove(tmp.Name())
+			if werr != nil {
+				return werr
+			}
+			if serr != nil {
+				return serr
+			}
+			return cerr
+		}
+		if err := c.fs.Rename(tmp.Name(), path); err != nil {
+			c.fs.Remove(tmp.Name())
+			return err
+		}
+		return nil
+	}()
+	if err != nil {
+		c.saveErrs.Add(1)
 	}
-	return os.Rename(tmp, path)
+	return err
 }
 
 // LoadFile merges a persisted cache into this one. A missing file is not an
-// error (first boot); a corrupt or schema-mismatched file is ignored with an
-// error return, leaving the cache usable.
+// error (first boot); a corrupt, truncated, or schema-mismatched file is a
+// counted miss (LoadErrors) and an error return, leaving the cache usable —
+// every entry is recomputable, so degradation never blocks serving.
 func (c *ResultCache) LoadFile(path string) error {
-	data, err := os.ReadFile(path)
+	data, err := c.fs.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
 		}
+		c.loadErrs.Add(1)
 		return err
 	}
 	var f cacheFile
 	if err := json.Unmarshal(data, &f); err != nil {
+		c.loadErrs.Add(1)
 		return fmt.Errorf("serve: decode cache %s: %w", path, err)
 	}
 	if f.Schema != cacheSchema {
+		c.loadErrs.Add(1)
 		return fmt.Errorf("serve: cache %s has schema %d, want %d (discarded)", path, f.Schema, cacheSchema)
 	}
 	c.mu.Lock()

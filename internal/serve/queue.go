@@ -22,8 +22,9 @@ type Admission struct {
 	rejected atomic.Uint64
 
 	// avgCellNs is an EWMA of observed cell durations, feeding the
-	// Retry-After estimate. Zero until the first completion; the estimate
-	// then assumes one second per cell.
+	// Retry-After estimate. Seeded to one second at construction so the very
+	// first 429 — before any cell has completed — already carries a nonzero,
+	// conservative hint instead of a degenerate estimate.
 	avgCellNs atomic.Int64
 }
 
@@ -36,7 +37,9 @@ func NewAdmission(capacity, workers int) *Admission {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Admission{capacity: capacity, workers: workers}
+	a := &Admission{capacity: capacity, workers: workers}
+	a.avgCellNs.Store(int64(time.Second))
+	return a
 }
 
 // TryAdmit acquires n slots atomically, reporting success. n greater than
@@ -53,6 +56,16 @@ func (a *Admission) TryAdmit(n int) bool {
 	return true
 }
 
+// ForceAdmit acquires n slots unconditionally, allowing pending to exceed
+// capacity. Reserved for journaled work resumed at boot: obligations already
+// acknowledged with a 202 outrank new arrivals, which see the deeper queue
+// through TryAdmit until the backlog drains.
+func (a *Admission) ForceAdmit(n int) {
+	a.mu.Lock()
+	a.pending += n
+	a.mu.Unlock()
+}
+
 // Release returns n slots.
 func (a *Admission) Release(n int) {
 	a.mu.Lock()
@@ -65,13 +78,11 @@ func (a *Admission) Release(n int) {
 }
 
 // Observe feeds one completed cell's duration into the Retry-After EWMA.
+// The EWMA is seeded (never zero), so every observation blends normally; the
+// conservative 1s seed washes out within a few completions.
 func (a *Admission) Observe(d time.Duration) {
 	const w = 8 // EWMA weight 1/8: smooth but responsive to workload shifts
 	old := a.avgCellNs.Load()
-	if old == 0 {
-		a.avgCellNs.Store(int64(d))
-		return
-	}
 	a.avgCellNs.Store(old + (int64(d)-old)/w)
 }
 

@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceEnabled mirrors the test binary's -race flag so the chaos harness can
+// build its phelpsd subprocess with the same instrumentation.
+const raceEnabled = false

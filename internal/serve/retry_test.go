@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"phelps/internal/sim"
+)
+
+// TestRetryRecoversTransient injects a panic into a cell's first attempt only
+// (Times: 1): the retry policy must re-run it, succeed on attempt two, and
+// surface the provenance — attempts, the first attempt's error, and the
+// recovered counter.
+func TestRetryRecoversTransient(t *testing.T) {
+	t.Parallel()
+	s, ts := newTestServer(t, Config{
+		Workers: 2,
+		Retry:   RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	st, resp := postJob(t, ts, JobRequest{
+		Workloads: []string{"guarded"},
+		Configs:   []string{sim.CfgBase},
+		Quick:     true,
+		Faults:    []CellFault{{Workload: "guarded", Config: sim.CfgBase, Kind: "panic", Times: 1}},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	fin := waitJob(t, ts, st.ID)
+	if fin.State != JobDone {
+		t.Fatalf("job state = %s, want done (retry should recover): %+v", fin.State, fin)
+	}
+	if fin.Retried != 1 {
+		t.Errorf("retried_cells = %d, want 1", fin.Retried)
+	}
+	cell := jobResult(t, ts, st.ID).Cells[0]
+	if cell.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", cell.Attempts)
+	}
+	if len(cell.RetryErrors) != 1 || !strings.Contains(cell.RetryErrors[0], "panic") {
+		t.Errorf("retry_errors = %v, want one panic", cell.RetryErrors)
+	}
+	if got := s.retryRecovered.Load(); got != 1 {
+		t.Errorf("serve.retry.recovered = %d, want 1", got)
+	}
+	if got := s.retryRetried.Load(); got != 1 {
+		t.Errorf("serve.retry.retried = %d, want 1", got)
+	}
+}
+
+// TestRetryExhausted injects a panic into every attempt: the budget must be
+// spent (1 + MaxRetries attempts), the cell must fail with the exhaustion
+// wrapper, and the exhausted counter must fire.
+func TestRetryExhausted(t *testing.T) {
+	t.Parallel()
+	s, ts := newTestServer(t, Config{
+		Workers: 2,
+		Retry:   RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	st, resp := postJob(t, ts, JobRequest{
+		Workloads: []string{"guarded"},
+		Configs:   []string{sim.CfgBase},
+		Quick:     true,
+		Faults:    []CellFault{{Workload: "guarded", Config: sim.CfgBase, Kind: "panic"}},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	fin := waitJob(t, ts, st.ID)
+	if fin.State != JobFailed {
+		t.Fatalf("job state = %s, want failed", fin.State)
+	}
+	cell := jobResult(t, ts, st.ID).Cells[0]
+	if cell.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", cell.Attempts)
+	}
+	if !strings.Contains(cell.Error, "retry budget exhausted") {
+		t.Errorf("error = %q, want exhaustion wrapper", cell.Error)
+	}
+	if got := s.retryExhausted.Load(); got != 1 {
+		t.Errorf("serve.retry.exhausted = %d, want 1", got)
+	}
+}
+
+// TestPermanentFailureFailsFast injects a deterministic corruption caught by
+// the invariant checker: no retries, one attempt, permanent counter.
+func TestPermanentFailureFailsFast(t *testing.T) {
+	t.Parallel()
+	s, ts := newTestServer(t, Config{
+		Workers: 2,
+		Retry:   RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	st, resp := postJob(t, ts, JobRequest{
+		Workloads: []string{"guarded"},
+		Configs:   []string{sim.CfgBase},
+		Quick:     true,
+		Lockstep:  true,
+		Faults:    []CellFault{{Workload: "guarded", Config: sim.CfgBase, Kind: "corrupt-rd"}},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	fin := waitJob(t, ts, st.ID)
+	if fin.State != JobFailed {
+		t.Fatalf("job state = %s, want failed", fin.State)
+	}
+	cell := jobResult(t, ts, st.ID).Cells[0]
+	if cell.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (deterministic failure must not retry)", cell.Attempts)
+	}
+	if len(cell.RetryErrors) != 0 {
+		t.Errorf("retry_errors = %v, want none", cell.RetryErrors)
+	}
+	if got := s.retryPermanent.Load(); got == 0 {
+		t.Error("serve.retry.permanent = 0, want >= 1")
+	}
+	if got := s.retryRetried.Load(); got != 0 {
+		t.Errorf("serve.retry.retried = %d, want 0", got)
+	}
+}
+
+// TestCellDeadline bounds each attempt to a deadline no simulation can meet:
+// the cell must fail fast as permanent (a deterministic run that timed out
+// once will time out every time), not burn the retry budget.
+func TestCellDeadline(t *testing.T) {
+	t.Parallel()
+	s, ts := newTestServer(t, Config{
+		Workers: 2,
+		Retry:   RetryPolicy{MaxRetries: 2, CellDeadline: time.Nanosecond},
+	})
+	st, resp := postJob(t, ts, JobRequest{Workloads: []string{"guarded"}, Configs: []string{sim.CfgBase}, Quick: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	fin := waitJob(t, ts, st.ID)
+	if fin.State != JobFailed {
+		t.Fatalf("job state = %s, want failed", fin.State)
+	}
+	cell := jobResult(t, ts, st.ID).Cells[0]
+	if cell.State != CellFailed || !strings.Contains(cell.Error, "per-cell deadline") {
+		t.Errorf("cell = %s error %q, want deadline failure", cell.State, cell.Error)
+	}
+	if cell.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (deadline is permanent)", cell.Attempts)
+	}
+	if got := s.retryPermanent.Load(); got != 1 {
+		t.Errorf("serve.retry.permanent = %d, want 1", got)
+	}
+}
+
+// TestBackoffFor pins the capped exponential schedule.
+func TestBackoffFor(t *testing.T) {
+	t.Parallel()
+	p := RetryPolicy{Backoff: 50 * time.Millisecond, MaxBackoff: 300 * time.Millisecond}
+	for _, tc := range []struct {
+		n    int
+		want time.Duration
+	}{
+		{1, 50 * time.Millisecond},
+		{2, 100 * time.Millisecond},
+		{3, 200 * time.Millisecond},
+		{4, 300 * time.Millisecond}, // capped
+		{9, 300 * time.Millisecond},
+	} {
+		if got := backoffFor(p, tc.n); got != tc.want {
+			t.Errorf("backoffFor(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestAdmissionColdStartRetryAfter pins the EWMA seed: a 429 issued before
+// any cell has ever completed must still carry a nonzero, conservative
+// Retry-After hint, and later observations blend normally.
+func TestAdmissionColdStartRetryAfter(t *testing.T) {
+	t.Parallel()
+	a := NewAdmission(2, 1)
+	if !a.TryAdmit(2) {
+		t.Fatal("admit failed")
+	}
+	if ra := a.RetryAfter(1); ra < time.Second {
+		t.Errorf("cold-start RetryAfter = %v, want >= 1s", ra)
+	}
+	// One slow observation raises the estimate above the seed.
+	a.Observe(9 * time.Second)
+	if ra := a.RetryAfter(1); ra <= time.Second {
+		t.Errorf("post-observe RetryAfter = %v, want > 1s", ra)
+	}
+}
+
+// TestColdStart429OverHTTP is the end-to-end version: the very first 429 the
+// daemon ever sends carries a usable hint in both the header and the body.
+func TestColdStart429OverHTTP(t *testing.T) {
+	t.Parallel()
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	release := blockWorkers(s)
+	defer release()
+	if _, resp := postJob(t, ts, JobRequest{Workloads: []string{"guarded"}, Configs: []string{sim.CfgBase}, Quick: true}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first job: %s", resp.Status)
+	}
+	_, resp := postJob(t, ts, JobRequest{Workloads: []string{"delinquent"}, Configs: []string{sim.CfgBase}, Quick: true})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow: %s, want 429", resp.Status)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("cold-start 429 Retry-After header = %q, want nonzero", ra)
+	}
+}

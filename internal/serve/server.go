@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"phelps/internal/cpu"
+	"phelps/internal/fsio"
 	"phelps/internal/obs"
 	"phelps/internal/sim"
 )
@@ -39,6 +40,17 @@ type Config struct {
 	CkptDir string
 	// MaxCellsPerJob bounds one job's size (0 = QueueCap).
 	MaxCellsPerJob int
+	// JournalDir, when set, roots the write-ahead job journal: accepted jobs
+	// are journaled before the 202 goes out, and a restarted daemon replays
+	// the journal and finishes incomplete jobs under their original IDs.
+	JournalDir string
+	// Retry bounds per-cell re-execution of transient failures (zero values
+	// select the defaults; see RetryPolicy).
+	Retry RetryPolicy
+	// FS is the filesystem seam shared by the results cache, the checkpoint
+	// cache, and the journal (nil = the real filesystem). Tests inject an
+	// fsio.FaultFS here to prove disk faults degrade to counted misses.
+	FS fsio.FS
 }
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -75,15 +87,18 @@ type flight struct {
 // and the results cache. Create with NewServer, serve s.Handler(), stop with
 // Drain (or Close).
 type Server struct {
-	cfg   Config
-	sched *Scheduler
-	adm   *Admission
-	cache *ResultCache
-	ckpts *sim.CkptCache // nil unless Config.CkptDir is set
-	store *Store
-	res   *resolver
-	reg   *obs.Registry
-	mux   *http.ServeMux
+	cfg     Config
+	fs      fsio.FS
+	sched   *Scheduler
+	adm     *Admission
+	cache   *ResultCache
+	ckpts   *sim.CkptCache // nil unless Config.CkptDir is set
+	journal *Journal       // nil unless Config.JournalDir is set
+	retry   RetryPolicy
+	store   *Store
+	res     *resolver
+	reg     *obs.Registry
+	mux     *http.ServeMux
 
 	baseCtx    context.Context
 	baseCancel context.CancelCauseFunc
@@ -92,10 +107,16 @@ type Server struct {
 	flightMu sync.Mutex
 	flights  map[CellKey]*flight
 
-	jobsSubmitted, jobsRejected, jobsCanceled   atomic.Uint64
-	cellsSubmitted, cellsDone, cellsFailed      atomic.Uint64
-	cellsCanceled, cellsFromCache, cellsDeduped atomic.Uint64
-	cacheLoadErr                                error
+	// saveMu serializes results-cache persistence (the per-job background
+	// save vs the final save at drain).
+	saveMu sync.Mutex
+
+	jobsSubmitted, jobsRejected, jobsCanceled    atomic.Uint64
+	cellsSubmitted, cellsDone, cellsFailed       atomic.Uint64
+	cellsCanceled, cellsFromCache, cellsDeduped  atomic.Uint64
+	retryRetried, retryRecovered, retryExhausted atomic.Uint64
+	retryTransient, retryPermanent               atomic.Uint64
+	cacheLoadErr                                 error
 }
 
 // NewServer assembles a daemon. The cache file (if configured) is loaded
@@ -103,11 +124,17 @@ type Server struct {
 // via CacheLoadErr.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	fs := cfg.FS
+	if fs == nil {
+		fs = fsio.OS
+	}
 	s := &Server{
 		cfg:     cfg,
+		fs:      fs,
 		sched:   NewScheduler(cfg.Workers),
 		adm:     NewAdmission(cfg.QueueCap, cfg.Workers),
-		cache:   NewResultCache(),
+		cache:   NewResultCacheFS(fs),
+		retry:   cfg.Retry.withDefaults(),
 		store:   NewStore(),
 		res:     newResolver(),
 		reg:     obs.NewRegistry(),
@@ -118,10 +145,20 @@ func NewServer(cfg Config) *Server {
 		s.cacheLoadErr = s.cache.LoadFile(cfg.CachePath)
 	}
 	if cfg.CkptDir != "" {
-		s.ckpts = sim.NewCkptCache(cfg.CkptDir)
+		s.ckpts = sim.NewCkptCacheFS(cfg.CkptDir, fs)
+	}
+	if cfg.JournalDir != "" {
+		s.journal = OpenJournal(fs, cfg.JournalDir)
 	}
 	s.registerObs()
 	s.routes()
+	if s.journal != nil {
+		// Replay before serving: incomplete journaled jobs are re-registered
+		// under their original IDs and their unresolved cells re-enqueued.
+		for _, rj := range s.journal.Resumed() {
+			s.resumeJob(rj)
+		}
+	}
 	return s
 }
 
@@ -154,7 +191,31 @@ func (s *Server) registerObs() {
 	cache := s.reg.Scope("serve.cache")
 	cache.Counter("hits", s.cache.Hits)
 	cache.Counter("misses", s.cache.Misses)
+	cache.Counter("load_errors", s.cache.LoadErrors)
+	cache.Counter("saves", s.cache.Saves)
+	cache.Counter("save_errors", s.cache.SaveErrors)
 	cache.Gauge("entries", func() float64 { return float64(s.cache.Len()) })
+
+	retry := s.reg.Scope("serve.retry")
+	retry.Counter("retried", s.retryRetried.Load)
+	retry.Counter("recovered", s.retryRecovered.Load)
+	retry.Counter("exhausted", s.retryExhausted.Load)
+	retry.Counter("transient", s.retryTransient.Load)
+	retry.Counter("permanent", s.retryPermanent.Load)
+
+	if s.journal != nil {
+		jn := s.reg.Scope("serve.journal")
+		jn.Counter("appends", s.journal.Appends)
+		jn.Counter("replayed", s.journal.Replayed)
+		jn.Counter("truncated", s.journal.Truncated)
+		jn.Counter("compactions", s.journal.Compactions)
+		jn.Counter("errors", s.journal.Errors)
+		jn.Counter("resumed_jobs", s.journal.ResumedJobs)
+		jn.Counter("resumed_cells", s.journal.ResumedCells)
+		jn.Gauge("size_bytes", func() float64 { return float64(s.journal.Stats().SizeBytes) })
+		jn.Gauge("lag_records", func() float64 { return float64(s.journal.Stats().Lag) })
+		jn.Gauge("live_jobs", func() float64 { return float64(s.journal.Stats().LiveJobs) })
+	}
 
 	if s.ckpts != nil {
 		ckpt := s.reg.Scope("serve.ckpt")
@@ -186,6 +247,12 @@ type apiError struct {
 }
 
 func (e *apiError) Error() string { return e.msg }
+
+// faultSpec pairs a parsed fault injection with its attempt bound.
+type faultSpec struct {
+	fi    *cpu.FaultInjection
+	times int
+}
 
 // parseFault translates a CellFault into a cpu.FaultInjection.
 func parseFault(f CellFault) (*cpu.FaultInjection, error) {
@@ -248,13 +315,13 @@ func (s *Server) Submit(req JobRequest) (*Job, *apiError) {
 			return nil, &apiError{code: http.StatusBadRequest, kind: KindBadRequest, msg: err.Error()}
 		}
 	}
-	faults := make(map[[2]string]*cpu.FaultInjection, len(req.Faults))
+	faults := make(map[[2]string]faultSpec, len(req.Faults))
 	for _, f := range req.Faults {
 		fi, err := parseFault(f)
 		if err != nil {
 			return nil, &apiError{code: http.StatusBadRequest, kind: KindBadRequest, msg: err.Error()}
 		}
-		faults[[2]string{f.Workload, f.Config}] = fi
+		faults[[2]string{f.Workload, f.Config}] = faultSpec{fi: fi, times: f.Times}
 	}
 
 	flags := ""
@@ -277,11 +344,14 @@ func (s *Server) Submit(req JobRequest) (*Job, *apiError) {
 	cold := 0
 	for _, w := range req.Workloads {
 		for _, c := range req.Configs {
+			f := faults[[2]string{w, c}]
 			cell := &Cell{
-				Workload: w,
-				Config:   c,
-				Key:      CellKey{WorkloadHash: hashes[w], Config: c, Seed: seed, Sampled: req.Sampled, Flags: flags},
-				fault:    faults[[2]string{w, c}],
+				Workload:   w,
+				Config:     c,
+				Key:        CellKey{WorkloadHash: hashes[w], Config: c, Seed: seed, Sampled: req.Sampled, Flags: flags},
+				idx:        len(cells),
+				fault:      f.fi,
+				faultTimes: f.times,
 			}
 			if cell.fault != nil || !s.cache.Peek(cell.Key) {
 				cold++
@@ -301,6 +371,11 @@ func (s *Server) Submit(req JobRequest) (*Job, *apiError) {
 	}
 
 	job := s.store.NewJob(s.baseCtx, req, cells)
+	if s.journal != nil {
+		// Journaled (and synced) before the 202 goes out: once the client
+		// holds an acknowledgment, the job survives a daemon kill.
+		s.journal.Accept(job.ID, req)
+	}
 	s.jobsSubmitted.Add(1)
 	s.cellsSubmitted.Add(uint64(total))
 
@@ -358,25 +433,31 @@ func (s *Server) joinFlight(c *Cell, spec sim.Spec, req JobRequest) func() {
 		return nil
 	}
 	return func() {
-		s.flightMu.Lock()
-		fl.started = true
-		running := append([]*Cell(nil), fl.cells...)
-		s.flightMu.Unlock()
-		for _, rc := range running {
-			rc.setRunning()
+		onAttempt := func(attempt int) {
+			s.flightMu.Lock()
+			fl.started = true
+			running := append([]*Cell(nil), fl.cells...)
+			s.flightMu.Unlock()
+			for _, rc := range running {
+				rc.setRunning()
+				rc.noteAttempt(attempt)
+				s.journalCell(rc, CellRunning, attempt, "", false)
+			}
 		}
 		start := time.Now()
-		res, err := s.execCell(fl.ctx, spec, fl.key.Config, req, nil)
+		res, err, out := s.runWithRetry(fl.ctx, spec, fl.key.Config, req, nil, 0, onAttempt)
 		s.adm.Observe(time.Since(start))
 		if err == nil {
 			s.cache.Put(fl.key, &res)
 		}
-		s.completeFlight(fl, &res, err)
+		s.completeFlight(fl, &res, err, out)
 	}
 }
 
-// completeFlight resolves every subscribed cell and retires the flight.
-func (s *Server) completeFlight(fl *flight, res *sim.Result, err error) {
+// completeFlight resolves every subscribed cell and retires the flight. The
+// attempt outcome fans out to every subscriber: a shared execution's retry
+// provenance belongs to each cell that waited on it.
+func (s *Server) completeFlight(fl *flight, res *sim.Result, err error, out attemptOutcome) {
 	s.flightMu.Lock()
 	fl.done = true
 	if s.flights[fl.key] == fl {
@@ -386,6 +467,10 @@ func (s *Server) completeFlight(fl *flight, res *sim.Result, err error) {
 	fl.cells = nil
 	s.flightMu.Unlock()
 	for _, c := range cells {
+		c.noteAttempt(out.attempts)
+		if len(out.retryErrs) > 0 {
+			c.setRetryErrs(out.retryErrs)
+		}
 		s.finishCell(c, res, err, false)
 	}
 }
@@ -408,10 +493,17 @@ func (s *Server) unrefFlight(fl *flight) {
 // faultTask runs a fault-injected cell privately under its job's context.
 func (s *Server) faultTask(j *Job, c *Cell, spec sim.Spec) func() {
 	return func() {
-		c.setRunning()
+		onAttempt := func(attempt int) {
+			c.setRunning()
+			c.noteAttempt(attempt)
+			s.journalCell(c, CellRunning, attempt, "", false)
+		}
 		start := time.Now()
-		res, err := s.execCell(j.ctx, spec, c.Config, j.Req, c.fault)
+		res, err, out := s.runWithRetry(j.ctx, spec, c.Config, j.Req, c.fault, c.faultTimes, onAttempt)
 		s.adm.Observe(time.Since(start))
+		if len(out.retryErrs) > 0 {
+			c.setRetryErrs(out.retryErrs)
+		}
 		s.finishCell(c, &res, err, false)
 	}
 }
@@ -432,6 +524,31 @@ func (s *Server) execCell(ctx context.Context, spec sim.Spec, cfgName string, re
 	return sim.RunCellCtx(ctx, spec, cfgName, opt)
 }
 
+// journalCell appends one cell transition when the journal is on; the cell's
+// journal identity is (job ID, cross-product index).
+func (s *Server) journalCell(c *Cell, state string, attempt int, errMsg string, perm bool) {
+	if s.journal == nil {
+		return
+	}
+	s.journal.Cell(c.job.ID, c.idx, state, attempt, errMsg, perm)
+}
+
+// jobFinished journals a job's terminal transition and kicks off a background
+// results-cache persist, bounding how much a later SIGKILL can force the
+// successor to re-simulate.
+func (s *Server) jobFinished(j *Job) {
+	if s.journal != nil {
+		s.journal.JobDone(j.ID)
+	}
+	if s.cfg.CachePath != "" {
+		go func() {
+			s.saveMu.Lock()
+			defer s.saveMu.Unlock()
+			_ = s.cache.SaveFile(s.cfg.CachePath) // failures are counted on the cache
+		}()
+	}
+}
+
 // finishCell resolves a cell exactly once, releasing its admission slot and
 // advancing its job's completion count.
 func (s *Server) finishCell(c *Cell, res *sim.Result, err error, cached bool) {
@@ -447,6 +564,15 @@ func (s *Server) finishCell(c *Cell, res *sim.Result, err error, cached bool) {
 	if !first {
 		return
 	}
+	var emsg string
+	perm := false
+	if err != nil {
+		emsg = err.Error()
+		// A failed cell whose error is not transient is deterministically
+		// doomed: journaled permanent, sticky across restarts.
+		perm = state == CellFailed && !sim.IsTransient(err)
+	}
+	s.journalCell(c, state, c.attemptCount(), emsg, perm)
 	if hadSlot {
 		s.adm.Release(1)
 	}
@@ -458,7 +584,9 @@ func (s *Server) finishCell(c *Cell, res *sim.Result, err error, cached bool) {
 	case CellCanceled:
 		s.cellsCanceled.Add(1)
 	}
-	c.job.cellResolved()
+	if c.job.cellResolved() {
+		s.jobFinished(c.job)
+	}
 }
 
 // Cancel cancels a job: unresolved cells resolve as canceled immediately,
@@ -477,16 +605,151 @@ func (s *Server) Cancel(j *Job) bool {
 		if !first {
 			continue
 		}
+		s.journalCell(c, CellCanceled, c.attemptCount(), "", false)
 		if hadSlot {
 			s.adm.Release(1)
 		}
 		s.cellsCanceled.Add(1)
-		c.job.cellResolved()
+		if c.job.cellResolved() {
+			s.jobFinished(c.job)
+		}
 		if fl != nil {
 			s.unrefFlight(fl)
 		}
 	}
 	return true
+}
+
+// resumeJob re-registers one incomplete journaled job at boot under its
+// original ID. Journaled terminal failures and cancellations are sticky;
+// every other cell is re-enqueued — idempotently, since a re-run either hits
+// the persisted results cache or deterministically recomputes the same
+// numbers. Recovered cells bypass admission capacity (ForceAdmit): their 202
+// was already given, so they outrank new arrivals.
+func (s *Server) resumeJob(rj ResumedJob) {
+	req := rj.Req
+	specs := make(map[string]sim.Spec, len(req.Workloads))
+	hashes := make(map[string]uint64, len(req.Workloads))
+	var verr error
+	for _, w := range req.Workloads {
+		spec, err := sim.SpecByName(w, req.Quick)
+		if err != nil {
+			verr = err
+			break
+		}
+		h, err := s.res.hash(w, req.Quick)
+		if err != nil {
+			verr = err
+			break
+		}
+		specs[w], hashes[w] = spec, h
+	}
+	if verr == nil {
+		for _, c := range req.Configs {
+			if _, err := sim.ConfigByName(c, 0); err != nil {
+				verr = err
+				break
+			}
+		}
+	}
+	faults := make(map[[2]string]faultSpec, len(req.Faults))
+	for _, f := range req.Faults {
+		fi, err := parseFault(f)
+		if err != nil {
+			verr = err
+			break
+		}
+		faults[[2]string{f.Workload, f.Config}] = faultSpec{fi: fi, times: f.Times}
+	}
+
+	flags := ""
+	if req.Checks {
+		flags += "checks,"
+	}
+	if req.Lockstep {
+		flags += "lockstep,"
+	}
+	seed := uint64(0)
+	if req.Sampled {
+		seed = req.Seed
+	}
+
+	// Rebuild the cell matrix in the same cross-product order the journal
+	// indexed it with, folding in each cell's journaled state.
+	cells := make([]*Cell, 0, len(req.Workloads)*len(req.Configs))
+	cold := 0
+	for _, w := range req.Workloads {
+		for _, cn := range req.Configs {
+			i := len(cells)
+			var rc ResumedCell
+			if i < len(rj.Cells) {
+				rc = rj.Cells[i]
+			}
+			f := faults[[2]string{w, cn}]
+			cell := &Cell{Workload: w, Config: cn, idx: i, fault: f.fi, faultTimes: f.times}
+			cell.attempts = rc.Attempt
+			switch {
+			case rc.State == CellFailed || rc.State == CellCanceled:
+				// Journaled terminal outcome: sticky across the restart.
+				cell.state, cell.resolved = rc.State, true
+				if rc.Error != "" {
+					cell.err = errors.New(rc.Error)
+				}
+			case verr != nil:
+				// The journaled request no longer validates (the registry
+				// changed across the restart): fail the cell, don't re-run.
+				cell.state, cell.resolved = CellFailed, true
+				cell.err = fmt.Errorf("resume: %w", verr)
+			default:
+				cell.Key = CellKey{WorkloadHash: hashes[w], Config: cn, Seed: seed, Sampled: req.Sampled, Flags: flags}
+				if cell.fault != nil || !s.cache.Peek(cell.Key) {
+					cold++
+					cell.slot = true
+				}
+			}
+			cells = append(cells, cell)
+		}
+	}
+	s.adm.ForceAdmit(cold)
+	job := s.store.RestoreJob(s.baseCtx, rj.ID, req, cells)
+	select {
+	case <-job.Done():
+		// Every cell was already terminal (or the resume failed validation):
+		// journal the terminal transition so compaction retires the job.
+		s.jobFinished(job)
+		return
+	default:
+	}
+
+	var tasks []func()
+	for _, c := range job.Cells {
+		c.mu.Lock()
+		resolved := c.resolved
+		c.mu.Unlock()
+		if resolved {
+			continue
+		}
+		switch {
+		case c.fault != nil:
+			tasks = append(tasks, s.faultTask(job, c, specs[c.Workload]))
+		default:
+			if r, ok := s.cache.Get(c.Key); ok {
+				s.cellsFromCache.Add(1)
+				s.finishCell(c, r, nil, true)
+				continue
+			}
+			if task := s.joinFlight(c, specs[c.Workload], req); task != nil {
+				tasks = append(tasks, task)
+			} else {
+				s.cellsDeduped.Add(1)
+			}
+		}
+	}
+	if err := s.sched.Submit(tasks...); err != nil {
+		for _, c := range job.Cells {
+			s.finishCell(c, nil, fmt.Errorf("%w: %v", sim.ErrCanceled, err), false)
+		}
+	}
 }
 
 // Report builds the BENCH_report-schema view of every completed cell the
@@ -581,14 +844,26 @@ func (s *Server) Healthz() Healthz {
 	if s.draining.Load() {
 		state = "draining"
 	}
-	return Healthz{
+	h := Healthz{
 		OK:       true,
 		State:    state,
 		Workers:  s.sched.Workers(),
 		Jobs:     s.store.Len(),
 		QueueCap: s.adm.Capacity(),
 		Queued:   s.adm.Depth(),
+		Retry: RetryStats{
+			Retried:   s.retryRetried.Load(),
+			Recovered: s.retryRecovered.Load(),
+			Exhausted: s.retryExhausted.Load(),
+			Transient: s.retryTransient.Load(),
+			Permanent: s.retryPermanent.Load(),
+		},
 	}
+	if s.journal != nil {
+		js := s.journal.Stats()
+		h.Journal = &js
+	}
+	return h
 }
 
 // Drain shuts the daemon down gracefully: new submissions get 503, every
@@ -611,7 +886,12 @@ func (s *Server) Drain(ctx context.Context) error {
 		<-done
 	}
 	s.baseCancel(errors.New("serve: daemon stopped"))
+	if s.journal != nil {
+		_ = s.journal.Close()
+	}
 	if s.cfg.CachePath != "" {
+		s.saveMu.Lock()
+		defer s.saveMu.Unlock()
 		return s.cache.SaveFile(s.cfg.CachePath)
 	}
 	return nil

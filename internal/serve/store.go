@@ -19,9 +19,17 @@ type Cell struct {
 	Config   string
 	Key      CellKey
 
+	// idx is the cell's position in its job's Cells slice — the stable
+	// identity journal records use, derived from the workloads × configs
+	// cross-product order (identical at submit and at replay).
+	idx int
+
 	// fault, when non-nil, is this cell's injected bug; faulted cells are
-	// never deduplicated against other jobs or cached.
-	fault *cpu.FaultInjection
+	// never deduplicated against other jobs or cached. faultTimes bounds the
+	// injection to the first N attempts (0 = every attempt), so containment
+	// tests can model a transient fault that clears on retry.
+	fault      *cpu.FaultInjection
+	faultTimes int
 
 	// job and fl are back-references wired at submission: the owning job
 	// (set by Store.NewJob) and the shared flight this cell subscribed to
@@ -30,13 +38,15 @@ type Cell struct {
 	job *Job
 	fl  *flight
 
-	mu       sync.Mutex
-	state    string
-	cached   bool
-	res      *sim.Result
-	err      error
-	resolved bool
-	slot     bool // holds an admission slot until resolved
+	mu        sync.Mutex
+	state     string
+	cached    bool
+	res       *sim.Result
+	err       error
+	resolved  bool
+	slot      bool // holds an admission slot until resolved
+	attempts  int  // executions so far (retry provenance)
+	retryErrs []string
 }
 
 // setRunning marks a pending cell running (a late flight start on an
@@ -47,6 +57,29 @@ func (c *Cell) setRunning() {
 		c.state = CellRunning
 	}
 	c.mu.Unlock()
+}
+
+// noteAttempt records the highest attempt number observed for this cell.
+func (c *Cell) noteAttempt(n int) {
+	c.mu.Lock()
+	if n > c.attempts {
+		c.attempts = n
+	}
+	c.mu.Unlock()
+}
+
+// setRetryErrs records the pre-final attempt errors (retry provenance).
+func (c *Cell) setRetryErrs(errs []string) {
+	c.mu.Lock()
+	c.retryErrs = errs
+	c.mu.Unlock()
+}
+
+// attemptCount reads the cell's attempt counter.
+func (c *Cell) attemptCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attempts
 }
 
 // resolve finalizes the cell; only the first call takes effect. It reports
@@ -76,6 +109,7 @@ func (c *Cell) status() CellStatus {
 		Config:   c.Config,
 		State:    c.state,
 		Cached:   c.cached,
+		Attempts: c.attempts,
 	}
 	if c.err != nil {
 		st.Error = c.err.Error()
@@ -94,11 +128,13 @@ func (c *Cell) result() CellResult {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cr := CellResult{
-		Workload: c.Workload,
-		Config:   c.Config,
-		State:    c.state,
-		Cached:   c.cached,
-		Result:   c.res,
+		Workload:    c.Workload,
+		Config:      c.Config,
+		State:       c.state,
+		Cached:      c.cached,
+		Attempts:    c.attempts,
+		RetryErrors: c.retryErrs,
+		Result:      c.res,
 	}
 	if c.err != nil {
 		cr.Error = c.err.Error()
@@ -132,8 +168,10 @@ func (j *Job) Canceled() bool {
 	return j.canceled
 }
 
-// cellResolved records one cell's resolution, closing done at zero.
-func (j *Job) cellResolved() {
+// cellResolved records one cell's resolution, closing done at zero. It
+// reports whether this resolution finished the job (the caller journals the
+// terminal transition exactly once).
+func (j *Job) cellResolved() bool {
 	j.mu.Lock()
 	j.unresolved--
 	fin := j.unresolved == 0
@@ -141,6 +179,7 @@ func (j *Job) cellResolved() {
 	if fin {
 		close(j.done)
 	}
+	return fin
 }
 
 // markCanceled latches the canceled flag (idempotent).
@@ -178,6 +217,9 @@ func (j *Job) Status() JobStatus {
 		}
 		if cs.Cached {
 			st.Cached++
+		}
+		if cs.Attempts > 1 {
+			st.Retried++
 		}
 	}
 	switch {
@@ -242,6 +284,53 @@ func (s *Store) NewJob(parent context.Context, req JobRequest, cells []*Cell) *J
 	}
 	j.unresolved = len(cells)
 	if len(cells) == 0 {
+		close(j.done)
+	}
+
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	return j
+}
+
+// RestoreJob re-registers a journaled job under its original ID after a
+// restart. Cells arrive with their journaled state already applied: sticky
+// terminal cells (failed/canceled) are pre-resolved and excluded from the
+// unresolved count; everything else re-runs. The ID sequence is bumped past
+// the restored ID so new submissions never collide with journaled ones.
+func (s *Store) RestoreJob(parent context.Context, id string, req JobRequest, cells []*Cell) *Job {
+	s.mu.Lock()
+	var n uint64
+	if _, err := fmt.Sscanf(id, "j-%d", &n); err == nil && n > s.seq {
+		s.seq = n
+	}
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithCancelCause(parent)
+	j := &Job{
+		ID:      id,
+		Req:     req,
+		Created: time.Now().UTC(),
+		Cells:   cells,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	unresolved := 0
+	for _, c := range cells {
+		c.mu.Lock()
+		if c.state == "" {
+			c.state = CellPending
+		}
+		if !c.resolved {
+			unresolved++
+		}
+		c.mu.Unlock()
+		c.job = j
+	}
+	j.unresolved = unresolved
+	if unresolved == 0 {
 		close(j.done)
 	}
 

@@ -36,6 +36,7 @@ import (
 	"phelps/internal/cache"
 	"phelps/internal/codec"
 	"phelps/internal/emu"
+	"phelps/internal/fsio"
 )
 
 // ckptSchema versions the artifact file format; bump on any layout change
@@ -289,6 +290,7 @@ const ckptMemEntries = 8
 // sweeps (RunMatrixOpt with MatrixOptions.Sample) share one across cells.
 type CkptCache struct {
 	dir string
+	fs  fsio.FS
 
 	mu    sync.Mutex
 	mem   map[CkptKey]*ckptArtifact
@@ -299,7 +301,17 @@ type CkptCache struct {
 
 // NewCkptCache returns a cache rooted at dir (created on first store).
 func NewCkptCache(dir string) *CkptCache {
-	return &CkptCache{dir: dir, mem: make(map[CkptKey]*ckptArtifact)}
+	return NewCkptCacheFS(dir, fsio.OS)
+}
+
+// NewCkptCacheFS is NewCkptCache over an explicit filesystem; fault-injection
+// tests pass an fsio.FaultFS to prove every disk failure degrades to a
+// counted miss or skipped store, never a crash or a wrong artifact.
+func NewCkptCacheFS(dir string, fs fsio.FS) *CkptCache {
+	if fs == nil {
+		fs = fsio.OS
+	}
+	return &CkptCache{dir: dir, fs: fs, mem: make(map[CkptKey]*ckptArtifact)}
 }
 
 // Dir returns the cache's root directory.
@@ -348,7 +360,7 @@ func (c *CkptCache) Load(ctx context.Context, key CkptKey) (*ckptArtifact, error
 		c.hits.Add(1)
 		return art, nil
 	}
-	blob, err := os.ReadFile(filepath.Join(c.dir, key.fileName()))
+	blob, err := c.fs.ReadFile(filepath.Join(c.dir, key.fileName()))
 	if err != nil {
 		if !os.IsNotExist(err) {
 			c.errs.Add(1)
@@ -382,11 +394,11 @@ func (c *CkptCache) Store(ctx context.Context, key CkptKey, art *ckptArtifact, b
 		return context.Cause(ctx)
 	}
 	c.remember(key, art)
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+	if err := c.fs.MkdirAll(c.dir, 0o755); err != nil {
 		c.errs.Add(1)
 		return nil
 	}
-	tmp, err := os.CreateTemp(c.dir, key.fileName()+".tmp*")
+	tmp, err := c.fs.CreateTemp(c.dir, key.fileName()+".tmp*")
 	if err != nil {
 		c.errs.Add(1)
 		return nil
@@ -394,12 +406,12 @@ func (c *CkptCache) Store(ctx context.Context, key CkptKey, art *ckptArtifact, b
 	_, werr := tmp.Write(blob)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
+		c.fs.Remove(tmp.Name())
 		c.errs.Add(1)
 		return nil
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, key.fileName())); err != nil {
-		os.Remove(tmp.Name())
+	if err := c.fs.Rename(tmp.Name(), filepath.Join(c.dir, key.fileName())); err != nil {
+		c.fs.Remove(tmp.Name())
 		c.errs.Add(1)
 		return nil
 	}

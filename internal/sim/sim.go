@@ -62,6 +62,18 @@ var (
 	ErrCanceled = errors.New("run canceled")
 )
 
+// IsTransient classifies a run failure for retry policies: transient
+// failures are environmental — a wedged pipeline (ErrStall) or a recovered
+// panic (ErrPanic) can be caused by resource pressure, a poisoned pooled
+// structure, or an injected fault that will not strike again — and are worth
+// a bounded number of re-executions. Everything else is deterministic with
+// respect to the (workload, config) cell: livelock, verification and oracle
+// failures, a consumed workload, and cancellation all recur on every retry,
+// so callers should fail fast and record them as permanent.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrStall) || errors.Is(err, ErrPanic)
+}
+
 // Forward-progress watchdog controls (Config.StallCycles).
 const (
 	// DefaultStallCycles is the watchdog threshold when Config.StallCycles

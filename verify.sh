@@ -31,10 +31,16 @@ go test -race -count=1 \
     -run 'TestSampledParallelBitIdentical/(astar|xz)$|TestCkptCacheColdWarm' \
     ./internal/sim
 # The daemon's concurrency (work-stealing scheduler, flights, admission,
-# cache, live registry snapshots) race-clean; the 116-cell HTTP acceptance
+# cache, live registry snapshots) race-clean — this also covers the journal,
+# retry-policy, and cache-corruption suites; the 116-cell HTTP acceptance
 # sweep is skipped under -short and pinned without -race below.
 go test -race -short ./internal/serve
 go test -count=1 -run TestFullQuickMatrixOverHTTP ./internal/serve
+# Kill-restart chaos harness under -race: a real phelpsd subprocess (itself
+# race-built) SIGKILLed at three randomized points mid-job, restarted on the
+# same journal/cache dirs, and required to finish the job bit-identically
+# within the retry budget. Skipped under -short, so named explicitly.
+go test -race -count=1 -run TestChaosKillRestart ./internal/serve
 # phelpsd smoke: boot the daemon on an ephemeral port, submit a quick job
 # with the CLI client, then resubmit and require the second pass to be
 # answered from the results cache; a sampled job populates the persistent
@@ -76,6 +82,41 @@ echo "$obs" | grep -q '"serve.ckpt.stores": 0'
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 grep -q drained "$smoke_dir/phelpsd2.log"
+# Kill-restart chaos smoke: SIGKILL the daemon the instant a job is
+# acknowledged (no drain, no cache persist); a restart on the same journal
+# directory must finish the job under its original ID and surface journal
+# health in /v1/healthz.
+"$smoke_dir/phelpsd" -addr 127.0.0.1:0 -addr-file "$smoke_dir/addr3" \
+    -journal-dir "$smoke_dir/journal" -cache "$smoke_dir/results3.cache" \
+    >"$smoke_dir/phelpsd3.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do [ -s "$smoke_dir/addr3" ] && break; sleep 0.1; done
+daemon_url="http://$(cat "$smoke_dir/addr3")"
+job_id=$(curl -fsS -X POST "$daemon_url/v1/jobs" \
+    -d '{"workloads":["guarded","delinquent"],"configs":["base","phelps"],"quick":true}' \
+    | sed -n 's/^  "id": "\([^"]*\)".*/\1/p')
+[ -n "$job_id" ]
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+"$smoke_dir/phelpsd" -addr 127.0.0.1:0 -addr-file "$smoke_dir/addr4" \
+    -journal-dir "$smoke_dir/journal" -cache "$smoke_dir/results3.cache" \
+    >"$smoke_dir/phelpsd4.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do [ -s "$smoke_dir/addr4" ] && break; sleep 0.1; done
+daemon_url="http://$(cat "$smoke_dir/addr4")"
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -fsS "$daemon_url/v1/jobs/$job_id" \
+        | sed -n 's/^  "state": "\([^"]*\)".*/\1/p')
+    [ "$state" = done ] && break
+    sleep 0.2
+done
+[ "$state" = done ]
+curl -fsS "$daemon_url/v1/healthz" | grep -q '"journal"'
+curl -fsS "$daemon_url/v1/obs" | grep -q '"serve.journal.resumed_jobs": 1'
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+grep -q drained "$smoke_dir/phelpsd4.log"
 rm -rf "$smoke_dir"
 go test -run '^$' -bench . -benchtime 1x ./...
 # Differential fuzz smoke: 30 s of random guarded-loop kernels, each run
