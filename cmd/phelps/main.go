@@ -11,6 +11,7 @@
 //	phelps -workload astar -json -interval 10000 -trace astar.kanata
 //	phelps -list
 //	phelps -list-configs
+//	phelps -list-specs
 package main
 
 import (
@@ -30,28 +31,29 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "astar", "workload name (see -list)")
-		mode     = flag.String("mode", "phelps", "baseline | phelps | runahead | half")
-		cfgName  = flag.String("config", "", "run a registered configuration by name (see -list-configs; overrides -mode/-pred)")
-		predName = flag.String("pred", "tage", "tage | perfect | bimodal | gshare")
-		epoch    = flag.Uint64("epoch", 0, "epoch length in instructions (0 = workload default)")
-		quick    = flag.Bool("quick", false, "use reduced workload sizes")
-		rob      = flag.Int("rob", 0, "override ROB size (scales PRF/LQ/SQ/IQ)")
-		depth    = flag.Int("depth", 0, "override pipeline depth")
-		list     = flag.Bool("list", false, "list available workloads and exit")
-		listCfgs = flag.Bool("list-configs", false, "list registered configurations and exit")
-		verbose  = flag.Bool("v", false, "print detailed Phelps statistics")
-		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
-		traceOut = flag.String("trace", "", "write a Konata pipeline trace of the main thread to this file")
-		interval = flag.Uint64("interval", 0, "sample counters every N cycles into the JSON time series")
-		sampled  = flag.Bool("sampled", false, "SimPoint-sampled run: functional fast-forward + k measured intervals")
-		checks   = flag.Bool("checks", false, "enable per-cycle microarchitectural invariant checks")
-		lockstep = flag.Bool("lockstep", false, "enable the lockstep retirement oracle (differential verification)")
-		spIvl    = flag.Uint64("sp-interval", 0, "sampled: interval length in instructions (0 = auto)")
-		spK      = flag.Int("sp-k", 0, "sampled: number of SimPoints (0 = default)")
-		spWarm   = flag.Uint64("sp-warmup", 0, "sampled: cycle-accurate warmup instructions per point (0 = default)")
-		spWork   = flag.Int("sp-workers", 0, "sampled: concurrent SimPoint measurements (0 = one per core, 1 = serial; results are bit-identical)")
-		ckptDir  = flag.String("ckpt-dir", os.Getenv("PHELPS_CKPT_DIR"), "sampled: persistent checkpoint-cache directory (default $PHELPS_CKPT_DIR; empty = no cache)")
+		workload  = flag.String("workload", "astar", "workload name (see -list)")
+		mode      = flag.String("mode", "phelps", "baseline | phelps | runahead | half")
+		cfgName   = flag.String("config", "", "run a registered configuration by name (see -list-configs; overrides -mode/-pred)")
+		predName  = flag.String("pred", "tage", "tage | perfect | bimodal | gshare")
+		epoch     = flag.Uint64("epoch", 0, "epoch length in instructions (0 = workload default)")
+		quick     = flag.Bool("quick", false, "use reduced workload sizes")
+		rob       = flag.Int("rob", 0, "override ROB size (scales PRF/LQ/SQ/IQ)")
+		depth     = flag.Int("depth", 0, "override pipeline depth")
+		list      = flag.Bool("list", false, "list available workloads and exit")
+		listCfgs  = flag.Bool("list-configs", false, "list registered configurations and exit")
+		listSpecs = flag.Bool("list-specs", false, "list registered workload specs with epochs (registry order) and exit")
+		verbose   = flag.Bool("v", false, "print detailed Phelps statistics")
+		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
+		traceOut  = flag.String("trace", "", "write a Konata pipeline trace of the main thread to this file")
+		interval  = flag.Uint64("interval", 0, "sample counters every N cycles into the JSON time series")
+		sampled   = flag.Bool("sampled", false, "SimPoint-sampled run: functional fast-forward + k measured intervals")
+		checks    = flag.Bool("checks", false, "enable per-cycle microarchitectural invariant checks")
+		lockstep  = flag.Bool("lockstep", false, "enable the lockstep retirement oracle (differential verification)")
+		spIvl     = flag.Uint64("sp-interval", 0, "sampled: interval length in instructions (0 = auto)")
+		spK       = flag.Int("sp-k", 0, "sampled: number of SimPoints (0 = default)")
+		spWarm    = flag.Uint64("sp-warmup", 0, "sampled: cycle-accurate warmup instructions per point (0 = default)")
+		spWork    = flag.Int("sp-workers", 0, "sampled: concurrent SimPoint measurements (0 = one per core, 1 = serial; results are bit-identical)")
+		ckptDir   = flag.String("ckpt-dir", os.Getenv("PHELPS_CKPT_DIR"), "sampled: persistent checkpoint-cache directory (default $PHELPS_CKPT_DIR; empty = no cache)")
 
 		submit    = flag.Bool("submit", false, "submit a job to a phelpsd daemon instead of simulating locally")
 		server    = flag.String("server", "http://127.0.0.1:8077", "submit: phelpsd base URL")
@@ -80,6 +82,15 @@ func main() {
 	if *listCfgs {
 		for _, n := range sim.ConfigNames() {
 			fmt.Printf("%-16s %s\n", n, sim.ConfigDescription(n))
+		}
+		return
+	}
+
+	if *listSpecs {
+		// Registry order (suite by suite), unlike -list's sorted names, so
+		// the listing mirrors what RunMatrix and -explore iterate over.
+		for _, s := range sim.AllSpecs(*quick) {
+			fmt.Printf("%-16s epoch %d\n", s.Name, s.Epoch)
 		}
 		return
 	}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"phelps/internal/obs"
+	"phelps/internal/sim"
+)
+
+// runExploreReport runs the model-triaged design-space search (see
+// EXPERIMENTS.md · Design-space exploration) and merges its results into
+// both artifacts: the explore_frontier/explore_summary figures into
+// BENCH_report.json and the explore.* throughput entries into
+// BENCH_host.json. Merging (rather than rewriting) keeps the figures and
+// host benches from earlier runs intact; the artifact schemas are bumped to
+// the current constants on the way through.
+func runExploreReport(jsonPath, hostPath string, exhaustive bool, anchors int) error {
+	fmt.Printf("explore: triaging the config space (space=%d, workloads=%d, exhaustive=%v)...\n",
+		len(sim.ExploreSpace()), len(sim.ExploreWorkloads()), exhaustive)
+	start := time.Now()
+	rep, err := sim.RunExplore(context.Background(), sim.ExploreOptions{
+		Exhaustive: exhaustive,
+		Anchors:    anchors,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(formatExplore(rep))
+	fmt.Printf("explore finished in %s\n", time.Since(start).Round(time.Second))
+
+	if err := mergeExploreFigures(jsonPath, rep); err != nil {
+		return fmt.Errorf("merge %s: %w", jsonPath, err)
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	if err := mergeExploreHostEntries(hostPath, rep); err != nil {
+		return fmt.Errorf("merge %s: %w", hostPath, err)
+	}
+	fmt.Printf("wrote %s\n", hostPath)
+	return nil
+}
+
+// formatExplore renders the frontier table and summary in the same
+// paper-style text the other figures use.
+func formatExplore(rep *sim.ExploreReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nPredicted Pareto frontier (IPC vs hardware budget), measured ground truth:\n")
+	fmt.Fprintf(&b, "  %-36s %9s %9s %9s %9s %9s %s\n",
+		"config", "budget", "pred-IPC", "meas-IPC", "pred-MPKI", "meas-MPKI", "set")
+	for _, fp := range rep.Frontier {
+		set := "holdout"
+		if fp.Anchor {
+			set = "anchor"
+		}
+		fmt.Fprintf(&b, "  %-36s %9.0f %9.3f %9.3f %9.2f %9.2f %s\n",
+			fp.Config, fp.Budget, fp.PredIPC, fp.MeasIPC, fp.PredMPKI, fp.MeasMPKI, set)
+	}
+	fmt.Fprintf(&b, "\nexplore summary:\n")
+	fmt.Fprintf(&b, "  space %d configs x %d workloads = %d cells; cycle-simulated %d (%.1f%%)\n",
+		rep.Space, len(rep.Workloads), rep.TotalCells, rep.SimulatedCells, 100*rep.SimulatedFrac)
+	fmt.Fprintf(&b, "  anchors %d configs, frontier %d configs, model %d trees / %d bytes\n",
+		rep.AnchorConfigs, rep.FrontierConfigs, rep.ModelTrees, rep.ModelBytes)
+	holdout := "holdout"
+	if rep.HoldoutIsTrain {
+		holdout = "train (frontier inside anchor set)"
+	}
+	fmt.Fprintf(&b, "  MAPE %.2f%%, Spearman %.3f over %d %s cells\n",
+		rep.MAPE, rep.Spearman, rep.HoldoutCells, holdout)
+	fmt.Fprintf(&b, "  model scores %.0f configs/s; cycle sim runs %.0f sim-inst/s\n",
+		rep.ConfigsPerSec, rep.SimInstPerSec)
+	fmt.Fprintf(&b, "  best measured frontier config: %s (geomean IPC %.3f)\n", rep.BestConfig, rep.BestIPC)
+	if ex := rep.Exhaustive; ex != nil {
+		fmt.Fprintf(&b, "  exhaustive: best %s (IPC %.3f); frontier best within %.1f%% of it\n",
+			ex.BestConfig, ex.BestIPC, 100-ex.BestMatchPct)
+		fmt.Fprintf(&b, "  exhaustive: whole-space MAPE %.2f%%, Spearman %.3f; full sweep %.0fs vs triaged %.0fs\n",
+			ex.MAPE, ex.Spearman, ex.SimSec+rep.AnchorSimSec+rep.FrontierSimSec,
+			rep.AnchorSimSec+rep.FrontierSimSec+rep.TrainSec+rep.ScoreSec+rep.ProfileSec)
+	}
+	return b.String()
+}
+
+// exploreSummaryRow flattens the report's accounting into the single
+// explore_summary figure row.
+func exploreSummaryRow(rep *sim.ExploreReport) map[string]any {
+	row := map[string]any{
+		"space_configs":    rep.Space,
+		"workloads":        strings.Join(rep.Workloads, ","),
+		"total_cells":      rep.TotalCells,
+		"anchor_configs":   rep.AnchorConfigs,
+		"frontier_configs": rep.FrontierConfigs,
+		"simulated_cells":  rep.SimulatedCells,
+		"simulated_frac":   rep.SimulatedFrac,
+		"model_bytes":      rep.ModelBytes,
+		"model_trees":      rep.ModelTrees,
+		"mape_pct":         rep.MAPE,
+		"spearman":         rep.Spearman,
+		"holdout_cells":    rep.HoldoutCells,
+		"configs_per_sec":  rep.ConfigsPerSec,
+		"sim_inst_per_sec": rep.SimInstPerSec,
+		"best_config":      rep.BestConfig,
+		"best_ipc":         rep.BestIPC,
+	}
+	if rep.HoldoutIsTrain {
+		row["holdout_is_train"] = true
+	}
+	if ex := rep.Exhaustive; ex != nil {
+		row["exhaustive_best_config"] = ex.BestConfig
+		row["exhaustive_best_ipc"] = ex.BestIPC
+		row["best_match_pct"] = ex.BestMatchPct
+		row["exhaustive_mape_pct"] = ex.MAPE
+		row["exhaustive_spearman"] = ex.Spearman
+		row["exhaustive_sim_sec"] = ex.SimSec
+		row["triage_sim_sec"] = rep.AnchorSimSec + rep.FrontierSimSec
+	}
+	return row
+}
+
+// mergeExploreFigures rewrites jsonPath with the explore figures replacing
+// any previous explore figures, preserving everything else in the report.
+func mergeExploreFigures(jsonPath string, rep *sim.ExploreReport) error {
+	report := obs.NewBenchReport(true)
+	if data, err := os.ReadFile(jsonPath); err == nil {
+		if err := json.Unmarshal(data, report); err != nil {
+			return fmt.Errorf("existing report unreadable: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	report.Schema = obs.BenchReportSchema
+	kept := report.Figures[:0]
+	for _, f := range report.Figures {
+		if !strings.HasPrefix(f.Name, "explore_") {
+			kept = append(kept, f)
+		}
+	}
+	report.Figures = kept
+
+	rows := make([]map[string]any, 0, len(rep.Frontier))
+	for _, fp := range rep.Frontier {
+		rows = append(rows, map[string]any{
+			"config":    fp.Config,
+			"budget":    fp.Budget,
+			"pred_ipc":  fp.PredIPC,
+			"meas_ipc":  fp.MeasIPC,
+			"pred_mpki": fp.PredMPKI,
+			"meas_mpki": fp.MeasMPKI,
+			"anchor":    fp.Anchor,
+		})
+	}
+	report.AddFigure("explore_frontier", rows)
+	report.AddFigure("explore_summary", []map[string]any{exploreSummaryRow(rep)})
+	return report.WriteFile(jsonPath)
+}
+
+// mergeExploreHostEntries rewrites hostPath with the explore.* throughput
+// entries replacing any previous ones, re-annotating every entry (so notes
+// added to the annotation table reach already-recorded artifacts).
+func mergeExploreHostEntries(hostPath string, rep *sim.ExploreReport) error {
+	report := obs.NewHostBenchReport("")
+	if data, err := os.ReadFile(hostPath); err == nil {
+		if err := json.Unmarshal(data, report); err != nil {
+			return fmt.Errorf("existing report unreadable: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	report.Schema = obs.HostBenchSchema
+	kept := report.Entries[:0]
+	for _, e := range report.Entries {
+		if !strings.HasPrefix(e.Name, "explore.") {
+			kept = append(kept, e)
+		}
+	}
+	report.Entries = kept
+
+	nsPerScore := 0.0
+	if rep.ConfigsPerSec > 0 {
+		nsPerScore = 1e9 / rep.ConfigsPerSec
+	}
+	report.Add(obs.HostBenchEntry{
+		Name:          "explore.model_score",
+		NsPerOp:       nsPerScore,
+		SimInstPerSec: rep.SimInstPerSec,
+	})
+	triage := obs.HostBenchEntry{
+		Name:      "explore.triage",
+		SkipRatio: 1 - rep.SimulatedFrac,
+	}
+	if rep.SimulatedCells > 0 {
+		triage.Speedup = float64(rep.TotalCells) / float64(rep.SimulatedCells)
+	}
+	report.Add(triage)
+	for i := range report.Entries {
+		annotateHostEntry(&report.Entries[i])
+	}
+	return report.WriteFile(hostPath)
+}

@@ -9,6 +9,8 @@
 //	phelpsreport -tables       # Tables II and III
 //	phelpsreport -quick        # everything at reduced sizes
 //	phelpsreport -host         # host-performance suite -> BENCH_host.json
+//	phelpsreport -explore      # model-triaged design-space search
+//	phelpsreport -explore -exhaustive   # ...plus full-sweep validation
 package main
 
 import (
@@ -32,11 +34,23 @@ func main() {
 		jsonPath = flag.String("json", "BENCH_report.json", "path for the JSON report artifact")
 		host     = flag.Bool("host", false, "measure host performance (sim-inst/s, allocs/sim-inst)")
 		hostPath = flag.String("hostjson", "BENCH_host.json", "path for the host-performance artifact")
+		explore  = flag.Bool("explore", false, "model-triaged design-space search (learned fast path)")
+		exhaust  = flag.Bool("exhaustive", false, "with -explore: also cycle-simulate the whole space for validation")
+		anchors  = flag.Int("anchors", 0, "with -explore: cycle-simulated training configs (0 = auto)")
 	)
 	flag.Parse()
 	if *host {
 		if err := runHostBench(*hostPath); err != nil {
 			fmt.Fprintf(os.Stderr, "host bench: %v\n", err)
+			os.Exit(1)
+		}
+		if !*all && *fig == 0 && !*tables && !*quick && !*explore {
+			return
+		}
+	}
+	if *explore {
+		if err := runExploreReport(*jsonPath, *hostPath, *exhaust, *anchors); err != nil {
+			fmt.Fprintf(os.Stderr, "explore: %v\n", err)
 			os.Exit(1)
 		}
 		if !*all && *fig == 0 && !*tables && !*quick {

@@ -20,7 +20,16 @@ import (
 // polled NextEvent bounds to the calendar event queue (internal/clock), and
 // added event_queue.quick_matrix: the full quick Fig. 12a matrix end to end,
 // event-driven over forced per-cycle stepping, as speedup.
-const HostBenchSchema = 5
+//
+// Schema 6 added the optional note field (free-text caveat attached to an
+// entry, so honest misses are explained in the artifact itself) and the
+// explore.* entries written by `phelpsreport -explore`:
+// explore.model_score (ns_per_op = ns per configuration scored through the
+// learned model, sim_inst_per_sec = the cycle simulator's rate over the
+// anchor+frontier cells — the two rates whose ratio is the fast path's
+// point) and explore.triage (speedup = total cells over cycle-simulated
+// cells, skip_ratio = fraction of cells never cycle-simulated).
+const HostBenchSchema = 6
 
 // HostBenchReport is the machine-readable artifact `phelpsreport -host`
 // writes: how fast the simulator itself runs on the host (as opposed to
@@ -43,7 +52,8 @@ type HostBenchReport struct {
 // speedup (warm serial wall-clock / warm 8-worker wall-clock); ckpt_cache
 // entries report warm_speedup (cold first-run wall-clock, which pays the
 // profile + checkpoint passes, over the warm cached re-run). Unused fields
-// are omitted.
+// are omitted. Note carries a free-text caveat when a number needs context
+// to be read honestly (e.g. a below-1× speedup measured on a 1-core host).
 type HostBenchEntry struct {
 	Name             string  `json:"name"`
 	SimInstPerSec    float64 `json:"sim_inst_per_sec,omitempty"`
@@ -52,6 +62,7 @@ type HostBenchEntry struct {
 	Speedup          float64 `json:"speedup,omitempty"`
 	SkipRatio        float64 `json:"skip_ratio,omitempty"`
 	WarmSpeedup      float64 `json:"warm_speedup,omitempty"`
+	Note             string  `json:"note,omitempty"`
 }
 
 // NewHostBenchReport returns an empty report stamped with the Go version.

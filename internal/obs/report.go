@@ -7,7 +7,14 @@ import (
 
 // BenchReportSchema versions the BENCH_report.json layout; bump it when a
 // field changes meaning so trajectory-diffing tools can tell.
-const BenchReportSchema = 1
+//
+// Schema 6 added the explore.* figures written by `phelpsreport -explore`
+// (model-triaged design-space search): "explore_frontier" (the predicted
+// Pareto frontier with measured ground truth per config) and
+// "explore_summary" (anchor/frontier/cell accounting, MAPE, Spearman, and
+// throughput rates). Versions 2–5 were skipped so BENCH_report.json and
+// BENCH_host.json share one schema number from 6 on.
+const BenchReportSchema = 6
 
 // BenchReport is the machine-readable artifact cmd/phelpsreport writes
 // alongside its text tables (per-figure rows plus geomean speedups), so the

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"phelps/internal/prog"
+	"phelps/internal/sim"
+)
+
+// tinyExploreConfig wires a 4-config, 1-workload explore space into the
+// daemon so the end-to-end explore test runs in seconds.
+func tinyExploreConfig() Config {
+	space := sim.ExploreSpace()
+	var tiny []sim.ExplorePoint
+	for i := range space {
+		switch space[i].Name {
+		case "rob160-d11-bimodal-base", "rob320-d11-bimodal-base",
+			"rob632-d11-bimodal-base", "rob632-d11-bimodal-phelps-t2000-q32":
+			tiny = append(tiny, space[i])
+		}
+	}
+	return Config{
+		ExploreSpace: tiny,
+		ExploreWorkloads: []sim.Spec{{
+			Name:  "delinquent_tiny",
+			Build: func() *prog.Workload { return prog.DelinquentLoop(8000, 50, 1) },
+			Epoch: 8000,
+		}},
+	}
+}
+
+func postExplore(t *testing.T, ts *httptest.Server, req ExploreRequest) (ExploreStatus, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+API+"/explore", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ExploreStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode explore status: %v", err)
+		}
+	}
+	return st, resp
+}
+
+func waitExplore(t *testing.T, ts *httptest.Server, id string) ExploreStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		var st ExploreStatus
+		resp := getJSON(t, ts.URL+API+"/explore/"+id, &st)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET explore %s: %s", id, resp.Status)
+		}
+		if st.State != ExploreRunning {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("explore %s still running after 120s", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestExploreEndToEnd submits an explore over HTTP against a tiny injected
+// space and requires a completed report with the triage accounting filled
+// in, plus the obs counters advancing.
+func TestExploreEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, tinyExploreConfig())
+
+	st, resp := postExplore(t, ts, ExploreRequest{Anchors: 3, Exhaustive: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST explore: %s", resp.Status)
+	}
+	if loc := resp.Header.Get("Location"); loc != API+"/explore/"+st.ID {
+		t.Errorf("Location = %q", loc)
+	}
+	if !strings.HasPrefix(st.ID, "x-") || st.State != ExploreRunning {
+		t.Fatalf("initial status = %+v", st)
+	}
+
+	final := waitExplore(t, ts, st.ID)
+	if final.State != ExploreDone {
+		t.Fatalf("explore ended %s: %s", final.State, final.Error)
+	}
+	rep := final.Report
+	if rep == nil {
+		t.Fatal("done explore has no report")
+	}
+	if rep.Space != 4 || rep.AnchorConfigs != 3 || len(rep.Frontier) == 0 {
+		t.Errorf("report = space %d anchors %d frontier %d", rep.Space, rep.AnchorConfigs, len(rep.Frontier))
+	}
+	if rep.Exhaustive == nil || rep.Exhaustive.BestConfig == "" {
+		t.Errorf("exhaustive block missing or empty: %+v", rep.Exhaustive)
+	}
+	if rep.BestConfig == "" {
+		t.Error("no best config selected")
+	}
+
+	snap := s.Registry().Snapshot()
+	if got := snap.Counters["serve.explore.submitted"]; got != 1 {
+		t.Errorf("serve.explore.submitted = %v, want 1", got)
+	}
+	if got := snap.Counters["serve.explore.done"]; got != 1 {
+		t.Errorf("serve.explore.done = %v, want 1", got)
+	}
+}
+
+// TestExploreAdmission covers the one-at-a-time gate, validation, and the
+// 404 path.
+func TestExploreAdmission(t *testing.T) {
+	s, ts := newTestServer(t, tinyExploreConfig())
+
+	// Invalid request: negative anchors.
+	if _, resp := postExplore(t, ts, ExploreRequest{Anchors: -1}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative anchors: %s", resp.Status)
+	}
+
+	// Unknown ID is a JSON 404.
+	if resp := getJSON(t, ts.URL+API+"/explore/x-999999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown explore: %s", resp.Status)
+	}
+
+	// While one explore runs, a second is rejected 429 with Retry-After.
+	st, resp := postExplore(t, ts, ExploreRequest{Anchors: 2})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first explore: %s", resp.Status)
+	}
+	_, resp2 := postExplore(t, ts, ExploreRequest{})
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		// The first explore may already have finished on a fast host; only
+		// fail if it was provably still running.
+		if s.exploreActive.Load() {
+			t.Fatalf("second explore while first active: %s", resp2.Status)
+		}
+	} else if resp2.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	waitExplore(t, ts, st.ID)
+
+	// After completion the gate reopens.
+	st3, resp3 := postExplore(t, ts, ExploreRequest{Anchors: 2})
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("explore after completion: %s", resp3.Status)
+	}
+	waitExplore(t, ts, st3.ID)
+}

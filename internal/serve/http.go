@@ -71,6 +71,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/explore", s.handleExploreSubmit)
+	s.mux.HandleFunc("GET /v1/explore/{id}", s.handleExploreStatus)
 	s.mux.HandleFunc("GET /v1/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/obs", s.handleObs)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)

@@ -51,6 +51,11 @@ type Config struct {
 	// cache, and the journal (nil = the real filesystem). Tests inject an
 	// fsio.FaultFS here to prove disk faults degrade to counted misses.
 	FS fsio.FS
+	// ExploreSpace/ExploreWorkloads override the POST /v1/explore search
+	// space and workload set (nil = the committed sim.ExploreSpace and
+	// quick delinquent workloads). Tests inject tiny spaces here.
+	ExploreSpace     []sim.ExplorePoint
+	ExploreWorkloads []sim.Spec
 }
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -107,11 +112,20 @@ type Server struct {
 	flightMu sync.Mutex
 	flights  map[CellKey]*flight
 
+	// explore runs are stored separately from matrix jobs: single-task,
+	// never journaled, at most one in flight (exploreActive).
+	exploreMu     sync.Mutex
+	explores      map[string]*exploreRun
+	exploreSeq    uint64
+	exploreActive atomic.Bool
+
 	// saveMu serializes results-cache persistence (the per-job background
 	// save vs the final save at drain).
 	saveMu sync.Mutex
 
 	jobsSubmitted, jobsRejected, jobsCanceled    atomic.Uint64
+	exploresSubmitted, exploresDone              atomic.Uint64
+	exploresFailed                               atomic.Uint64
 	cellsSubmitted, cellsDone, cellsFailed       atomic.Uint64
 	cellsCanceled, cellsFromCache, cellsDeduped  atomic.Uint64
 	retryRetried, retryRecovered, retryExhausted atomic.Uint64
@@ -129,16 +143,17 @@ func NewServer(cfg Config) *Server {
 		fs = fsio.OS
 	}
 	s := &Server{
-		cfg:     cfg,
-		fs:      fs,
-		sched:   NewScheduler(cfg.Workers),
-		adm:     NewAdmission(cfg.QueueCap, cfg.Workers),
-		cache:   NewResultCacheFS(fs),
-		retry:   cfg.Retry.withDefaults(),
-		store:   NewStore(),
-		res:     newResolver(),
-		reg:     obs.NewRegistry(),
-		flights: make(map[CellKey]*flight),
+		cfg:      cfg,
+		fs:       fs,
+		sched:    NewScheduler(cfg.Workers),
+		adm:      NewAdmission(cfg.QueueCap, cfg.Workers),
+		cache:    NewResultCacheFS(fs),
+		retry:    cfg.Retry.withDefaults(),
+		store:    NewStore(),
+		res:      newResolver(),
+		reg:      obs.NewRegistry(),
+		flights:  make(map[CellKey]*flight),
+		explores: make(map[string]*exploreRun),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
 	if cfg.CachePath != "" {
@@ -179,6 +194,17 @@ func (s *Server) registerObs() {
 	jobs.Counter("rejected", s.jobsRejected.Load)
 	jobs.Counter("canceled", s.jobsCanceled.Load)
 	jobs.Gauge("stored", func() float64 { return float64(s.store.Len()) })
+
+	explore := s.reg.Scope("serve.explore")
+	explore.Counter("submitted", s.exploresSubmitted.Load)
+	explore.Counter("done", s.exploresDone.Load)
+	explore.Counter("failed", s.exploresFailed.Load)
+	explore.Gauge("active", func() float64 {
+		if s.exploreActive.Load() {
+			return 1
+		}
+		return 0
+	})
 
 	cells := s.reg.Scope("serve.cells")
 	cells.Counter("submitted", s.cellsSubmitted.Load)

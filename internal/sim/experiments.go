@@ -275,11 +275,21 @@ func (o MatrixOptions) crashDir() string {
 // crash directory. The caller — a matrix worker or a phelpsd scheduler
 // worker — is unaffected. opt.Faults, when set, is injected into the cell's
 // core (tests of the containment machinery).
-func RunCellCtx(ctx context.Context, s Spec, cfgName string, opt MatrixOptions) (res Result, err error) {
+func RunCellCtx(ctx context.Context, s Spec, cfgName string, opt MatrixOptions) (Result, error) {
 	cfg, cerr := ConfigByName(cfgName, s.Epoch)
 	if cerr != nil {
 		return Result{}, cerr
 	}
+	return RunConfigCellCtx(ctx, s, cfgName, cfg, opt)
+}
+
+// RunConfigCellCtx is RunCellCtx for a configuration that is not in the name
+// registry: explore-grid cells carry materialized Config values (hundreds of
+// generated knob combinations), so the cell runner takes the Config directly
+// and uses label only for crash reports and error text. It shares the full
+// containment path — option application, panic recovery into ErrPanic, and
+// the minimized crash dump.
+func RunConfigCellCtx(ctx context.Context, s Spec, label string, cfg Config, opt MatrixOptions) (res Result, err error) {
 	cfg.Checks = opt.Checks
 	cfg.Lockstep = opt.Lockstep
 	cfg.ForceStep = cfg.ForceStep || opt.ForceStep
@@ -293,7 +303,7 @@ func RunCellCtx(ctx context.Context, s Spec, cfgName string, opt MatrixOptions) 
 		if r == nil {
 			return
 		}
-		rep := &check.Report{Name: s.Name, Config: cfgName, Err: fmt.Sprint(r), Stack: string(debug.Stack())}
+		rep := &check.Report{Name: s.Name, Config: label, Err: fmt.Sprint(r), Stack: string(debug.Stack())}
 		if w != nil {
 			rep.Prog = w.Prog
 		}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"phelps/internal/prog"
+)
+
+func TestExploreSpaceShape(t *testing.T) {
+	space := ExploreSpace()
+	if len(space) < 200 {
+		t.Fatalf("explore space has %d configs, acceptance floor is 200", len(space))
+	}
+	names := make(map[string]struct{}, len(space))
+	knobLen := len(ExploreKnobNames())
+	for i := range space {
+		p := &space[i]
+		if _, dup := names[p.Name]; dup {
+			t.Fatalf("duplicate config name %q", p.Name)
+		}
+		names[p.Name] = struct{}{}
+		if len(p.Knobs) != knobLen {
+			t.Fatalf("%s: %d knobs, want %d", p.Name, len(p.Knobs), knobLen)
+		}
+		if p.Budget <= 0 {
+			t.Fatalf("%s: non-positive budget %v", p.Name, p.Budget)
+		}
+		// Budget is also the last knob — the model sees the Pareto axis.
+		if p.Knobs[knobLen-1] != p.Budget {
+			t.Fatalf("%s: budget knob %v != budget %v", p.Name, p.Knobs[knobLen-1], p.Budget)
+		}
+		// The builder must materialize a valid Config.
+		cfg := p.Config(50_000)
+		if cfg.Core.ROB <= 0 || cfg.Core.PRF <= cfg.Core.ROB/4 {
+			t.Fatalf("%s: degenerate config %+v", p.Name, cfg.Core)
+		}
+	}
+	// The grid must span both mechanisms and multiple window sizes.
+	probe := []string{"rob160-d11-bimodal-base", "rob1024-d19-tage-phelps-t4000-q32", "rob632-d15-gshare-phelps-t1000-q16"}
+	for _, want := range probe {
+		if _, ok := names[want]; !ok {
+			t.Errorf("expected grid point %q missing", want)
+		}
+	}
+}
+
+func TestExploreSpaceDeterministic(t *testing.T) {
+	a, b := ExploreSpace(), ExploreSpace()
+	if len(a) != len(b) {
+		t.Fatal("space size varies")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Budget != b[i].Budget {
+			t.Fatalf("grid order varies at %d: %s vs %s", i, a[i].Name, b[i].Name)
+		}
+	}
+}
+
+func TestAnchorIndices(t *testing.T) {
+	points := ExploreSpace()
+	sel := anchorIndices(points, 25)
+	if len(sel) == 0 || len(sel) > 25 {
+		t.Fatalf("anchor count = %d", len(sel))
+	}
+	// Must include both budget extremes.
+	minIdx, maxIdx := 0, 0
+	for i := range points {
+		if points[i].Budget < points[minIdx].Budget {
+			minIdx = i
+		}
+		if points[i].Budget > points[maxIdx].Budget {
+			maxIdx = i
+		}
+	}
+	hasMin, hasMax := false, false
+	for _, idx := range sel {
+		if points[idx].Budget == points[minIdx].Budget {
+			hasMin = true
+		}
+		if points[idx].Budget == points[maxIdx].Budget {
+			hasMax = true
+		}
+	}
+	if !hasMin || !hasMax {
+		t.Errorf("anchors miss a budget extreme (min=%v max=%v)", hasMin, hasMax)
+	}
+	// Requesting more anchors than points returns all points once.
+	all := anchorIndices(points[:5], 100)
+	if len(all) != 5 {
+		t.Errorf("oversized request selected %d of 5", len(all))
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	points := []ExplorePoint{
+		{Name: "a", Budget: 10},
+		{Name: "b", Budget: 20},
+		{Name: "c", Budget: 30},
+		{Name: "d", Budget: 40},
+	}
+	// b regresses on a, so only a, c, d survive.
+	pred := []float64{1.0, 0.9, 1.2, 1.5}
+	got := paretoFrontier(points, pred)
+	want := []int{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("frontier = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frontier = %v, want %v", got, want)
+		}
+	}
+
+	thin := thinFrontier(got, pred, 2)
+	if len(thin) != 2 {
+		t.Fatalf("thinned to %d, want 2", len(thin))
+	}
+	// Extremes and the best-predicted point (index 3, which is both) survive.
+	if thin[0] != 0 || thin[1] != 3 {
+		t.Errorf("thinned = %v, want [0 3]", thin)
+	}
+	if got2 := thinFrontier(got, pred, 10); len(got2) != 3 {
+		t.Errorf("thinning below size changed the frontier: %v", got2)
+	}
+}
+
+// tinyExploreSpace builds a 6-config space over one varying axis so the
+// end-to-end smoke stays fast on one core.
+func tinyExploreSpace() []ExplorePoint {
+	var out []ExplorePoint
+	for _, rob := range []int{160, 320, 632} {
+		out = append(out, explorePointFor(rob, 11, PredBimodal, false, 0, 0))
+		out = append(out, explorePointFor(rob, 11, PredBimodal, true, 2000, 32))
+	}
+	return out
+}
+
+func tinyExploreSpecs() []Spec {
+	return []Spec{{
+		Name:  "delinquent_tiny",
+		Build: func() *prog.Workload { return prog.DelinquentLoop(8000, 50, 1) },
+		Epoch: 8000,
+	}}
+}
+
+// TestRunExploreSmoke runs the whole triage pipeline on a tiny space in
+// exhaustive mode, checking the report's accounting invariants and that the
+// report marshals to JSON (NaN anywhere would fail encoding).
+func TestRunExploreSmoke(t *testing.T) {
+	opt := ExploreOptions{
+		Space:      tinyExploreSpace(),
+		Workloads:  tinyExploreSpecs(),
+		Anchors:    4,
+		Exhaustive: true,
+	}
+	rep, err := RunExplore(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Space != 6 || rep.TotalCells != 6 {
+		t.Fatalf("space/cells = %d/%d, want 6/6", rep.Space, rep.TotalCells)
+	}
+	if rep.AnchorConfigs != 4 {
+		t.Errorf("anchors = %d, want 4", rep.AnchorConfigs)
+	}
+	if rep.FrontierConfigs == 0 || len(rep.Frontier) != rep.FrontierConfigs {
+		t.Fatalf("frontier = %d points, table has %d", rep.FrontierConfigs, len(rep.Frontier))
+	}
+	if rep.SimulatedCells < rep.AnchorConfigs || rep.SimulatedCells > rep.TotalCells {
+		t.Errorf("simulated cells = %d outside [%d, %d]", rep.SimulatedCells, rep.AnchorConfigs, rep.TotalCells)
+	}
+	if rep.SimulatedFrac <= 0 || rep.SimulatedFrac > 1 {
+		t.Errorf("simulated frac = %v", rep.SimulatedFrac)
+	}
+	if rep.ModelBytes == 0 || rep.ModelTrees == 0 {
+		t.Errorf("model bytes/trees = %d/%d", rep.ModelBytes, rep.ModelTrees)
+	}
+	if rep.BestConfig == "" || rep.BestIPC <= 0 {
+		t.Errorf("best = %q / %v", rep.BestConfig, rep.BestIPC)
+	}
+	if rep.SimulatedInsts == 0 {
+		t.Error("no simulated instructions accounted")
+	}
+	for _, fp := range rep.Frontier {
+		if fp.MeasIPC <= 0 {
+			t.Errorf("%s: unmeasured frontier point", fp.Config)
+		}
+	}
+	// The accuracy metrics must be recorded and sane. The MAPE bound is
+	// deliberately generous — with 4 training rows the model is crude — but
+	// it still catches a broken feature path or scrambled sample order,
+	// which blow MAPE past 100%.
+	if rep.HoldoutCells < 1 {
+		t.Errorf("holdout cells = %d", rep.HoldoutCells)
+	}
+	if rep.MAPE < 0 || rep.MAPE >= 60 {
+		t.Errorf("holdout MAPE = %v%%, want [0, 60)", rep.MAPE)
+	}
+	if rep.Spearman < -1 || rep.Spearman > 1 {
+		t.Errorf("spearman = %v outside [-1, 1]", rep.Spearman)
+	}
+	ex := rep.Exhaustive
+	if ex == nil {
+		t.Fatal("exhaustive block missing")
+	}
+	if ex.MAPE < 0 || ex.MAPE >= 60 {
+		t.Errorf("exhaustive MAPE = %v%%, want [0, 60)", ex.MAPE)
+	}
+	if ex.Cells != rep.TotalCells || ex.BestConfig == "" || ex.BestIPC <= 0 {
+		t.Fatalf("exhaustive = %+v", ex)
+	}
+	// The frontier best cannot beat the true best; on this tiny space it is
+	// measured, so it must be within a wide sanity band of it.
+	if rep.BestIPC > ex.BestIPC+1e-12 {
+		t.Errorf("frontier best %v exceeds exhaustive best %v", rep.BestIPC, ex.BestIPC)
+	}
+	if ex.BestMatchPct <= 0 || ex.BestMatchPct > 100+1e-9 {
+		t.Errorf("best match = %v%%", ex.BestMatchPct)
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+	var back ExploreReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+}
+
+// TestRunExploreDeterministicReport checks the determinism contract end to
+// end: two explore runs produce identical model/frontier/metric fields
+// (wall-clock fields aside).
+func TestRunExploreDeterministicReport(t *testing.T) {
+	opt := ExploreOptions{
+		Space:     tinyExploreSpace(),
+		Workloads: tinyExploreSpecs(),
+		Anchors:   3,
+	}
+	a, err := RunExplore(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExplore(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := func(r *ExploreReport) {
+		r.ProfileSec, r.AnchorSimSec, r.TrainSec, r.ScoreSec, r.FrontierSimSec = 0, 0, 0, 0, 0
+		r.ConfigsPerSec, r.SimInstPerSec = 0, 0
+	}
+	zero(a)
+	zero(b)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Errorf("explore reports differ:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestExploreWorkloadFeatureVector(t *testing.T) {
+	x, insts, err := exploreWorkloadFeatures(context.Background(), tinyExploreSpecs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts == 0 {
+		t.Fatal("no instructions profiled")
+	}
+	if len(x) != len(exploreWorkloadFeatureNames()) {
+		t.Fatalf("feature vector len %d != names len %d", len(x), len(exploreWorkloadFeatureNames()))
+	}
+	for i, v := range x {
+		if v != v || v < 0 {
+			t.Errorf("feature %s = %v", exploreWorkloadFeatureNames()[i], v)
+		}
+	}
+}

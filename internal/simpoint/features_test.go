@@ -1,0 +1,97 @@
+package simpoint
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestIntervalFeaturesSteadySinglePhase(t *testing.T) {
+	// Ten identical single-block intervals: no churn, full concentration,
+	// zero entropy.
+	ivs := make([]map[uint64]float64, 10)
+	for i := range ivs {
+		ivs[i] = map[uint64]float64{7: 100}
+	}
+	f := IntervalFeatures(ivs)
+	if f.Intervals != 10 || f.CodeBlocks != 1 {
+		t.Fatalf("counts = %d/%d, want 10/1", f.Intervals, f.CodeBlocks)
+	}
+	if f.PhaseChurn != 0 || f.MaxChurn != 0 {
+		t.Errorf("churn = %v/%v, want 0/0", f.PhaseChurn, f.MaxChurn)
+	}
+	if f.Concentration != 1 || f.Entropy != 0 {
+		t.Errorf("concentration/entropy = %v/%v, want 1/0", f.Concentration, f.Entropy)
+	}
+}
+
+func TestIntervalFeaturesDisjointPhases(t *testing.T) {
+	// Two disjoint-code phases: the single transition has Manhattan
+	// distance 2 between normalized vectors.
+	ivs := []map[uint64]float64{
+		{1: 50, 2: 50},
+		{1: 50, 2: 50},
+		{8: 50, 9: 50},
+		{8: 50, 9: 50},
+	}
+	f := IntervalFeatures(ivs)
+	if f.CodeBlocks != 4 {
+		t.Errorf("code blocks = %d, want 4", f.CodeBlocks)
+	}
+	if math.Abs(f.MaxChurn-2) > 1e-12 {
+		t.Errorf("max churn = %v, want 2", f.MaxChurn)
+	}
+	if math.Abs(f.PhaseChurn-2.0/3.0) > 1e-12 {
+		t.Errorf("mean churn = %v, want 2/3", f.PhaseChurn)
+	}
+	// Uniform over two blocks: concentration 1/2, normalized entropy 1.
+	if math.Abs(f.Concentration-0.5) > 1e-12 || math.Abs(f.Entropy-1) > 1e-12 {
+		t.Errorf("concentration/entropy = %v/%v, want 0.5/1", f.Concentration, f.Entropy)
+	}
+}
+
+func TestIntervalFeaturesEmpty(t *testing.T) {
+	if f := IntervalFeatures(nil); f != (Features{}) {
+		t.Errorf("empty input = %+v, want zero value", f)
+	}
+}
+
+func TestFeatureVectorMatchesNames(t *testing.T) {
+	f := Features{Intervals: 3, CodeBlocks: 5, PhaseChurn: 0.25, MaxChurn: 0.5, Concentration: 0.75, Entropy: 0.1}
+	v := f.Vector()
+	if len(v) != len(FeatureNames()) {
+		t.Fatalf("vector len %d != names len %d", len(v), len(FeatureNames()))
+	}
+	want := []float64{3, 5, 0.25, 0.5, 0.75, 0.1}
+	if !reflect.DeepEqual(v, want) {
+		t.Errorf("vector = %v, want %v", v, want)
+	}
+}
+
+func TestIntervalFeaturesDeterministic(t *testing.T) {
+	// Same content built with different map insertion orders must summarize
+	// identically (bit-for-bit), since the model trained on these features
+	// must serialize byte-identically.
+	build := func(reverse bool) []map[uint64]float64 {
+		keys := []uint64{3, 11, 42, 100, 255}
+		ivs := make([]map[uint64]float64, 6)
+		for i := range ivs {
+			m := make(map[uint64]float64)
+			if reverse {
+				for j := len(keys) - 1; j >= 0; j-- {
+					m[keys[j]] = float64((i+1)*int(keys[j])) * 0.37
+				}
+			} else {
+				for _, k := range keys {
+					m[k] = float64((i+1)*int(k)) * 0.37
+				}
+			}
+			ivs[i] = m
+		}
+		return ivs
+	}
+	a, b := IntervalFeatures(build(false)), IntervalFeatures(build(true))
+	if a != b {
+		t.Errorf("feature summaries differ across insertion orders:\n%+v\n%+v", a, b)
+	}
+}

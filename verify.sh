@@ -118,6 +118,16 @@ kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 grep -q drained "$smoke_dir/phelpsd4.log"
 rm -rf "$smoke_dir"
+# Learned fast-path model: the gradient-boosted trainer and its versioned
+# serialization must be race-clean and byte-deterministic (the determinism
+# tests run training twice and across map orders), and the tiny-space
+# explore smoke gates the triage accounting, the JSON round-trip of the
+# report (schema validity — NaN anywhere fails encoding), and a generous
+# holdout-MAPE bound so the feature path can't silently rot.
+go test -race -count=1 ./internal/perfmodel ./internal/stats
+go test -race -count=1 \
+    -run 'TestRunExploreSmoke|TestRunExploreDeterministicReport|TestExploreWorkloadFeatureVector' \
+    ./internal/sim
 go test -run '^$' -bench . -benchtime 1x ./...
 # Differential fuzz smoke: 30 s of random guarded-loop kernels, each run
 # under all three timing mechanisms with the lockstep oracle watching.
