@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -169,6 +170,13 @@ func mergeExploreHostEntries(hostPath string, rep *sim.ExploreReport) error {
 		return err
 	}
 	report.Schema = obs.HostBenchSchema
+	// A fresh artifact's entries are all measured here; an existing one keeps
+	// its recorded measurement-host core count (possibly zero if written
+	// before the field existed) so re-annotation on another machine cannot
+	// rewrite notes to the wrong host.
+	if len(report.Entries) == 0 && report.NumCPU == 0 {
+		report.NumCPU = runtime.NumCPU()
+	}
 	kept := report.Entries[:0]
 	for _, e := range report.Entries {
 		if !strings.HasPrefix(e.Name, "explore.") {
@@ -195,7 +203,7 @@ func mergeExploreHostEntries(hostPath string, rep *sim.ExploreReport) error {
 	}
 	report.Add(triage)
 	for i := range report.Entries {
-		annotateHostEntry(&report.Entries[i])
+		annotateHostEntry(&report.Entries[i], report.NumCPU)
 	}
 	return report.WriteFile(hostPath)
 }

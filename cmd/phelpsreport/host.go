@@ -22,6 +22,7 @@ import (
 // `go test -bench` agree on what is being measured.
 func runHostBench(jsonPath string) error {
 	report := obs.NewHostBenchReport(runtime.Version())
+	report.NumCPU = runtime.NumCPU()
 
 	fmt.Println("host performance (see EXPERIMENTS.md · Host performance):")
 
@@ -375,7 +376,7 @@ func runHostBench(jsonPath string) error {
 	_ = sink
 
 	for i := range report.Entries {
-		annotateHostEntry(&report.Entries[i])
+		annotateHostEntry(&report.Entries[i], report.NumCPU)
 	}
 	if err := report.WriteFile(jsonPath); err != nil {
 		return err
@@ -388,16 +389,23 @@ func runHostBench(jsonPath string) error {
 // read honestly, keyed on the measured values so the caveat only appears
 // when it applies. Run over every entry before the artifact is written
 // (including read-back merges), so BENCH_host.json stays self-describing.
-func annotateHostEntry(e *obs.HostBenchEntry) {
+// numCPU is the core count of the host the entry was measured on — the
+// artifact's recorded value, not the annotating machine's — and may be zero
+// for artifacts written before it was recorded.
+func annotateHostEntry(e *obs.HostBenchEntry, numCPU int) {
 	switch {
 	case e.Name == "event_queue.quick_matrix" && e.Speedup > 0 && e.Speedup < 1:
 		e.Note = "below 1x is honest: the quick matrix is dominated by compute-bound cells that " +
 			"retire nearly every cycle, so calendar-queue bookkeeping costs more than the few " +
 			"skipped cycles save; the memory-bound event_queue.core_loop.* entries isolate the win"
 	case strings.HasPrefix(e.Name, "sampled_parallel.") && e.Speedup > 0 && e.Speedup < 1.1:
-		e.Note = fmt.Sprintf("~1x expected on this %d-core host: the 8-worker point-measurement "+
+		host := "a host without spare cores"
+		if numCPU > 0 {
+			host = fmt.Sprintf("this %d-core host", numCPU)
+		}
+		e.Note = fmt.Sprintf("~1x expected on %s: the 8-worker point-measurement "+
 			"pool serializes without spare cores, so this measures pool overhead, not the pool win",
-			runtime.NumCPU())
+			host)
 	}
 }
 

@@ -40,7 +40,12 @@ const HostBenchSchema = 6
 type HostBenchReport struct {
 	Schema    int              `json:"schema"`
 	GoVersion string           `json:"go_version"`
-	Entries   []HostBenchEntry `json:"entries"`
+	// NumCPU is the logical core count of the host the measurements were
+	// taken on, recorded so later merges on other machines can annotate
+	// entries against the measurement host, not the merging one. Zero in
+	// artifacts written before the field existed.
+	NumCPU  int              `json:"num_cpu,omitempty"`
+	Entries []HostBenchEntry `json:"entries"`
 }
 
 // HostBenchEntry is one measurement. Pipeline-level entries report

@@ -375,7 +375,10 @@ func bestSplit(xs [][]float64, resid []float64, rows []int, minLeaf int) (feat i
 			if gain := parentSSE - sse; gain > bestGain+1e-12 {
 				bestGain = gain
 				feat = f
-				thresh = xs[i][f] + (xs[order[k+1]][f]-xs[i][f])/2
+				// The threshold is the exact left-boundary value: a midpoint
+				// between near-adjacent floats can round up to the right-hand
+				// value and leave one side of the "<=" partition empty.
+				thresh = xs[i][f]
 				ok = true
 			}
 		}

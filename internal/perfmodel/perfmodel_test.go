@@ -208,3 +208,29 @@ func TestStumpsAndConstantTarget(t *testing.T) {
 		t.Errorf("negative MPKI prediction = %v, want clamped 0", got)
 	}
 }
+
+func TestAdjacentFloatSplit(t *testing.T) {
+	// Splitting between two adjacent floats: a midpoint threshold rounds up
+	// to the right-hand value here (round-to-even), which used to leave the
+	// right child empty (node index -1) and panic at predict time. The
+	// threshold must be the exact left-boundary value.
+	v1 := math.Nextafter(1.0, 2) // odd mantissa, so the midpoint rounds up to v2
+	v2 := math.Nextafter(v1, 2)
+	samples := []Sample{
+		{X: []float64{v1}, IPC: 1},
+		{X: []float64{v1}, IPC: 1},
+		{X: []float64{v2}, IPC: 2},
+		{X: []float64{v2}, IPC: 2},
+	}
+	m, err := Train(samples, []string{"f"}, Config{Rounds: 1, Depth: 1, LearnRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(m.Append(nil)); err != nil {
+		t.Fatalf("model with adjacent-float split does not round-trip: %v", err)
+	}
+	lo, hi := m.PredictIPC([]float64{v1}), m.PredictIPC([]float64{2.0})
+	if !(lo < hi) {
+		t.Errorf("split lost: predict(v1)=%v, predict(2.0)=%v", lo, hi)
+	}
+}

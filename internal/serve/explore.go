@@ -97,9 +97,12 @@ func (s *Server) SubmitExplore(req ExploreRequest) (*exploreRun, *apiError) {
 			run.state, run.err = ExploreFailed, err
 		}
 		run.mu.Unlock()
-		if err == nil {
+		switch {
+		case err == nil:
 			s.exploresDone.Add(1)
-		} else {
+		case errors.Is(err, sim.ErrCanceled):
+			s.exploresCanceled.Add(1)
+		default:
 			s.exploresFailed.Add(1)
 		}
 	}()

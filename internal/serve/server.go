@@ -125,7 +125,7 @@ type Server struct {
 
 	jobsSubmitted, jobsRejected, jobsCanceled    atomic.Uint64
 	exploresSubmitted, exploresDone              atomic.Uint64
-	exploresFailed                               atomic.Uint64
+	exploresFailed, exploresCanceled             atomic.Uint64
 	cellsSubmitted, cellsDone, cellsFailed       atomic.Uint64
 	cellsCanceled, cellsFromCache, cellsDeduped  atomic.Uint64
 	retryRetried, retryRecovered, retryExhausted atomic.Uint64
@@ -199,6 +199,7 @@ func (s *Server) registerObs() {
 	explore.Counter("submitted", s.exploresSubmitted.Load)
 	explore.Counter("done", s.exploresDone.Load)
 	explore.Counter("failed", s.exploresFailed.Load)
+	explore.Counter("canceled", s.exploresCanceled.Load)
 	explore.Gauge("active", func() float64 {
 		if s.exploreActive.Load() {
 			return 1

@@ -446,6 +446,9 @@ func anchorIndices(points []ExplorePoint, n int) []int {
 		sort.Ints(sel)
 		return sel
 	}
+	if n <= 1 {
+		return []int{order[0]}
+	}
 	picked := make(map[int]struct{}, n)
 	var sel []int
 	for i := 0; i < n; i++ {
@@ -487,10 +490,10 @@ func paretoFrontier(points []ExplorePoint, predIPC []float64) []int {
 	return out
 }
 
-// thinFrontier reduces a frontier to at most max points, always keeping the
-// first, the last, and the best-predicted point, with the rest evenly
-// spaced — the triage budget stays bounded without losing the extremes or
-// the recommendation.
+// thinFrontier reduces a frontier to at most max points: the best-predicted
+// point always survives, then the extremes, then evenly spaced fill — the
+// triage budget is a hard cap, and within it the recommendation and the
+// endpoints take priority.
 func thinFrontier(frontier []int, predIPC []float64, max int) []int {
 	if max <= 0 || len(frontier) <= max {
 		return frontier
@@ -501,7 +504,13 @@ func thinFrontier(frontier []int, predIPC []float64, max int) []int {
 			bestPos = i
 		}
 	}
-	keep := map[int]struct{}{0: {}, len(frontier) - 1: {}, bestPos: {}}
+	keep := make(map[int]struct{}, max)
+	for _, p := range []int{bestPos, 0, len(frontier) - 1} {
+		if len(keep) >= max {
+			break
+		}
+		keep[p] = struct{}{}
+	}
 	for i := 0; len(keep) < max && i < max; i++ {
 		keep[i*(len(frontier)-1)/(max-1)] = struct{}{}
 	}
@@ -544,6 +553,9 @@ func RunExplore(ctx context.Context, opt ExploreOptions) (*ExploreReport, error)
 		if nAnchor < 8 {
 			nAnchor = 8
 		}
+	}
+	if nAnchor < 2 {
+		nAnchor = 2 // the training set must span the budget axis
 	}
 	if nAnchor > len(points) {
 		nAnchor = len(points)

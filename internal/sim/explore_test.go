@@ -91,6 +91,15 @@ func TestAnchorIndices(t *testing.T) {
 	if len(all) != 5 {
 		t.Errorf("oversized request selected %d of 5", len(all))
 	}
+	// n=1 used to divide by zero in the rank formula; it must pick exactly
+	// the cheapest config, not panic.
+	one := anchorIndices(points, 1)
+	if len(one) != 1 {
+		t.Fatalf("n=1 selected %d points", len(one))
+	}
+	if points[one[0]].Budget != points[minIdx].Budget {
+		t.Errorf("n=1 picked budget %v, want the minimum %v", points[one[0]].Budget, points[minIdx].Budget)
+	}
 }
 
 func TestParetoFrontier(t *testing.T) {
@@ -123,6 +132,11 @@ func TestParetoFrontier(t *testing.T) {
 	}
 	if got2 := thinFrontier(got, pred, 10); len(got2) != 3 {
 		t.Errorf("thinning below size changed the frontier: %v", got2)
+	}
+	// max is a hard cap: 1 keeps exactly the best-predicted point (seeding
+	// first+last+best used to overshoot small caps).
+	if thin1 := thinFrontier(got, pred, 1); len(thin1) != 1 || thin1[0] != 3 {
+		t.Errorf("max=1 thinned = %v, want [3]", thin1)
 	}
 }
 
